@@ -1,0 +1,82 @@
+// ABL-HASH — substrate microbenchmarks (google-benchmark): SHA-256,
+// HMAC-SHA256, SipHash-2-4, HMAC-DRBG. The SHA-256 64-byte number is the
+// "per-hash cost" that calibrates the latency model's hash_cost_us on a
+// given machine (solver inputs are one or two compression blocks).
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/siphash.hpp"
+
+namespace {
+
+using namespace powai;
+
+common::Bytes make_input(std::size_t n) {
+  common::Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  return data;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const common::Bytes data = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_Sha256SolverShape(benchmark::State& state) {
+  // The solver's exact call pattern: fixed ~100-byte prefix + 8-byte nonce.
+  const common::Bytes prefix = make_input(100);
+  common::Bytes nonce(8, 0);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    ++n;
+    nonce[0] = static_cast<std::uint8_t>(n);
+    benchmark::DoNotOptimize(crypto::Sha256::hash2(prefix, nonce));
+  }
+}
+BENCHMARK(BM_Sha256SolverShape);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const common::Bytes key = common::bytes_of("bench-key");
+  const common::Bytes data = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_SipHash24(benchmark::State& state) {
+  crypto::SipKey key{};
+  for (std::uint8_t i = 0; i < 16; ++i) key[i] = i;
+  const common::Bytes data = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::siphash24(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SipHash24)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_HmacDrbgGenerate(benchmark::State& state) {
+  crypto::HmacDrbg drbg(common::bytes_of("bench-entropy"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drbg.generate(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_HmacDrbgGenerate)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

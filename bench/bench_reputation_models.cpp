@@ -1,0 +1,81 @@
+// CLAIM-80PCT — reproduces §II.1's model claim: DAbR "generates a
+// reputation score for an IP with an accuracy of 80%". Trains all four
+// models on synthetic traffic at the calibrated class overlap, evaluates
+// on a held-out split, and times per-request scoring (the AI model sits
+// on the request path, so its latency matters too).
+//
+// Usage:   ./build/bench/bench_reputation_models [rows=3000] [overlap=0.58]
+//          [seed=9]
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "features/synthetic.hpp"
+#include "reputation/dabr.hpp"
+#include "reputation/ensemble.hpp"
+#include "reputation/evaluator.hpp"
+#include "reputation/knn.hpp"
+#include "reputation/logistic.hpp"
+#include "reputation/naive_bayes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace powai;
+
+  const common::Config args = common::Config::from_args(argc, argv);
+  const auto rows = static_cast<std::size_t>(args.get_u64("rows", 3000));
+  features::SyntheticConfig traffic_cfg;
+  traffic_cfg.class_overlap = args.get_f64("overlap", 0.58);
+
+  const features::SyntheticTraceGenerator traffic(traffic_cfg);
+  common::Rng rng(args.get_u64("seed", 9));
+  features::Dataset data = traffic.generate(rows / 2, rows / 2, rng);
+  data.shuffle(rng);
+  const auto [train, test] = data.split(0.7);
+
+  std::vector<std::unique_ptr<reputation::IReputationModel>> models;
+  models.push_back(std::make_unique<reputation::DabrModel>());
+  models.push_back(std::make_unique<reputation::KnnModel>());
+  models.push_back(std::make_unique<reputation::LogisticModel>());
+  models.push_back(std::make_unique<reputation::NaiveBayesModel>());
+  models.push_back(reputation::make_default_ensemble());
+
+  common::Table table({"model", "accuracy", "precision", "recall", "f1",
+                       "auc", "epsilon", "score_us"});
+  for (auto& model : models) {
+    const auto fit0 = std::chrono::steady_clock::now();
+    model->fit(train);
+    const auto fit1 = std::chrono::steady_clock::now();
+    (void)fit0;
+    (void)fit1;
+    const reputation::EvaluationReport r = reputation::evaluate(*model, test);
+
+    // Scoring latency: mean over the test set.
+    const auto s0 = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (const auto& row : test.rows()) sink += model->score(row.features);
+    const auto s1 = std::chrono::steady_clock::now();
+    const double score_us =
+        std::chrono::duration<double, std::micro>(s1 - s0).count() /
+        static_cast<double>(test.size());
+    (void)sink;
+
+    table.add_row({std::string(model->name()), common::fmt_f(r.accuracy, 3),
+                   common::fmt_f(r.precision, 3), common::fmt_f(r.recall, 3),
+                   common::fmt_f(r.f1, 3), common::fmt_f(r.roc_auc, 3),
+                   common::fmt_f(model->error_epsilon(), 2),
+                   common::fmt_f(score_us, 2)});
+  }
+
+  std::printf("CLAIM-80PCT: reputation models on held-out traffic "
+              "(%zu train / %zu test, overlap=%.2f)\n\n%s\n",
+              train.size(), test.size(), traffic_cfg.class_overlap,
+              table.to_text().c_str());
+  std::printf("paper anchor: DAbR accuracy ~ 0.80 (the synthetic overlap is "
+              "calibrated to land DAbR near it; see DESIGN.md)\n");
+  return 0;
+}

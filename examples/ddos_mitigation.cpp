@@ -1,0 +1,65 @@
+// DDoS mitigation scenario: a benign population browses while a botnet
+// floods the server. The simulation runs twice — defenseless and with the
+// AI-assisted PoW framework — and prints per-class goodput and latency.
+//
+// Usage:   ./build/examples/ddos_mitigation [key=value ...]
+//   benign=90 attackers=10 duration_s=20 overlap=0.58 seed=7
+//
+// The default overlap is calibrated so DAbR scores at its published ~80%
+// accuracy; lower it to see what a better model buys the defender.
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+#include "reputation/evaluator.hpp"
+#include "sim/throttling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace powai;
+
+  const common::Config args = common::Config::from_args(argc, argv);
+
+  sim::ThrottlingConfig cfg;
+  cfg.workload.benign_clients =
+      static_cast<std::size_t>(args.get_u64("benign", 90));
+  cfg.workload.attackers = static_cast<std::size_t>(args.get_u64("attackers", 10));
+  cfg.workload.traffic.class_overlap = args.get_f64("overlap", 0.58);
+  cfg.duration_s = args.get_f64("duration_s", 20.0);
+  cfg.real_hashing = false;  // timing-model mode: large populations, fast
+  cfg.seed = args.get_u64("seed", 7);
+
+  // Train DAbR on traffic drawn from the same distributions the live
+  // population will exhibit.
+  common::Rng rng(cfg.seed ^ 0x5eedULL);
+  reputation::DabrModel model;
+  model.fit(sim::make_training_set(cfg.workload, 800, 800, rng));
+
+  const policy::LinearPolicy policy = policy::LinearPolicy::policy2();
+
+  std::printf("population: %zu benign + %zu attackers, %.0f s simulated\n",
+              cfg.workload.benign_clients, cfg.workload.attackers,
+              cfg.duration_s);
+  std::printf("model: DAbR, epsilon=%.2f  policy: %s\n\n",
+              model.error_epsilon(), policy.describe().c_str());
+
+  cfg.pow_enabled = false;
+  const sim::ThrottlingReport off = sim::run_throttling(cfg, model, policy);
+  std::printf("--- without PoW (baseline) ---  server utilization %.0f%%\n%s\n",
+              100.0 * off.server_utilization, off.to_table().to_text().c_str());
+
+  cfg.pow_enabled = true;
+  const sim::ThrottlingReport on = sim::run_throttling(cfg, model, policy);
+  std::printf("--- with AI-assisted PoW ---    server utilization %.0f%%\n%s\n",
+              100.0 * on.server_utilization, on.to_table().to_text().c_str());
+
+  const double throttle_factor =
+      on.attacker.goodput_rps > 0.0
+          ? off.attacker.goodput_rps / on.attacker.goodput_rps
+          : 0.0;
+  std::printf("attacker goodput throttled %.1fx; benign goodput %.2f -> %.2f rps\n",
+              throttle_factor, off.benign.goodput_rps, on.benign.goodput_rps);
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "common/clock.hpp"
+
+#include <stdexcept>
+
+namespace powai::common {
+
+TimePoint WallClock::now() const {
+  return std::chrono::time_point_cast<Duration>(
+      std::chrono::system_clock::now());
+}
+
+const WallClock& WallClock::instance() {
+  static const WallClock clock;
+  return clock;
+}
+
+void ManualClock::advance(Duration d) {
+  if (d < Duration::zero()) {
+    throw std::invalid_argument("ManualClock::advance: negative duration");
+  }
+  now_ += d;
+}
+
+void ManualClock::set(TimePoint t) {
+  if (t < now_) {
+    throw std::invalid_argument("ManualClock::set: time moved backwards");
+  }
+  now_ = t;
+}
+
+}  // namespace powai::common

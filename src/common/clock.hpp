@@ -1,0 +1,67 @@
+#pragma once
+/// \file clock.hpp
+/// Virtual time. All latency-sensitive components (puzzle expiry, rate
+/// limiting, the network simulator, experiment harnesses) read time
+/// through the `Clock` interface so they run identically against the wall
+/// clock and against simulated time.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace powai::common {
+
+/// Library-wide duration / time-point resolution.
+using Duration = std::chrono::nanoseconds;
+
+/// A point in time. For `WallClock` this is nanoseconds since the Unix
+/// epoch; for `ManualClock` it is nanoseconds since simulation start.
+using TimePoint = std::chrono::time_point<std::chrono::system_clock, Duration>;
+
+/// Converts a time point to whole milliseconds (for wire messages/logs).
+[[nodiscard]] inline std::int64_t to_millis(TimePoint t) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+/// Converts a duration to fractional milliseconds (for reporting).
+[[nodiscard]] inline double to_millis_f(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Real system time.
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override;
+
+  /// Shared process-wide instance (stateless, so sharing is safe).
+  static const WallClock& instance();
+};
+
+/// Manually-advanced time for simulations and tests. Never moves on its
+/// own; `advance`/`set` are the only mutators.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+  [[nodiscard]] TimePoint now() const override { return now_; }
+
+  /// Moves time forward by \p d (negative d is a programming error).
+  void advance(Duration d);
+
+  /// Jumps to an absolute time (must not move backwards).
+  void set(TimePoint t);
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace powai::common

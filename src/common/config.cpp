@@ -1,0 +1,125 @@
+#include "common/config.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace powai::common {
+
+Config Config::parse(std::string_view text) {
+  Config cfg;
+  for (std::string_view line : split(text, '\n')) {
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    for (std::string_view token : split_ws(line)) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::invalid_argument("Config::parse: token without '=': " +
+                                    std::string(token));
+      }
+      cfg.set(std::string(trim(token.substr(0, eq))),
+              std::string(trim(token.substr(eq + 1))));
+    }
+  }
+  return cfg;
+}
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view token = argv[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("Config::from_args: expected key=value, got " +
+                                  std::string(token));
+    }
+    cfg.set(std::string(trim(token.substr(0, eq))),
+            std::string(trim(token.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  if (key.empty()) throw std::invalid_argument("Config::set: empty key");
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string_view fallback) const {
+  const auto v = get(key);
+  return v ? *v : std::string(fallback);
+}
+
+std::int64_t Config::get_i64(std::string_view key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_i64(*v);
+  return parsed ? *parsed : fallback;
+}
+
+std::uint64_t Config::get_u64(std::string_view key,
+                              std::uint64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_u64(*v);
+  return parsed ? *parsed : fallback;
+}
+
+double Config::get_f64(std::string_view key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const auto parsed = parse_f64(*v);
+  return parsed ? *parsed : fallback;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const std::string lower = to_lower(*v);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+std::string Config::require_string(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) {
+    throw std::invalid_argument("Config: missing required key '" +
+                                std::string(key) + "'");
+  }
+  return *v;
+}
+
+std::int64_t Config::require_i64(std::string_view key) const {
+  const auto parsed = parse_i64(require_string(key));
+  if (!parsed) {
+    throw std::invalid_argument("Config: key '" + std::string(key) +
+                                "' is not an integer");
+  }
+  return *parsed;
+}
+
+double Config::require_f64(std::string_view key) const {
+  const auto parsed = parse_f64(require_string(key));
+  if (!parsed) {
+    throw std::invalid_argument("Config: key '" + std::string(key) +
+                                "' is not a number");
+  }
+  return *parsed;
+}
+
+}  // namespace powai::common

@@ -1,0 +1,56 @@
+#pragma once
+/// \file config.hpp
+/// Flat key=value configuration, the format the example programs and the
+/// benchmark harness accept ("policy=linear offset=5 epsilon=1.5").
+/// Lines starting with '#' are comments. Typed getters with defaults;
+/// `require_*` variants throw when an operator must supply a value.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace powai::common {
+
+class Config final {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" pairs separated by newlines and/or whitespace.
+  /// Later duplicates overwrite earlier ones. Throws std::invalid_argument
+  /// on a token with no '='.
+  static Config parse(std::string_view text);
+
+  /// Parses argv-style tokens ("key=value" each), e.g. from main().
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_i64(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_f64(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Throwing getters for mandatory keys (std::invalid_argument lists the
+  /// missing/unparsable key so operators get an actionable message).
+  [[nodiscard]] std::string require_string(std::string_view key) const;
+  [[nodiscard]] std::int64_t require_i64(std::string_view key) const;
+  [[nodiscard]] double require_f64(std::string_view key) const;
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace powai::common

@@ -1,0 +1,31 @@
+#include "common/error.hpp"
+
+namespace powai::common {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kMalformedMessage: return "malformed_message";
+    case ErrorCode::kExpired: return "expired";
+    case ErrorCode::kBadSolution: return "bad_solution";
+    case ErrorCode::kReplay: return "replay";
+    case ErrorCode::kRateLimited: return "rate_limited";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{error_code_name(code)};
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace powai::common

@@ -1,0 +1,105 @@
+#pragma once
+/// \file error.hpp
+/// Lightweight error-code + message type and a minimal `Result<T>`
+/// (expected-style) used for runtime failures that callers are expected
+/// to handle (malformed network input, expired puzzles, bad solutions).
+/// Programming errors and construction failures throw instead.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace powai::common {
+
+/// Stable error categories used across the library. Keep values explicit:
+/// they appear in wire messages and logs.
+enum class ErrorCode : std::uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kMalformedMessage = 2,
+  kExpired = 3,
+  kBadSolution = 4,
+  kReplay = 5,
+  kRateLimited = 6,
+  kNotFound = 7,
+  kInternal = 8,
+  kUnavailable = 9,
+  kTimeout = 10,
+};
+
+/// Human-readable name for an error code ("expired", "bad_solution", ...).
+[[nodiscard]] std::string_view error_code_name(ErrorCode code);
+
+/// An error: a category plus a free-form message for logs/operators.
+struct Error final {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Creates an error in one call: `err(ErrorCode::kExpired, "puzzle ttl")`.
+[[nodiscard]] inline Error err(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Minimal expected-style result. Holds either a value or an Error.
+/// `value()` throws std::logic_error if called on an error result — that
+/// is a programming bug, not a runtime condition.
+template <typename T>
+class [[nodiscard]] Result final {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error on ok result");
+    return std::get<Error>(state_);
+  }
+
+  /// Returns the value, or \p fallback if this result is an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result specialization for operations that produce no value.
+class [[nodiscard]] Status final {
+ public:
+  Status() = default;                                    // success
+  Status(Error error) : error_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return error_.code == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const { return error_; }
+
+  static Status success() { return Status{}; }
+
+ private:
+  Error error_{ErrorCode::kOk, {}};
+};
+
+}  // namespace powai::common

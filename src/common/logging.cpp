@@ -1,0 +1,64 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace powai::common {
+
+std::mutex Logger::io_mutex_;
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger::Logger(std::ostream& sink, LogLevel level, std::string component)
+    : sink_(&sink), level_(level), component_(std::move(component)) {}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level) || level == LogLevel::kOff) return;
+  std::ostringstream line;
+  line << log_level_name(level);
+  if (!component_.empty()) line << " [" << component_ << ']';
+  line << ' ' << message << '\n';
+  const std::string rendered = line.str();
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  (*sink_) << rendered;
+}
+
+Logger Logger::child(std::string_view component) const {
+  std::string name = component_;
+  if (!name.empty()) name += '.';
+  name += component;
+  return Logger(*sink_, level_, std::move(name));
+}
+
+Logger& Logger::global() {
+  static Logger logger = [] {
+    LogLevel level = LogLevel::kInfo;
+    if (const char* env = std::getenv("POWAI_LOG")) {
+      level = parse_log_level(env);
+    }
+    return Logger(std::cerr, level, "powai");
+  }();
+  return logger;
+}
+
+}  // namespace powai::common

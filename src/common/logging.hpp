@@ -1,0 +1,65 @@
+#pragma once
+/// \file logging.hpp
+/// Small leveled logger. Writes to a caller-provided std::ostream
+/// (default std::cerr), thread-safe per message. Components take a
+/// `Logger&` so tests can capture output and examples can silence it.
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace powai::common {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view log_level_name(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-sensitive);
+/// returns kInfo for anything unrecognized.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+class Logger final {
+ public:
+  /// \p sink must outlive the logger.
+  explicit Logger(std::ostream& sink, LogLevel level = LogLevel::kInfo,
+                  std::string component = {});
+
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Emits one line: "LEVEL [component] message".
+  void log(LogLevel level, std::string_view message);
+
+  void trace(std::string_view m) { log(LogLevel::kTrace, m); }
+  void debug(std::string_view m) { log(LogLevel::kDebug, m); }
+  void info(std::string_view m) { log(LogLevel::kInfo, m); }
+  void warn(std::string_view m) { log(LogLevel::kWarn, m); }
+  void error(std::string_view m) { log(LogLevel::kError, m); }
+
+  /// Creates a logger sharing this sink/level with a sub-component tag.
+  [[nodiscard]] Logger child(std::string_view component) const;
+
+  /// Process-wide default logger (stderr, level from $POWAI_LOG or info).
+  static Logger& global();
+
+ private:
+  std::ostream* sink_;
+  LogLevel level_;
+  std::string component_;
+  static std::mutex io_mutex_;  // serializes writes across all loggers
+};
+
+}  // namespace powai::common

@@ -1,0 +1,110 @@
+#include "common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace powai::common {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state would be a fixed point; splitmix64 cannot produce four
+  // zero outputs in a row, but guard anyway for belt-and-braces safety.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_u64: lo > hi");
+  const std::uint64_t range = hi - lo;  // inclusive width - 1
+  if (range == std::numeric_limits<std::uint64_t>::max()) return (*this)();
+  const std::uint64_t span = range + 1;
+  // Rejection sampling over the largest multiple of `span` that fits.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      (std::numeric_limits<std::uint64_t>::max() % span + 1) % span;
+  std::uint64_t draw = (*this)();
+  while (draw > limit) draw = (*this)();
+  return lo + draw % span;
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_i64: lo > hi");
+  const auto width = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_u64(0, width));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Rng::uniform: lo >= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 must be strictly positive for the log.
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("Rng::normal: sigma < 0");
+  return mean + sigma * normal();
+}
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0.0) throw std::invalid_argument("Rng::exponential: lambda <= 0");
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -std::log(u) / lambda;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Rng Rng::split() {
+  // Derive a child seed from two parent draws mixed through splitmix64 so
+  // the child stream does not overlap a contiguous run of the parent's.
+  std::uint64_t mix = (*this)() ^ 0xa0761d6478bd642fULL;
+  const std::uint64_t child_seed = splitmix64(mix) ^ (*this)();
+  return Rng(child_seed);
+}
+
+}  // namespace powai::common

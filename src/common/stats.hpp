@@ -1,0 +1,95 @@
+#pragma once
+/// \file stats.hpp
+/// Statistics used by the evaluation harness: Welford running moments,
+/// exact sample-based quantiles (the paper reports *medians* of 30
+/// trials), and a fixed-bin histogram for latency distributions.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace powai::common {
+
+/// Numerically-stable running mean/variance (Welford). O(1) memory;
+/// cannot produce quantiles — pair with `Samples` when medians matter.
+class RunningStats final {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; gives exact order statistics. Intended for the
+/// experiment scale in this repo (tens to tens of thousands of samples).
+class Samples final {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact quantile with linear interpolation between order statistics,
+  /// q in [0, 1]. Throws std::invalid_argument on empty data or bad q.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating underflow/overflow bins so no sample is silently dropped.
+class Histogram final {
+ public:
+  /// \p bins >= 1, \p lo < \p hi (else throws std::invalid_argument).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Lower edge of bin \p i.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+
+  /// Multi-line ASCII rendering (for example programs and logs).
+  [[nodiscard]] std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace powai::common

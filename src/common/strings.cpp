@@ -1,0 +1,95 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace powai::common {
+
+namespace {
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() && is_space(s[begin])) ++begin;
+  std::size_t end = s.size();
+  while (end > begin && is_space(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  s = trim(s);
+  if (s.empty() || s.front() == '-') return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // std::from_chars for double is available in libstdc++ 11+; use it for
+  // strictness (no locale, full-string match enforced below).
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace powai::common

@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text/CSV/markdown table rendering used by every bench binary to
+/// print the paper's tables and figure series in a uniform format.
+
+#include <string>
+#include <vector>
+
+namespace powai::common {
+
+/// A simple column-oriented table: set a header, append rows of cells.
+/// Numeric cells should be pre-formatted by the caller (the bench layer
+/// owns precision decisions).
+class Table final {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width (throws otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Fixed-width aligned text (for terminals).
+  [[nodiscard]] std::string to_text() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content, but
+  /// cells containing commas/quotes are quoted correctly anyway).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// GitHub-flavoured markdown.
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p decimals fractional digits.
+[[nodiscard]] std::string fmt_f(double value, int decimals = 2);
+
+}  // namespace powai::common

@@ -1,0 +1,89 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/hmac.hpp"
+
+namespace powai::crypto {
+
+HmacDrbg::HmacDrbg(common::BytesView entropy,
+                   common::BytesView personalization) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  common::Bytes seed_material(entropy.begin(), entropy.end());
+  common::append(seed_material, personalization);
+  update(seed_material);
+}
+
+void HmacDrbg::reseed(common::BytesView entropy) { update(entropy); }
+
+void HmacDrbg::update(common::BytesView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 mac(common::BytesView(key_.data(), key_.size()));
+    mac.update(common::BytesView(value_.data(), value_.size()));
+    const std::uint8_t zero = 0x00;
+    mac.update(common::BytesView(&zero, 1));
+    mac.update(provided);
+    const Digest k = mac.finish();
+    std::memcpy(key_.data(), k.data(), k.size());
+  }
+  {
+    const Digest v = hmac_sha256(common::BytesView(key_.data(), key_.size()),
+                                 common::BytesView(value_.data(), value_.size()));
+    std::memcpy(value_.data(), v.data(), v.size());
+  }
+  if (provided.empty()) return;
+  // Second round when provided data is present (per SP 800-90A).
+  {
+    HmacSha256 mac(common::BytesView(key_.data(), key_.size()));
+    mac.update(common::BytesView(value_.data(), value_.size()));
+    const std::uint8_t one = 0x01;
+    mac.update(common::BytesView(&one, 1));
+    mac.update(provided);
+    const Digest k = mac.finish();
+    std::memcpy(key_.data(), k.data(), k.size());
+  }
+  {
+    const Digest v = hmac_sha256(common::BytesView(key_.data(), key_.size()),
+                                 common::BytesView(value_.data(), value_.size()));
+    std::memcpy(value_.data(), v.data(), v.size());
+  }
+}
+
+common::Bytes HmacDrbg::generate(std::size_t n) {
+  common::Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const Digest v = hmac_sha256(common::BytesView(key_.data(), key_.size()),
+                                 common::BytesView(value_.data(), value_.size()));
+    std::memcpy(value_.data(), v.data(), v.size());
+    const std::size_t take = std::min(v.size(), n - out.size());
+    out.insert(out.end(), v.begin(), v.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  update({});
+  return out;
+}
+
+std::uint64_t HmacDrbg::next_u64() {
+  const common::Bytes bytes = generate(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+common::Bytes os_entropy(std::size_t n) {
+  std::random_device rd;
+  common::Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const unsigned int word = rd();
+    for (std::size_t i = 0; i < sizeof(word) && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace powai::crypto

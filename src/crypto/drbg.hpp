@@ -1,0 +1,45 @@
+#pragma once
+/// \file drbg.hpp
+/// HMAC-DRBG (NIST SP 800-90A, HMAC-SHA256 instantiation). The issuer
+/// uses it to generate server secrets and unique puzzle seeds; unlike
+/// common::Rng it is suitable where predictability would let an attacker
+/// pre-compute puzzle solutions.
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace powai::crypto {
+
+/// Deterministic random bit generator per SP 800-90A HMAC_DRBG. Given the
+/// same seed material it reproduces the same stream (useful for replaying
+/// experiments); seed it from entropy for production-style use.
+class HmacDrbg final {
+ public:
+  /// Instantiates with entropy (+ optional personalization string).
+  explicit HmacDrbg(common::BytesView entropy,
+                    common::BytesView personalization = {});
+
+  /// Mixes additional entropy into the state.
+  void reseed(common::BytesView entropy);
+
+  /// Produces \p n pseudorandom bytes.
+  [[nodiscard]] common::Bytes generate(std::size_t n);
+
+  /// Convenience: next 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+ private:
+  void update(common::BytesView provided);
+
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 32> value_{};
+};
+
+/// Returns \p n bytes sampled from std::random_device (wrapped so call
+/// sites do not depend on <random> and tests can see a single choke
+/// point for entropy).
+[[nodiscard]] common::Bytes os_entropy(std::size_t n);
+
+}  // namespace powai::crypto

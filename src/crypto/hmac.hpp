@@ -1,0 +1,39 @@
+#pragma once
+/// \file hmac.hpp
+/// HMAC-SHA256 (RFC 2104). The puzzle issuer derives per-request seeds as
+/// HMAC(server-secret, client-ip || timestamp || counter) so that seeds
+/// are unpredictable (blocking pre-computation attacks, §II.3 of the
+/// paper) yet stateless to verify.
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace powai::crypto {
+
+/// One-shot HMAC-SHA256 over \p message with \p key (any key length).
+[[nodiscard]] Digest hmac_sha256(common::BytesView key,
+                                 common::BytesView message);
+
+/// Incremental HMAC-SHA256 for multi-part messages.
+class HmacSha256 final {
+ public:
+  explicit HmacSha256(common::BytesView key);
+
+  void update(common::BytesView data);
+
+  /// Finalizes and returns the MAC. The object must not be reused after
+  /// finish() without reinitialization.
+  [[nodiscard]] Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, Sha256::kBlockSize> opad_key_{};
+};
+
+/// HKDF-style expand (single block, n <= 32 bytes): derives a sub-key
+/// labelled by \p info from \p key. Used to separate the issuer's seed
+/// key from its MAC key from one master secret.
+[[nodiscard]] common::Bytes derive_key(common::BytesView key,
+                                       common::BytesView info, std::size_t n);
+
+}  // namespace powai::crypto

@@ -1,0 +1,66 @@
+#pragma once
+/// \file sha256.hpp
+/// From-scratch SHA-256 (FIPS 180-4). This is the hash underlying the
+/// paper's PoW puzzles: a solution is a nonce such that
+/// SHA-256(puzzle-string || nonce) has a prefix of `d` zero bits.
+///
+/// Incremental interface (init/update/final) plus one-shot helpers.
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace powai::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256. Usage: construct, update() any number of times,
+/// finish() once. A finished hasher can be reset() and reused.
+class Sha256 final {
+ public:
+  static constexpr std::size_t kBlockSize = 64;
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256() { reset(); }
+
+  /// Restores the initial state (discards buffered input).
+  void reset();
+
+  /// Absorbs more message bytes.
+  void update(common::BytesView data);
+
+  /// Pads, finalizes, and returns the digest. The hasher must be reset()
+  /// before further use; calling update() after finish() without reset()
+  /// throws std::logic_error.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(common::BytesView data);
+
+  /// One-shot over the concatenation of two buffers — the solver's hot
+  /// path (puzzle-prefix || nonce) without building a temporary.
+  [[nodiscard]] static Digest hash2(common::BytesView a, common::BytesView b);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+/// Counts leading zero bits of a digest — the PoW difficulty measure.
+/// Returns 256 for the all-zero digest.
+[[nodiscard]] unsigned leading_zero_bits(const Digest& digest);
+
+/// True iff the digest meets difficulty \p d (>= d leading zero bits).
+[[nodiscard]] bool meets_difficulty(const Digest& digest, unsigned d);
+
+/// Constant-time equality for MAC/digest comparison.
+[[nodiscard]] bool constant_time_equal(common::BytesView a, common::BytesView b);
+
+}  // namespace powai::crypto

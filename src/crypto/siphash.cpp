@@ -1,0 +1,75 @@
+#include "crypto/siphash.hpp"
+
+#include <bit>
+
+namespace powai::crypto {
+
+namespace {
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = std::rotl(v1, 13);
+  v1 ^= v0;
+  v0 = std::rotl(v0, 32);
+  v2 += v3;
+  v3 = std::rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = std::rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = std::rotl(v1, 17);
+  v1 ^= v2;
+  v2 = std::rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipKey& key, common::BytesView data) {
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t len = data.size();
+  const std::size_t full_words = len / 8;
+
+  for (std::size_t i = 0; i < full_words; ++i) {
+    const std::uint64_t m = load_le64(data.data() + 8 * i);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final partial word: remaining bytes little-endian, length in top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(len & 0xff) << 56;
+  const std::size_t tail = len & 7;
+  for (std::size_t i = 0; i < tail; ++i) {
+    b |= static_cast<std::uint64_t>(data[8 * full_words + i]) << (8 * i);
+  }
+  v3 ^= b;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace powai::crypto

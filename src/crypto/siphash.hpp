@@ -1,0 +1,21 @@
+#pragma once
+/// \file siphash.hpp
+/// SipHash-2-4 (Aumasson–Bernstein), a fast keyed 64-bit PRF. Used for
+/// hash-table keying in the replay cache and for cheap keyed fingerprints
+/// where a full SHA-256 would be wasteful.
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace powai::crypto {
+
+/// 128-bit SipHash key.
+using SipKey = std::array<std::uint8_t, 16>;
+
+/// Computes SipHash-2-4 of \p data under \p key.
+[[nodiscard]] std::uint64_t siphash24(const SipKey& key,
+                                      common::BytesView data);
+
+}  // namespace powai::crypto

@@ -1,0 +1,129 @@
+#include "features/dataset.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace powai::features {
+
+std::size_t Dataset::malicious_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) n += row.malicious ? 1 : 0;
+  return n;
+}
+
+std::size_t Dataset::benign_count() const {
+  return rows_.size() - malicious_count();
+}
+
+void Dataset::shuffle(common::Rng& rng) {
+  for (std::size_t i = rows_.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_u64(0, i - 1);
+    std::swap(rows_[i - 1], rows_[j]);
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    throw std::invalid_argument("Dataset::split: fraction outside (0, 1)");
+  }
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(rows_.size()) * train_fraction);
+  Dataset train;
+  Dataset test;
+  train.reserve(cut);
+  test.reserve(rows_.size() - cut);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    (i < cut ? train : test).add(rows_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::string Dataset::to_csv() const {
+  std::string out = "ip";
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    out += ',';
+    out += feature_name(static_cast<Feature>(i));
+  }
+  out += ",malicious\n";
+  for (const auto& row : rows_) {
+    out += row.ip.to_string();
+    out += ',';
+    out += row.features.to_csv();
+    out += row.malicious ? ",1\n" : ",0\n";
+  }
+  return out;
+}
+
+Dataset Dataset::from_csv(std::string_view text) {
+  Dataset out;
+  const auto lines = common::split(text, '\n');
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const auto line = common::trim(lines[ln]);
+    if (line.empty()) continue;
+    if (ln == 0 && common::starts_with(line, "ip,")) continue;  // header
+    const auto cells = common::split(line, ',');
+    if (cells.size() != kFeatureCount + 2) {
+      throw std::invalid_argument("Dataset::from_csv: line " +
+                                  std::to_string(ln + 1) + ": expected " +
+                                  std::to_string(kFeatureCount + 2) +
+                                  " cells, got " + std::to_string(cells.size()));
+    }
+    LabeledExample example;
+    const auto ip = IpAddress::parse(cells[0]);
+    if (!ip) {
+      throw std::invalid_argument("Dataset::from_csv: line " +
+                                  std::to_string(ln + 1) + ": bad ip");
+    }
+    example.ip = *ip;
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+      const auto v = common::parse_f64(cells[1 + f]);
+      if (!v) {
+        throw std::invalid_argument("Dataset::from_csv: line " +
+                                    std::to_string(ln + 1) + ": bad feature " +
+                                    std::to_string(f));
+      }
+      example.features[f] = *v;
+    }
+    const auto label = common::trim(cells.back());
+    if (label == "1") {
+      example.malicious = true;
+    } else if (label == "0") {
+      example.malicious = false;
+    } else {
+      throw std::invalid_argument("Dataset::from_csv: line " +
+                                  std::to_string(ln + 1) + ": bad label");
+    }
+    out.add(std::move(example));
+  }
+  return out;
+}
+
+FeatureVector Dataset::mean() const {
+  FeatureVector m;
+  if (rows_.empty()) return m;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < kFeatureCount; ++i) m[i] += row.features[i];
+  }
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    m[i] /= static_cast<double>(rows_.size());
+  }
+  return m;
+}
+
+FeatureVector Dataset::class_mean(bool malicious) const {
+  FeatureVector m;
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (row.malicious != malicious) continue;
+    ++n;
+    for (std::size_t i = 0; i < kFeatureCount; ++i) m[i] += row.features[i];
+  }
+  if (n == 0) return m;
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    m[i] /= static_cast<double>(n);
+  }
+  return m;
+}
+
+}  // namespace powai::features

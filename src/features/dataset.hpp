@@ -1,0 +1,70 @@
+#pragma once
+/// \file dataset.hpp
+/// Labeled IP attribute data: the training/evaluation substrate for the
+/// reputation models. Supports CSV round-trips, shuffled splits, and
+/// class bookkeeping.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/feature_vector.hpp"
+#include "features/ip_address.hpp"
+
+namespace powai::features {
+
+/// One labeled observation: an IP, its attribute vector, and whether the
+/// IP is known-malicious (ground truth).
+struct LabeledExample final {
+  IpAddress ip;
+  FeatureVector features;
+  bool malicious = false;
+};
+
+/// An in-memory dataset of labeled examples.
+class Dataset final {
+ public:
+  Dataset() = default;
+
+  void add(LabeledExample example) { rows_.push_back(std::move(example)); }
+  void reserve(std::size_t n) { rows_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+  [[nodiscard]] const LabeledExample& operator[](std::size_t i) const {
+    return rows_[i];
+  }
+  [[nodiscard]] const std::vector<LabeledExample>& rows() const { return rows_; }
+
+  [[nodiscard]] std::size_t malicious_count() const;
+  [[nodiscard]] std::size_t benign_count() const;
+
+  /// In-place Fisher–Yates shuffle.
+  void shuffle(common::Rng& rng);
+
+  /// Splits into (train, test) with \p train_fraction of rows in train
+  /// (row order preserved; shuffle first for a random split). Fraction
+  /// must be in (0, 1).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction) const;
+
+  /// Serializes to CSV with a header row:
+  /// `ip,<feature names...>,malicious`.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Parses the format produced by to_csv(). Throws std::invalid_argument
+  /// with a line number on malformed input.
+  [[nodiscard]] static Dataset from_csv(std::string_view text);
+
+  /// Per-feature mean over all rows (zero vector when empty).
+  [[nodiscard]] FeatureVector mean() const;
+
+  /// Per-feature mean over rows of one class only.
+  [[nodiscard]] FeatureVector class_mean(bool malicious) const;
+
+ private:
+  std::vector<LabeledExample> rows_;
+};
+
+}  // namespace powai::features

@@ -1,0 +1,48 @@
+#include "features/feature_vector.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace powai::features {
+
+std::string_view feature_name(Feature f) {
+  switch (f) {
+    case Feature::kRequestRate: return "request_rate";
+    case Feature::kMeanPayloadBytes: return "mean_payload_bytes";
+    case Feature::kConnDurationMs: return "conn_duration_ms";
+    case Feature::kSynRatio: return "syn_ratio";
+    case Feature::kErrorRatio: return "error_ratio";
+    case Feature::kUniquePorts: return "unique_ports";
+    case Feature::kGeoRisk: return "geo_risk";
+    case Feature::kBlocklistHits: return "blocklist_hits";
+    case Feature::kPathEntropy: return "path_entropy";
+    case Feature::kTtlVariance: return "ttl_variance";
+  }
+  return "unknown";
+}
+
+double FeatureVector::distance_sq(const FeatureVector& other) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    const double d = values_[i] - other.values_[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double FeatureVector::distance(const FeatureVector& other) const {
+  return std::sqrt(distance_sq(other));
+}
+
+std::string FeatureVector::to_csv() const {
+  std::string out;
+  char buf[32];
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof buf, "%.17g", values_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace powai::features

@@ -1,0 +1,70 @@
+#include "features/ip_address.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace powai::features {
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  const auto parts = common::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    if (part.size() > 1 && part.front() == '0') return std::nullopt;
+    std::uint32_t octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return IpAddress(value);
+}
+
+std::string IpAddress::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+Subnet::Subnet(IpAddress base, int prefix_len) : prefix_len_(prefix_len) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("Subnet: prefix_len outside [0, 32]");
+  }
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_len);
+  base_ = IpAddress(base.value() & mask);
+}
+
+std::optional<Subnet> Subnet::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto base = IpAddress::parse(text.substr(0, slash));
+  const auto len = common::parse_i64(text.substr(slash + 1));
+  if (!base || !len || *len < 0 || *len > 32) return std::nullopt;
+  return Subnet(*base, static_cast<int>(*len));
+}
+
+bool Subnet::contains(IpAddress ip) const {
+  const std::uint32_t mask =
+      prefix_len_ == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_len_);
+  return (ip.value() & mask) == base_.value();
+}
+
+std::string Subnet::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+IpAddress Subnet::at(std::uint64_t i) const {
+  if (i >= size()) throw std::out_of_range("Subnet::at: index beyond block");
+  return IpAddress(base_.value() + static_cast<std::uint32_t>(i));
+}
+
+}  // namespace powai::features

@@ -1,0 +1,69 @@
+#pragma once
+/// \file ip_address.hpp
+/// IPv4 address and CIDR subnet types. The framework keys reputation,
+/// sessions, rate limits, and puzzle client-binding by source IP, so the
+/// type shows up in nearly every module above this one.
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace powai::features {
+
+/// An IPv4 address (stored host-order for cheap arithmetic/comparison).
+class IpAddress final {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t host_order) : value_(host_order) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad "a.b.c.d". Rejects leading-zero octets ("01"),
+  /// out-of-range octets, and trailing garbage.
+  [[nodiscard]] static std::optional<IpAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Octet accessor, index 0 = most significant ("a" in a.b.c.d).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR block like 10.0.0.0/8.
+class Subnet final {
+ public:
+  /// \p prefix_len in [0, 32]; host bits of \p base are masked off.
+  Subnet(IpAddress base, int prefix_len);
+
+  /// Parses "a.b.c.d/len".
+  [[nodiscard]] static std::optional<Subnet> parse(std::string_view text);
+
+  [[nodiscard]] bool contains(IpAddress ip) const;
+  [[nodiscard]] IpAddress base() const { return base_; }
+  [[nodiscard]] int prefix_len() const { return prefix_len_; }
+  [[nodiscard]] std::uint64_t size() const {
+    return 1ULL << (32 - prefix_len_);
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  /// The i-th address inside the block (i < size()).
+  [[nodiscard]] IpAddress at(std::uint64_t i) const;
+
+ private:
+  IpAddress base_;
+  int prefix_len_;
+};
+
+}  // namespace powai::features

@@ -1,0 +1,123 @@
+#include "features/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powai::features {
+
+namespace {
+
+FeatureVector make_vector(std::initializer_list<double> values) {
+  FeatureVector v;
+  std::size_t i = 0;
+  for (double x : values) v[i++] = x;
+  return v;
+}
+
+/// Clamps a sampled value to the physical domain of its feature.
+double clamp_to_domain(Feature f, double v) {
+  switch (f) {
+    case Feature::kSynRatio:
+    case Feature::kErrorRatio:
+    case Feature::kGeoRisk:
+      return std::clamp(v, 0.0, 1.0);
+    default:
+      return std::max(v, 0.0);
+  }
+}
+
+}  // namespace
+
+ClassProfile benign_profile() {
+  return ClassProfile{
+      // request_rate, payload, duration, syn, error, ports, geo,
+      // blocklist, path_entropy, ttl_var
+      .mean = make_vector({2.0, 800.0, 1200.0, 0.02, 0.03, 2.0, 0.15, 0.05,
+                           2.5, 1.0}),
+      .stddev = make_vector({1.5, 300.0, 600.0, 0.02, 0.03, 1.0, 0.10, 0.30,
+                             1.0, 0.8}),
+  };
+}
+
+ClassProfile malicious_profile() {
+  return ClassProfile{
+      .mean = make_vector({80.0, 250.0, 150.0, 0.45, 0.30, 25.0, 0.60, 3.0,
+                           6.0, 8.0}),
+      .stddev = make_vector({40.0, 150.0, 100.0, 0.20, 0.15, 15.0, 0.25, 2.0,
+                             1.5, 5.0}),
+  };
+}
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(SyntheticConfig config)
+    : config_(config), benign_(benign_profile()), malicious_(malicious_profile()) {
+  if (!(config_.class_overlap >= 0.0 && config_.class_overlap < 1.0)) {
+    throw std::invalid_argument(
+        "SyntheticTraceGenerator: class_overlap outside [0, 1)");
+  }
+  if (!(config_.label_noise >= 0.0 && config_.label_noise <= 0.5)) {
+    throw std::invalid_argument(
+        "SyntheticTraceGenerator: label_noise outside [0, 0.5]");
+  }
+  // Blend the malicious distribution toward the benign one: means move by
+  // `overlap`, spreads widen toward the benign spread by half as much so
+  // high overlap also blurs the boundary rather than just shifting it.
+  const double a = config_.class_overlap;
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    malicious_.mean[i] =
+        malicious_.mean[i] + a * (benign_.mean[i] - malicious_.mean[i]);
+    malicious_.stddev[i] =
+        malicious_.stddev[i] +
+        0.5 * a * (benign_.stddev[i] - malicious_.stddev[i]);
+    malicious_.stddev[i] = std::max(malicious_.stddev[i], 1e-9);
+  }
+}
+
+FeatureVector SyntheticTraceGenerator::sample(bool malicious,
+                                              common::Rng& rng) const {
+  const ClassProfile& profile = malicious ? malicious_ : benign_;
+  FeatureVector out;
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    const double v = rng.normal(profile.mean[i], profile.stddev[i]);
+    out[i] = clamp_to_domain(static_cast<Feature>(i), v);
+  }
+  return out;
+}
+
+Dataset SyntheticTraceGenerator::generate(std::size_t benign_count,
+                                          std::size_t malicious_count,
+                                          common::Rng& rng) const {
+  if (benign_count > config_.benign_subnet.size() ||
+      malicious_count > config_.malicious_subnet.size()) {
+    throw std::invalid_argument(
+        "SyntheticTraceGenerator::generate: population exceeds subnet size");
+  }
+  Dataset out;
+  out.reserve(benign_count + malicious_count);
+  // Interleave classes so a prefix of the dataset is class-balanced-ish.
+  std::size_t b = 0;
+  std::size_t m = 0;
+  while (b < benign_count || m < malicious_count) {
+    const bool pick_malicious =
+        m < malicious_count &&
+        (b >= benign_count ||
+         rng.uniform01() < static_cast<double>(malicious_count) /
+                               static_cast<double>(benign_count + malicious_count));
+    LabeledExample example;
+    if (pick_malicious) {
+      example.ip = config_.malicious_subnet.at(m++);
+      example.features = sample(true, rng);
+      example.malicious = true;
+    } else {
+      example.ip = config_.benign_subnet.at(b++);
+      example.features = sample(false, rng);
+      example.malicious = false;
+    }
+    if (config_.label_noise > 0.0 && rng.bernoulli(config_.label_noise)) {
+      example.malicious = !example.malicious;
+    }
+    out.add(std::move(example));
+  }
+  return out;
+}
+
+}  // namespace powai::features

@@ -1,0 +1,68 @@
+#include "framework/client.hpp"
+
+#include <chrono>
+
+namespace powai::framework {
+
+PowClient::PowClient(std::string ip, ClientConfig config)
+    : ip_(std::move(ip)), config_(config) {}
+
+Request PowClient::make_request(const std::string& path,
+                                const features::FeatureVector& features) {
+  Request request;
+  request.client_ip = ip_;
+  request.path = path;
+  request.features = features;
+  request.request_id = next_request_id_++;
+  return request;
+}
+
+PowClient::SolveOutcome PowClient::solve(const Challenge& challenge) const {
+  pow::SolveOptions options;
+  options.threads = config_.solver_threads;
+  options.max_attempts = config_.max_attempts;
+  const pow::SolveResult result = solver_.solve(challenge.puzzle, options);
+
+  SolveOutcome outcome;
+  outcome.attempts = result.attempts;
+  outcome.solved = result.found;
+  outcome.submission.request_id = challenge.request_id;
+  outcome.submission.puzzle = challenge.puzzle;
+  outcome.submission.solution = result.solution;
+  return outcome;
+}
+
+RoundTrip PowClient::run(PowServer& server, const std::string& path,
+                         const features::FeatureVector& features) {
+  RoundTrip trip;
+  const Request request = make_request(path, features);
+  auto first = server.on_request(request);
+
+  if (std::holds_alternative<Response>(first)) {
+    trip.response = std::get<Response>(std::move(first));
+    trip.served = trip.response.status == common::ErrorCode::kOk;
+    return trip;
+  }
+
+  const Challenge& challenge = std::get<Challenge>(first);
+  trip.difficulty = challenge.puzzle.difficulty;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SolveOutcome outcome = solve(challenge);
+  const auto t1 = std::chrono::steady_clock::now();
+  trip.attempts = outcome.attempts;
+  trip.solve_wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  if (!outcome.solved) {
+    trip.response = Response{request.request_id, common::ErrorCode::kTimeout,
+                             "attempt budget exhausted"};
+    return trip;
+  }
+
+  trip.response = server.on_submission(outcome.submission, ip_);
+  trip.served = trip.response.status == common::ErrorCode::kOk;
+  return trip;
+}
+
+}  // namespace powai::framework

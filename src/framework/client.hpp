@@ -1,0 +1,65 @@
+#pragma once
+/// \file client.hpp
+/// The client side of Fig. 1: issue a request, receive a challenge, run
+/// the solver, submit the solution, receive the response. Also provides
+/// an in-process convenience loop against a PowServer for examples,
+/// tests, and the wall-clock benches.
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "features/feature_vector.hpp"
+#include "framework/protocol.hpp"
+#include "framework/server.hpp"
+#include "pow/solver.hpp"
+
+namespace powai::framework {
+
+struct ClientConfig final {
+  unsigned solver_threads = 1;
+  /// 0 = keep hashing until solved.
+  std::uint64_t max_attempts = 0;
+};
+
+/// Result of one full request→resource round trip.
+struct RoundTrip final {
+  Response response;             ///< final server answer
+  std::uint64_t attempts = 0;    ///< hashes spent on the puzzle
+  unsigned difficulty = 0;       ///< difficulty that was assigned (0 = none)
+  double solve_wall_ms = 0.0;    ///< wall-clock time inside the solver
+  bool served = false;           ///< response.status == kOk
+};
+
+class PowClient final {
+ public:
+  /// \p ip is the client's source address (also the puzzle binding).
+  explicit PowClient(std::string ip, ClientConfig config = {});
+
+  /// Builds a step-1 request (fresh correlation id per call).
+  [[nodiscard]] Request make_request(const std::string& path,
+                                     const features::FeatureVector& features);
+
+  /// Solves a challenge into a submission. Returns found=false inside the
+  /// result when the attempt budget ran out.
+  struct SolveOutcome final {
+    Submission submission;
+    std::uint64_t attempts = 0;
+    bool solved = false;
+  };
+  [[nodiscard]] SolveOutcome solve(const Challenge& challenge) const;
+
+  /// In-process round trip against a server (request → [solve] → submit).
+  [[nodiscard]] RoundTrip run(PowServer& server, const std::string& path,
+                              const features::FeatureVector& features);
+
+  [[nodiscard]] const std::string& ip() const { return ip_; }
+
+ private:
+  std::string ip_;
+  ClientConfig config_;
+  pow::Solver solver_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace powai::framework

@@ -1,0 +1,174 @@
+#include "framework/protocol.hpp"
+
+namespace powai::framework {
+
+namespace {
+
+void append_string(common::Bytes& out, const std::string& s) {
+  common::append_u32be(out, static_cast<std::uint32_t>(s.size()));
+  common::append(out, common::bytes_of(s));
+}
+
+std::optional<std::string> read_string(common::ByteReader& reader,
+                                       std::uint32_t max_len) {
+  const auto len = reader.read_u32be();
+  if (!len || *len > max_len) return std::nullopt;
+  const auto bytes = reader.read_bytes(*len);
+  if (!bytes) return std::nullopt;
+  return common::string_of(*bytes);
+}
+
+void append_features(common::Bytes& out, const features::FeatureVector& v) {
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    // Doubles travel as their IEEE-754 bit pattern, big-endian.
+    std::uint64_t bits;
+    const double value = v[i];
+    static_assert(sizeof bits == sizeof value);
+    __builtin_memcpy(&bits, &value, sizeof bits);
+    common::append_u64be(out, bits);
+  }
+}
+
+std::optional<features::FeatureVector> read_features(
+    common::ByteReader& reader) {
+  features::FeatureVector v;
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    const auto bits = reader.read_u64be();
+    if (!bits) return std::nullopt;
+    double value;
+    const std::uint64_t raw = *bits;
+    __builtin_memcpy(&value, &raw, sizeof value);
+    v[i] = value;
+  }
+  return v;
+}
+
+void append_blob(common::Bytes& out, const common::Bytes& blob) {
+  common::append_u32be(out, static_cast<std::uint32_t>(blob.size()));
+  common::append(out, blob);
+}
+
+std::optional<common::Bytes> read_blob(common::ByteReader& reader,
+                                       std::uint32_t max_len) {
+  const auto len = reader.read_u32be();
+  if (!len || *len > max_len) return std::nullopt;
+  return reader.read_bytes(*len);
+}
+
+constexpr std::uint32_t kMaxStringLen = 4096;
+constexpr std::uint32_t kMaxBlobLen = 64 * 1024;
+
+}  // namespace
+
+common::Bytes Request::serialize() const {
+  common::Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MessageType::kRequest));
+  common::append_u64be(out, request_id);
+  append_string(out, client_ip);
+  append_string(out, path);
+  append_features(out, features);
+  return out;
+}
+
+common::Bytes Challenge::serialize() const {
+  common::Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MessageType::kChallenge));
+  common::append_u64be(out, request_id);
+  append_blob(out, puzzle.serialize());
+  return out;
+}
+
+common::Bytes Submission::serialize() const {
+  common::Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MessageType::kSubmission));
+  common::append_u64be(out, request_id);
+  append_blob(out, puzzle.serialize());
+  append_blob(out, solution.serialize());
+  return out;
+}
+
+common::Bytes Response::serialize() const {
+  common::Bytes out;
+  out.push_back(static_cast<std::uint8_t>(MessageType::kResponse));
+  common::append_u64be(out, request_id);
+  common::append_u16be(out, static_cast<std::uint16_t>(status));
+  append_string(out, body);
+  return out;
+}
+
+std::optional<MessageType> peek_type(common::BytesView wire) {
+  if (wire.empty()) return std::nullopt;
+  const std::uint8_t tag = wire[0];
+  if (tag < 1 || tag > 4) return std::nullopt;
+  return static_cast<MessageType>(tag);
+}
+
+std::optional<Message> decode(common::BytesView wire) {
+  const auto type = peek_type(wire);
+  if (!type) return std::nullopt;
+  common::ByteReader reader(wire.subspan(1));
+
+  switch (*type) {
+    case MessageType::kRequest: {
+      Request m;
+      const auto id = reader.read_u64be();
+      if (!id) return std::nullopt;
+      m.request_id = *id;
+      auto ip = read_string(reader, kMaxStringLen);
+      if (!ip) return std::nullopt;
+      m.client_ip = std::move(*ip);
+      auto path = read_string(reader, kMaxStringLen);
+      if (!path) return std::nullopt;
+      m.path = std::move(*path);
+      const auto feats = read_features(reader);
+      if (!feats || !reader.empty()) return std::nullopt;
+      m.features = *feats;
+      return Message{std::move(m)};
+    }
+    case MessageType::kChallenge: {
+      Challenge m;
+      const auto id = reader.read_u64be();
+      if (!id) return std::nullopt;
+      m.request_id = *id;
+      const auto blob = read_blob(reader, kMaxBlobLen);
+      if (!blob || !reader.empty()) return std::nullopt;
+      auto puzzle = pow::Puzzle::deserialize(*blob);
+      if (!puzzle) return std::nullopt;
+      m.puzzle = std::move(*puzzle);
+      return Message{std::move(m)};
+    }
+    case MessageType::kSubmission: {
+      Submission m;
+      const auto id = reader.read_u64be();
+      if (!id) return std::nullopt;
+      m.request_id = *id;
+      const auto puzzle_blob = read_blob(reader, kMaxBlobLen);
+      if (!puzzle_blob) return std::nullopt;
+      auto puzzle = pow::Puzzle::deserialize(*puzzle_blob);
+      if (!puzzle) return std::nullopt;
+      m.puzzle = std::move(*puzzle);
+      const auto sol_blob = read_blob(reader, kMaxBlobLen);
+      if (!sol_blob || !reader.empty()) return std::nullopt;
+      const auto solution = pow::Solution::deserialize(*sol_blob);
+      if (!solution) return std::nullopt;
+      m.solution = *solution;
+      return Message{std::move(m)};
+    }
+    case MessageType::kResponse: {
+      Response m;
+      const auto id = reader.read_u64be();
+      if (!id) return std::nullopt;
+      m.request_id = *id;
+      const auto status = reader.read_u16be();
+      if (!status || *status > 10) return std::nullopt;
+      m.status = static_cast<common::ErrorCode>(*status);
+      auto body = read_string(reader, kMaxStringLen);
+      if (!body || !reader.empty()) return std::nullopt;
+      m.body = std::move(*body);
+      return Message{std::move(m)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace powai::framework

@@ -1,0 +1,59 @@
+#include "framework/rate_limiter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powai::framework {
+
+RateLimiter::RateLimiter(const common::Clock& clock, RateLimiterConfig config)
+    : clock_(&clock), config_(config) {
+  if (!(config_.tokens_per_second > 0.0) || !(config_.burst >= 1.0)) {
+    throw std::invalid_argument("RateLimiter: need rate > 0 and burst >= 1");
+  }
+  if (config_.max_tracked_ips == 0) {
+    throw std::invalid_argument("RateLimiter: max_tracked_ips == 0");
+  }
+}
+
+RateLimiter::Bucket& RateLimiter::bucket_for(features::IpAddress ip) {
+  const auto it = buckets_.find(ip.value());
+  if (it != buckets_.end()) return it->second;
+  if (buckets_.size() >= config_.max_tracked_ips) {
+    // Drop the stalest bucket. Linear scan: hitting the ceiling at all
+    // means the deployment should raise max_tracked_ips.
+    auto stalest = buckets_.begin();
+    for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+      if (b->second.refilled_at < stalest->second.refilled_at) stalest = b;
+    }
+    buckets_.erase(stalest);
+  }
+  return buckets_.emplace(ip.value(), Bucket{config_.burst, clock_->now()})
+      .first->second;
+}
+
+void RateLimiter::refill(Bucket& b) {
+  const common::TimePoint now = clock_->now();
+  const double elapsed_s =
+      std::chrono::duration<double>(now - b.refilled_at).count();
+  if (elapsed_s > 0.0) {
+    b.tokens = std::min(config_.burst,
+                        b.tokens + elapsed_s * config_.tokens_per_second);
+    b.refilled_at = now;
+  }
+}
+
+bool RateLimiter::allow(features::IpAddress ip) {
+  Bucket& b = bucket_for(ip);
+  refill(b);
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+double RateLimiter::tokens(features::IpAddress ip) {
+  Bucket& b = bucket_for(ip);
+  refill(b);
+  return b.tokens;
+}
+
+}  // namespace powai::framework

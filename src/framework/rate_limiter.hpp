@@ -1,0 +1,48 @@
+#pragma once
+/// \file rate_limiter.hpp
+/// Per-IP token-bucket rate limiter. The PoW layer makes requests costly
+/// but a server still wants a hard ceiling on challenge issuance per
+/// source (otherwise an attacker can make the *issuer* the hotspot).
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "features/ip_address.hpp"
+
+namespace powai::framework {
+
+struct RateLimiterConfig final {
+  double tokens_per_second = 10.0;  ///< refill rate per IP
+  double burst = 20.0;              ///< bucket capacity
+  std::size_t max_tracked_ips = 1 << 20;
+};
+
+class RateLimiter final {
+ public:
+  /// \p clock must outlive the limiter.
+  RateLimiter(const common::Clock& clock, RateLimiterConfig config = {});
+
+  /// Consumes one token for \p ip if available; false = rate limited.
+  [[nodiscard]] bool allow(features::IpAddress ip);
+
+  /// Current token balance (diagnostics; refreshed to now).
+  [[nodiscard]] double tokens(features::IpAddress ip);
+
+  [[nodiscard]] std::size_t tracked_ips() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    double tokens;
+    common::TimePoint refilled_at;
+  };
+
+  Bucket& bucket_for(features::IpAddress ip);
+  void refill(Bucket& b);
+
+  const common::Clock* clock_;
+  RateLimiterConfig config_;
+  std::unordered_map<std::uint32_t, Bucket> buckets_;
+};
+
+}  // namespace powai::framework

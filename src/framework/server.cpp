@@ -1,0 +1,94 @@
+#include "framework/server.hpp"
+
+#include <stdexcept>
+
+namespace powai::framework {
+
+PowServer::PowServer(const common::Clock& clock,
+                     const reputation::IReputationModel& model,
+                     const policy::IPolicy& pol, ServerConfig config)
+    : model_(&model),
+      policy_(&pol),
+      config_(std::move(config)),
+      policy_rng_(config_.policy_seed),
+      generator_(clock, config_.master_secret),
+      verifier_(clock, config_.master_secret, config_.verifier),
+      cache_(clock, config_.cache),
+      rate_limiter_(clock, config_.rate_limiter) {
+  if (!model.fitted()) {
+    throw std::invalid_argument("PowServer: reputation model is not fitted");
+  }
+}
+
+std::variant<Challenge, Response> PowServer::on_request(const Request& request) {
+  ++stats_.requests;
+
+  const auto ip = features::IpAddress::parse(request.client_ip);
+  if (!ip) {
+    ++stats_.rejected_malformed;
+    return Response{request.request_id, common::ErrorCode::kInvalidArgument,
+                    "unparsable client ip"};
+  }
+
+  if (config_.rate_limiter_enabled && !rate_limiter_.allow(*ip)) {
+    ++stats_.rejected_rate_limited;
+    return Response{request.request_id, common::ErrorCode::kRateLimited,
+                    "challenge rate exceeded"};
+  }
+
+  if (!config_.pow_enabled) {
+    // Baseline mode: no puzzle, immediate service.
+    ++stats_.served;
+    ++stats_.served_without_pow;
+    return Response{request.request_id, common::ErrorCode::kOk,
+                    config_.resource_body};
+  }
+
+  // (2) AI model → reputation score (optionally via the cache).
+  double score;
+  trace_.from_cache = false;
+  if (config_.reputation_cache_enabled) {
+    if (const auto cached = cache_.lookup(*ip)) {
+      score = *cached;
+      trace_.from_cache = true;
+    } else {
+      score = model_->score(request.features);
+      cache_.update(*ip, score);
+    }
+  } else {
+    score = model_->score(request.features);
+  }
+
+  // (3) policy → difficulty.
+  const policy::Difficulty d = policy_->difficulty(score, policy_rng_);
+  trace_.score = score;
+  trace_.difficulty = d;
+
+  // (4) issue the puzzle.
+  ++stats_.challenges_issued;
+  stats_.difficulty_sum += d;
+  return Challenge{request.request_id,
+                   generator_.issue(request.client_ip, d)};
+}
+
+Response PowServer::on_submission(const Submission& submission,
+                                  const std::string& observed_ip) {
+  const common::Status status =
+      verifier_.verify(submission.puzzle, submission.solution, observed_ip);
+  if (status.ok()) {
+    // (6)-(7): solved correctly — serve the resource.
+    ++stats_.served;
+    return Response{submission.request_id, common::ErrorCode::kOk,
+                    config_.resource_body};
+  }
+  switch (status.error().code) {
+    case common::ErrorCode::kExpired: ++stats_.rejected_expired; break;
+    case common::ErrorCode::kReplay: ++stats_.rejected_replay; break;
+    case common::ErrorCode::kBadSolution: ++stats_.rejected_bad_solution; break;
+    default: ++stats_.rejected_binding; break;
+  }
+  return Response{submission.request_id, status.error().code,
+                  status.error().message};
+}
+
+}  // namespace powai::framework

@@ -1,0 +1,126 @@
+#pragma once
+/// \file server.hpp
+/// The AI-assisted PoW server — the wiring of Fig. 1's server side:
+///
+///   (2) the AI model inspects the request's features → reputation score
+///   (3) the policy maps the score → puzzle difficulty
+///   (4) the puzzle generator issues an authenticated puzzle
+///   (5) the verifier checks the returned solution
+///   (7) the resource is served on success
+///
+/// Every component arrives through an interface, preserving the paper's
+/// modularity claim: any IReputationModel, any IPolicy. The server also
+/// hosts the supporting machinery a deployment needs: a reputation cache,
+/// a per-IP rate limiter, and counters for every outcome.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "features/ip_address.hpp"
+#include "framework/protocol.hpp"
+#include "framework/rate_limiter.hpp"
+#include "policy/policy.hpp"
+#include "pow/generator.hpp"
+#include "pow/verifier.hpp"
+#include "reputation/cache.hpp"
+#include "reputation/model.hpp"
+
+namespace powai::framework {
+
+/// Server configuration.
+struct ServerConfig final {
+  /// Secret shared between the generator and verifier (non-empty).
+  common::Bytes master_secret;
+
+  /// When false the server serves every request immediately — the
+  /// no-defense baseline the throttling experiment compares against.
+  bool pow_enabled = true;
+
+  /// Memoize reputation scores per IP (EWMA + TTL).
+  bool reputation_cache_enabled = true;
+  reputation::CacheConfig cache;
+
+  /// Hard per-IP ceiling on challenge issuance.
+  bool rate_limiter_enabled = false;
+  RateLimiterConfig rate_limiter;
+
+  pow::VerifierConfig verifier;
+
+  /// Body returned with a successful response.
+  std::string resource_body = "resource";
+
+  /// Seed for the policy Rng (Policy 3 randomness); fixed default keeps
+  /// experiments reproducible.
+  std::uint64_t policy_seed = 0x9069'0ce5'7a37'b00fULL;
+};
+
+/// Outcome counters (monotonic).
+struct ServerStats final {
+  std::uint64_t requests = 0;
+  std::uint64_t challenges_issued = 0;
+  std::uint64_t served = 0;
+  std::uint64_t served_without_pow = 0;
+  std::uint64_t rejected_rate_limited = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_bad_solution = 0;
+  std::uint64_t rejected_expired = 0;
+  std::uint64_t rejected_replay = 0;
+  std::uint64_t rejected_binding = 0;
+  std::uint64_t difficulty_sum = 0;  ///< over issued challenges
+
+  [[nodiscard]] double mean_difficulty() const {
+    return challenges_issued > 0
+               ? static_cast<double>(difficulty_sum) /
+                     static_cast<double>(challenges_issued)
+               : 0.0;
+  }
+};
+
+/// Trace of the last scoring decision (diagnostics/experiments).
+struct ScoringTrace final {
+  double score = 0.0;
+  policy::Difficulty difficulty = 0;
+  bool from_cache = false;
+};
+
+class PowServer final {
+ public:
+  /// \p clock, \p model, and \p pol must outlive the server. The model
+  /// must already be fitted. Throws std::invalid_argument on an empty
+  /// master secret or an unfitted model.
+  PowServer(const common::Clock& clock, const reputation::IReputationModel& model,
+            const policy::IPolicy& pol, ServerConfig config);
+
+  /// Steps 1-4: returns a Challenge normally; returns a Response directly
+  /// when the request is malformed, rate-limited, or PoW is disabled.
+  [[nodiscard]] std::variant<Challenge, Response> on_request(
+      const Request& request);
+
+  /// Steps 5-7: verifies and serves. \p observed_ip is the transport-
+  /// level source address (empty skips the binding check).
+  [[nodiscard]] Response on_submission(const Submission& submission,
+                                       const std::string& observed_ip = {});
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const ScoringTrace& last_trace() const { return trace_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  const reputation::IReputationModel* model_;
+  const policy::IPolicy* policy_;
+  ServerConfig config_;
+  common::Rng policy_rng_;
+  pow::PuzzleGenerator generator_;
+  pow::Verifier verifier_;
+  reputation::ReputationCache cache_;
+  RateLimiter rate_limiter_;
+  ServerStats stats_;
+  ScoringTrace trace_;
+};
+
+}  // namespace powai::framework

@@ -1,0 +1,134 @@
+#include "framework/transport.hpp"
+
+#include <chrono>
+
+namespace powai::framework {
+
+// ---------------------------------------------------------------------------
+// ServerEndpoint
+// ---------------------------------------------------------------------------
+
+ServerEndpoint::ServerEndpoint(netsim::Network& network, std::string host_name,
+                               PowServer& server)
+    : network_(&network), host_name_(std::move(host_name)), server_(&server) {
+  network_->add_host(host_name_,
+                     [this](const std::string& from, common::BytesView payload) {
+                       on_message(from, payload);
+                     });
+}
+
+void ServerEndpoint::on_message(const std::string& from,
+                                common::BytesView payload) {
+  const auto message = decode(payload);
+  if (!message) {
+    ++malformed_;
+    Response nak;
+    nak.status = common::ErrorCode::kMalformedMessage;
+    nak.body = "could not decode message";
+    (void)network_->send(host_name_, from, nak.serialize());
+    return;
+  }
+
+  if (const auto* request = std::get_if<Request>(&*message)) {
+    // Trust the transport-level source over the self-reported field: a
+    // client lying about its IP would otherwise bind puzzles elsewhere.
+    Request effective = *request;
+    effective.client_ip = from;
+    auto outcome = server_->on_request(effective);
+    if (const auto* challenge = std::get_if<Challenge>(&outcome)) {
+      (void)network_->send(host_name_, from, challenge->serialize());
+    } else {
+      (void)network_->send(host_name_, from,
+                           std::get<Response>(outcome).serialize());
+    }
+    return;
+  }
+
+  if (const auto* submission = std::get_if<Submission>(&*message)) {
+    const Response response = server_->on_submission(*submission, from);
+    (void)network_->send(host_name_, from, response.serialize());
+    return;
+  }
+
+  // A server never expects Challenge/Response messages; treat as noise.
+  ++malformed_;
+}
+
+// ---------------------------------------------------------------------------
+// WireClient
+// ---------------------------------------------------------------------------
+
+WireClient::WireClient(netsim::EventLoop& loop, netsim::Network& network,
+                       std::string ip, std::string server_host,
+                       double hash_cost_us)
+    : loop_(&loop),
+      network_(&network),
+      ip_(std::move(ip)),
+      server_host_(std::move(server_host)),
+      hash_cost_us_(hash_cost_us) {
+  network_->add_host(ip_,
+                     [this](const std::string& from, common::BytesView payload) {
+                       on_message(from, payload);
+                     });
+}
+
+std::uint64_t WireClient::send_request(const std::string& path,
+                                       const features::FeatureVector& features,
+                                       Callback done) {
+  Request request;
+  request.client_ip = ip_;
+  request.path = path;
+  request.features = features;
+  request.request_id = next_request_id_++;
+  if (!network_->send(ip_, server_host_, request.serialize())) {
+    return 0;  // dropped by the link
+  }
+  pending_.emplace(request.request_id,
+                   PendingRequest{std::move(done), loop_->now()});
+  return request.request_id;
+}
+
+void WireClient::on_message(const std::string& /*from*/,
+                            common::BytesView payload) {
+  const auto message = decode(payload);
+  if (!message) return;  // noise on the wire
+  if (const auto* challenge = std::get_if<Challenge>(&*message)) {
+    on_challenge(*challenge);
+  } else if (const auto* response = std::get_if<Response>(&*message)) {
+    on_response(*response);
+  }
+}
+
+void WireClient::on_challenge(const Challenge& challenge) {
+  if (!pending_.contains(challenge.request_id)) return;  // stale/unknown
+
+  // Really solve (correct nonce), but account for the time on the
+  // modelled CPU: one solver core, sequential backlog.
+  const pow::SolveResult solved = solver_.solve(challenge.puzzle);
+  ++solved_;
+  const auto solve_cost = std::chrono::duration_cast<common::Duration>(
+      std::chrono::duration<double, std::micro>(
+          static_cast<double>(solved.attempts) * hash_cost_us_));
+  const common::TimePoint start =
+      std::max(loop_->now(), solver_busy_until_);
+  solver_busy_until_ = start + solve_cost;
+
+  Submission submission;
+  submission.request_id = challenge.request_id;
+  submission.puzzle = challenge.puzzle;
+  submission.solution = solved.solution;
+  const common::Duration delay = solver_busy_until_ - loop_->now();
+  loop_->schedule_in(delay, [this, submission = std::move(submission)] {
+    (void)network_->send(ip_, server_host_, submission.serialize());
+  });
+}
+
+void WireClient::on_response(const Response& response) {
+  const auto it = pending_.find(response.request_id);
+  if (it == pending_.end()) return;
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+  pending.done(response, loop_->now() - pending.sent_at);
+}
+
+}  // namespace powai::framework

@@ -1,0 +1,108 @@
+#pragma once
+/// \file transport.hpp
+/// Glue between the framework and the simulated network: the full
+/// protocol (encoded bytes, not function calls) running over
+/// netsim::Network hosts. Used by the integration tests and the
+/// end-to-end wire bench; production deployments would swap the netsim
+/// transport for sockets without touching PowServer/protocol code.
+///
+/// Convention: a host's network name is its IP address in dotted-quad
+/// form, so the transport-level source of a message doubles as the
+/// observed client IP for puzzle binding.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "framework/client.hpp"
+#include "framework/protocol.hpp"
+#include "framework/server.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/network.hpp"
+#include "pow/solver.hpp"
+
+namespace powai::framework {
+
+/// Server side: registers a host and answers protocol messages with the
+/// wrapped PowServer. Malformed payloads get a kMalformedMessage
+/// response (request id 0, since none could be parsed).
+class ServerEndpoint final {
+ public:
+  /// \p network and \p server must outlive the endpoint. Registers host
+  /// \p host_name on construction.
+  ServerEndpoint(netsim::Network& network, std::string host_name,
+                 PowServer& server);
+
+  ServerEndpoint(const ServerEndpoint&) = delete;
+  ServerEndpoint& operator=(const ServerEndpoint&) = delete;
+
+  [[nodiscard]] const std::string& host_name() const { return host_name_; }
+
+  /// Messages whose decode failed (diagnostics).
+  [[nodiscard]] std::uint64_t malformed_count() const { return malformed_; }
+
+ private:
+  void on_message(const std::string& from, common::BytesView payload);
+
+  netsim::Network* network_;
+  std::string host_name_;
+  PowServer* server_;
+  std::uint64_t malformed_ = 0;
+};
+
+/// Client side: drives request → challenge → solve → submission →
+/// response over the wire. Solving is performed with the real solver,
+/// but the *time* it occupies is modelled (attempts × hash_cost)
+/// and scheduled on the event loop, so simulated latencies are
+/// hardware-independent.
+class WireClient final {
+ public:
+  /// Invoked with the final response and the request→response latency.
+  using Callback = std::function<void(const Response&, common::Duration)>;
+
+  /// \p loop and \p network must outlive the client. Registers host
+  /// \p ip on construction. \p hash_cost_us is this client's modelled
+  /// per-hash cost.
+  WireClient(netsim::EventLoop& loop, netsim::Network& network, std::string ip,
+             std::string server_host, double hash_cost_us = 38.0);
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Sends one request; \p done fires when the response arrives. Returns
+  /// the request id (0 if the request was dropped by the link — in that
+  /// case \p done never fires; pair with a timeout in callers that need
+  /// liveness).
+  std::uint64_t send_request(const std::string& path,
+                             const features::FeatureVector& features,
+                             Callback done);
+
+  [[nodiscard]] const std::string& ip() const { return ip_; }
+
+  /// Challenges answered so far (diagnostics).
+  [[nodiscard]] std::uint64_t challenges_solved() const { return solved_; }
+
+ private:
+  struct PendingRequest {
+    Callback done;
+    common::TimePoint sent_at;
+  };
+
+  void on_message(const std::string& from, common::BytesView payload);
+  void on_challenge(const Challenge& challenge);
+  void on_response(const Response& response);
+
+  netsim::EventLoop* loop_;
+  netsim::Network* network_;
+  std::string ip_;
+  std::string server_host_;
+  double hash_cost_us_;
+  pow::Solver solver_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t solved_ = 0;
+  common::TimePoint solver_busy_until_{};
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+};
+
+}  // namespace powai::framework

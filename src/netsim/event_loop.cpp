@@ -1,0 +1,79 @@
+#include "netsim/event_loop.hpp"
+
+#include <stdexcept>
+
+namespace powai::netsim {
+
+EventId EventLoop::schedule_at(common::TimePoint at, std::function<void()> fn) {
+  if (at < clock_.now()) {
+    throw std::invalid_argument("EventLoop::schedule_at: time in the past");
+  }
+  if (!fn) throw std::invalid_argument("EventLoop::schedule_at: empty fn");
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId EventLoop::schedule_in(common::Duration delay, std::function<void()> fn) {
+  if (delay < common::Duration::zero()) {
+    throw std::invalid_argument("EventLoop::schedule_in: negative delay");
+  }
+  return schedule_at(clock_.now() + delay, std::move(fn));
+}
+
+bool EventLoop::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: remember the id; skip when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool EventLoop::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy the small header, move the fn
+    // via const_cast-free re-push-less approach: top then pop.
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool EventLoop::step() {
+  Event e;
+  if (!pop_next(e)) return false;
+  clock_.set(e.at);
+  e.fn();
+  return true;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t EventLoop::run_until(common::TimePoint deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event e;
+    if (!pop_next(e)) break;
+    if (e.at > deadline) {
+      // Not due yet: put it back and stop.
+      queue_.push(std::move(e));
+      break;
+    }
+    clock_.set(e.at);
+    e.fn();
+    ++executed;
+  }
+  if (clock_.now() < deadline) clock_.set(deadline);
+  return executed;
+}
+
+}  // namespace powai::netsim

@@ -1,0 +1,80 @@
+#pragma once
+/// \file event_loop.hpp
+/// Discrete-event simulation core. Events are (time, sequence, callback)
+/// tuples executed in time order with FIFO tie-breaking, so simulations
+/// are fully deterministic given the same inputs. The loop owns a
+/// ManualClock that components read through the common::Clock interface —
+/// the same server/verifier code runs unmodified under simulated time.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace powai::netsim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventLoop final {
+ public:
+  EventLoop() = default;
+  explicit EventLoop(common::TimePoint start) : clock_(start) {}
+
+  /// The simulated clock (pass to components expecting common::Clock).
+  [[nodiscard]] const common::Clock& clock() const { return clock_; }
+  [[nodiscard]] common::TimePoint now() const { return clock_.now(); }
+
+  /// Schedules \p fn at absolute simulated time \p at (>= now, else
+  /// throws std::invalid_argument). Returns a cancellation handle.
+  EventId schedule_at(common::TimePoint at, std::function<void()> fn);
+
+  /// Schedules \p fn after \p delay (>= 0).
+  EventId schedule_in(common::Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already ran, was
+  /// cancelled before, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties. Returns events executed.
+  std::size_t run();
+
+  /// Runs events with time <= \p deadline, then advances the clock to
+  /// exactly \p deadline. Returns events executed.
+  std::size_t run_until(common::TimePoint deadline);
+
+  /// Executes only the next event (false if queue is empty).
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    common::TimePoint at;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO within identical timestamps
+    }
+  };
+
+  /// Pops the next non-cancelled event, or returns false.
+  bool pop_next(Event& out);
+
+  common::ManualClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace powai::netsim

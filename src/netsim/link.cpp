@@ -1,0 +1,49 @@
+#include "netsim/link.hpp"
+
+#include <stdexcept>
+
+namespace powai::netsim {
+
+void LinkModel::validate() const {
+  if (base_latency < common::Duration::zero()) {
+    throw std::invalid_argument("LinkModel: negative base_latency");
+  }
+  if (jitter < common::Duration::zero()) {
+    throw std::invalid_argument("LinkModel: negative jitter");
+  }
+  if (!(loss_rate >= 0.0 && loss_rate <= 1.0)) {
+    throw std::invalid_argument("LinkModel: loss_rate outside [0, 1]");
+  }
+  if (bandwidth_bytes_per_sec < 0.0) {
+    throw std::invalid_argument("LinkModel: negative bandwidth");
+  }
+}
+
+std::optional<common::Duration> LinkModel::delay_for(std::size_t size,
+                                                     common::Rng& rng) const {
+  validate();
+  if (loss_rate > 0.0 && rng.bernoulli(loss_rate)) return std::nullopt;
+  common::Duration delay = base_latency;
+  if (jitter > common::Duration::zero()) {
+    delay += common::Duration(static_cast<common::Duration::rep>(
+        rng.uniform01() * static_cast<double>(jitter.count())));
+  }
+  if (bandwidth_bytes_per_sec > 0.0) {
+    const double seconds =
+        static_cast<double>(size) / bandwidth_bytes_per_sec;
+    delay += std::chrono::duration_cast<common::Duration>(
+        std::chrono::duration<double>(seconds));
+  }
+  return delay;
+}
+
+LinkModel default_experiment_link() {
+  LinkModel link;
+  link.base_latency = std::chrono::microseconds(14'500);
+  link.jitter = std::chrono::microseconds(1'000);
+  link.bandwidth_bytes_per_sec = 0.0;
+  link.loss_rate = 0.0;
+  return link;
+}
+
+}  // namespace powai::netsim

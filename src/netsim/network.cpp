@@ -1,0 +1,64 @@
+#include "netsim/network.hpp"
+
+#include <stdexcept>
+
+namespace powai::netsim {
+
+Network::Network(EventLoop& loop, common::Rng& rng)
+    : loop_(&loop), rng_(&rng) {}
+
+void Network::add_host(const std::string& name, MessageHandler handler) {
+  if (!handler) throw std::invalid_argument("Network::add_host: empty handler");
+  const auto [it, inserted] = hosts_.emplace(name, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("Network::add_host: duplicate host '" + name +
+                                "'");
+  }
+}
+
+bool Network::has_host(const std::string& name) const {
+  return hosts_.contains(name);
+}
+
+void Network::set_link(const std::string& from, const std::string& to,
+                       LinkModel link) {
+  link.validate();
+  links_[{from, to}] = link;
+}
+
+bool Network::send(const std::string& from, const std::string& to,
+                   common::Bytes payload) {
+  if (!hosts_.contains(from)) {
+    throw std::invalid_argument("Network::send: unknown source '" + from + "'");
+  }
+  const auto dest = hosts_.find(to);
+  if (dest == hosts_.end()) {
+    throw std::invalid_argument("Network::send: unknown destination '" + to +
+                                "'");
+  }
+
+  const auto link_it = links_.find({from, to});
+  const LinkModel& link =
+      link_it != links_.end() ? link_it->second : default_link_;
+
+  const auto delay = link.delay_for(payload.size(), *rng_);
+  if (!delay) {
+    ++dropped_;
+    return false;
+  }
+  ++sent_;
+  bytes_ += payload.size();
+
+  // The handler reference stays valid: hosts_ is never mutated after
+  // simulation start (add_host during run would be a design error we
+  // accept as UB-free but unordered delivery).
+  MessageHandler& handler = dest->second;
+  loop_->schedule_in(*delay,
+                     [&handler, from, payload = std::move(payload)]() {
+                       handler(from, payload);
+                     });
+  return true;
+}
+
+}  // namespace powai::netsim

@@ -1,0 +1,549 @@
+#include "policy/dsl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <utility>
+
+namespace powai::policy {
+
+DslError::DslError(std::size_t line, std::size_t column,
+                   const std::string& message)
+    : std::runtime_error("policy dsl: line " + std::to_string(line) +
+                         ", column " + std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+namespace dsl {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind {
+  kKeywordWhen,
+  kKeywordDefault,
+  kKeywordScore,
+  kKeywordDifficulty,
+  kKeywordIn,
+  kIdentifier,  // function names
+  kNumber,
+  kColon,
+  kComma,
+  kAssign,      // =
+  kLess,        // <
+  kLessEq,      // <=
+  kGreater,     // >
+  kGreaterEq,   // >=
+  kEqualEqual,  // ==
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kEnd,
+};
+
+struct Token final {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+class Lexer final {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      if (pos_ >= text_.size()) break;
+      tokens.push_back(next_token());
+    }
+    tokens.push_back(make(TokenKind::kEnd, ""));
+    return tokens;
+  }
+
+ private:
+  void skip_whitespace_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  Token make(TokenKind kind, std::string text) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  Token next_token() {
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      return lex_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      return lex_word();
+    }
+    Token t = make(TokenKind::kEnd, std::string(1, c));
+    switch (c) {
+      case ':': t.kind = TokenKind::kColon; break;
+      case ',': t.kind = TokenKind::kComma; break;
+      case '+': t.kind = TokenKind::kPlus; break;
+      case '-': t.kind = TokenKind::kMinus; break;
+      case '*': t.kind = TokenKind::kStar; break;
+      case '/': t.kind = TokenKind::kSlash; break;
+      case '(': t.kind = TokenKind::kLParen; break;
+      case ')': t.kind = TokenKind::kRParen; break;
+      case '[': t.kind = TokenKind::kLBracket; break;
+      case ']': t.kind = TokenKind::kRBracket; break;
+      case '=':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          advance();
+          t.kind = TokenKind::kEqualEqual;
+          t.text = "==";
+        } else {
+          t.kind = TokenKind::kAssign;
+        }
+        break;
+      case '<':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          advance();
+          t.kind = TokenKind::kLessEq;
+          t.text = "<=";
+        } else {
+          t.kind = TokenKind::kLess;
+        }
+        break;
+      case '>':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          advance();
+          t.kind = TokenKind::kGreaterEq;
+          t.text = ">=";
+        } else {
+          t.kind = TokenKind::kGreater;
+        }
+        break;
+      default:
+        throw DslError(line_, column_, "unexpected character '" +
+                                           std::string(1, c) + "'");
+    }
+    advance();
+    return t;
+  }
+
+  Token lex_number() {
+    const std::size_t start = pos_;
+    Token t = make(TokenKind::kNumber, "");
+    bool seen_dot = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '.') {
+        if (seen_dot) break;
+        seen_dot = true;
+        advance();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        advance();
+      } else {
+        break;
+      }
+    }
+    t.text = std::string(text_.substr(start, pos_ - start));
+    if (t.text == ".") {
+      throw DslError(t.line, t.column, "malformed number");
+    }
+    t.number = std::stod(t.text);
+    return t;
+  }
+
+  Token lex_word() {
+    const std::size_t start = pos_;
+    Token t = make(TokenKind::kIdentifier, "");
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      advance();
+    }
+    t.text = std::string(text_.substr(start, pos_ - start));
+    if (t.text == "when") t.kind = TokenKind::kKeywordWhen;
+    else if (t.text == "default") t.kind = TokenKind::kKeywordDefault;
+    else if (t.text == "score") t.kind = TokenKind::kKeywordScore;
+    else if (t.text == "difficulty") t.kind = TokenKind::kKeywordDifficulty;
+    else if (t.text == "in") t.kind = TokenKind::kKeywordIn;
+    return t;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// AST nodes
+// ---------------------------------------------------------------------------
+
+class NumberExpr final : public Expr {
+ public:
+  explicit NumberExpr(double value) : value_(value) {}
+  [[nodiscard]] double eval(double) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+class ScoreExpr final : public Expr {
+ public:
+  [[nodiscard]] double eval(double score) const override { return score; }
+};
+
+class UnaryMinusExpr final : public Expr {
+ public:
+  explicit UnaryMinusExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  [[nodiscard]] double eval(double score) const override {
+    return -inner_->eval(score);
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(char op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] double eval(double score) const override {
+    const double a = lhs_->eval(score);
+    const double b = rhs_->eval(score);
+    switch (op_) {
+      case '+': return a + b;
+      case '-': return a - b;
+      case '*': return a * b;
+      default:
+        // Division by zero yields inf, which clamp_difficulty later maps
+        // to the max difficulty — a safe, predictable failure mode.
+        return a / b;
+    }
+  }
+
+ private:
+  char op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string fn, std::vector<ExprPtr> args)
+      : fn_(std::move(fn)), args_(std::move(args)) {}
+  [[nodiscard]] double eval(double score) const override {
+    auto arg = [&](std::size_t i) { return args_[i]->eval(score); };
+    if (fn_ == "ceil") return std::ceil(arg(0));
+    if (fn_ == "floor") return std::floor(arg(0));
+    if (fn_ == "round") return std::round(arg(0));
+    if (fn_ == "sqrt") return std::sqrt(std::max(arg(0), 0.0));
+    if (fn_ == "log2") return std::log2(std::max(arg(0), 1e-300));
+    if (fn_ == "min") return std::min(arg(0), arg(1));
+    if (fn_ == "max") return std::max(arg(0), arg(1));
+    return std::pow(arg(0), arg(1));  // "pow" — the only remaining name
+  }
+
+ private:
+  std::string fn_;
+  std::vector<ExprPtr> args_;
+};
+
+class CompareCondition final : public Condition {
+ public:
+  CompareCondition(TokenKind op, double bound) : op_(op), bound_(bound) {}
+  [[nodiscard]] bool matches(double score) const override {
+    switch (op_) {
+      case TokenKind::kLess: return score < bound_;
+      case TokenKind::kLessEq: return score <= bound_;
+      case TokenKind::kGreater: return score > bound_;
+      case TokenKind::kGreaterEq: return score >= bound_;
+      default: return score == bound_;  // kEqualEqual
+    }
+  }
+
+ private:
+  TokenKind op_;
+  double bound_;
+};
+
+class IntervalCondition final : public Condition {
+ public:
+  IntervalCondition(double lo, bool lo_closed, double hi, bool hi_closed)
+      : lo_(lo), lo_closed_(lo_closed), hi_(hi), hi_closed_(hi_closed) {}
+  [[nodiscard]] bool matches(double score) const override {
+    const bool above = lo_closed_ ? score >= lo_ : score > lo_;
+    const bool below = hi_closed_ ? score <= hi_ : score < hi_;
+    return above && below;
+  }
+
+ private:
+  double lo_;
+  bool lo_closed_;
+  double hi_;
+  bool hi_closed_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+/// Arity of the supported builtin functions.
+std::optional<std::size_t> function_arity(std::string_view name) {
+  if (name == "ceil" || name == "floor" || name == "round" ||
+      name == "sqrt" || name == "log2") {
+    return 1;
+  }
+  if (name == "min" || name == "max" || name == "pow") return 2;
+  return std::nullopt;
+}
+
+class Parser final {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program run() {
+    Program program;
+    bool saw_default = false;
+    while (peek().kind != TokenKind::kEnd) {
+      if (saw_default) {
+        throw error(peek(), "no rules allowed after the default rule");
+      }
+      if (peek().kind == TokenKind::kKeywordWhen) {
+        program.rules.push_back(parse_when_rule());
+      } else if (peek().kind == TokenKind::kKeywordDefault) {
+        program.rules.push_back(parse_default_rule());
+        saw_default = true;
+      } else {
+        throw error(peek(), "expected 'when' or 'default'");
+      }
+    }
+    if (!saw_default) {
+      throw error(peek(), "policy must end with a 'default' rule");
+    }
+    return program;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+
+  Token eat(TokenKind kind, std::string_view what) {
+    if (peek().kind != kind) {
+      throw error(peek(), "expected " + std::string(what) + ", got '" +
+                              peek().text + "'");
+    }
+    return tokens_[pos_++];
+  }
+
+  bool eat_if(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  static DslError error(const Token& at, const std::string& message) {
+    return DslError(at.line, at.column, message);
+  }
+
+  Rule parse_when_rule() {
+    eat(TokenKind::kKeywordWhen, "'when'");
+    Rule rule;
+    rule.condition = parse_condition();
+    eat(TokenKind::kColon, "':'");
+    rule.difficulty = parse_difficulty_assignment();
+    return rule;
+  }
+
+  Rule parse_default_rule() {
+    eat(TokenKind::kKeywordDefault, "'default'");
+    eat(TokenKind::kColon, "':'");
+    Rule rule;
+    rule.difficulty = parse_difficulty_assignment();
+    return rule;
+  }
+
+  ExprPtr parse_difficulty_assignment() {
+    eat(TokenKind::kKeywordDifficulty, "'difficulty'");
+    eat(TokenKind::kAssign, "'='");
+    return parse_expr();
+  }
+
+  ConditionPtr parse_condition() {
+    eat(TokenKind::kKeywordScore, "'score'");
+    const Token op = tokens_[pos_++];
+    switch (op.kind) {
+      case TokenKind::kLess:
+      case TokenKind::kLessEq:
+      case TokenKind::kGreater:
+      case TokenKind::kGreaterEq:
+      case TokenKind::kEqualEqual: {
+        const Token bound = eat(TokenKind::kNumber, "a number");
+        return std::make_unique<CompareCondition>(op.kind, bound.number);
+      }
+      case TokenKind::kKeywordIn:
+        return parse_interval();
+      default:
+        throw error(op, "expected a comparison operator or 'in'");
+    }
+  }
+
+  ConditionPtr parse_interval() {
+    bool lo_closed = false;
+    if (eat_if(TokenKind::kLBracket)) {
+      lo_closed = true;
+    } else {
+      eat(TokenKind::kLParen, "'[' or '('");
+    }
+    const Token lo = eat(TokenKind::kNumber, "a number");
+    eat(TokenKind::kComma, "','");
+    const Token hi = eat(TokenKind::kNumber, "a number");
+    bool hi_closed = false;
+    if (eat_if(TokenKind::kRBracket)) {
+      hi_closed = true;
+    } else {
+      eat(TokenKind::kRParen, "']' or ')'");
+    }
+    if (!(lo.number <= hi.number)) {
+      throw error(hi, "interval bounds out of order");
+    }
+    return std::make_unique<IntervalCondition>(lo.number, lo_closed, hi.number,
+                                               hi_closed);
+  }
+
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_term();
+    while (peek().kind == TokenKind::kPlus ||
+           peek().kind == TokenKind::kMinus) {
+      const char op = peek().kind == TokenKind::kPlus ? '+' : '-';
+      ++pos_;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_term());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    while (peek().kind == TokenKind::kStar ||
+           peek().kind == TokenKind::kSlash) {
+      const char op = peek().kind == TokenKind::kStar ? '*' : '/';
+      ++pos_;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_factor());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_factor() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kNumber:
+        ++pos_;
+        return std::make_unique<NumberExpr>(t.number);
+      case TokenKind::kKeywordScore:
+        ++pos_;
+        return std::make_unique<ScoreExpr>();
+      case TokenKind::kMinus:
+        ++pos_;
+        return std::make_unique<UnaryMinusExpr>(parse_factor());
+      case TokenKind::kLParen: {
+        ++pos_;
+        ExprPtr inner = parse_expr();
+        eat(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      case TokenKind::kIdentifier:
+        return parse_call();
+      default:
+        throw error(t, "expected a number, 'score', '(', '-', or a function");
+    }
+  }
+
+  ExprPtr parse_call() {
+    const Token fn = eat(TokenKind::kIdentifier, "a function name");
+    const auto arity = function_arity(fn.text);
+    if (!arity) {
+      throw error(fn, "unknown function '" + fn.text + "'");
+    }
+    eat(TokenKind::kLParen, "'('");
+    std::vector<ExprPtr> args;
+    args.push_back(parse_expr());
+    while (eat_if(TokenKind::kComma)) args.push_back(parse_expr());
+    eat(TokenKind::kRParen, "')'");
+    if (args.size() != *arity) {
+      throw error(fn, "function '" + fn.text + "' expects " +
+                          std::to_string(*arity) + " argument(s), got " +
+                          std::to_string(args.size()));
+    }
+    return std::make_unique<CallExpr>(fn.text, std::move(args));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double Program::eval(double score) const {
+  for (const auto& rule : rules) {
+    if (!rule.condition || rule.condition->matches(score)) {
+      return rule.difficulty->eval(score);
+    }
+  }
+  // Unreachable: the parser guarantees a trailing default rule.
+  return static_cast<double>(kMinSupportedDifficulty);
+}
+
+Program parse(std::string_view text) {
+  Lexer lexer(text);
+  Parser parser(lexer.run());
+  return parser.run();
+}
+
+}  // namespace dsl
+
+DslPolicy::DslPolicy(std::string_view source)
+    : source_(source), program_(dsl::parse(source)) {}
+
+Difficulty DslPolicy::difficulty(double score, common::Rng& /*rng*/) const {
+  const double s = std::clamp(score, 0.0, 10.0);
+  return clamp_difficulty(program_.eval(s));
+}
+
+std::string DslPolicy::describe() const {
+  return "dsl policy (" + std::to_string(program_.rules.size()) + " rules)";
+}
+
+}  // namespace powai::policy

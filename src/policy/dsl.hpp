@@ -1,0 +1,110 @@
+#pragma once
+/// \file dsl.hpp
+/// The policy rule language. The paper positions the policy module as the
+/// administrator's knob ("a network administrator may specify a policy
+/// based on her specific security needs"); this DSL lets that policy be
+/// expressed as text instead of code:
+///
+/// ```text
+/// # calm-period policy
+/// when score < 3:        difficulty = 2
+/// when score in [3, 7):  difficulty = ceil(score) + 2
+/// when score >= 7:       difficulty = ceil(pow(1.4, score))
+/// default:               difficulty = 15
+/// ```
+///
+/// Semantics: rules are evaluated top to bottom and the first matching
+/// condition wins; the mandatory `default` rule catches everything else.
+/// Difficulty expressions may reference `score` and use + - * /, unary
+/// minus, parentheses, and the functions ceil, floor, round, sqrt, log2,
+/// min, max, pow. Results are clamped to the supported difficulty band.
+///
+/// Parse errors throw DslError with line/column and a description.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace powai::policy {
+
+/// Error thrown on malformed policy text (never on evaluation: a parsed
+/// program always evaluates).
+class DslError final : public std::runtime_error {
+ public:
+  DslError(std::size_t line, std::size_t column, const std::string& message);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+namespace dsl {
+
+/// Arithmetic expression node (immutable after parse).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  /// Evaluates with `score` bound to \p score.
+  [[nodiscard]] virtual double eval(double score) const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A rule's guard: either a comparison (`score < 3`) or an interval test
+/// (`score in [3, 7)`); the default rule has no condition.
+class Condition {
+ public:
+  virtual ~Condition() = default;
+  [[nodiscard]] virtual bool matches(double score) const = 0;
+};
+
+using ConditionPtr = std::unique_ptr<Condition>;
+
+/// One `when`/`default` rule.
+struct Rule final {
+  ConditionPtr condition;  ///< null for the default rule
+  ExprPtr difficulty;
+};
+
+/// A parsed program: ordered rules, last one the default.
+struct Program final {
+  std::vector<Rule> rules;
+
+  /// First-match evaluation; always succeeds because the default rule is
+  /// mandatory at parse time.
+  [[nodiscard]] double eval(double score) const;
+};
+
+/// Parses policy text (throws DslError on malformed input).
+[[nodiscard]] Program parse(std::string_view text);
+
+}  // namespace dsl
+
+/// IPolicy adapter over a parsed DSL program.
+class DslPolicy final : public IPolicy {
+ public:
+  /// Parses \p source; throws DslError on malformed input.
+  explicit DslPolicy(std::string_view source);
+
+  [[nodiscard]] std::string_view name() const override { return "dsl"; }
+
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+ private:
+  std::string source_;
+  dsl::Program program_;
+};
+
+}  // namespace powai::policy

@@ -1,0 +1,36 @@
+#include "policy/error_range_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace powai::policy {
+
+ErrorRangePolicy::ErrorRangePolicy(double epsilon) : epsilon_(epsilon) {
+  if (!(epsilon >= 0.0) || !std::isfinite(epsilon)) {
+    throw std::invalid_argument("ErrorRangePolicy: epsilon must be >= 0");
+  }
+}
+
+std::pair<Difficulty, Difficulty> ErrorRangePolicy::interval(
+    double score) const {
+  const double s = std::clamp(score, 0.0, 10.0);
+  const double d = std::ceil(s + 1.0);  // dᵢ = ⌈sᵢ + 1⌉ per the paper
+  const Difficulty lo = clamp_difficulty(std::ceil(d - epsilon_));
+  const Difficulty hi = clamp_difficulty(std::ceil(d + epsilon_));
+  return {lo, hi};
+}
+
+Difficulty ErrorRangePolicy::difficulty(double score, common::Rng& rng) const {
+  const auto [lo, hi] = interval(score);
+  return static_cast<Difficulty>(rng.uniform_u64(lo, hi));
+}
+
+std::string ErrorRangePolicy::describe() const {
+  return "error_range: d ~ U[ceil(ceil(R+1) - eps), ceil(ceil(R+1) + eps)], eps=" +
+         common::fmt_f(epsilon_, 2);
+}
+
+}  // namespace powai::policy

@@ -1,0 +1,38 @@
+#pragma once
+/// \file error_range_policy.hpp
+/// Policy 3 of the paper (§III.B): error-range mapping. The AI model's
+/// score carries an error ε, so the true reputation may be higher or
+/// lower than reported. For a score sᵢ the policy computes dᵢ = ⌈sᵢ + 1⌉
+/// and issues a difficulty drawn uniformly at random from the integer
+/// interval [⌈dᵢ − ε⌉, ⌈dᵢ + ε⌉], spreading the assigned work across the
+/// model's confidence interval.
+
+#include "policy/policy.hpp"
+
+namespace powai::policy {
+
+class ErrorRangePolicy final : public IPolicy {
+ public:
+  /// \p epsilon >= 0 — the AI model's score error (DAbR's ε). Values are
+  /// typically obtained from IReputationModel::error_epsilon().
+  explicit ErrorRangePolicy(double epsilon);
+
+  [[nodiscard]] std::string_view name() const override { return "error_range"; }
+
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+
+  /// The inclusive integer interval the draw comes from (for tests and
+  /// diagnostics): [⌈d − ε⌉, ⌈d + ε⌉] with d = ⌈score + 1⌉, both ends
+  /// clamped to the supported band.
+  [[nodiscard]] std::pair<Difficulty, Difficulty> interval(double score) const;
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace powai::policy

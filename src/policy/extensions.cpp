@@ -1,0 +1,153 @@
+#include "policy/extensions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace powai::policy {
+
+// ---------------------------------------------------------------------------
+// StepPolicy
+// ---------------------------------------------------------------------------
+
+StepPolicy::StepPolicy(std::vector<std::pair<double, Difficulty>> tiers)
+    : tiers_(std::move(tiers)) {
+  if (tiers_.empty()) throw std::invalid_argument("StepPolicy: no tiers");
+  for (std::size_t i = 1; i < tiers_.size(); ++i) {
+    if (!(tiers_[i - 1].first < tiers_[i].first)) {
+      throw std::invalid_argument("StepPolicy: bounds must strictly increase");
+    }
+  }
+  if (tiers_.back().first < 10.0) {
+    throw std::invalid_argument("StepPolicy: last tier must cover score 10");
+  }
+}
+
+Difficulty StepPolicy::difficulty(double score, common::Rng& /*rng*/) const {
+  const double s = std::clamp(score, 0.0, 10.0);
+  for (const auto& [bound, d] : tiers_) {
+    if (s <= bound) return clamp_difficulty(d);
+  }
+  return clamp_difficulty(tiers_.back().second);  // unreachable by invariant
+}
+
+std::string StepPolicy::describe() const {
+  std::string out = "step:";
+  for (const auto& [bound, d] : tiers_) {
+    out += " R<=" + common::fmt_f(bound, 1) + "->" + std::to_string(d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExponentialPolicy
+// ---------------------------------------------------------------------------
+
+ExponentialPolicy::ExponentialPolicy(double base, double growth)
+    : base_(base), growth_(growth) {
+  if (base < 1.0) throw std::invalid_argument("ExponentialPolicy: base < 1");
+  if (growth <= 1.0) {
+    throw std::invalid_argument("ExponentialPolicy: growth must exceed 1");
+  }
+}
+
+Difficulty ExponentialPolicy::difficulty(double score,
+                                         common::Rng& /*rng*/) const {
+  const double s = std::clamp(score, 0.0, 10.0);
+  return clamp_difficulty(std::ceil(base_ * std::pow(growth_, s)));
+}
+
+std::string ExponentialPolicy::describe() const {
+  return "exponential: d = ceil(" + common::fmt_f(base_, 2) + " * " +
+         common::fmt_f(growth_, 2) + "^R)";
+}
+
+// ---------------------------------------------------------------------------
+// TargetLatencyPolicy
+// ---------------------------------------------------------------------------
+
+TargetLatencyPolicy::TargetLatencyPolicy(double latency_at_0_ms,
+                                         double latency_at_10_ms,
+                                         double hash_time_us)
+    : latency_at_0_ms_(latency_at_0_ms),
+      latency_at_10_ms_(latency_at_10_ms),
+      hash_time_us_(hash_time_us) {
+  if (!(latency_at_0_ms > 0.0) || !(latency_at_10_ms >= latency_at_0_ms)) {
+    throw std::invalid_argument(
+        "TargetLatencyPolicy: need 0 < latency_at_0 <= latency_at_10");
+  }
+  if (!(hash_time_us > 0.0)) {
+    throw std::invalid_argument("TargetLatencyPolicy: hash_time_us <= 0");
+  }
+}
+
+double TargetLatencyPolicy::target_latency_ms(double score) const {
+  const double s = std::clamp(score, 0.0, 10.0) / 10.0;
+  // Log-space interpolation: each score step multiplies the target by a
+  // constant factor, matching the exponential cost of difficulty steps.
+  return latency_at_0_ms_ *
+         std::pow(latency_at_10_ms_ / latency_at_0_ms_, s);
+}
+
+Difficulty TargetLatencyPolicy::difficulty(double score,
+                                           common::Rng& /*rng*/) const {
+  const double target_us = target_latency_ms(score) * 1000.0;
+  // Expected hashes for difficulty d is 2^d, so pick d = log2(target /
+  // hash_time).
+  const double d = std::log2(std::max(target_us / hash_time_us_, 1.0));
+  return clamp_difficulty(std::round(d));
+}
+
+std::string TargetLatencyPolicy::describe() const {
+  return "target_latency: " + common::fmt_f(latency_at_0_ms_, 0) + "ms..." +
+         common::fmt_f(latency_at_10_ms_, 0) + "ms at " +
+         common::fmt_f(hash_time_us_, 2) + "us/hash";
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveLoadPolicy
+// ---------------------------------------------------------------------------
+
+AdaptiveLoadPolicy::AdaptiveLoadPolicy(PolicyPtr inner, Difficulty max_extra)
+    : inner_(std::move(inner)), max_extra_(max_extra) {
+  if (!inner_) throw std::invalid_argument("AdaptiveLoadPolicy: null inner");
+}
+
+void AdaptiveLoadPolicy::set_load(double load) {
+  load_ = std::clamp(load, 0.0, 1.0);
+}
+
+Difficulty AdaptiveLoadPolicy::difficulty(double score,
+                                          common::Rng& rng) const {
+  const Difficulty base = inner_->difficulty(score, rng);
+  const double extra = std::ceil(static_cast<double>(max_extra_) * load_);
+  return clamp_difficulty(static_cast<double>(base) + extra);
+}
+
+std::string AdaptiveLoadPolicy::describe() const {
+  return "adaptive_load(+" + std::to_string(max_extra_) +
+         "@load=1) over [" + inner_->describe() + "]";
+}
+
+// ---------------------------------------------------------------------------
+// ClampPolicy
+// ---------------------------------------------------------------------------
+
+ClampPolicy::ClampPolicy(PolicyPtr inner, Difficulty lo, Difficulty hi)
+    : inner_(std::move(inner)), lo_(lo), hi_(hi) {
+  if (!inner_) throw std::invalid_argument("ClampPolicy: null inner");
+  if (lo > hi) throw std::invalid_argument("ClampPolicy: lo > hi");
+}
+
+Difficulty ClampPolicy::difficulty(double score, common::Rng& rng) const {
+  return std::clamp(inner_->difficulty(score, rng), lo_, hi_);
+}
+
+std::string ClampPolicy::describe() const {
+  return "clamp[" + std::to_string(lo_) + "," + std::to_string(hi_) +
+         "] over [" + inner_->describe() + "]";
+}
+
+}  // namespace powai::policy

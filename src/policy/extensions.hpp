@@ -1,0 +1,124 @@
+#pragma once
+/// \file extensions.hpp
+/// Extension policies beyond the three the paper evaluates. The paper
+/// frames the policy module as the administrator's customization point
+/// ("a network administrator may specify a policy based on her specific
+/// security needs"); these are the obvious points in that design space
+/// and feed the policy-ablation bench.
+
+#include <utility>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace powai::policy {
+
+/// Piecewise-constant tiers: difficulty jumps at score thresholds.
+/// Example: {{3, 2}, {7, 8}, {10, 15}} means R<=3 → 2, R<=7 → 8,
+/// R<=10 → 15.
+class StepPolicy final : public IPolicy {
+ public:
+  /// Tier list as (upper score bound, difficulty) pairs; bounds must be
+  /// strictly increasing and the last bound must cover the score range
+  /// (>= 10). Throws std::invalid_argument otherwise.
+  explicit StepPolicy(std::vector<std::pair<double, Difficulty>> tiers);
+
+  [[nodiscard]] std::string_view name() const override { return "step"; }
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<std::pair<double, Difficulty>> tiers_;
+};
+
+/// Geometric growth: d = ⌈d₀ · gᴿ⌉. With g ≈ 1.3 the work assigned to
+/// the worst clients grows much faster than any linear mapping while
+/// trusted clients stay near d₀.
+class ExponentialPolicy final : public IPolicy {
+ public:
+  /// \p base d₀ >= 1; \p growth g > 1.
+  explicit ExponentialPolicy(double base = 1.0, double growth = 1.3);
+
+  [[nodiscard]] std::string_view name() const override { return "exponential"; }
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double base_;
+  double growth_;
+};
+
+/// Targets a latency budget instead of a difficulty: the operator says
+/// "a score-0 client should wait about L₀ ms and a score-10 client about
+/// L₁ ms", and the policy inverts the expected-work model
+/// (latency ≈ hash_time · 2^d) to pick d. This is the paper's "amount of
+/// work inflicted by a puzzle is adaptive and can be tuned" property
+/// expressed in the operator's natural unit.
+class TargetLatencyPolicy final : public IPolicy {
+ public:
+  /// \p latency_at_0_ms / \p latency_at_10_ms: target solve latencies at
+  /// the score extremes (log-interpolated between); both > 0,
+  /// latency_at_10_ms >= latency_at_0_ms. \p hash_time_us: estimated
+  /// per-hash cost of a typical client, > 0.
+  TargetLatencyPolicy(double latency_at_0_ms, double latency_at_10_ms,
+                      double hash_time_us);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "target_latency";
+  }
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// The latency target (ms) for a given score (exposed for tests).
+  [[nodiscard]] double target_latency_ms(double score) const;
+
+ private:
+  double latency_at_0_ms_;
+  double latency_at_10_ms_;
+  double hash_time_us_;
+};
+
+/// Decorator adding a load-dependent difficulty surcharge to any inner
+/// policy: d' = d + ⌈extra · load⌉ with load ∈ [0, 1] supplied by the
+/// server (e.g. queue depth or CPU). Under attack the whole difficulty
+/// curve shifts up; in calm periods it relaxes back.
+class AdaptiveLoadPolicy final : public IPolicy {
+ public:
+  /// \p max_extra: surcharge at load = 1.
+  AdaptiveLoadPolicy(PolicyPtr inner, Difficulty max_extra);
+
+  [[nodiscard]] std::string_view name() const override { return "adaptive_load"; }
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// Updates the observed load; values are clamped to [0, 1].
+  void set_load(double load);
+  [[nodiscard]] double load() const { return load_; }
+
+ private:
+  PolicyPtr inner_;
+  Difficulty max_extra_;
+  double load_ = 0.0;
+};
+
+/// Decorator clamping an inner policy's output into [lo, hi].
+class ClampPolicy final : public IPolicy {
+ public:
+  ClampPolicy(PolicyPtr inner, Difficulty lo, Difficulty hi);
+
+  [[nodiscard]] std::string_view name() const override { return "clamp"; }
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  PolicyPtr inner_;
+  Difficulty lo_;
+  Difficulty hi_;
+};
+
+}  // namespace powai::policy

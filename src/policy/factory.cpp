@@ -1,0 +1,77 @@
+#include "policy/factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/strings.hpp"
+#include "policy/dsl.hpp"
+#include "policy/error_range_policy.hpp"
+#include "policy/extensions.hpp"
+#include "policy/linear_policy.hpp"
+
+namespace powai::policy {
+
+namespace {
+
+std::vector<std::pair<double, Difficulty>> parse_tiers(std::string_view text) {
+  std::vector<std::pair<double, Difficulty>> tiers;
+  for (const auto part : common::split(text, ',')) {
+    const auto cells = common::split(part, ':');
+    if (cells.size() != 2) {
+      throw std::invalid_argument("step policy: tier must be bound:difficulty");
+    }
+    const auto bound = common::parse_f64(cells[0]);
+    const auto diff = common::parse_u64(cells[1]);
+    if (!bound || !diff) {
+      throw std::invalid_argument("step policy: malformed tier '" +
+                                  std::string(part) + "'");
+    }
+    tiers.emplace_back(*bound, static_cast<Difficulty>(*diff));
+  }
+  return tiers;
+}
+
+}  // namespace
+
+PolicyPtr make_policy(const common::Config& config) {
+  const std::string kind = config.get_string("policy", "policy1");
+
+  if (kind == "policy1") {
+    return std::make_unique<LinearPolicy>(1);
+  }
+  if (kind == "policy2") {
+    return std::make_unique<LinearPolicy>(5);
+  }
+  if (kind == "linear") {
+    return std::make_unique<LinearPolicy>(
+        static_cast<Difficulty>(config.get_u64("offset", 1)),
+        config.get_f64("slope", 1.0));
+  }
+  if (kind == "error_range" || kind == "policy3") {
+    return std::make_unique<ErrorRangePolicy>(config.get_f64("epsilon", 1.5));
+  }
+  if (kind == "step") {
+    return std::make_unique<StepPolicy>(
+        parse_tiers(config.get_string("tiers", "3:2,7:8,10:15")));
+  }
+  if (kind == "exponential") {
+    return std::make_unique<ExponentialPolicy>(config.get_f64("base", 1.0),
+                                               config.get_f64("growth", 1.3));
+  }
+  if (kind == "target_latency") {
+    return std::make_unique<TargetLatencyPolicy>(
+        config.get_f64("l0_ms", 30.0), config.get_f64("l1_ms", 900.0),
+        config.get_f64("hash_us", 0.5));
+  }
+  if (kind == "dsl") {
+    std::string program = config.require_string("dsl");
+    // ';' doubles as a line separator so programs fit in one key=value.
+    for (char& c : program) {
+      if (c == ';') c = '\n';
+    }
+    return std::make_unique<DslPolicy>(program);
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + kind + "'");
+}
+
+}  // namespace powai::policy

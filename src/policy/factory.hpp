@@ -1,0 +1,28 @@
+#pragma once
+/// \file factory.hpp
+/// Constructs policies from flat configuration — the entry point used by
+/// example programs and the bench harness so experiments can switch
+/// policies without recompiling.
+///
+/// Recognized `policy=` values and their keys:
+///   linear          offset= (default 1), slope= (default 1.0)
+///   policy1         (alias: linear offset=1)
+///   policy2         (alias: linear offset=5)
+///   error_range     epsilon= (default 1.5)   [the paper's Policy 3]
+///   step            tiers= "3:2,7:8,10:15" (bound:difficulty pairs)
+///   exponential     base= (default 1.0), growth= (default 1.3)
+///   target_latency  l0_ms= (default 30), l1_ms= (default 900),
+///                   hash_us= (default 0.5)
+///   dsl             dsl_file is not supported offline; pass the program
+///                   text via the `dsl=` key with ';' as line separator.
+
+#include "common/config.hpp"
+#include "policy/policy.hpp"
+
+namespace powai::policy {
+
+/// Builds a policy from configuration. Throws std::invalid_argument on an
+/// unknown `policy=` value or malformed parameters.
+[[nodiscard]] PolicyPtr make_policy(const common::Config& config);
+
+}  // namespace powai::policy

@@ -1,0 +1,28 @@
+#include "policy/linear_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powai::policy {
+
+LinearPolicy::LinearPolicy(Difficulty offset, double slope)
+    : offset_(offset), slope_(slope) {
+  if (slope <= 0.0) {
+    throw std::invalid_argument("LinearPolicy: slope must be positive");
+  }
+}
+
+Difficulty LinearPolicy::difficulty(double score, common::Rng& /*rng*/) const {
+  const double s = std::clamp(score, 0.0, 10.0);
+  return clamp_difficulty(std::ceil(slope_ * s) + static_cast<double>(offset_));
+}
+
+std::string LinearPolicy::describe() const {
+  std::string out = "linear: d = ceil(";
+  if (slope_ != 1.0) out += std::to_string(slope_) + " * ";
+  out += "R) + " + std::to_string(offset_);
+  return out;
+}
+
+}  // namespace powai::policy

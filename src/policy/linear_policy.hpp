@@ -1,0 +1,43 @@
+#pragma once
+/// \file linear_policy.hpp
+/// Policies 1 and 2 of the paper (§III.A): linear mappings from
+/// reputation score to difficulty, d = ⌈slope · R⌉ + offset.
+///
+///   Policy 1: offset 1, slope 1 — R = 0 → d = 1 ... R = 10 → d = 11.
+///   Policy 2: offset 5, slope 1 — R = 0 → d = 5 ... R = 10 → d = 15.
+///
+/// Policy 2 exists because Policy 1's latency "does not grow
+/// significantly" — shifting the whole curve up makes the exponential
+/// per-difficulty cost bite for high scores.
+
+#include "policy/policy.hpp"
+
+namespace powai::policy {
+
+class LinearPolicy final : public IPolicy {
+ public:
+  /// \p offset added after the slope term; \p slope must be > 0.
+  explicit LinearPolicy(Difficulty offset = 1, double slope = 1.0);
+
+  /// The paper's Policy 1 (d = R + 1).
+  [[nodiscard]] static LinearPolicy policy1() { return LinearPolicy(1); }
+
+  /// The paper's Policy 2 (d = R + 5).
+  [[nodiscard]] static LinearPolicy policy2() { return LinearPolicy(5); }
+
+  [[nodiscard]] std::string_view name() const override { return "linear"; }
+
+  [[nodiscard]] Difficulty difficulty(double score,
+                                      common::Rng& rng) const override;
+
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] Difficulty offset() const { return offset_; }
+  [[nodiscard]] double slope() const { return slope_; }
+
+ private:
+  Difficulty offset_;
+  double slope_;
+};
+
+}  // namespace powai::policy

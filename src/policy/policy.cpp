@@ -1,0 +1,16 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powai::policy {
+
+Difficulty clamp_difficulty(double d) {
+  if (std::isnan(d)) return kMinSupportedDifficulty;
+  const double clamped =
+      std::clamp(d, static_cast<double>(kMinSupportedDifficulty),
+                 static_cast<double>(kMaxSupportedDifficulty));
+  return static_cast<Difficulty>(std::lround(clamped));
+}
+
+}  // namespace powai::policy

@@ -1,0 +1,53 @@
+#include "pow/difficulty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace powai::pow {
+
+double expected_hashes(unsigned d) {
+  if (d > 256) throw std::invalid_argument("expected_hashes: d > 256");
+  return std::pow(2.0, static_cast<double>(d));
+}
+
+double solve_probability(unsigned d, std::uint64_t attempts) {
+  if (d > 256) throw std::invalid_argument("solve_probability: d > 256");
+  if (attempts == 0) return 0.0;
+  const double p = std::pow(2.0, -static_cast<double>(d));
+  // log1p for numerical stability at small p.
+  return 1.0 - std::exp(static_cast<double>(attempts) * std::log1p(-p));
+}
+
+double attempts_for_confidence(unsigned d, double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("attempts_for_confidence: confidence in (0,1)");
+  }
+  const double p = std::pow(2.0, -static_cast<double>(d));
+  return std::log1p(-confidence) / std::log1p(-p);
+}
+
+double expected_solve_ms(unsigned d, double hash_rate) {
+  if (!(hash_rate > 0.0)) {
+    throw std::invalid_argument("expected_solve_ms: hash_rate <= 0");
+  }
+  return expected_hashes(d) / hash_rate * 1000.0;
+}
+
+double median_solve_ms(unsigned d, double hash_rate) {
+  // Median of a geometric distribution with success probability p is
+  // about ln(2)/p attempts.
+  return expected_solve_ms(d, hash_rate) * std::numbers::ln2;
+}
+
+unsigned difficulty_for_target_ms(double target_ms, double hash_rate) {
+  if (!(hash_rate > 0.0) || !(target_ms > 0.0)) {
+    throw std::invalid_argument("difficulty_for_target_ms: non-positive input");
+  }
+  const double hashes = target_ms / 1000.0 * hash_rate;
+  const double d = std::ceil(std::log2(std::max(hashes, 1.0)));
+  return static_cast<unsigned>(std::clamp(d, 1.0, 63.0));
+}
+
+}  // namespace powai::pow

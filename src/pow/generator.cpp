@@ -1,0 +1,48 @@
+#include "pow/generator.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace powai::pow {
+
+namespace {
+constexpr std::size_t kSeedBytes = 32;
+}
+
+PuzzleGenerator::PuzzleGenerator(const common::Clock& clock,
+                                 common::BytesView master_secret)
+    : clock_(&clock),
+      seed_drbg_(crypto::derive_key(master_secret, common::bytes_of("seed"), 32),
+                 common::bytes_of("powai-seed-drbg")),
+      mac_key_(derive_mac_key(master_secret)) {
+  if (master_secret.empty()) {
+    throw std::invalid_argument("PuzzleGenerator: empty master secret");
+  }
+}
+
+common::Bytes PuzzleGenerator::derive_mac_key(common::BytesView master_secret) {
+  if (master_secret.empty()) {
+    throw std::invalid_argument("derive_mac_key: empty master secret");
+  }
+  return crypto::derive_key(master_secret, common::bytes_of("mac"), 32);
+}
+
+crypto::Digest PuzzleGenerator::compute_auth(common::BytesView mac_key,
+                                             const Puzzle& puzzle) {
+  return crypto::hmac_sha256(mac_key, puzzle.mac_input());
+}
+
+Puzzle PuzzleGenerator::issue(const std::string& client_ip,
+                              unsigned difficulty) {
+  Puzzle p;
+  p.puzzle_id = ++next_id_;
+  p.seed = seed_drbg_.generate(kSeedBytes);
+  p.issued_at_ms = common::to_millis(clock_->now());
+  p.difficulty = difficulty;
+  p.client_binding = client_ip;
+  p.auth = compute_auth(mac_key_, p);
+  return p;
+}
+
+}  // namespace powai::pow

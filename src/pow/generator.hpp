@@ -1,0 +1,54 @@
+#pragma once
+/// \file generator.hpp
+/// The puzzle generation module (Fig. 1, step 4). Issues puzzles with an
+/// unpredictable per-request seed (mitigating pre-computation, §II.3) and
+/// authenticates every field with an HMAC so the verifier can be
+/// stateless.
+///
+/// Key separation: from one master secret the generator derives a seed
+/// key (feeds the DRBG that produces puzzle seeds) and a MAC key (tags
+/// puzzles). The verifier only ever needs the MAC key.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "crypto/drbg.hpp"
+#include "pow/puzzle.hpp"
+
+namespace powai::pow {
+
+/// Issues authenticated puzzles.
+class PuzzleGenerator final {
+ public:
+  /// \p clock must outlive the generator. \p master_secret is shared with
+  /// the Verifier; it must be non-empty.
+  PuzzleGenerator(const common::Clock& clock, common::BytesView master_secret);
+
+  /// Issues a puzzle of \p difficulty bound to \p client_ip (textual
+  /// form). Each call produces a unique id and fresh seed.
+  [[nodiscard]] Puzzle issue(const std::string& client_ip, unsigned difficulty);
+
+  /// Number of puzzles issued so far.
+  [[nodiscard]] std::uint64_t issued_count() const { return next_id_; }
+
+  /// Computes the MAC a legitimate puzzle must carry. Exposed so the
+  /// Verifier (and tests) share one definition.
+  [[nodiscard]] static crypto::Digest compute_auth(common::BytesView mac_key,
+                                                   const Puzzle& puzzle);
+
+  /// Derives the MAC key from a master secret (same derivation the
+  /// generator uses internally; the Verifier calls this too).
+  [[nodiscard]] static common::Bytes derive_mac_key(
+      common::BytesView master_secret);
+
+ private:
+  const common::Clock* clock_;
+  crypto::HmacDrbg seed_drbg_;
+  common::Bytes mac_key_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace powai::pow

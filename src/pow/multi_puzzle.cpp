@@ -1,0 +1,90 @@
+#include "pow/multi_puzzle.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace powai::pow {
+
+MultiPuzzle split_puzzle(const Puzzle& base, unsigned fanout) {
+  if (fanout == 0 || !std::has_single_bit(fanout)) {
+    throw std::invalid_argument("split_puzzle: fanout must be a power of two");
+  }
+  const auto log2_fanout = static_cast<unsigned>(std::countr_zero(fanout));
+  if (log2_fanout >= base.difficulty) {
+    throw std::invalid_argument(
+        "split_puzzle: log2(fanout) must be below the base difficulty");
+  }
+  MultiPuzzle out;
+  out.base = base;
+  out.fanout = fanout;
+  out.sub_difficulty = base.difficulty - log2_fanout;
+  return out;
+}
+
+crypto::Digest sub_digest(const MultiPuzzle& puzzle, unsigned index,
+                          std::uint64_t nonce) {
+  common::Bytes tail;
+  tail.push_back(static_cast<std::uint8_t>('S'));
+  common::append_u32be(tail, index);
+  common::append_u64be(tail, nonce);
+  return crypto::Sha256::hash2(puzzle.base.prefix_bytes(), tail);
+}
+
+bool is_valid_sub_solution(const MultiPuzzle& puzzle, unsigned index,
+                           std::uint64_t nonce) {
+  return crypto::meets_difficulty(sub_digest(puzzle, index, nonce),
+                                  puzzle.sub_difficulty);
+}
+
+bool is_valid_multi_solution(const MultiPuzzle& puzzle,
+                             const MultiSolution& solution) {
+  if (solution.puzzle_id != puzzle.base.puzzle_id) return false;
+  if (solution.nonces.size() != puzzle.fanout) return false;
+  for (unsigned i = 0; i < puzzle.fanout; ++i) {
+    if (!is_valid_sub_solution(puzzle, i, solution.nonces[i])) return false;
+  }
+  return true;
+}
+
+MultiSolveResult solve_multi(const MultiPuzzle& puzzle,
+                             const SolveOptions& options) {
+  MultiSolveResult result;
+  result.solution.puzzle_id = puzzle.base.puzzle_id;
+  result.solution.nonces.reserve(puzzle.fanout);
+
+  const common::Bytes prefix = puzzle.base.prefix_bytes();
+  for (unsigned i = 0; i < puzzle.fanout; ++i) {
+    common::Bytes tail;
+    tail.push_back(static_cast<std::uint8_t>('S'));
+    common::append_u32be(tail, i);
+    tail.resize(tail.size() + 8);
+
+    std::uint64_t nonce = options.start_nonce;
+    bool found = false;
+    while (!found) {
+      if (options.max_attempts != 0 && result.attempts >= options.max_attempts) {
+        return result;  // budget exhausted: found stays false
+      }
+      if (options.cancel != nullptr &&
+          result.attempts % 256 == 0 &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        return result;
+      }
+      for (int b = 0; b < 8; ++b) {
+        tail[5 + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(nonce >> (8 * (7 - b)));
+      }
+      ++result.attempts;
+      const crypto::Digest digest = crypto::Sha256::hash2(prefix, tail);
+      if (crypto::meets_difficulty(digest, puzzle.sub_difficulty)) {
+        result.solution.nonces.push_back(nonce);
+        found = true;
+      }
+      ++nonce;
+    }
+  }
+  result.found = true;
+  return result;
+}
+
+}  // namespace powai::pow

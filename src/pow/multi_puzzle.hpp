@@ -1,0 +1,73 @@
+#pragma once
+/// \file multi_puzzle.hpp
+/// Variance-reduced puzzles: an extension of the paper's puzzle module.
+///
+/// A single d-difficult puzzle solves in a geometric number of attempts —
+/// mean 2^d but standard deviation ≈ 2^d, so the latency a policy
+/// "assigns" is really a wide distribution (visible as noise in Figure
+/// 2). Splitting the work into k independent subpuzzles of difficulty
+/// d − log2(k) keeps the expected work at 2^d while shrinking the
+/// relative standard deviation by √k: the policy's latency target becomes
+/// much tighter. (Classic PoW refinement; fits the paper's "each
+/// component can be customized" design.)
+///
+/// Subpuzzle i's digest is SHA-256(prefix || "S" || i_be32 || nonce_i);
+/// all subpuzzles share the base puzzle's seed/timestamp/binding/MAC, so
+/// issuing and authenticity checks are unchanged.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pow/puzzle.hpp"
+#include "pow/solver.hpp"
+
+namespace powai::pow {
+
+/// A base puzzle split into `fanout` subpuzzles of `sub_difficulty`.
+struct MultiPuzzle final {
+  Puzzle base;
+  unsigned fanout = 1;
+  unsigned sub_difficulty = 1;
+};
+
+/// A claimed multi-solution: one nonce per subpuzzle, in index order.
+struct MultiSolution final {
+  std::uint64_t puzzle_id = 0;
+  std::vector<std::uint64_t> nonces;
+};
+
+/// Splits \p base into \p fanout subpuzzles of equal total expected work
+/// (2^d). \p fanout must be a power of two with log2(fanout) <
+/// base.difficulty; throws std::invalid_argument otherwise. fanout == 1
+/// degenerates to the plain puzzle.
+[[nodiscard]] MultiPuzzle split_puzzle(const Puzzle& base, unsigned fanout);
+
+/// Digest of subpuzzle \p index under \p nonce.
+[[nodiscard]] crypto::Digest sub_digest(const MultiPuzzle& puzzle,
+                                        unsigned index, std::uint64_t nonce);
+
+/// True iff \p nonce solves subpuzzle \p index.
+[[nodiscard]] bool is_valid_sub_solution(const MultiPuzzle& puzzle,
+                                         unsigned index, std::uint64_t nonce);
+
+/// Work check for a complete multi-solution (id match, nonce count,
+/// every subpuzzle met). Authenticity/expiry/replay of the *base* puzzle
+/// are the Verifier's job, exactly as for plain puzzles.
+[[nodiscard]] bool is_valid_multi_solution(const MultiPuzzle& puzzle,
+                                           const MultiSolution& solution);
+
+/// Result of a multi-solve.
+struct MultiSolveResult final {
+  MultiSolution solution;
+  std::uint64_t attempts = 0;  ///< total hashes across subpuzzles
+  bool found = false;
+};
+
+/// Solves every subpuzzle sequentially (budget shared across
+/// subpuzzles; found=false if it runs out). Options' threads apply to
+/// each subpuzzle search in turn.
+[[nodiscard]] MultiSolveResult solve_multi(const MultiPuzzle& puzzle,
+                                           const SolveOptions& options = {});
+
+}  // namespace powai::pow

@@ -1,0 +1,104 @@
+#include "pow/puzzle.hpp"
+
+#include "common/strings.hpp"
+
+namespace powai::pow {
+
+common::Bytes Puzzle::prefix_bytes() const {
+  // "POWAI1|<seed hex>|<timestamp>|<difficulty>|<client ip>|"
+  common::Bytes out = common::bytes_of("POWAI1|");
+  common::append(out, common::bytes_of(common::to_hex(seed)));
+  common::append(out, common::bytes_of("|"));
+  common::append(out, common::bytes_of(std::to_string(issued_at_ms)));
+  common::append(out, common::bytes_of("|"));
+  common::append(out, common::bytes_of(std::to_string(difficulty)));
+  common::append(out, common::bytes_of("|"));
+  common::append(out, common::bytes_of(client_binding));
+  common::append(out, common::bytes_of("|"));
+  return out;
+}
+
+common::Bytes Puzzle::mac_input() const {
+  common::Bytes out = prefix_bytes();
+  common::append_u64be(out, puzzle_id);
+  return out;
+}
+
+common::Bytes Puzzle::serialize() const {
+  common::Bytes out;
+  common::append_u64be(out, puzzle_id);
+  common::append_u32be(out, static_cast<std::uint32_t>(seed.size()));
+  common::append(out, seed);
+  common::append_u64be(out, static_cast<std::uint64_t>(issued_at_ms));
+  common::append_u32be(out, difficulty);
+  common::append_u32be(out, static_cast<std::uint32_t>(client_binding.size()));
+  common::append(out, common::bytes_of(client_binding));
+  common::append(out, common::BytesView(auth.data(), auth.size()));
+  return out;
+}
+
+std::optional<Puzzle> Puzzle::deserialize(common::BytesView data) {
+  common::ByteReader reader(data);
+  Puzzle p;
+  const auto id = reader.read_u64be();
+  if (!id) return std::nullopt;
+  p.puzzle_id = *id;
+
+  const auto seed_len = reader.read_u32be();
+  if (!seed_len || *seed_len > 1024) return std::nullopt;
+  auto seed = reader.read_bytes(*seed_len);
+  if (!seed) return std::nullopt;
+  p.seed = std::move(*seed);
+
+  const auto ts = reader.read_u64be();
+  if (!ts) return std::nullopt;
+  p.issued_at_ms = static_cast<std::int64_t>(*ts);
+
+  const auto diff = reader.read_u32be();
+  if (!diff) return std::nullopt;
+  p.difficulty = *diff;
+
+  const auto binding_len = reader.read_u32be();
+  if (!binding_len || *binding_len > 256) return std::nullopt;
+  const auto binding = reader.read_bytes(*binding_len);
+  if (!binding) return std::nullopt;
+  p.client_binding = common::string_of(*binding);
+
+  const auto mac = reader.read_bytes(p.auth.size());
+  if (!mac) return std::nullopt;
+  std::copy(mac->begin(), mac->end(), p.auth.begin());
+
+  if (!reader.empty()) return std::nullopt;  // trailing garbage
+  return p;
+}
+
+common::Bytes Solution::serialize() const {
+  common::Bytes out;
+  common::append_u64be(out, puzzle_id);
+  common::append_u64be(out, nonce);
+  return out;
+}
+
+std::optional<Solution> Solution::deserialize(common::BytesView data) {
+  common::ByteReader reader(data);
+  Solution s;
+  const auto id = reader.read_u64be();
+  const auto nonce = reader.read_u64be();
+  if (!id || !nonce || !reader.empty()) return std::nullopt;
+  s.puzzle_id = *id;
+  s.nonce = *nonce;
+  return s;
+}
+
+crypto::Digest solution_digest(const Puzzle& puzzle, std::uint64_t nonce) {
+  common::Bytes nonce_bytes;
+  common::append_u64be(nonce_bytes, nonce);
+  return crypto::Sha256::hash2(puzzle.prefix_bytes(), nonce_bytes);
+}
+
+bool is_valid_solution(const Puzzle& puzzle, std::uint64_t nonce) {
+  return crypto::meets_difficulty(solution_digest(puzzle, nonce),
+                                  puzzle.difficulty);
+}
+
+}  // namespace powai::pow

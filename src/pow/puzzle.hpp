@@ -1,0 +1,67 @@
+#pragma once
+/// \file puzzle.hpp
+/// The PoW puzzle and its solution (Fig. 1, steps 4-5). A puzzle is
+/// "request related data, i.e., timestamp and unique seed (for mitigating
+/// pre-computation attacks), and a difficulty value" (§II.3). The client
+/// concatenates this data with its IP address into an immutable prefix
+/// string, appends a nonce, and searches for a SHA-256 output with `d`
+/// leading zero bits (§II.4).
+///
+/// Deviation from the paper, documented: the paper appends a 32-bit
+/// nonce; we use 64 bits so the nonce space cannot be exhausted at the
+/// top of the supported difficulty band (2^40 expected attempts).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace powai::pow {
+
+/// A puzzle as issued by the server. The `auth` tag is an HMAC over all
+/// other fields under the issuer's secret: verification is stateless —
+/// the server does not remember issued puzzles, it just checks the tag.
+struct Puzzle final {
+  std::uint64_t puzzle_id = 0;      ///< unique per issue (for replay cache)
+  common::Bytes seed;               ///< 32 unpredictable bytes
+  std::int64_t issued_at_ms = 0;    ///< server timestamp (for expiry)
+  unsigned difficulty = 1;          ///< required leading zero bits
+  std::string client_binding;       ///< client IP the puzzle is bound to
+  crypto::Digest auth{};            ///< issuer MAC over the fields above
+
+  /// Canonical immutable prefix the solver hashes: every field separated
+  /// by '|' so no two distinct puzzles share a prefix.
+  [[nodiscard]] common::Bytes prefix_bytes() const;
+
+  /// Bytes covered by the issuer MAC (prefix is a strict subset of it).
+  [[nodiscard]] common::Bytes mac_input() const;
+
+  /// Wire encoding (length-prefixed fields, big-endian).
+  [[nodiscard]] common::Bytes serialize() const;
+  [[nodiscard]] static std::optional<Puzzle> deserialize(common::BytesView data);
+
+  bool operator==(const Puzzle&) const = default;
+};
+
+/// A claimed solution.
+struct Solution final {
+  std::uint64_t puzzle_id = 0;
+  std::uint64_t nonce = 0;
+
+  [[nodiscard]] common::Bytes serialize() const;
+  [[nodiscard]] static std::optional<Solution> deserialize(common::BytesView data);
+
+  bool operator==(const Solution&) const = default;
+};
+
+/// Hash of (puzzle prefix || nonce) — the quantity compared against the
+/// difficulty target. One definition shared by solver and verifier.
+[[nodiscard]] crypto::Digest solution_digest(const Puzzle& puzzle,
+                                             std::uint64_t nonce);
+
+/// True iff \p nonce solves \p puzzle.
+[[nodiscard]] bool is_valid_solution(const Puzzle& puzzle, std::uint64_t nonce);
+
+}  // namespace powai::pow

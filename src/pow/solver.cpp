@@ -1,0 +1,104 @@
+#include "pow/solver.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace powai::pow {
+
+namespace {
+
+/// Check the cancel flag / shared found flag only every N attempts: an
+/// atomic load per hash would dominate at low difficulties.
+constexpr std::uint64_t kCheckInterval = 256;
+
+struct WorkerResult {
+  std::uint64_t nonce = 0;
+  std::uint64_t attempts = 0;
+  bool found = false;
+};
+
+/// Strided scan: worker w tries start + w, start + w + stride, ...
+WorkerResult scan(const Puzzle& puzzle, std::uint64_t start,
+                  std::uint64_t stride, std::uint64_t max_attempts,
+                  const std::atomic<bool>* cancel,
+                  std::atomic<bool>& someone_found) {
+  // Hoist the prefix: only the nonce suffix changes per attempt.
+  const common::Bytes prefix = puzzle.prefix_bytes();
+  common::Bytes nonce_bytes(8, 0);
+
+  WorkerResult result;
+  std::uint64_t nonce = start;
+  while (max_attempts == 0 || result.attempts < max_attempts) {
+    if (result.attempts % kCheckInterval == 0) {
+      if (someone_found.load(std::memory_order_relaxed)) return result;
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return result;
+      }
+    }
+    for (int i = 0; i < 8; ++i) {
+      nonce_bytes[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(nonce >> (8 * (7 - i)));
+    }
+    ++result.attempts;
+    const crypto::Digest digest = crypto::Sha256::hash2(prefix, nonce_bytes);
+    if (crypto::meets_difficulty(digest, puzzle.difficulty)) {
+      result.nonce = nonce;
+      result.found = true;
+      someone_found.store(true, std::memory_order_relaxed);
+      return result;
+    }
+    nonce += stride;
+  }
+  return result;
+}
+
+}  // namespace
+
+SolveResult Solver::solve(const Puzzle& puzzle,
+                          const SolveOptions& options) const {
+  if (options.threads == 0) {
+    throw std::invalid_argument("Solver::solve: threads must be >= 1");
+  }
+
+  std::atomic<bool> someone_found{false};
+  SolveResult result;
+
+  if (options.threads == 1) {
+    const WorkerResult w =
+        scan(puzzle, options.start_nonce, 1, options.max_attempts,
+             options.cancel, someone_found);
+    result.attempts = w.attempts;
+    result.found = w.found;
+    if (w.found) result.solution = Solution{puzzle.puzzle_id, w.nonce};
+    return result;
+  }
+
+  const unsigned n = options.threads;
+  // Per-worker budget: split the total so max_attempts bounds the sum.
+  const std::uint64_t per_worker =
+      options.max_attempts == 0 ? 0 : (options.max_attempts + n - 1) / n;
+
+  std::vector<WorkerResult> results(n);
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(n);
+    for (unsigned w = 0; w < n; ++w) {
+      workers.emplace_back([&, w] {
+        results[w] = scan(puzzle, options.start_nonce + w, n, per_worker,
+                          options.cancel, someone_found);
+      });
+    }
+  }  // join
+
+  for (const WorkerResult& w : results) {
+    result.attempts += w.attempts;
+    if (w.found && !result.found) {
+      result.found = true;
+      result.solution = Solution{puzzle.puzzle_id, w.nonce};
+    }
+  }
+  return result;
+}
+
+}  // namespace powai::pow

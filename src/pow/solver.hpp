@@ -1,0 +1,54 @@
+#pragma once
+/// \file solver.hpp
+/// The puzzle solver (Fig. 1, client side). Performs the nonce search:
+/// repeatedly hash (prefix || nonce) until the digest has the required
+/// number of leading zero bits. Supports bounded searches, cancellation,
+/// and multi-threaded strided search.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "common/error.hpp"
+#include "pow/puzzle.hpp"
+
+namespace powai::pow {
+
+/// Knobs for one solve call.
+struct SolveOptions final {
+  /// Give up after this many attempts (0 = unbounded). An unbounded
+  /// search terminates with probability 1 but callers under latency
+  /// budgets should bound it: 2^(d+4) attempts fail with probability
+  /// < e^-16.
+  std::uint64_t max_attempts = 0;
+
+  /// Worker threads; 1 = search inline on the calling thread.
+  unsigned threads = 1;
+
+  /// First nonce tried (workers stride from here). Lets tests make
+  /// solutions deterministic and callers resume an aborted search.
+  std::uint64_t start_nonce = 0;
+
+  /// Optional external cancellation flag (not owned); the search stops
+  /// soon after it becomes true.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Outcome of a solve call.
+struct SolveResult final {
+  Solution solution;            ///< valid iff `found`
+  std::uint64_t attempts = 0;   ///< total hash evaluations across threads
+  bool found = false;
+};
+
+/// Stateless solver (safe to share across threads; each call is
+/// independent).
+class Solver final {
+ public:
+  /// Searches for a nonce solving \p puzzle. Returns a found=false result
+  /// when max_attempts is exhausted or `cancel` fires first.
+  [[nodiscard]] SolveResult solve(const Puzzle& puzzle,
+                                  const SolveOptions& options = {}) const;
+};
+
+}  // namespace powai::pow

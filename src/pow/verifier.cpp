@@ -1,0 +1,83 @@
+#include "pow/verifier.hpp"
+
+#include <stdexcept>
+
+#include "pow/generator.hpp"
+
+namespace powai::pow {
+
+Verifier::Verifier(const common::Clock& clock, common::BytesView master_secret,
+                   VerifierConfig config)
+    : clock_(&clock),
+      mac_key_(PuzzleGenerator::derive_mac_key(master_secret)),
+      config_(config) {
+  if (config_.replay_capacity == 0) {
+    throw std::invalid_argument("Verifier: replay_capacity == 0");
+  }
+  if (config_.ttl <= common::Duration::zero()) {
+    throw std::invalid_argument("Verifier: non-positive ttl");
+  }
+}
+
+common::Status Verifier::verify(const Puzzle& puzzle, const Solution& solution,
+                                const std::string& observed_ip) {
+  using common::ErrorCode;
+
+  if (solution.puzzle_id != puzzle.puzzle_id) {
+    return common::err(ErrorCode::kInvalidArgument,
+                       "solution references a different puzzle");
+  }
+
+  // 1. Authenticity: the puzzle (id, seed, timestamp, difficulty, bind)
+  //    must carry our MAC — otherwise a client could lower its own
+  //    difficulty or reuse a stale seed.
+  const crypto::Digest expected =
+      PuzzleGenerator::compute_auth(mac_key_, puzzle);
+  if (!crypto::constant_time_equal(
+          common::BytesView(expected.data(), expected.size()),
+          common::BytesView(puzzle.auth.data(), puzzle.auth.size()))) {
+    return common::err(ErrorCode::kInvalidArgument, "puzzle MAC mismatch");
+  }
+
+  // 2. Client binding (solutions are not transferable between IPs).
+  if (!observed_ip.empty() && observed_ip != puzzle.client_binding) {
+    return common::err(ErrorCode::kInvalidArgument,
+                       "puzzle bound to a different client");
+  }
+
+  // 3. Expiry window.
+  const std::int64_t now_ms = common::to_millis(clock_->now());
+  const std::int64_t age_ms = now_ms - puzzle.issued_at_ms;
+  const auto ttl_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(config_.ttl).count();
+  const auto skew_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(config_.future_skew)
+          .count();
+  if (age_ms > ttl_ms) {
+    return common::err(ErrorCode::kExpired, "puzzle ttl exceeded");
+  }
+  if (age_ms < -skew_ms) {
+    return common::err(ErrorCode::kExpired, "puzzle issued in the future");
+  }
+
+  // 4. The work itself.
+  if (!is_valid_solution(puzzle, solution.nonce)) {
+    return common::err(ErrorCode::kBadSolution,
+                       "digest does not meet difficulty");
+  }
+
+  // 5. Single redemption.
+  if (redeemed_.contains(puzzle.puzzle_id)) {
+    return common::err(ErrorCode::kReplay, "puzzle already redeemed");
+  }
+  if (redeemed_.size() >= config_.replay_capacity) {
+    redeemed_.erase(redeemed_order_.front());
+    redeemed_order_.pop_front();
+  }
+  redeemed_.insert(puzzle.puzzle_id);
+  redeemed_order_.push_back(puzzle.puzzle_id);
+
+  return common::Status::success();
+}
+
+}  // namespace powai::pow

@@ -1,0 +1,69 @@
+#pragma once
+/// \file verifier.hpp
+/// The puzzle verification module (Fig. 1, step 5): a "light weight block
+/// used to verify the client's solution" (§II.5). Verification is O(1):
+/// one HMAC (authenticity), one SHA-256 (solution), a timestamp window
+/// check (expiry), and a replay-cache membership test.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "pow/puzzle.hpp"
+
+namespace powai::pow {
+
+/// Verifier policy knobs.
+struct VerifierConfig final {
+  /// Solutions arriving more than this after issuance are rejected. Must
+  /// cover the worst-case solve time of the hardest puzzle the server
+  /// issues, plus slack.
+  common::Duration ttl = std::chrono::seconds(120);
+
+  /// Tolerated clock skew for puzzles that appear to come from the
+  /// future (only relevant once issuance and verification run on
+  /// different machines).
+  common::Duration future_skew = std::chrono::seconds(5);
+
+  /// Redeemed-puzzle memory (FIFO). Must exceed the number of puzzles
+  /// the server can issue within one ttl window.
+  std::size_t replay_capacity = 1 << 20;
+};
+
+/// Stateful solution verifier (replay cache); share one instance per
+/// issuing generator.
+class Verifier final {
+ public:
+  /// \p clock must outlive the verifier. \p master_secret must equal the
+  /// generator's.
+  Verifier(const common::Clock& clock, common::BytesView master_secret,
+           VerifierConfig config = {});
+
+  /// Full verification of \p solution against \p puzzle, optionally
+  /// rebinding to the observed client IP (pass empty to skip the
+  /// binding check, e.g. behind a NAT-rewriting proxy).
+  ///
+  /// Error codes: kInvalidArgument (MAC/bind/id mismatch), kExpired,
+  /// kBadSolution, kReplay.
+  [[nodiscard]] common::Status verify(const Puzzle& puzzle,
+                                      const Solution& solution,
+                                      const std::string& observed_ip = {});
+
+  /// Number of puzzles currently remembered as redeemed.
+  [[nodiscard]] std::size_t replay_entries() const { return redeemed_.size(); }
+
+  [[nodiscard]] const VerifierConfig& config() const { return config_; }
+
+ private:
+  const common::Clock* clock_;
+  common::Bytes mac_key_;
+  VerifierConfig config_;
+  std::unordered_set<std::uint64_t> redeemed_;
+  std::deque<std::uint64_t> redeemed_order_;  // FIFO eviction
+};
+
+}  // namespace powai::pow

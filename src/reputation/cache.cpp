@@ -1,0 +1,73 @@
+#include "reputation/cache.hpp"
+
+#include <stdexcept>
+
+namespace powai::reputation {
+
+ReputationCache::ReputationCache(const common::Clock& clock, CacheConfig config)
+    : clock_(&clock), config_(config) {
+  if (!(config_.alpha > 0.0 && config_.alpha <= 1.0)) {
+    throw std::invalid_argument("ReputationCache: alpha outside (0, 1]");
+  }
+  if (config_.max_entries == 0) {
+    throw std::invalid_argument("ReputationCache: max_entries == 0");
+  }
+  if (config_.ttl <= common::Duration::zero()) {
+    throw std::invalid_argument("ReputationCache: non-positive ttl");
+  }
+}
+
+std::optional<double> ReputationCache::lookup(features::IpAddress ip) const {
+  const auto it = entries_.find(ip.value());
+  if (it == entries_.end()) return std::nullopt;
+  if (clock_->now() - it->second.updated_at > config_.ttl) return std::nullopt;
+  return it->second.score;
+}
+
+double ReputationCache::update(features::IpAddress ip, double score) {
+  const common::TimePoint now = clock_->now();
+  auto it = entries_.find(ip.value());
+  if (it != entries_.end()) {
+    const bool expired = now - it->second.updated_at > config_.ttl;
+    it->second.score = expired
+                           ? score
+                           : config_.alpha * score +
+                                 (1.0 - config_.alpha) * it->second.score;
+    it->second.updated_at = now;
+    return it->second.score;
+  }
+  if (entries_.size() >= config_.max_entries) evict_one();
+  entries_.emplace(ip.value(), Entry{score, now});
+  return score;
+}
+
+void ReputationCache::erase(features::IpAddress ip) {
+  entries_.erase(ip.value());
+}
+
+std::size_t ReputationCache::purge_expired() {
+  const common::TimePoint now = clock_->now();
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.updated_at > config_.ttl) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void ReputationCache::evict_one() {
+  // Evict the least-recently-updated entry. Linear scan is acceptable:
+  // eviction only happens at the max_entries watermark, and correctness
+  // (never exceeding the bound) is what the tests pin down.
+  auto stalest = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.updated_at < stalest->second.updated_at) stalest = it;
+  }
+  if (stalest != entries_.end()) entries_.erase(stalest);
+}
+
+}  // namespace powai::reputation

@@ -1,0 +1,65 @@
+#pragma once
+/// \file cache.hpp
+/// Per-IP reputation cache. Scoring every request through the model is
+/// wasteful for repeat clients, so the server memoizes scores with a TTL
+/// and smooths successive observations with an EWMA — the "dynamic" part
+/// of Dynamic Attribute-based Reputation.
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "features/ip_address.hpp"
+
+namespace powai::reputation {
+
+/// Cache policy knobs.
+struct CacheConfig final {
+  /// Entries older than this are treated as absent.
+  common::Duration ttl = std::chrono::seconds(300);
+
+  /// EWMA weight of a *new* observation in update(): 1 = replace, 0 =
+  /// ignore updates. Must be in (0, 1].
+  double alpha = 0.3;
+
+  /// Hard bound on resident entries; inserting beyond evicts the stalest
+  /// entry first. Must be >= 1.
+  std::size_t max_entries = 1 << 20;
+};
+
+/// TTL + EWMA cache of reputation scores keyed by IPv4 address.
+class ReputationCache final {
+ public:
+  /// \p clock must outlive the cache.
+  ReputationCache(const common::Clock& clock, CacheConfig config = {});
+
+  /// Fresh cached score, or nullopt if absent/expired.
+  [[nodiscard]] std::optional<double> lookup(features::IpAddress ip) const;
+
+  /// Inserts or EWMA-merges an observation and refreshes its timestamp.
+  /// Returns the stored (possibly smoothed) score.
+  double update(features::IpAddress ip, double score);
+
+  /// Removes one entry (no-op if absent).
+  void erase(features::IpAddress ip);
+
+  /// Drops expired entries; returns how many were removed.
+  std::size_t purge_expired();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    double score;
+    common::TimePoint updated_at;
+  };
+
+  void evict_one();
+
+  const common::Clock* clock_;
+  CacheConfig config_;
+  std::unordered_map<std::uint32_t, Entry> entries_;
+};
+
+}  // namespace powai::reputation

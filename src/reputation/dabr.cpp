@@ -1,0 +1,146 @@
+#include "reputation/dabr.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace powai::reputation {
+
+void DabrModel::fit(const features::Dataset& data) {
+  if (data.malicious_count() == 0 || data.benign_count() == 0) {
+    throw std::invalid_argument("DabrModel::fit: need both classes present");
+  }
+  const features::Dataset normalized = normalizer_.fit_transform(data);
+  malicious_centroid_ = normalized.class_mean(/*malicious=*/true);
+
+  common::Samples malicious_distances;
+  common::Samples benign_distances;
+  for (const auto& row : normalized.rows()) {
+    const double d = row.features.distance(malicious_centroid_);
+    (row.malicious ? malicious_distances : benign_distances).add(d);
+  }
+  d_malicious_ = malicious_distances.median();
+  d_benign_ = benign_distances.median();
+  if (d_benign_ <= d_malicious_) {
+    // Classes are inverted or inseparable in distance space; keep the
+    // anchors ordered so score() stays monotone (scores will be ~flat,
+    // and the evaluator will report the resulting poor accuracy).
+    d_benign_ = d_malicious_ + 1e-9;
+  }
+  fitted_ = true;
+
+  // Score the training rows to estimate ε as the mean within-class
+  // standard deviation of produced scores.
+  common::RunningStats malicious_scores;
+  common::RunningStats benign_scores;
+  for (const auto& row : data.rows()) {
+    const double s = score(row.features);
+    (row.malicious ? malicious_scores : benign_scores).add(s);
+  }
+  epsilon_ = 0.5 * (malicious_scores.stddev() + benign_scores.stddev());
+}
+
+double DabrModel::centroid_distance(const features::FeatureVector& x) const {
+  if (!fitted_) throw std::logic_error("DabrModel: not fitted");
+  return normalizer_.transform(x).distance(malicious_centroid_);
+}
+
+double DabrModel::score(const features::FeatureVector& x) const {
+  const double d = centroid_distance(x);
+  // Linear ramp: typical malicious distance -> 10, typical benign
+  // distance -> 0, clamped outside the anchor interval.
+  const double t = (d_benign_ - d) / (d_benign_ - d_malicious_);
+  return clamp_score(kMaxScore * t);
+}
+
+void DabrModel::observe(const features::FeatureVector& x, bool malicious,
+                        double alpha) {
+  if (!fitted_) throw std::logic_error("DabrModel::observe: not fitted");
+  if (!(alpha > 0.0 && alpha <= 1.0)) {
+    throw std::invalid_argument("DabrModel::observe: alpha outside (0, 1]");
+  }
+  const features::FeatureVector q = normalizer_.transform(x);
+  const double d = q.distance(malicious_centroid_);
+  if (malicious) {
+    // Centroid drifts toward the confirmed-malicious observation...
+    for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+      malicious_centroid_[i] += alpha * (q[i] - malicious_centroid_[i]);
+    }
+    // ...and the malicious anchor tracks the observed distances.
+    d_malicious_ += alpha * (d - d_malicious_);
+  } else {
+    d_benign_ += alpha * (d - d_benign_);
+  }
+  // Keep the ramp oriented (same guard as fit()).
+  if (d_benign_ <= d_malicious_) d_benign_ = d_malicious_ + 1e-9;
+  ++observed_;
+}
+
+std::string DabrModel::save() const {
+  if (!fitted_) throw std::logic_error("DabrModel::save: not fitted");
+  std::string out = "format=dabr-v1\n";
+  char buf[64];
+  auto put = [&](const char* key, double value) {
+    std::snprintf(buf, sizeof buf, "%s=%.17g\n", key, value);
+    out += buf;
+  };
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    std::string idx = std::to_string(i);
+    put(("norm_mean_" + idx).c_str(), normalizer_.mean(i));
+    put(("norm_std_" + idx).c_str(), normalizer_.stddev(i));
+    put(("centroid_" + idx).c_str(), malicious_centroid_[i]);
+  }
+  put("d_malicious", d_malicious_);
+  put("d_benign", d_benign_);
+  put("epsilon", epsilon_);
+  return out;
+}
+
+std::optional<DabrModel> DabrModel::load(std::string_view text) {
+  common::Config cfg;
+  try {
+    cfg = common::Config::parse(text);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  if (cfg.get_string("format", "") != "dabr-v1") return std::nullopt;
+
+  std::array<double, features::kFeatureCount> means{};
+  std::array<double, features::kFeatureCount> stds{};
+  DabrModel model;
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    const std::string idx = std::to_string(i);
+    const auto mean = cfg.get("norm_mean_" + idx);
+    const auto stddev = cfg.get("norm_std_" + idx);
+    const auto centroid = cfg.get("centroid_" + idx);
+    if (!mean || !stddev || !centroid) return std::nullopt;
+    const auto m = common::parse_f64(*mean);
+    const auto s = common::parse_f64(*stddev);
+    const auto c = common::parse_f64(*centroid);
+    if (!m || !s || !c || *s < 0.0) return std::nullopt;
+    means[i] = *m;
+    stds[i] = *s;
+    model.malicious_centroid_[i] = *c;
+  }
+  const auto d_mal = cfg.get("d_malicious");
+  const auto d_ben = cfg.get("d_benign");
+  const auto eps = cfg.get("epsilon");
+  if (!d_mal || !d_ben || !eps) return std::nullopt;
+  const auto dm = common::parse_f64(*d_mal);
+  const auto db = common::parse_f64(*d_ben);
+  const auto ep = common::parse_f64(*eps);
+  if (!dm || !db || !ep || !(*db > *dm) || *ep < 0.0) return std::nullopt;
+
+  model.normalizer_ = features::ZScoreNormalizer::from_params(means, stds);
+  model.d_malicious_ = *dm;
+  model.d_benign_ = *db;
+  model.epsilon_ = *ep;
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace powai::reputation

@@ -1,0 +1,84 @@
+#pragma once
+/// \file dabr.hpp
+/// DAbR — Dynamic Attribute-based Reputation (Renjan et al., ISI 2018),
+/// the AI model the paper uses for its proof of concept. DAbR scores an
+/// IP by the Euclidean distance of its attribute vector to previously
+/// known malicious IPs: close to the malicious population → high score.
+///
+/// Implementation: features are z-scored with statistics fit on the
+/// training set, the malicious centroid is computed, and a query's
+/// distance to the centroid is mapped onto [0, 10] by a linear ramp
+/// anchored at the typical (median) distances of the two training
+/// classes. The ε reported to Policy 3 is the within-class spread of
+/// produced scores (see error_epsilon()).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "features/normalizer.hpp"
+#include "reputation/model.hpp"
+
+namespace powai::reputation {
+
+class DabrModel final : public IReputationModel {
+ public:
+  DabrModel() = default;
+
+  [[nodiscard]] std::string_view name() const override { return "dabr"; }
+
+  /// Requires at least one malicious and one benign example.
+  void fit(const features::Dataset& data) override;
+
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+
+  [[nodiscard]] double score(const features::FeatureVector& x) const override;
+
+  /// ε = mean of the two within-class standard deviations of training
+  /// scores: the magnitude by which a produced score typically deviates
+  /// from its class's central score, which is exactly the uncertainty
+  /// Policy 3's random interval is meant to absorb.
+  [[nodiscard]] double error_epsilon() const override { return epsilon_; }
+
+  /// Distance of a (raw, unnormalized) query to the malicious centroid in
+  /// normalized feature space. Exposed for diagnostics and tests.
+  [[nodiscard]] double centroid_distance(const features::FeatureVector& x) const;
+
+  // --- Dynamic updates (the "D" in DAbR) --------------------------------
+  // Threat feeds deliver newly-confirmed observations continuously; the
+  // model absorbs them without a full refit. The feature normalizer stays
+  // frozen from fit() (scales drift slowly), the malicious centroid moves
+  // by an EWMA step toward confirmed-malicious observations, and the two
+  // class-distance anchors track observed distances with the same EWMA.
+
+  /// Absorbs one labeled observation. \p alpha in (0, 1] is the EWMA
+  /// weight of the new observation (throws std::invalid_argument
+  /// otherwise; std::logic_error if called before fit()).
+  void observe(const features::FeatureVector& x, bool malicious,
+               double alpha = 0.05);
+
+  /// Observations absorbed since fit().
+  [[nodiscard]] std::uint64_t observed_count() const { return observed_; }
+
+  // --- Persistence -------------------------------------------------------
+  // Text format (key=value lines) so operators can retrain offline and
+  // ship the model file to servers.
+
+  /// Serializes the fitted model (throws std::logic_error if unfitted).
+  [[nodiscard]] std::string save() const;
+
+  /// Restores a model from save() output; std::nullopt on malformed or
+  /// incomplete input.
+  [[nodiscard]] static std::optional<DabrModel> load(std::string_view text);
+
+ private:
+  features::ZScoreNormalizer normalizer_;
+  features::FeatureVector malicious_centroid_;  // normalized space
+  double d_malicious_ = 0.0;  // typical centroid distance, malicious rows
+  double d_benign_ = 0.0;     // typical centroid distance, benign rows
+  double epsilon_ = 0.0;
+  bool fitted_ = false;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace powai::reputation

@@ -1,0 +1,78 @@
+#include "reputation/ensemble.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "reputation/dabr.hpp"
+#include "reputation/logistic.hpp"
+#include "reputation/naive_bayes.hpp"
+
+namespace powai::reputation {
+
+EnsembleModel::EnsembleModel(
+    std::vector<std::unique_ptr<IReputationModel>> members)
+    : EnsembleModel(std::move(members), {}) {}
+
+EnsembleModel::EnsembleModel(
+    std::vector<std::unique_ptr<IReputationModel>> members,
+    std::vector<double> weights)
+    : members_(std::move(members)), weights_(std::move(weights)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("EnsembleModel: no members");
+  }
+  for (const auto& m : members_) {
+    if (!m) throw std::invalid_argument("EnsembleModel: null member");
+  }
+  if (weights_.empty()) {
+    weights_.assign(members_.size(), 1.0 / static_cast<double>(members_.size()));
+  } else {
+    if (weights_.size() != members_.size()) {
+      throw std::invalid_argument("EnsembleModel: weight count mismatch");
+    }
+    double total = 0.0;
+    for (double w : weights_) {
+      if (!(w > 0.0)) {
+        throw std::invalid_argument("EnsembleModel: weights must be positive");
+      }
+      total += w;
+    }
+    for (double& w : weights_) w /= total;
+  }
+}
+
+void EnsembleModel::fit(const features::Dataset& data) {
+  for (auto& m : members_) m->fit(data);
+}
+
+bool EnsembleModel::fitted() const {
+  for (const auto& m : members_) {
+    if (!m->fitted()) return false;
+  }
+  return true;
+}
+
+double EnsembleModel::score(const features::FeatureVector& x) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    s += weights_[i] * members_[i]->score(x);
+  }
+  return clamp_score(s);
+}
+
+double EnsembleModel::error_epsilon() const {
+  double eps = 0.0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    eps += weights_[i] * members_[i]->error_epsilon();
+  }
+  return eps / std::sqrt(static_cast<double>(members_.size()));
+}
+
+std::unique_ptr<EnsembleModel> make_default_ensemble() {
+  std::vector<std::unique_ptr<IReputationModel>> members;
+  members.push_back(std::make_unique<DabrModel>());
+  members.push_back(std::make_unique<LogisticModel>());
+  members.push_back(std::make_unique<NaiveBayesModel>());
+  return std::make_unique<EnsembleModel>(std::move(members));
+}
+
+}  // namespace powai::reputation

@@ -1,0 +1,57 @@
+#pragma once
+/// \file ensemble.hpp
+/// Weighted ensemble over reputation models — a drop-in occupant of the
+/// framework's modular AI-model slot. Averaging decorrelated scorers
+/// (distance-based DAbR + discriminative logistic + generative NB)
+/// tightens the score error ε, which directly narrows Policy 3's
+/// difficulty interval.
+
+#include <memory>
+#include <vector>
+
+#include "reputation/model.hpp"
+
+namespace powai::reputation {
+
+class EnsembleModel final : public IReputationModel {
+ public:
+  /// Takes ownership of the member models (>= 1, all non-null; throws
+  /// std::invalid_argument otherwise). Weights default to uniform.
+  explicit EnsembleModel(std::vector<std::unique_ptr<IReputationModel>> members);
+
+  /// Weighted variant; weights must match the member count and be
+  /// positive (they are normalized internally).
+  EnsembleModel(std::vector<std::unique_ptr<IReputationModel>> members,
+                std::vector<double> weights);
+
+  [[nodiscard]] std::string_view name() const override { return "ensemble"; }
+
+  /// Fits every member on the same data.
+  void fit(const features::Dataset& data) override;
+
+  [[nodiscard]] bool fitted() const override;
+
+  /// Weighted mean of member scores.
+  [[nodiscard]] double score(const features::FeatureVector& x) const override;
+
+  /// Ensemble ε: weighted mean of member ε values scaled by 1/√n — the
+  /// independence approximation for averaged errors; an upper bound is
+  /// the weighted mean itself, so this errs toward tighter Policy-3
+  /// intervals, which the clamp in the policy band absorbs.
+  [[nodiscard]] double error_epsilon() const override;
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] const IReputationModel& member(std::size_t i) const {
+    return *members_.at(i);
+  }
+
+ private:
+  std::vector<std::unique_ptr<IReputationModel>> members_;
+  std::vector<double> weights_;  // normalized to sum 1
+};
+
+/// Convenience: the standard three-member ensemble (DAbR + logistic +
+/// naive Bayes), unfitted.
+[[nodiscard]] std::unique_ptr<EnsembleModel> make_default_ensemble();
+
+}  // namespace powai::reputation

@@ -1,0 +1,107 @@
+#include "reputation/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace powai::reputation {
+
+std::string EvaluationReport::to_string() const {
+  std::string out;
+  out += "accuracy=" + common::fmt_f(accuracy, 3);
+  out += " precision=" + common::fmt_f(precision, 3);
+  out += " recall=" + common::fmt_f(recall, 3);
+  out += " f1=" + common::fmt_f(f1, 3);
+  out += " auc=" + common::fmt_f(roc_auc, 3);
+  out += " mae=" + common::fmt_f(mae_vs_target, 2);
+  return out;
+}
+
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<bool>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("roc_auc: size mismatch");
+  }
+  std::size_t positives = 0;
+  for (bool label : labels) positives += label ? 1 : 0;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Mann–Whitney U via midranks.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_positive = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // Ranks are 1-based; tied block [i, j] shares the mean rank.
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]]) rank_sum_positive += midrank;
+    }
+    i = j + 1;
+  }
+  const auto np = static_cast<double>(positives);
+  const auto nn = static_cast<double>(negatives);
+  const double u = rank_sum_positive - np * (np + 1.0) / 2.0;
+  return u / (np * nn);
+}
+
+EvaluationReport evaluate(const IReputationModel& model,
+                          const features::Dataset& data, double threshold) {
+  if (data.empty()) throw std::invalid_argument("evaluate: empty dataset");
+
+  EvaluationReport report;
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  scores.reserve(data.size());
+  labels.reserve(data.size());
+
+  double abs_error_sum = 0.0;
+  for (const auto& row : data.rows()) {
+    const double s = model.score(row.features);
+    scores.push_back(s);
+    labels.push_back(row.malicious);
+    const double target = row.malicious ? kMaxScore : kMinScore;
+    abs_error_sum += std::abs(s - target);
+
+    const bool predicted = classify(s, threshold);
+    if (row.malicious && predicted) ++report.confusion.true_positive;
+    if (row.malicious && !predicted) ++report.confusion.false_negative;
+    if (!row.malicious && predicted) ++report.confusion.false_positive;
+    if (!row.malicious && !predicted) ++report.confusion.true_negative;
+  }
+
+  const auto& cm = report.confusion;
+  const auto total = static_cast<double>(cm.total());
+  report.accuracy =
+      static_cast<double>(cm.true_positive + cm.true_negative) / total;
+  const std::size_t predicted_positive = cm.true_positive + cm.false_positive;
+  report.precision =
+      predicted_positive > 0
+          ? static_cast<double>(cm.true_positive) /
+                static_cast<double>(predicted_positive)
+          : 0.0;
+  const std::size_t actual_positive = cm.true_positive + cm.false_negative;
+  report.recall = actual_positive > 0
+                      ? static_cast<double>(cm.true_positive) /
+                            static_cast<double>(actual_positive)
+                      : 0.0;
+  report.f1 = (report.precision + report.recall) > 0.0
+                  ? 2.0 * report.precision * report.recall /
+                        (report.precision + report.recall)
+                  : 0.0;
+  report.roc_auc = roc_auc(scores, labels);
+  report.mae_vs_target = abs_error_sum / total;
+  return report;
+}
+
+}  // namespace powai::reputation

@@ -1,0 +1,54 @@
+#pragma once
+/// \file evaluator.hpp
+/// Model evaluation: confusion-matrix metrics at the score-5 decision
+/// threshold (accuracy — the paper quotes DAbR at 80% — precision,
+/// recall, F1) plus threshold-free ROC-AUC, all computed on held-out data.
+
+#include <cstddef>
+#include <string>
+
+#include "features/dataset.hpp"
+#include "reputation/model.hpp"
+
+namespace powai::reputation {
+
+/// Binary confusion matrix.
+struct ConfusionMatrix final {
+  std::size_t true_positive = 0;   ///< malicious classified malicious
+  std::size_t false_positive = 0;  ///< benign classified malicious
+  std::size_t true_negative = 0;   ///< benign classified benign
+  std::size_t false_negative = 0;  ///< malicious classified benign
+
+  [[nodiscard]] std::size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+};
+
+/// Aggregate evaluation result.
+struct EvaluationReport final {
+  ConfusionMatrix confusion;
+  double accuracy = 0.0;
+  double precision = 0.0;  ///< 0 when no positive predictions
+  double recall = 0.0;     ///< 0 when no positive examples
+  double f1 = 0.0;
+  double roc_auc = 0.5;
+  /// Mean |score - class target| where targets are 0 (benign) / 10
+  /// (malicious): a coarse score-error measure comparable to ε.
+  double mae_vs_target = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluates a fitted model on labeled data at decision threshold
+/// \p threshold (malicious iff score > threshold). Throws
+/// std::invalid_argument on an empty dataset.
+[[nodiscard]] EvaluationReport evaluate(const IReputationModel& model,
+                                        const features::Dataset& data,
+                                        double threshold = 5.0);
+
+/// Rank-based ROC-AUC of raw scores against labels (ties get midranks).
+/// Returns 0.5 when either class is absent.
+[[nodiscard]] double roc_auc(const std::vector<double>& scores,
+                             const std::vector<bool>& labels);
+
+}  // namespace powai::reputation

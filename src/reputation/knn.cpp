@@ -1,0 +1,61 @@
+#include "reputation/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace powai::reputation {
+
+KnnModel::KnnModel(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("KnnModel: k must be >= 1");
+}
+
+void KnnModel::fit(const features::Dataset& data) {
+  if (data.malicious_count() == 0 || data.benign_count() == 0) {
+    throw std::invalid_argument("KnnModel::fit: need both classes present");
+  }
+  const features::Dataset normalized = normalizer_.fit_transform(data);
+  points_.clear();
+  points_.reserve(normalized.size());
+  for (const auto& row : normalized.rows()) {
+    points_.push_back({row.features, row.malicious});
+  }
+  fitted_ = true;
+
+  common::RunningStats malicious_scores;
+  common::RunningStats benign_scores;
+  for (const auto& row : data.rows()) {
+    (row.malicious ? malicious_scores : benign_scores).add(score(row.features));
+  }
+  epsilon_ = 0.5 * (malicious_scores.stddev() + benign_scores.stddev());
+}
+
+double KnnModel::score(const features::FeatureVector& x) const {
+  if (!fitted_) throw std::logic_error("KnnModel: not fitted");
+  const features::FeatureVector q = normalizer_.transform(x);
+
+  // Collect squared distances; partial-select the k nearest.
+  std::vector<std::pair<double, bool>> dist;
+  dist.reserve(points_.size());
+  for (const auto& p : points_) {
+    dist.emplace_back(p.x.distance_sq(q), p.malicious);
+  }
+  const std::size_t k = std::min(k_, dist.size());
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+
+  // Inverse-distance weighting with a small floor so exact matches do not
+  // produce infinite weight.
+  double weight_total = 0.0;
+  double weight_malicious = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(dist[i].first) + 1e-6);
+    weight_total += w;
+    if (dist[i].second) weight_malicious += w;
+  }
+  return clamp_score(kMaxScore * weight_malicious / weight_total);
+}
+
+}  // namespace powai::reputation

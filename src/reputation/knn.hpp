@@ -1,0 +1,45 @@
+#pragma once
+/// \file knn.hpp
+/// k-nearest-neighbours reputation scorer: an alternative AI model that
+/// exercises the framework's pluggable-model interface. The score is ten
+/// times the distance-weighted malicious fraction among the k nearest
+/// training points (normalized feature space).
+
+#include <vector>
+
+#include "features/normalizer.hpp"
+#include "reputation/model.hpp"
+
+namespace powai::reputation {
+
+class KnnModel final : public IReputationModel {
+ public:
+  /// \p k >= 1 (throws std::invalid_argument otherwise).
+  explicit KnnModel(std::size_t k = 15);
+
+  [[nodiscard]] std::string_view name() const override { return "knn"; }
+
+  void fit(const features::Dataset& data) override;
+
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+
+  [[nodiscard]] double score(const features::FeatureVector& x) const override;
+
+  [[nodiscard]] double error_epsilon() const override { return epsilon_; }
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  struct Point {
+    features::FeatureVector x;  // normalized
+    bool malicious;
+  };
+
+  std::size_t k_;
+  std::vector<Point> points_;
+  features::ZScoreNormalizer normalizer_;
+  double epsilon_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace powai::reputation

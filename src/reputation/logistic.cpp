@@ -1,0 +1,110 @@
+#include "reputation/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace powai::reputation {
+
+namespace {
+double sigmoid(double z) {
+  // Numerically-stable split form.
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+LogisticModel::LogisticModel(LogisticConfig config) : config_(config) {
+  if (config_.learning_rate <= 0.0 || config_.epochs == 0 ||
+      config_.batch_size == 0 || config_.l2 < 0.0) {
+    throw std::invalid_argument("LogisticModel: bad hyper-parameters");
+  }
+}
+
+double LogisticModel::logit(const features::FeatureVector& normalized) const {
+  double z = bias_;
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    z += weights_[i] * normalized[i];
+  }
+  return z;
+}
+
+void LogisticModel::fit(const features::Dataset& data) {
+  if (data.malicious_count() == 0 || data.benign_count() == 0) {
+    throw std::invalid_argument("LogisticModel::fit: need both classes present");
+  }
+  const features::Dataset normalized = normalizer_.fit_transform(data);
+  weights_.fill(0.0);
+  bias_ = 0.0;
+
+  std::vector<std::size_t> order(normalized.size());
+  std::iota(order.begin(), order.end(), 0);
+  common::Rng rng(config_.seed);
+
+  const auto n = normalized.size();
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher–Yates reshuffle each epoch.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_u64(0, i - 1)]);
+    }
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      std::array<double, features::kFeatureCount> grad{};
+      double grad_bias = 0.0;
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const auto& row = normalized[order[idx]];
+        const double y = row.malicious ? 1.0 : 0.0;
+        const double p = sigmoid(logit(row.features));
+        const double residual = p - y;
+        for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+          grad[i] += residual * row.features[i];
+        }
+        grad_bias += residual;
+      }
+      const double scale =
+          config_.learning_rate / static_cast<double>(end - start);
+      for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+        weights_[i] -= scale * grad[i] + config_.learning_rate * config_.l2 * weights_[i];
+      }
+      bias_ -= scale * grad_bias;
+    }
+  }
+  fitted_ = true;
+
+  common::RunningStats malicious_scores;
+  common::RunningStats benign_scores;
+  for (const auto& row : data.rows()) {
+    (row.malicious ? malicious_scores : benign_scores).add(score(row.features));
+  }
+  epsilon_ = 0.5 * (malicious_scores.stddev() + benign_scores.stddev());
+}
+
+double LogisticModel::predict_proba(const features::FeatureVector& x) const {
+  if (!fitted_) throw std::logic_error("LogisticModel: not fitted");
+  return sigmoid(logit(normalizer_.transform(x)));
+}
+
+double LogisticModel::score(const features::FeatureVector& x) const {
+  return clamp_score(kMaxScore * predict_proba(x));
+}
+
+double LogisticModel::log_loss(const features::Dataset& data) const {
+  if (!fitted_) throw std::logic_error("LogisticModel: not fitted");
+  if (data.empty()) return 0.0;
+  double loss = 0.0;
+  for (const auto& row : data.rows()) {
+    const double p = std::clamp(predict_proba(row.features), 1e-12, 1.0 - 1e-12);
+    loss += row.malicious ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(data.size());
+}
+
+}  // namespace powai::reputation

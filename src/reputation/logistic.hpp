@@ -1,0 +1,57 @@
+#pragma once
+/// \file logistic.hpp
+/// Logistic-regression reputation model trained with mini-batch SGD —
+/// the repository's stand-in for a "learned" model where the paper's
+/// modular design would slot in a heavier ML stack. Score is ten times
+/// the predicted malicious probability.
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "features/normalizer.hpp"
+#include "reputation/model.hpp"
+
+namespace powai::reputation {
+
+/// Training hyper-parameters.
+struct LogisticConfig final {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;           ///< L2 regularization strength
+  std::size_t epochs = 200;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 42;    ///< shuffling seed (training is deterministic)
+};
+
+class LogisticModel final : public IReputationModel {
+ public:
+  explicit LogisticModel(LogisticConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "logistic"; }
+
+  void fit(const features::Dataset& data) override;
+
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+
+  [[nodiscard]] double score(const features::FeatureVector& x) const override;
+
+  [[nodiscard]] double error_epsilon() const override { return epsilon_; }
+
+  /// Predicted probability that \p x is malicious, in [0, 1].
+  [[nodiscard]] double predict_proba(const features::FeatureVector& x) const;
+
+  /// Mean cross-entropy loss on a dataset (diagnostics/tests).
+  [[nodiscard]] double log_loss(const features::Dataset& data) const;
+
+ private:
+  [[nodiscard]] double logit(const features::FeatureVector& normalized) const;
+
+  LogisticConfig config_;
+  std::array<double, features::kFeatureCount> weights_{};
+  double bias_ = 0.0;
+  features::ZScoreNormalizer normalizer_;
+  double epsilon_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace powai::reputation

@@ -1,0 +1,13 @@
+#include "reputation/model.hpp"
+
+#include <algorithm>
+
+namespace powai::reputation {
+
+double clamp_score(double score) {
+  return std::clamp(score, kMinScore, kMaxScore);
+}
+
+bool classify(double score, double threshold) { return score > threshold; }
+
+}  // namespace powai::reputation

@@ -1,0 +1,87 @@
+#include "reputation/naive_bayes.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace powai::reputation {
+
+namespace {
+/// Variance floor: degenerate (constant) features would otherwise give
+/// infinite densities.
+constexpr double kVarFloor = 1e-9;
+}  // namespace
+
+void NaiveBayesModel::fit(const features::Dataset& data) {
+  const std::size_t n_mal = data.malicious_count();
+  const std::size_t n_ben = data.benign_count();
+  if (n_mal == 0 || n_ben == 0) {
+    throw std::invalid_argument("NaiveBayesModel::fit: need both classes present");
+  }
+
+  benign_ = ClassStats{};
+  malicious_ = ClassStats{};
+  for (const auto& row : data.rows()) {
+    ClassStats& cls = row.malicious ? malicious_ : benign_;
+    for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+      cls.mean[i] += row.features[i];
+    }
+  }
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    benign_.mean[i] /= static_cast<double>(n_ben);
+    malicious_.mean[i] /= static_cast<double>(n_mal);
+  }
+  for (const auto& row : data.rows()) {
+    ClassStats& cls = row.malicious ? malicious_ : benign_;
+    for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+      const double d = row.features[i] - cls.mean[i];
+      cls.var[i] += d * d;
+    }
+  }
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    benign_.var[i] =
+        std::max(benign_.var[i] / static_cast<double>(n_ben), kVarFloor);
+    malicious_.var[i] =
+        std::max(malicious_.var[i] / static_cast<double>(n_mal), kVarFloor);
+  }
+  const auto total = static_cast<double>(data.size());
+  benign_.log_prior = std::log(static_cast<double>(n_ben) / total);
+  malicious_.log_prior = std::log(static_cast<double>(n_mal) / total);
+  fitted_ = true;
+
+  common::RunningStats malicious_scores;
+  common::RunningStats benign_scores;
+  for (const auto& row : data.rows()) {
+    (row.malicious ? malicious_scores : benign_scores).add(score(row.features));
+  }
+  epsilon_ = 0.5 * (malicious_scores.stddev() + benign_scores.stddev());
+}
+
+double NaiveBayesModel::log_likelihood(const ClassStats& cls,
+                                       const features::FeatureVector& x) const {
+  double ll = cls.log_prior;
+  for (std::size_t i = 0; i < features::kFeatureCount; ++i) {
+    const double d = x[i] - cls.mean[i];
+    ll += -0.5 * (std::log(2.0 * std::numbers::pi * cls.var[i]) +
+                  d * d / cls.var[i]);
+  }
+  return ll;
+}
+
+double NaiveBayesModel::posterior(const features::FeatureVector& x) const {
+  if (!fitted_) throw std::logic_error("NaiveBayesModel: not fitted");
+  const double ll_mal = log_likelihood(malicious_, x);
+  const double ll_ben = log_likelihood(benign_, x);
+  // Log-sum-exp for a stable posterior.
+  const double max_ll = std::max(ll_mal, ll_ben);
+  const double denom = std::exp(ll_mal - max_ll) + std::exp(ll_ben - max_ll);
+  return std::exp(ll_mal - max_ll) / denom;
+}
+
+double NaiveBayesModel::score(const features::FeatureVector& x) const {
+  return clamp_score(kMaxScore * posterior(x));
+}
+
+}  // namespace powai::reputation

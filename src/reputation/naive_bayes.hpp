@@ -1,0 +1,46 @@
+#pragma once
+/// \file naive_bayes.hpp
+/// Gaussian naive Bayes reputation model — a generative baseline for the
+/// model-comparison benches. Score is ten times the posterior probability
+/// of the malicious class.
+
+#include <array>
+
+#include "reputation/model.hpp"
+
+namespace powai::reputation {
+
+class NaiveBayesModel final : public IReputationModel {
+ public:
+  NaiveBayesModel() = default;
+
+  [[nodiscard]] std::string_view name() const override { return "naive_bayes"; }
+
+  void fit(const features::Dataset& data) override;
+
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+
+  [[nodiscard]] double score(const features::FeatureVector& x) const override;
+
+  [[nodiscard]] double error_epsilon() const override { return epsilon_; }
+
+  /// Posterior P(malicious | x) in [0, 1].
+  [[nodiscard]] double posterior(const features::FeatureVector& x) const;
+
+ private:
+  struct ClassStats {
+    std::array<double, features::kFeatureCount> mean{};
+    std::array<double, features::kFeatureCount> var{};
+    double log_prior = 0.0;
+  };
+
+  [[nodiscard]] double log_likelihood(const ClassStats& cls,
+                                      const features::FeatureVector& x) const;
+
+  ClassStats benign_;
+  ClassStats malicious_;
+  double epsilon_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace powai::reputation

@@ -1,0 +1,260 @@
+#include "sim/adversary.hpp"
+
+#include <memory>
+
+#include "features/synthetic.hpp"
+#include "pow/solver.hpp"
+
+namespace powai::sim {
+
+namespace {
+
+using framework::Challenge;
+using framework::PowServer;
+using framework::Request;
+using framework::Response;
+using framework::ServerConfig;
+using framework::Submission;
+
+/// Shared rig: a fresh server per strategy so replay caches and counters
+/// do not leak between strategies.
+struct Rig {
+  common::ManualClock clock;
+  std::unique_ptr<PowServer> server;
+  pow::Solver solver;
+  features::SyntheticTraceGenerator traffic;
+  common::Rng rng;
+
+  Rig(const reputation::IReputationModel& model, const policy::IPolicy& pol,
+      std::uint64_t seed)
+      : rng(seed) {
+    ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("adversary-secret");
+    server = std::make_unique<PowServer>(clock, model, pol, cfg);
+  }
+
+  Request request_from(const std::string& ip, bool malicious) {
+    Request r;
+    r.client_ip = ip;
+    r.features = traffic.sample(malicious, rng);
+    r.request_id = rng.uniform_u64(1, 1'000'000'000);
+    return r;
+  }
+
+  /// Full honest round trip from \p ip; returns the response status and
+  /// accumulates hash work.
+  common::ErrorCode honest_round_trip(const std::string& ip, bool malicious,
+                                      std::uint64_t& hashes,
+                                      Submission* out = nullptr) {
+    const Request req = request_from(ip, malicious);
+    auto outcome = server->on_request(req);
+    if (std::holds_alternative<Response>(outcome)) {
+      return std::get<Response>(outcome).status;
+    }
+    const Challenge& challenge = std::get<Challenge>(outcome);
+    const pow::SolveResult solved = solver.solve(challenge.puzzle);
+    hashes += solved.attempts;
+    Submission submission;
+    submission.request_id = challenge.request_id;
+    submission.puzzle = challenge.puzzle;
+    submission.solution = solved.solution;
+    if (out != nullptr) *out = submission;
+    return server->on_submission(submission, ip).status;
+  }
+};
+
+AdversaryReport run_replay(const reputation::IReputationModel& model,
+                           const policy::IPolicy& pol,
+                           const AdversaryConfig& config) {
+  Rig rig(model, pol, config.seed);
+  AdversaryReport report;
+  report.strategy = "replay";
+  Submission solved_once;
+  // One honest solve...
+  (void)rig.honest_round_trip(config.attacker_ip, true, report.hashes_spent,
+                              &solved_once);
+  // The first submission already redeemed the puzzle; replays must fail.
+  for (std::uint64_t i = 0; i < config.attempts_per_strategy; ++i) {
+    ++report.attempts;
+    if (rig.server->on_submission(solved_once, config.attacker_ip).status ==
+        common::ErrorCode::kOk) {
+      ++report.served;
+    }
+  }
+  report.note = "one solve, many submits -> replay cache";
+  return report;
+}
+
+AdversaryReport run_forge(const reputation::IReputationModel& model,
+                          const policy::IPolicy& pol,
+                          const AdversaryConfig& config) {
+  Rig rig(model, pol, config.seed);
+  AdversaryReport report;
+  report.strategy = "forge";
+  for (std::uint64_t i = 0; i < config.attempts_per_strategy; ++i) {
+    // Self-issued trivial puzzle with a fabricated MAC.
+    pow::Puzzle forged;
+    forged.puzzle_id = 1'000'000 + i;
+    forged.seed = common::bytes_of("attacker-chosen-seed");
+    forged.issued_at_ms = common::to_millis(rig.clock.now());
+    forged.difficulty = 1;
+    forged.client_binding = config.attacker_ip;
+    const pow::SolveResult solved = rig.solver.solve(forged);
+    report.hashes_spent += solved.attempts;
+    Submission submission;
+    submission.puzzle = forged;
+    submission.solution = solved.solution;
+    ++report.attempts;
+    if (rig.server->on_submission(submission, config.attacker_ip).status ==
+        common::ErrorCode::kOk) {
+      ++report.served;
+    }
+  }
+  report.note = "self-issued d=1 puzzles -> MAC check";
+  return report;
+}
+
+AdversaryReport run_downgrade(const reputation::IReputationModel& model,
+                              const policy::IPolicy& pol,
+                              const AdversaryConfig& config) {
+  Rig rig(model, pol, config.seed);
+  AdversaryReport report;
+  report.strategy = "downgrade";
+  for (std::uint64_t i = 0; i < config.attempts_per_strategy; ++i) {
+    const Request req = rig.request_from(config.attacker_ip, true);
+    auto outcome = rig.server->on_request(req);
+    if (!std::holds_alternative<Challenge>(outcome)) continue;
+    Challenge challenge = std::get<Challenge>(std::move(outcome));
+    challenge.puzzle.difficulty = 1;  // rewrite the assigned difficulty
+    const pow::SolveResult solved = rig.solver.solve(challenge.puzzle);
+    report.hashes_spent += solved.attempts;
+    Submission submission;
+    submission.request_id = challenge.request_id;
+    submission.puzzle = challenge.puzzle;
+    submission.solution = solved.solution;
+    ++report.attempts;
+    if (rig.server->on_submission(submission, config.attacker_ip).status ==
+        common::ErrorCode::kOk) {
+      ++report.served;
+    }
+  }
+  report.note = "difficulty field rewritten to 1 -> MAC covers it";
+  return report;
+}
+
+AdversaryReport run_steal(const reputation::IReputationModel& model,
+                          const policy::IPolicy& pol,
+                          const AdversaryConfig& config) {
+  Rig rig(model, pol, config.seed);
+  AdversaryReport report;
+  report.strategy = "steal";
+  for (std::uint64_t i = 0; i < config.attempts_per_strategy; ++i) {
+    // The victim honestly solves its (cheap) puzzle but the attacker
+    // intercepts the submission and presents it from its own address.
+    const Request req = rig.request_from(config.victim_ip, false);
+    auto outcome = rig.server->on_request(req);
+    if (!std::holds_alternative<Challenge>(outcome)) continue;
+    const Challenge& challenge = std::get<Challenge>(outcome);
+    const pow::SolveResult solved = rig.solver.solve(challenge.puzzle);
+    report.hashes_spent += solved.attempts;
+    Submission submission;
+    submission.request_id = challenge.request_id;
+    submission.puzzle = challenge.puzzle;
+    submission.solution = solved.solution;
+    ++report.attempts;
+    if (rig.server->on_submission(submission, config.attacker_ip).status ==
+        common::ErrorCode::kOk) {
+      ++report.served;
+    }
+  }
+  report.note = "victim's solution from attacker IP -> client binding";
+  return report;
+}
+
+AdversaryReport run_precompute(const reputation::IReputationModel& model,
+                               const policy::IPolicy& pol,
+                               const AdversaryConfig& config) {
+  Rig rig(model, pol, config.seed);
+  AdversaryReport report;
+  report.strategy = "precompute";
+  // Solve a batch of challenges now, bank them, submit after the ttl:
+  // the time-shifting form of pre-computation the timestamp defeats
+  // (guessing future seeds outright is hopeless against the DRBG).
+  std::vector<Submission> banked;
+  for (std::uint64_t i = 0; i < config.attempts_per_strategy; ++i) {
+    const Request req = rig.request_from(config.attacker_ip, true);
+    auto outcome = rig.server->on_request(req);
+    if (!std::holds_alternative<Challenge>(outcome)) continue;
+    const Challenge& challenge = std::get<Challenge>(outcome);
+    const pow::SolveResult solved = rig.solver.solve(challenge.puzzle);
+    report.hashes_spent += solved.attempts;
+    Submission submission;
+    submission.request_id = challenge.request_id;
+    submission.puzzle = challenge.puzzle;
+    submission.solution = solved.solution;
+    banked.push_back(std::move(submission));
+  }
+  // Attack day: past the verification ttl.
+  rig.clock.advance(rig.server->config().verifier.ttl +
+                    std::chrono::seconds(1));
+  for (const Submission& submission : banked) {
+    ++report.attempts;
+    if (rig.server->on_submission(submission, config.attacker_ip).status ==
+        common::ErrorCode::kOk) {
+      ++report.served;
+    }
+  }
+  report.note = "solutions banked past the ttl -> timestamp expiry";
+  return report;
+}
+
+AdversaryReport run_sybil(const reputation::IReputationModel& model,
+                          const policy::IPolicy& pol,
+                          const AdversaryConfig& config) {
+  Rig rig(model, pol, config.seed);
+  AdversaryReport report;
+  report.strategy = "sybil";
+  for (std::uint64_t i = 0; i < config.attempts_per_strategy; ++i) {
+    // Fresh source address per request: defeats per-IP memory, but the
+    // reputation score comes from traffic *features*, which still look
+    // malicious — so every identity pays the full hard-puzzle price.
+    const std::string ip = "203.0.1." + std::to_string(1 + (i % 250));
+    ++report.attempts;
+    if (rig.honest_round_trip(ip, true, report.hashes_spent) ==
+        common::ErrorCode::kOk) {
+      ++report.served;
+    }
+  }
+  report.note = "IP rotation works only by paying full per-request work";
+  return report;
+}
+
+}  // namespace
+
+std::vector<AdversaryReport> run_adversaries(
+    const AdversaryConfig& config, const reputation::IReputationModel& model,
+    const policy::IPolicy& pol) {
+  std::vector<AdversaryReport> reports;
+  reports.push_back(run_replay(model, pol, config));
+  reports.push_back(run_forge(model, pol, config));
+  reports.push_back(run_downgrade(model, pol, config));
+  reports.push_back(run_steal(model, pol, config));
+  reports.push_back(run_precompute(model, pol, config));
+  reports.push_back(run_sybil(model, pol, config));
+  return reports;
+}
+
+common::Table adversary_table(const std::vector<AdversaryReport>& reports) {
+  common::Table table(
+      {"strategy", "attempts", "served", "success_rate", "hashes_spent",
+       "defense"});
+  for (const auto& r : reports) {
+    table.add_row({r.strategy, std::to_string(r.attempts),
+                   std::to_string(r.served),
+                   common::fmt_f(r.success_rate(), 2),
+                   std::to_string(r.hashes_spent), r.note});
+  }
+  return table;
+}
+
+}  // namespace powai::sim

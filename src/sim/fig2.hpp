@@ -1,0 +1,54 @@
+#pragma once
+/// \file fig2.hpp
+/// Reproduction of the paper's Figure 2: median end-to-end latency
+/// against reputation score 0..10 for a set of policies, medians over a
+/// configurable number of trials (the paper uses 30).
+///
+/// Each trial issues a real authenticated puzzle at the policy-assigned
+/// difficulty, runs the real solver (actual SHA-256 search, giving the
+/// true geometric attempt distribution), and converts the attempt count
+/// to latency through the calibrated LatencyModel.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "policy/policy.hpp"
+#include "sim/latency_model.hpp"
+
+namespace powai::sim {
+
+struct Fig2Config final {
+  int trials = 30;                  ///< per (policy, score) cell
+  std::uint64_t seed = 2022;        ///< DSN 2022 — fixed for reproducibility
+  LatencyModel latency;             ///< calibrated defaults
+  bool use_real_solver = true;      ///< false = sample attempts analytically
+};
+
+/// One policy's latency series across scores 0..10.
+struct Fig2Series final {
+  std::string policy_name;
+  std::vector<double> median_ms;   ///< index = reputation score
+  std::vector<double> mean_ms;
+  std::vector<double> p90_ms;
+  std::vector<double> mean_difficulty;
+};
+
+struct Fig2Result final {
+  std::vector<Fig2Series> series;
+
+  /// Renders the figure as a table: one row per score, one column of
+  /// medians per policy (the paper's plotted quantity).
+  [[nodiscard]] common::Table to_table() const;
+};
+
+/// Runs the experiment for the given policies (non-owning pointers; all
+/// must outlive the call). Throws std::invalid_argument on empty input
+/// or non-positive trial count.
+[[nodiscard]] Fig2Result run_fig2(
+    const std::vector<const policy::IPolicy*>& policies,
+    const Fig2Config& config = {});
+
+}  // namespace powai::sim

@@ -1,0 +1,47 @@
+#include "sim/latency_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powai::sim {
+
+void LatencyModel::validate() const {
+  if (one_way_ms < 0.0 || jitter_ms < 0.0 || server_proc_ms < 0.0 ||
+      hash_cost_us <= 0.0) {
+    throw std::invalid_argument("LatencyModel: negative/zero parameters");
+  }
+}
+
+double LatencyModel::end_to_end_ms(std::uint64_t attempts,
+                                   common::Rng& rng) const {
+  validate();
+  double total = server_proc_ms +
+                 static_cast<double>(attempts) * hash_cost_us / 1000.0;
+  for (int leg = 0; leg < 4; ++leg) {
+    total += one_way_ms;
+    if (jitter_ms > 0.0) total += rng.uniform(0.0, jitter_ms);
+  }
+  return total;
+}
+
+double LatencyModel::end_to_end_ms_expected(double attempts) const {
+  validate();
+  // Expected jitter per leg is jitter/2.
+  return 4.0 * (one_way_ms + jitter_ms / 2.0) + server_proc_ms +
+         attempts * hash_cost_us / 1000.0;
+}
+
+std::uint64_t sample_attempts(unsigned difficulty, common::Rng& rng) {
+  if (difficulty == 0) return 1;
+  if (difficulty > 62) {
+    throw std::invalid_argument("sample_attempts: difficulty > 62");
+  }
+  const double p = std::pow(2.0, -static_cast<double>(difficulty));
+  // Inverse CDF of the geometric distribution: ceil(ln U / ln(1-p)).
+  double u = rng.uniform01();
+  while (u <= 0.0) u = rng.uniform01();
+  const double draw = std::ceil(std::log(u) / std::log1p(-p));
+  return draw < 1.0 ? 1 : static_cast<std::uint64_t>(draw);
+}
+
+}  // namespace powai::sim

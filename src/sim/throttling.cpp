@@ -1,0 +1,284 @@
+#include "sim/throttling.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "framework/server.hpp"
+#include "netsim/event_loop.hpp"
+#include "pow/solver.hpp"
+
+namespace powai::sim {
+
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+Duration ms_to_duration(double ms) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Single-core CPU with FIFO backlog, modelled by a busy-until watermark.
+class CpuQueue final {
+ public:
+  /// Enqueues \p cost of work arriving at \p arrival; returns completion.
+  TimePoint process(TimePoint arrival, Duration cost) {
+    const TimePoint start = std::max(arrival, busy_until_);
+    busy_until_ = start + cost;
+    busy_total_ += cost;
+    return busy_until_;
+  }
+
+  [[nodiscard]] Duration busy_total() const { return busy_total_; }
+
+ private:
+  TimePoint busy_until_{};
+  Duration busy_total_{};
+};
+
+/// The whole simulation state; drives itself via EventLoop callbacks.
+class ThrottlingSim final {
+ public:
+  ThrottlingSim(const ThrottlingConfig& config,
+                const reputation::IReputationModel& model,
+                const policy::IPolicy& pol)
+      : config_(config),
+        rng_(config.seed),
+        loop_(),
+        clients_(make_population(config.workload, rng_)),
+        solver_cpu_(clients_.size()) {
+    config_.latency.validate();
+    framework::ServerConfig server_cfg;
+    server_cfg.master_secret = common::bytes_of("throttling-secret");
+    server_cfg.pow_enabled = config_.pow_enabled;
+    // Verification TTL must cover queued solve time of flooding bots.
+    server_cfg.verifier.ttl = std::chrono::seconds(3600);
+    server_cfg.verifier.replay_capacity = 1 << 22;
+    server_ = std::make_unique<framework::PowServer>(loop_.clock(), model, pol,
+                                                     std::move(server_cfg));
+  }
+
+  ThrottlingReport run() {
+    const TimePoint end = loop_.now() + std::chrono::duration_cast<Duration>(
+                                            std::chrono::duration<double>(
+                                                config_.duration_s));
+    end_ = end;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      schedule_next_request(i, loop_.now());
+    }
+    loop_.run_until(end);
+
+    ThrottlingReport report;
+    report.benign = std::move(benign_);
+    report.attacker = std::move(attacker_);
+    report.benign.goodput_rps =
+        static_cast<double>(report.benign.served) / config_.duration_s;
+    report.attacker.goodput_rps =
+        static_cast<double>(report.attacker.served) / config_.duration_s;
+    if (benign_challenges_ > 0) {
+      report.benign.mean_difficulty =
+          benign_difficulty_sum_ / static_cast<double>(benign_challenges_);
+    }
+    if (attacker_challenges_ > 0) {
+      report.attacker.mean_difficulty =
+          attacker_difficulty_sum_ / static_cast<double>(attacker_challenges_);
+    }
+    // Work admitted just before the horizon can be scheduled past it, so
+    // clamp: >= 1.0 simply means "saturated".
+    report.server_utilization = std::min(
+        1.0,
+        std::chrono::duration<double>(server_cpu_.busy_total()).count() /
+            config_.duration_s);
+    return report;
+  }
+
+ private:
+  ClassReport& report_for(std::size_t idx) {
+    return clients_[idx].malicious ? attacker_ : benign_;
+  }
+
+  double one_leg_ms() {
+    double ms = config_.latency.one_way_ms;
+    if (config_.latency.jitter_ms > 0.0) {
+      ms += rng_.uniform(0.0, config_.latency.jitter_ms);
+    }
+    return ms;
+  }
+
+  void schedule_next_request(std::size_t idx, TimePoint earliest) {
+    const SimClient& client = clients_[idx];
+    const Duration gap = ms_to_duration(
+        rng_.exponential(1.0 / client.mean_interarrival_ms));
+    const TimePoint at = std::max(earliest + gap, loop_.now());
+    if (at >= end_) return;
+    loop_.schedule_at(at, [this, idx] { send_request(idx); });
+  }
+
+  void send_request(std::size_t idx) {
+    const SimClient& client = clients_[idx];
+    ++report_for(idx).requests;
+    const TimePoint sent_at = loop_.now();
+
+    // Attackers are open loop: the next request goes out regardless of
+    // this one's fate. Benign clients close the loop on response.
+    if (client.malicious) schedule_next_request(idx, sent_at);
+
+    // Leg 1: request to server.
+    loop_.schedule_in(ms_to_duration(one_leg_ms()), [this, idx, sent_at] {
+      request_arrives(idx, sent_at);
+    });
+  }
+
+  void request_arrives(std::size_t idx, TimePoint sent_at) {
+    const SimClient& client = clients_[idx];
+    framework::Request request;
+    request.client_ip = client.ip.to_string();
+    request.features = client.features;
+    request.request_id = ++next_request_id_;
+
+    auto outcome = server_->on_request(request);
+
+    if (std::holds_alternative<framework::Response>(outcome)) {
+      // PoW disabled (or rejection): the request itself consumes service
+      // CPU when served.
+      const auto& response = std::get<framework::Response>(outcome);
+      const bool served = response.status == common::ErrorCode::kOk;
+      const TimePoint done =
+          served ? server_cpu_.process(loop_.now(),
+                                       ms_to_duration(config_.service_ms))
+                 : loop_.now();
+      const Duration back = done - loop_.now() + ms_to_duration(one_leg_ms());
+      loop_.schedule_in(back, [this, idx, sent_at, served] {
+        response_received(idx, sent_at, served);
+      });
+      return;
+    }
+
+    // Challenge path: issuing costs a little server CPU, then the
+    // challenge travels back to the client.
+    auto challenge = std::make_shared<framework::Challenge>(
+        std::get<framework::Challenge>(std::move(outcome)));
+    const unsigned d = challenge->puzzle.difficulty;
+    if (clients_[idx].malicious) {
+      attacker_difficulty_sum_ += d;
+      ++attacker_challenges_;
+    } else {
+      benign_difficulty_sum_ += d;
+      ++benign_challenges_;
+    }
+    const TimePoint issued =
+        server_cpu_.process(loop_.now(), ms_to_duration(config_.issue_ms));
+    const Duration back = issued - loop_.now() + ms_to_duration(one_leg_ms());
+    loop_.schedule_in(back, [this, idx, sent_at, challenge] {
+      challenge_received(idx, sent_at, challenge);
+    });
+  }
+
+  void challenge_received(std::size_t idx, TimePoint sent_at,
+                          std::shared_ptr<framework::Challenge> challenge) {
+    // The client's single CPU solves puzzles sequentially: a flooding bot
+    // with a backlog queues here — this is exactly the throttle.
+    std::uint64_t attempts;
+    std::uint64_t nonce = 0;
+    bool have_real_solution = false;
+    if (config_.real_hashing) {
+      const pow::SolveResult solved = pow::Solver{}.solve(challenge->puzzle);
+      attempts = solved.attempts;
+      nonce = solved.solution.nonce;
+      have_real_solution = solved.found;
+    } else {
+      attempts = sample_attempts(challenge->puzzle.difficulty, rng_);
+    }
+    const Duration solve_cost = ms_to_duration(
+        static_cast<double>(attempts) * config_.latency.hash_cost_us / 1000.0);
+    const TimePoint solved_at =
+        solver_cpu_[idx].process(loop_.now(), solve_cost);
+
+    const Duration until_submission_arrives =
+        solved_at - loop_.now() + ms_to_duration(one_leg_ms());
+    loop_.schedule_in(until_submission_arrives, [this, idx, sent_at, challenge,
+                                                 nonce, have_real_solution] {
+      submission_arrives(idx, sent_at, challenge, nonce, have_real_solution);
+    });
+  }
+
+  void submission_arrives(std::size_t idx, TimePoint sent_at,
+                          const std::shared_ptr<framework::Challenge>& challenge,
+                          std::uint64_t nonce, bool have_real_solution) {
+    bool served;
+    if (config_.real_hashing) {
+      framework::Submission submission;
+      submission.request_id = challenge->request_id;
+      submission.puzzle = challenge->puzzle;
+      submission.solution = {challenge->puzzle.puzzle_id, nonce};
+      const framework::Response response = server_->on_submission(
+          submission, clients_[idx].ip.to_string());
+      served = have_real_solution &&
+               response.status == common::ErrorCode::kOk;
+    } else {
+      served = true;  // analytic mode: solution assumed correct
+    }
+
+    // Verification + resource service consume server CPU.
+    const Duration cost = ms_to_duration(
+        config_.verify_ms + (served ? config_.service_ms : 0.0));
+    const TimePoint done = server_cpu_.process(loop_.now(), cost);
+    const Duration back = done - loop_.now() + ms_to_duration(one_leg_ms());
+    loop_.schedule_in(back, [this, idx, sent_at, served] {
+      response_received(idx, sent_at, served);
+    });
+  }
+
+  void response_received(std::size_t idx, TimePoint sent_at, bool served) {
+    ClassReport& report = report_for(idx);
+    if (served) {
+      ++report.served;
+      report.latency_ms.add(
+          common::to_millis_f(loop_.now() - sent_at));
+    }
+    // Benign clients think, then ask again.
+    if (!clients_[idx].malicious) schedule_next_request(idx, loop_.now());
+  }
+
+  ThrottlingConfig config_;
+  common::Rng rng_;
+  netsim::EventLoop loop_;
+  std::vector<SimClient> clients_;
+  std::vector<CpuQueue> solver_cpu_;  ///< one CPU per client
+  CpuQueue server_cpu_;
+  std::unique_ptr<framework::PowServer> server_;
+  ClassReport benign_;
+  ClassReport attacker_;
+  double benign_difficulty_sum_ = 0.0;
+  double attacker_difficulty_sum_ = 0.0;
+  std::uint64_t benign_challenges_ = 0;
+  std::uint64_t attacker_challenges_ = 0;
+  std::uint64_t next_request_id_ = 0;
+  TimePoint end_{};
+};
+
+}  // namespace
+
+common::Table ThrottlingReport::to_table() const {
+  common::Table table({"class", "requests", "served", "goodput_rps",
+                       "median_latency_ms", "mean_difficulty"});
+  auto row = [&](const char* name, const ClassReport& r) {
+    table.add_row({name, std::to_string(r.requests), std::to_string(r.served),
+                   common::fmt_f(r.goodput_rps, 2),
+                   common::fmt_f(r.median_latency_ms(), 2),
+                   common::fmt_f(r.mean_difficulty, 2)});
+  };
+  row("benign", benign);
+  row("attacker", attacker);
+  return table;
+}
+
+ThrottlingReport run_throttling(const ThrottlingConfig& config,
+                                const reputation::IReputationModel& model,
+                                const policy::IPolicy& pol) {
+  ThrottlingSim sim(config, model, pol);
+  return sim.run();
+}
+
+}  // namespace powai::sim

@@ -1,0 +1,47 @@
+#include "sim/workload.hpp"
+
+#include <stdexcept>
+
+namespace powai::sim {
+
+std::vector<SimClient> make_population(const WorkloadConfig& config,
+                                       common::Rng& rng) {
+  if (config.benign_mean_interarrival_ms <= 0.0 ||
+      config.attacker_mean_interarrival_ms <= 0.0) {
+    throw std::invalid_argument("make_population: non-positive interarrival");
+  }
+  const features::SyntheticTraceGenerator gen(config.traffic);
+
+  std::vector<SimClient> population;
+  population.reserve(config.benign_clients + config.attackers);
+  for (std::size_t i = 0; i < config.benign_clients; ++i) {
+    SimClient c;
+    c.ip = config.traffic.benign_subnet.at(i);
+    c.malicious = false;
+    c.features = gen.sample(false, rng);
+    c.mean_interarrival_ms = config.benign_mean_interarrival_ms;
+    population.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < config.attackers; ++i) {
+    SimClient c;
+    c.ip = config.traffic.malicious_subnet.at(i);
+    c.malicious = true;
+    c.features = gen.sample(true, rng);
+    c.mean_interarrival_ms = config.attacker_mean_interarrival_ms;
+    population.push_back(std::move(c));
+  }
+  return population;
+}
+
+features::Dataset make_training_set(const WorkloadConfig& config,
+                                    std::size_t benign_rows,
+                                    std::size_t malicious_rows,
+                                    common::Rng& rng) {
+  // Train on a *different* IP range than the live population (shifted
+  // base) so no training row aliases a simulated client.
+  features::SyntheticConfig cfg = config.traffic;
+  const features::SyntheticTraceGenerator gen(cfg);
+  return gen.generate(benign_rows, malicious_rows, rng);
+}
+
+}  // namespace powai::sim

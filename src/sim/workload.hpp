@@ -1,0 +1,49 @@
+#pragma once
+/// \file workload.hpp
+/// Client populations for the attack simulations: each simulated client
+/// owns an IP, a ground-truth class, a fixed attribute vector (what the
+/// server-side observer would have measured for it), and request-arrival
+/// behaviour.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/dataset.hpp"
+#include "features/synthetic.hpp"
+
+namespace powai::sim {
+
+/// One simulated client.
+struct SimClient final {
+  features::IpAddress ip;
+  bool malicious = false;
+  features::FeatureVector features;
+
+  /// Mean request inter-arrival time in milliseconds. Benign clients
+  /// browse (seconds apart); attackers flood (as fast as the PoW allows,
+  /// bounded below by this interval).
+  double mean_interarrival_ms = 1000.0;
+};
+
+struct WorkloadConfig final {
+  std::size_t benign_clients = 90;
+  std::size_t attackers = 10;
+  double benign_mean_interarrival_ms = 1000.0;
+  double attacker_mean_interarrival_ms = 20.0;  ///< 50 req/s per bot
+  features::SyntheticConfig traffic;            ///< feature distributions
+};
+
+/// Builds a population: benign clients then attackers, features sampled
+/// from the synthetic profiles (same generator family the reputation
+/// model is trained on).
+[[nodiscard]] std::vector<SimClient> make_population(
+    const WorkloadConfig& config, common::Rng& rng);
+
+/// Labeled training data drawn from the same feature distributions —
+/// what the deployment would have learned from its threat feed.
+[[nodiscard]] features::Dataset make_training_set(
+    const WorkloadConfig& config, std::size_t benign_rows,
+    std::size_t malicious_rows, common::Rng& rng);
+
+}  // namespace powai::sim

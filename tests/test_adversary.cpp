@@ -1,0 +1,114 @@
+// Tests for the adversary strategies: every bypass attempt must fail
+// except honest work (sybil), which must cost full price.
+
+#include "sim/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+#include "sim/workload.hpp"
+
+namespace powai::sim {
+namespace {
+
+class AdversaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(31);
+    WorkloadConfig wl;
+    wl.traffic.class_overlap = 0.35;  // clean separation for crisp checks
+    model_.fit(make_training_set(wl, 400, 400, rng));
+    config_.attempts_per_strategy = 12;
+  }
+
+  const AdversaryReport& find(const std::vector<AdversaryReport>& reports,
+                              std::string_view name) {
+    for (const auto& r : reports) {
+      if (r.strategy == name) return r;
+    }
+    throw std::logic_error("strategy not found");
+  }
+
+  reputation::DabrModel model_;
+  policy::LinearPolicy policy_ = policy::LinearPolicy::policy2();
+  AdversaryConfig config_;
+};
+
+TEST_F(AdversaryTest, AllStrategiesPresent) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  EXPECT_EQ(reports.size(), 6u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.attempts, config_.attempts_per_strategy) << r.strategy;
+    EXPECT_FALSE(r.note.empty());
+  }
+}
+
+TEST_F(AdversaryTest, ReplayNeverServed) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  EXPECT_EQ(find(reports, "replay").served, 0u);
+}
+
+TEST_F(AdversaryTest, ForgeNeverServed) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  const auto& forge = find(reports, "forge");
+  EXPECT_EQ(forge.served, 0u);
+  // Forging is also cheap to attempt (d=1 self-issued puzzles)...
+  EXPECT_LT(forge.hashes_spent, 100u * config_.attempts_per_strategy);
+}
+
+TEST_F(AdversaryTest, DowngradeNeverServed) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  EXPECT_EQ(find(reports, "downgrade").served, 0u);
+}
+
+TEST_F(AdversaryTest, StealNeverServed) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  EXPECT_EQ(find(reports, "steal").served, 0u);
+}
+
+TEST_F(AdversaryTest, PrecomputeNeverServed) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  EXPECT_EQ(find(reports, "precompute").served, 0u);
+}
+
+TEST_F(AdversaryTest, SybilServedButAtFullWorkPrice) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  const auto& sybil = find(reports, "sybil");
+  // Honest work is honest work: requests are served...
+  EXPECT_EQ(sybil.served, sybil.attempts);
+  // ...but the per-request hash price reflects a malicious score. With
+  // clean separation and policy2 the difficulty is ~15 → ~2^15 expected
+  // hashes per request; require at least 2^11 on average to show the
+  // price was paid.
+  EXPECT_GT(sybil.hashes_spent,
+            sybil.attempts * 2048u);
+}
+
+TEST_F(AdversaryTest, HonestWorkCostsDominateBypassAttempts) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  const auto& sybil = find(reports, "sybil");
+  const auto& forge = find(reports, "forge");
+  EXPECT_GT(sybil.hashes_spent, 20u * forge.hashes_spent);
+}
+
+TEST_F(AdversaryTest, DeterministicGivenSeed) {
+  const auto a = run_adversaries(config_, model_, policy_);
+  const auto b = run_adversaries(config_, model_, policy_);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].served, b[i].served);
+    EXPECT_EQ(a[i].hashes_spent, b[i].hashes_spent);
+  }
+}
+
+TEST_F(AdversaryTest, TableHasRowPerStrategy) {
+  const auto reports = run_adversaries(config_, model_, policy_);
+  const common::Table table = adversary_table(reports);
+  EXPECT_EQ(table.rows(), reports.size());
+  EXPECT_EQ(table.columns(), 6u);
+}
+
+}  // namespace
+}  // namespace powai::sim

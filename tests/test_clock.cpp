@@ -1,0 +1,67 @@
+// Tests for the virtual clock layer.
+
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace powai::common {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ManualClock, StartsAtGivenTime) {
+  const ManualClock clock(TimePoint{} + 100ns);
+  EXPECT_EQ(clock.now().time_since_epoch(), 100ns);
+}
+
+TEST(ManualClock, AdvanceMovesForward) {
+  ManualClock clock;
+  clock.advance(1500ms);
+  EXPECT_EQ(clock.now().time_since_epoch(), 1500ms);
+  clock.advance(500us);
+  EXPECT_EQ(clock.now().time_since_epoch(), 1500ms + 500us);
+}
+
+TEST(ManualClock, AdvanceZeroIsNoop) {
+  ManualClock clock;
+  clock.advance(0ns);
+  EXPECT_EQ(clock.now().time_since_epoch(), 0ns);
+}
+
+TEST(ManualClock, RejectsNegativeAdvance) {
+  ManualClock clock;
+  EXPECT_THROW(clock.advance(-1ns), std::invalid_argument);
+}
+
+TEST(ManualClock, SetJumpsForwardOnly) {
+  ManualClock clock;
+  clock.set(TimePoint{} + 10s);
+  EXPECT_EQ(clock.now().time_since_epoch(), 10s);
+  EXPECT_THROW(clock.set(TimePoint{} + 5s), std::invalid_argument);
+}
+
+TEST(WallClock, MonotoneEnough) {
+  const WallClock& clock = WallClock::instance();
+  const TimePoint a = clock.now();
+  const TimePoint b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(WallClock, TracksSystemClock) {
+  const auto sys = std::chrono::time_point_cast<Duration>(
+      std::chrono::system_clock::now());
+  const TimePoint ours = WallClock::instance().now();
+  // Within 5 seconds of each other (they are the same clock).
+  EXPECT_LT(std::chrono::abs(ours - sys), 5s);
+}
+
+TEST(TimeHelpers, ToMillis) {
+  const TimePoint t = TimePoint{} + 1500ms;
+  EXPECT_EQ(to_millis(t), 1500);
+  EXPECT_DOUBLE_EQ(to_millis_f(2500us), 2.5);
+}
+
+}  // namespace
+}  // namespace powai::common

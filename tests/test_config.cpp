@@ -1,0 +1,97 @@
+// Tests for the key=value Config loader.
+
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powai::common {
+namespace {
+
+TEST(Config, ParsesSimplePairs) {
+  const Config cfg = Config::parse("policy=linear offset=5");
+  EXPECT_EQ(cfg.get_string("policy", ""), "linear");
+  EXPECT_EQ(cfg.get_i64("offset", -1), 5);
+}
+
+TEST(Config, ParsesMultilineWithComments) {
+  const Config cfg = Config::parse(
+      "# experiment configuration\n"
+      "epsilon=1.5\n"
+      "\n"
+      "trials=30 seed=7\n");
+  EXPECT_DOUBLE_EQ(cfg.get_f64("epsilon", 0.0), 1.5);
+  EXPECT_EQ(cfg.get_i64("trials", 0), 30);
+  EXPECT_EQ(cfg.get_i64("seed", 0), 7);
+}
+
+TEST(Config, LaterDuplicateWins) {
+  const Config cfg = Config::parse("a=1 a=2");
+  EXPECT_EQ(cfg.get_i64("a", 0), 2);
+}
+
+TEST(Config, ThrowsOnTokenWithoutEquals) {
+  EXPECT_THROW(Config::parse("loose-token"), std::invalid_argument);
+}
+
+TEST(Config, MissingKeyReturnsFallback) {
+  const Config cfg = Config::parse("x=1");
+  EXPECT_EQ(cfg.get_string("y", "def"), "def");
+  EXPECT_EQ(cfg.get_i64("y", 9), 9);
+  EXPECT_DOUBLE_EQ(cfg.get_f64("y", 0.5), 0.5);
+  EXPECT_TRUE(cfg.get_bool("y", true));
+  EXPECT_FALSE(cfg.has("y"));
+}
+
+TEST(Config, UnparsableValueReturnsFallback) {
+  const Config cfg = Config::parse("n=abc");
+  EXPECT_EQ(cfg.get_i64("n", 3), 3);
+  EXPECT_DOUBLE_EQ(cfg.get_f64("n", 2.5), 2.5);
+}
+
+TEST(Config, BoolSpellings) {
+  const Config cfg =
+      Config::parse("a=true b=1 c=YES d=on e=false f=0 g=No h=OFF");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_TRUE(cfg.get_bool("d", false));
+  EXPECT_FALSE(cfg.get_bool("e", true));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+  EXPECT_FALSE(cfg.get_bool("g", true));
+  EXPECT_FALSE(cfg.get_bool("h", true));
+}
+
+TEST(Config, RequireThrowsWithKeyName) {
+  const Config cfg = Config::parse("x=notanumber");
+  try {
+    (void)cfg.require_string("missing");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+  EXPECT_THROW((void)cfg.require_i64("x"), std::invalid_argument);
+  EXPECT_THROW((void)cfg.require_f64("x"), std::invalid_argument);
+  EXPECT_EQ(cfg.require_string("x"), "notanumber");
+}
+
+TEST(Config, FromArgs) {
+  const char* argv[] = {"prog", "trials=30", "policy=error_range"};
+  const Config cfg = Config::from_args(3, argv);
+  EXPECT_EQ(cfg.get_i64("trials", 0), 30);
+  EXPECT_EQ(cfg.get_string("policy", ""), "error_range");
+}
+
+TEST(Config, FromArgsRejectsBareToken) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Config::from_args(2, argv), std::invalid_argument);
+}
+
+TEST(Config, SetAndEntries) {
+  Config cfg;
+  cfg.set("k", "v");
+  EXPECT_EQ(cfg.entries().size(), 1u);
+  EXPECT_THROW(cfg.set("", "v"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powai::common

@@ -1,0 +1,206 @@
+// Tests for DAbR's dynamic updates (observe) and persistence (save/load).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "features/synthetic.hpp"
+#include "reputation/dabr.hpp"
+#include "reputation/evaluator.hpp"
+
+namespace powai::reputation {
+namespace {
+
+using features::Dataset;
+using features::FeatureVector;
+using features::SyntheticConfig;
+using features::SyntheticTraceGenerator;
+
+Dataset make_data(std::size_t per_class, std::uint64_t seed = 1,
+                  double overlap = 0.58) {
+  SyntheticConfig cfg;
+  cfg.class_overlap = overlap;
+  const SyntheticTraceGenerator gen(cfg);
+  common::Rng rng(seed);
+  return gen.generate(per_class, per_class, rng);
+}
+
+// ---------------------------------------------------------------------------
+// observe()
+// ---------------------------------------------------------------------------
+
+TEST(DabrObserve, RequiresFitAndValidAlpha) {
+  DabrModel model;
+  EXPECT_THROW(model.observe(FeatureVector{}, true), std::logic_error);
+  model.fit(make_data(100));
+  EXPECT_THROW(model.observe(FeatureVector{}, true, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.observe(FeatureVector{}, true, 1.1), std::invalid_argument);
+  EXPECT_NO_THROW(model.observe(FeatureVector{}, true, 1.0));
+}
+
+TEST(DabrObserve, CountsObservations) {
+  DabrModel model;
+  model.fit(make_data(100));
+  EXPECT_EQ(model.observed_count(), 0u);
+  SyntheticTraceGenerator gen;
+  common::Rng rng(2);
+  for (int i = 0; i < 5; ++i) model.observe(gen.sample(true, rng), true);
+  EXPECT_EQ(model.observed_count(), 5u);
+}
+
+TEST(DabrObserve, MaliciousObservationPullsCentroidCloser) {
+  DabrModel model;
+  model.fit(make_data(200));
+  SyntheticTraceGenerator gen;
+  common::Rng rng(3);
+  const FeatureVector fresh_malicious = gen.sample(true, rng);
+  const double before = model.centroid_distance(fresh_malicious);
+  for (int i = 0; i < 50; ++i) {
+    model.observe(fresh_malicious, true, 0.1);
+  }
+  const double after = model.centroid_distance(fresh_malicious);
+  EXPECT_LT(after, before);
+}
+
+TEST(DabrObserve, AdaptsToDriftedAttackProfile) {
+  // The core "dynamic" property: an attacker population that shifts its
+  // behaviour gets re-learned from confirmed observations.
+  DabrModel model;
+  model.fit(make_data(300, /*seed=*/4));
+
+  // Drifted malicious traffic: halfway toward benign (overlap 0.85).
+  SyntheticConfig drift_cfg;
+  drift_cfg.class_overlap = 0.85;
+  const SyntheticTraceGenerator drifted(drift_cfg);
+  common::Rng rng(5);
+
+  double score_before = 0.0;
+  const int probes = 200;
+  for (int i = 0; i < probes; ++i) {
+    score_before += model.score(drifted.sample(true, rng)) / probes;
+  }
+  // Feed confirmed observations of the drifted campaign.
+  for (int i = 0; i < 400; ++i) {
+    model.observe(drifted.sample(true, rng), true, 0.05);
+  }
+  double score_after = 0.0;
+  for (int i = 0; i < probes; ++i) {
+    score_after += model.score(drifted.sample(true, rng)) / probes;
+  }
+  EXPECT_GT(score_after, score_before + 1.0);
+}
+
+TEST(DabrObserve, BenignObservationsAdjustAnchorNotCentroid) {
+  DabrModel model;
+  model.fit(make_data(200, /*seed=*/6));
+  SyntheticTraceGenerator gen;
+  common::Rng rng(7);
+  const FeatureVector probe = gen.sample(true, rng);
+  const double centroid_before = model.centroid_distance(probe);
+  for (int i = 0; i < 30; ++i) {
+    model.observe(gen.sample(false, rng), false, 0.1);
+  }
+  // Benign observations never move the malicious centroid.
+  EXPECT_DOUBLE_EQ(model.centroid_distance(probe), centroid_before);
+}
+
+TEST(DabrObserve, KeepsScoresInRangeUnderHeavyUpdates) {
+  DabrModel model;
+  model.fit(make_data(100, /*seed=*/8));
+  SyntheticTraceGenerator gen;
+  common::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    model.observe(gen.sample(i % 2 == 0, rng), i % 2 == 0, 0.3);
+    const double s = model.score(gen.sample(i % 3 == 0, rng));
+    ASSERT_GE(s, kMinScore);
+    ASSERT_LE(s, kMaxScore);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// save() / load()
+// ---------------------------------------------------------------------------
+
+TEST(DabrPersistence, SaveRequiresFit) {
+  const DabrModel model;
+  EXPECT_THROW((void)model.save(), std::logic_error);
+}
+
+TEST(DabrPersistence, RoundTripPreservesScoresExactly) {
+  DabrModel original;
+  original.fit(make_data(300, /*seed=*/10));
+  const auto restored = DabrModel::load(original.save());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->fitted());
+  EXPECT_DOUBLE_EQ(restored->error_epsilon(), original.error_epsilon());
+
+  SyntheticTraceGenerator gen;
+  common::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const FeatureVector x = gen.sample(i % 2 == 0, rng);
+    EXPECT_DOUBLE_EQ(restored->score(x), original.score(x));
+  }
+}
+
+TEST(DabrPersistence, RoundTripPreservesEvaluationMetrics) {
+  DabrModel original;
+  original.fit(make_data(500, /*seed=*/12));
+  const Dataset test = make_data(200, /*seed=*/13);
+  const auto restored = DabrModel::load(original.save());
+  ASSERT_TRUE(restored.has_value());
+  const EvaluationReport a = evaluate(original, test);
+  const EvaluationReport b = evaluate(*restored, test);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.roc_auc, b.roc_auc);
+}
+
+TEST(DabrPersistence, LoadRejectsMalformedInput) {
+  EXPECT_FALSE(DabrModel::load("").has_value());
+  EXPECT_FALSE(DabrModel::load("format=unknown\n").has_value());
+  EXPECT_FALSE(DabrModel::load("format=dabr-v1\n").has_value());  // missing keys
+  EXPECT_FALSE(DabrModel::load("not even = parseable ===").has_value());
+}
+
+TEST(DabrPersistence, LoadRejectsTamperedFields) {
+  DabrModel original;
+  original.fit(make_data(100, /*seed=*/14));
+  const std::string saved = original.save();
+
+  // Drop one required key.
+  std::string missing = saved;
+  const auto pos = missing.find("d_benign=");
+  ASSERT_NE(pos, std::string::npos);
+  missing.erase(pos, missing.find('\n', pos) - pos + 1);
+  EXPECT_FALSE(DabrModel::load(missing).has_value());
+
+  // Inverted anchors (d_benign <= d_malicious) must be rejected.
+  std::string inverted = saved;
+  const auto bpos = inverted.find("d_benign=");
+  ASSERT_NE(bpos, std::string::npos);
+  inverted.replace(bpos, inverted.find('\n', bpos) - bpos, "d_benign=0");
+  EXPECT_FALSE(DabrModel::load(inverted).has_value());
+
+  // Unparsable number.
+  std::string garbled = saved;
+  const auto epos = garbled.find("epsilon=");
+  ASSERT_NE(epos, std::string::npos);
+  garbled.replace(epos, garbled.find('\n', epos) - epos, "epsilon=oops");
+  EXPECT_FALSE(DabrModel::load(garbled).has_value());
+}
+
+TEST(DabrPersistence, ObservedUpdatesSurviveSaveLoad) {
+  DabrModel model;
+  model.fit(make_data(200, /*seed=*/15));
+  SyntheticTraceGenerator gen;
+  common::Rng rng(16);
+  for (int i = 0; i < 50; ++i) model.observe(gen.sample(true, rng), true, 0.1);
+
+  const auto restored = DabrModel::load(model.save());
+  ASSERT_TRUE(restored.has_value());
+  for (int i = 0; i < 50; ++i) {
+    const FeatureVector x = gen.sample(i % 2 == 0, rng);
+    EXPECT_DOUBLE_EQ(restored->score(x), model.score(x));
+  }
+}
+
+}  // namespace
+}  // namespace powai::reputation

@@ -1,0 +1,101 @@
+// Tests for HMAC-DRBG: determinism, reseeding, stream quality basics.
+
+#include "crypto/drbg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+
+namespace powai::crypto {
+namespace {
+
+using common::Bytes;
+using common::bytes_of;
+
+TEST(HmacDrbg, DeterministicFromSeed) {
+  HmacDrbg a(bytes_of("entropy-input"));
+  HmacDrbg b(bytes_of("entropy-input"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(HmacDrbg, PersonalizationSeparatesStreams) {
+  HmacDrbg a(bytes_of("seed"), bytes_of("issuer"));
+  HmacDrbg b(bytes_of("seed"), bytes_of("verifier"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, DifferentSeedsDifferentStreams) {
+  HmacDrbg a(bytes_of("seed-1"));
+  HmacDrbg b(bytes_of("seed-2"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, SequentialCallsAdvanceState) {
+  HmacDrbg drbg(bytes_of("seed"));
+  const Bytes first = drbg.generate(32);
+  const Bytes second = drbg.generate(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbg, GenerateExactLengths) {
+  HmacDrbg drbg(bytes_of("seed"));
+  EXPECT_EQ(drbg.generate(1).size(), 1u);
+  EXPECT_EQ(drbg.generate(32).size(), 32u);
+  EXPECT_EQ(drbg.generate(33).size(), 33u);
+  EXPECT_EQ(drbg.generate(100).size(), 100u);
+  EXPECT_TRUE(drbg.generate(0).empty());
+}
+
+TEST(HmacDrbg, ReseedChangesStream) {
+  HmacDrbg a(bytes_of("seed"));
+  HmacDrbg b(bytes_of("seed"));
+  b.reseed(bytes_of("fresh-entropy"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, ReseedIsDeterministicToo) {
+  HmacDrbg a(bytes_of("seed"));
+  HmacDrbg b(bytes_of("seed"));
+  a.reseed(bytes_of("x"));
+  b.reseed(bytes_of("x"));
+  EXPECT_EQ(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, NextU64ProducesDistinctValues) {
+  HmacDrbg drbg(bytes_of("seed"));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(drbg.next_u64());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HmacDrbg, ByteDistributionRoughlyUniform) {
+  HmacDrbg drbg(bytes_of("distribution-check"));
+  const Bytes stream = drbg.generate(256 * 64);
+  std::array<int, 256> counts{};
+  for (std::uint8_t b : stream) ++counts[b];
+  // Chi-square against uniform; 99.9th percentile of chi2(255) ~ 340.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(stream.size()) / 256.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 340.0);
+}
+
+TEST(OsEntropy, ProducesRequestedLength) {
+  EXPECT_EQ(os_entropy(16).size(), 16u);
+  EXPECT_EQ(os_entropy(0).size(), 0u);
+  EXPECT_EQ(os_entropy(33).size(), 33u);
+}
+
+TEST(OsEntropy, TwoCallsDiffer) {
+  // 16 bytes colliding would mean a broken random_device.
+  EXPECT_NE(os_entropy(16), os_entropy(16));
+}
+
+}  // namespace
+}  // namespace powai::crypto

@@ -1,0 +1,131 @@
+// Tests for the ensemble reputation model.
+
+#include "reputation/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "features/synthetic.hpp"
+#include "reputation/dabr.hpp"
+#include "reputation/evaluator.hpp"
+#include "reputation/naive_bayes.hpp"
+
+namespace powai::reputation {
+namespace {
+
+using features::Dataset;
+using features::FeatureVector;
+using features::SyntheticTraceGenerator;
+
+Dataset make_data(std::size_t per_class, std::uint64_t seed = 1) {
+  const SyntheticTraceGenerator gen;
+  common::Rng rng(seed);
+  return gen.generate(per_class, per_class, rng);
+}
+
+/// Stub returning a constant score with a fixed epsilon.
+class ConstModel final : public IReputationModel {
+ public:
+  explicit ConstModel(double score, double eps = 1.0)
+      : score_(score), eps_(eps) {}
+  [[nodiscard]] std::string_view name() const override { return "const"; }
+  void fit(const Dataset&) override { fitted_ = true; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+  [[nodiscard]] double score(const FeatureVector&) const override {
+    return score_;
+  }
+  [[nodiscard]] double error_epsilon() const override { return eps_; }
+
+ private:
+  double score_;
+  double eps_;
+  bool fitted_ = false;
+};
+
+std::vector<std::unique_ptr<IReputationModel>> consts(
+    std::initializer_list<double> scores) {
+  std::vector<std::unique_ptr<IReputationModel>> out;
+  for (double s : scores) out.push_back(std::make_unique<ConstModel>(s));
+  return out;
+}
+
+TEST(Ensemble, RejectsEmptyOrNullMembers) {
+  EXPECT_THROW(EnsembleModel({}), std::invalid_argument);
+  std::vector<std::unique_ptr<IReputationModel>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(EnsembleModel(std::move(with_null)), std::invalid_argument);
+}
+
+TEST(Ensemble, RejectsBadWeights) {
+  EXPECT_THROW(EnsembleModel(consts({1.0, 2.0}), {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(EnsembleModel(consts({1.0, 2.0}), {1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(EnsembleModel(consts({1.0, 2.0}), {1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Ensemble, UniformWeightsAverageScores) {
+  EnsembleModel ensemble(consts({2.0, 4.0, 6.0}));
+  ensemble.fit(Dataset{});
+  EXPECT_DOUBLE_EQ(ensemble.score(FeatureVector{}), 4.0);
+}
+
+TEST(Ensemble, WeightsAreNormalized) {
+  EnsembleModel ensemble(consts({0.0, 10.0}), {3.0, 1.0});
+  ensemble.fit(Dataset{});
+  EXPECT_DOUBLE_EQ(ensemble.score(FeatureVector{}), 2.5);  // 0.75*0 + 0.25*10
+}
+
+TEST(Ensemble, FittedOnlyWhenAllMembersFitted) {
+  std::vector<std::unique_ptr<IReputationModel>> members;
+  members.push_back(std::make_unique<DabrModel>());
+  members.push_back(std::make_unique<NaiveBayesModel>());
+  EnsembleModel ensemble(std::move(members));
+  EXPECT_FALSE(ensemble.fitted());
+  ensemble.fit(make_data(150));
+  EXPECT_TRUE(ensemble.fitted());
+  EXPECT_EQ(ensemble.size(), 2u);
+}
+
+TEST(Ensemble, EpsilonShrinksWithMemberCount) {
+  EnsembleModel one(consts({5.0}));
+  EnsembleModel four(consts({5.0, 5.0, 5.0, 5.0}));
+  // Same per-member epsilon (1.0): the 4-member ensemble reports half.
+  EXPECT_DOUBLE_EQ(one.error_epsilon(), 1.0);
+  EXPECT_DOUBLE_EQ(four.error_epsilon(), 0.5);
+}
+
+TEST(Ensemble, DefaultEnsembleBeatsDabrAlone) {
+  const Dataset train = make_data(800, /*seed=*/5);
+  const Dataset test = make_data(400, /*seed=*/6);
+
+  DabrModel dabr;
+  dabr.fit(train);
+  auto ensemble = make_default_ensemble();
+  ensemble->fit(train);
+
+  const EvaluationReport solo = evaluate(dabr, test);
+  const EvaluationReport grouped = evaluate(*ensemble, test);
+  EXPECT_GT(grouped.accuracy, solo.accuracy);
+  EXPECT_GT(grouped.roc_auc, solo.roc_auc);
+  EXPECT_LT(ensemble->error_epsilon(), dabr.error_epsilon());
+}
+
+TEST(Ensemble, ScoresClampedToRange) {
+  EnsembleModel ensemble(consts({10.0, 10.0}));
+  ensemble.fit(Dataset{});
+  const double s = ensemble.score(FeatureVector{});
+  EXPECT_GE(s, kMinScore);
+  EXPECT_LE(s, kMaxScore);
+  EXPECT_EQ(ensemble.name(), "ensemble");
+}
+
+TEST(Ensemble, MemberAccessor) {
+  EnsembleModel ensemble(consts({1.0, 2.0}));
+  EXPECT_EQ(ensemble.member(0).name(), "const");
+  EXPECT_THROW((void)ensemble.member(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace powai::reputation

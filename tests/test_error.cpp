@@ -1,0 +1,78 @@
+// Tests for Error / Result / Status.
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace powai::common {
+namespace {
+
+TEST(Error, NamesAreStable) {
+  EXPECT_EQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_EQ(error_code_name(ErrorCode::kExpired), "expired");
+  EXPECT_EQ(error_code_name(ErrorCode::kBadSolution), "bad_solution");
+  EXPECT_EQ(error_code_name(ErrorCode::kReplay), "replay");
+  EXPECT_EQ(error_code_name(ErrorCode::kRateLimited), "rate_limited");
+}
+
+TEST(Error, ToStringIncludesMessage) {
+  const Error e = err(ErrorCode::kExpired, "puzzle ttl exceeded");
+  EXPECT_EQ(e.to_string(), "expired: puzzle ttl exceeded");
+}
+
+TEST(Error, ToStringWithoutMessage) {
+  const Error e = err(ErrorCode::kReplay, "");
+  EXPECT_EQ(e.to_string(), "replay");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = err(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, ValueOnErrorThrowsLogicError) {
+  Result<int> r = err(ErrorCode::kInternal, "boom");
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnValueThrowsLogicError) {
+  Result<int> r = 1;
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Status, DefaultIsSuccess) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.error().code, ErrorCode::kOk);
+}
+
+TEST(Status, CarriesError) {
+  const Status s = err(ErrorCode::kRateLimited, "slow down");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kRateLimited);
+  EXPECT_EQ(s.error().message, "slow down");
+}
+
+TEST(Status, SuccessFactory) { EXPECT_TRUE(Status::success().ok()); }
+
+}  // namespace
+}  // namespace powai::common

@@ -1,0 +1,170 @@
+// Tests for the model evaluator: confusion metrics and ROC-AUC.
+
+#include "reputation/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "features/dataset.hpp"
+#include "reputation/model.hpp"
+
+namespace powai::reputation {
+namespace {
+
+using features::Dataset;
+using features::FeatureVector;
+using features::IpAddress;
+using features::LabeledExample;
+
+/// Deterministic stub: score = feature[0] (already in [0, 10]).
+class StubModel final : public IReputationModel {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "stub"; }
+  void fit(const Dataset&) override { fitted_ = true; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+  [[nodiscard]] double score(const FeatureVector& x) const override {
+    return clamp_score(x[0]);
+  }
+  [[nodiscard]] double error_epsilon() const override { return 1.0; }
+
+ private:
+  bool fitted_ = false;
+};
+
+LabeledExample example(double score_feature, bool malicious) {
+  LabeledExample e;
+  e.ip = IpAddress(1, 2, 3, 4);
+  e.features[0] = score_feature;
+  e.malicious = malicious;
+  return e;
+}
+
+TEST(Evaluate, PerfectSeparation) {
+  StubModel model;
+  Dataset data;
+  data.add(example(9.0, true));
+  data.add(example(8.0, true));
+  data.add(example(1.0, false));
+  data.add(example(2.0, false));
+  const EvaluationReport r = evaluate(model, data);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.roc_auc, 1.0);
+  EXPECT_EQ(r.confusion.true_positive, 2u);
+  EXPECT_EQ(r.confusion.true_negative, 2u);
+}
+
+TEST(Evaluate, CompletelyInverted) {
+  StubModel model;
+  Dataset data;
+  data.add(example(1.0, true));   // malicious scored low -> FN
+  data.add(example(9.0, false));  // benign scored high -> FP
+  const EvaluationReport r = evaluate(model, data);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(r.roc_auc, 0.0);
+  EXPECT_EQ(r.confusion.false_positive, 1u);
+  EXPECT_EQ(r.confusion.false_negative, 1u);
+}
+
+TEST(Evaluate, MixedCaseConfusionCounts) {
+  StubModel model;
+  Dataset data;
+  data.add(example(9.0, true));   // TP
+  data.add(example(2.0, true));   // FN
+  data.add(example(8.0, false));  // FP
+  data.add(example(1.0, false));  // TN
+  const EvaluationReport r = evaluate(model, data);
+  EXPECT_EQ(r.confusion.true_positive, 1u);
+  EXPECT_EQ(r.confusion.false_negative, 1u);
+  EXPECT_EQ(r.confusion.false_positive, 1u);
+  EXPECT_EQ(r.confusion.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+  EXPECT_DOUBLE_EQ(r.f1, 0.5);
+}
+
+TEST(Evaluate, ThresholdIsExclusive) {
+  // score == threshold is NOT classified malicious.
+  StubModel model;
+  Dataset data;
+  data.add(example(5.0, true));
+  const EvaluationReport r = evaluate(model, data, 5.0);
+  EXPECT_EQ(r.confusion.false_negative, 1u);
+}
+
+TEST(Evaluate, CustomThresholdShiftsDecisions) {
+  StubModel model;
+  Dataset data;
+  data.add(example(3.0, true));
+  data.add(example(1.0, false));
+  EXPECT_DOUBLE_EQ(evaluate(model, data, 5.0).recall, 0.0);
+  EXPECT_DOUBLE_EQ(evaluate(model, data, 2.0).recall, 1.0);
+}
+
+TEST(Evaluate, ThrowsOnEmptyData) {
+  StubModel model;
+  EXPECT_THROW((void)evaluate(model, Dataset{}), std::invalid_argument);
+}
+
+TEST(Evaluate, MaeVsTarget) {
+  StubModel model;
+  Dataset data;
+  data.add(example(8.0, true));   // |8-10| = 2
+  data.add(example(1.0, false));  // |1-0| = 1
+  const EvaluationReport r = evaluate(model, data);
+  EXPECT_DOUBLE_EQ(r.mae_vs_target, 1.5);
+}
+
+TEST(Evaluate, ReportToStringMentionsMetrics) {
+  StubModel model;
+  Dataset data;
+  data.add(example(9.0, true));
+  data.add(example(1.0, false));
+  const std::string s = evaluate(model, data).to_string();
+  EXPECT_NE(s.find("accuracy="), std::string::npos);
+  EXPECT_NE(s.find("auc="), std::string::npos);
+}
+
+TEST(RocAuc, HandlesTiesWithMidranks) {
+  // Two tied scores across classes contribute 0.5 each.
+  const std::vector<double> scores = {5.0, 5.0};
+  const std::vector<bool> labels = {true, false};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(RocAuc, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(roc_auc({1.0, 2.0}, {true, true}), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc({1.0, 2.0}, {false, false}), 0.5);
+}
+
+TEST(RocAuc, SizeMismatchThrows) {
+  EXPECT_THROW((void)roc_auc({1.0}, {true, false}), std::invalid_argument);
+}
+
+TEST(RocAuc, KnownPartialOrdering) {
+  // positives: 4, 3; negatives: 2, 1 -> AUC = 1.
+  EXPECT_DOUBLE_EQ(roc_auc({4.0, 3.0, 2.0, 1.0}, {true, true, false, false}),
+                   1.0);
+  // One inversion: positives 4, 1; negatives 3, 2 -> pairs (4>3, 4>2,
+  // 1<3, 1<2) => 2/4.
+  EXPECT_DOUBLE_EQ(roc_auc({4.0, 1.0, 3.0, 2.0}, {true, true, false, false}),
+                   0.5);
+}
+
+TEST(Classify, ThresholdRule) {
+  EXPECT_TRUE(classify(5.1));
+  EXPECT_FALSE(classify(5.0));
+  EXPECT_FALSE(classify(4.9));
+  EXPECT_TRUE(classify(3.0, 2.0));
+}
+
+TEST(ClampScore, Bounds) {
+  EXPECT_DOUBLE_EQ(clamp_score(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_score(11.0), 10.0);
+  EXPECT_DOUBLE_EQ(clamp_score(5.5), 5.5);
+}
+
+}  // namespace
+}  // namespace powai::reputation

@@ -1,0 +1,136 @@
+// Tests for the discrete-event loop: ordering, determinism, cancellation,
+// clock coupling.
+
+#include "netsim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace powai::netsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(30ms, [&] { order.push_back(3); });
+  loop.schedule_in(10ms, [&] { order.push_back(1); });
+  loop.schedule_in(20ms, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, FifoTieBreakAtSameTimestamp) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(10ms, [&] { order.push_back(1); });
+  loop.schedule_in(10ms, [&] { order.push_back(2); });
+  loop.schedule_in(10ms, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  common::TimePoint seen{};
+  loop.schedule_in(250ms, [&] { seen = loop.now(); });
+  loop.run();
+  EXPECT_EQ(seen.time_since_epoch(), 250ms);
+  EXPECT_EQ(loop.now().time_since_epoch(), 250ms);
+}
+
+TEST(EventLoop, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) loop.schedule_in(10ms, chain);
+  };
+  loop.schedule_in(10ms, chain);
+  EXPECT_EQ(loop.run(), 5u);
+  EXPECT_EQ(loop.now().time_since_epoch(), 50ms);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_in(10ms, [&] { ++fired; });
+  loop.schedule_in(100ms, [&] { ++fired; });
+  const std::size_t executed =
+      loop.run_until(common::TimePoint{} + 50ms);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now().time_since_epoch(), 50ms);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RunUntilExecutesEventExactlyAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_in(50ms, [&] { ++fired; });
+  loop.run_until(common::TimePoint{} + 50ms);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.schedule_in(10ms, [&] { ++fired; });
+  loop.schedule_in(20ms, [&] { ++fired; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, CancelReturnsFalseForUnknownOrDoubleCancel) {
+  EventLoop loop;
+  const EventId id = loop.schedule_in(10ms, [] {});
+  EXPECT_FALSE(loop.cancel(9999));
+  EXPECT_FALSE(loop.cancel(0));
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));
+}
+
+TEST(EventLoop, PendingCountsUncancelledOnly) {
+  EventLoop loop;
+  loop.schedule_in(10ms, [] {});
+  const EventId id = loop.schedule_in(20ms, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, StepExecutesSingleEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_in(10ms, [&] { ++fired; });
+  loop.schedule_in(20ms, [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(EventLoop, RejectsPastOrInvalidSchedules) {
+  EventLoop loop(common::TimePoint{} + 100ms);
+  EXPECT_THROW(loop.schedule_at(common::TimePoint{} + 50ms, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(loop.schedule_in(-1ms, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule_in(1ms, nullptr), std::invalid_argument);
+}
+
+TEST(EventLoop, ZeroDelayRunsAtCurrentTime) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_in(0ms, [&] { fired = true; });
+  loop.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now().time_since_epoch(), 0ms);
+}
+
+}  // namespace
+}  // namespace powai::netsim

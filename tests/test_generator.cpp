@@ -1,0 +1,113 @@
+// Tests for the puzzle generator: uniqueness, unpredictability surface,
+// authentication, timestamping.
+
+#include "pow/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.hpp"
+
+namespace powai::pow {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Generator, RejectsEmptySecret) {
+  common::ManualClock clock;
+  EXPECT_THROW(PuzzleGenerator(clock, {}), std::invalid_argument);
+  EXPECT_THROW(PuzzleGenerator::derive_mac_key({}), std::invalid_argument);
+}
+
+TEST(Generator, IssuesUniqueIdsAndSeeds) {
+  common::ManualClock clock;
+  PuzzleGenerator gen(clock, common::bytes_of("secret"));
+  std::set<std::uint64_t> ids;
+  std::set<std::string> seeds;
+  for (int i = 0; i < 200; ++i) {
+    const Puzzle p = gen.issue("1.2.3.4", 3);
+    ids.insert(p.puzzle_id);
+    seeds.insert(common::to_hex(p.seed));
+  }
+  EXPECT_EQ(ids.size(), 200u);
+  EXPECT_EQ(seeds.size(), 200u);
+  EXPECT_EQ(gen.issued_count(), 200u);
+}
+
+TEST(Generator, SeedsAre32Bytes) {
+  common::ManualClock clock;
+  PuzzleGenerator gen(clock, common::bytes_of("secret"));
+  EXPECT_EQ(gen.issue("1.2.3.4", 1).seed.size(), 32u);
+}
+
+TEST(Generator, StampsCurrentTime) {
+  common::ManualClock clock(common::TimePoint{} + 12345ms);
+  PuzzleGenerator gen(clock, common::bytes_of("secret"));
+  EXPECT_EQ(gen.issue("1.2.3.4", 1).issued_at_ms, 12345);
+  clock.advance(1s);
+  EXPECT_EQ(gen.issue("1.2.3.4", 1).issued_at_ms, 13345);
+}
+
+TEST(Generator, BindsRequestedClientAndDifficulty) {
+  common::ManualClock clock;
+  PuzzleGenerator gen(clock, common::bytes_of("secret"));
+  const Puzzle p = gen.issue("10.0.0.7", 9);
+  EXPECT_EQ(p.client_binding, "10.0.0.7");
+  EXPECT_EQ(p.difficulty, 9u);
+}
+
+TEST(Generator, AuthTagVerifiesUnderDerivedKey) {
+  common::ManualClock clock;
+  const common::Bytes secret = common::bytes_of("secret");
+  PuzzleGenerator gen(clock, secret);
+  const Puzzle p = gen.issue("1.2.3.4", 5);
+  const common::Bytes mac_key = PuzzleGenerator::derive_mac_key(secret);
+  EXPECT_EQ(PuzzleGenerator::compute_auth(mac_key, p), p.auth);
+}
+
+TEST(Generator, AuthTagChangesWithAnyField) {
+  common::ManualClock clock;
+  const common::Bytes secret = common::bytes_of("secret");
+  PuzzleGenerator gen(clock, secret);
+  const common::Bytes mac_key = PuzzleGenerator::derive_mac_key(secret);
+  const Puzzle p = gen.issue("1.2.3.4", 5);
+
+  Puzzle tampered = p;
+  tampered.difficulty = 1;  // client trying to lower its work
+  EXPECT_NE(PuzzleGenerator::compute_auth(mac_key, tampered), p.auth);
+
+  tampered = p;
+  tampered.client_binding = "6.6.6.6";
+  EXPECT_NE(PuzzleGenerator::compute_auth(mac_key, tampered), p.auth);
+
+  tampered = p;
+  tampered.issued_at_ms += 60'000;  // extending its own ttl
+  EXPECT_NE(PuzzleGenerator::compute_auth(mac_key, tampered), p.auth);
+
+  tampered = p;
+  tampered.puzzle_id += 1;  // evading the replay cache
+  EXPECT_NE(PuzzleGenerator::compute_auth(mac_key, tampered), p.auth);
+}
+
+TEST(Generator, DistinctSecretsProduceDistinctTags) {
+  common::ManualClock clock;
+  PuzzleGenerator gen_a(clock, common::bytes_of("secret-a"));
+  PuzzleGenerator gen_b(clock, common::bytes_of("secret-b"));
+  const Puzzle a = gen_a.issue("1.2.3.4", 5);
+  // Forge: take a's fields, tag must not verify under b's key.
+  const common::Bytes key_b =
+      PuzzleGenerator::derive_mac_key(common::bytes_of("secret-b"));
+  EXPECT_NE(PuzzleGenerator::compute_auth(key_b, a), a.auth);
+  (void)gen_b;
+}
+
+TEST(Generator, SeedStreamsDifferAcrossSecrets) {
+  common::ManualClock clock;
+  PuzzleGenerator gen_a(clock, common::bytes_of("secret-a"));
+  PuzzleGenerator gen_b(clock, common::bytes_of("secret-b"));
+  EXPECT_NE(gen_a.issue("1.2.3.4", 1).seed, gen_b.issue("1.2.3.4", 1).seed);
+}
+
+}  // namespace
+}  // namespace powai::pow

@@ -1,0 +1,109 @@
+// Tests for IPv4 address and subnet types.
+
+#include "features/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powai::features {
+namespace {
+
+TEST(IpAddress, ParsesValidDottedQuad) {
+  const auto ip = IpAddress::parse("192.168.1.10");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "192.168.1.10");
+  EXPECT_EQ(ip->octet(0), 192);
+  EXPECT_EQ(ip->octet(1), 168);
+  EXPECT_EQ(ip->octet(2), 1);
+  EXPECT_EQ(ip->octet(3), 10);
+}
+
+TEST(IpAddress, ParsesBoundaryAddresses) {
+  EXPECT_EQ(IpAddress::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(IpAddress::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(IpAddress, RejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.-4").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(IpAddress::parse("1..3.4").has_value());
+}
+
+TEST(IpAddress, RejectsLeadingZeros) {
+  EXPECT_FALSE(IpAddress::parse("01.2.3.4").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.007").has_value());
+  EXPECT_TRUE(IpAddress::parse("0.2.3.4").has_value());  // bare zero is fine
+}
+
+TEST(IpAddress, OctetConstructorMatchesParse) {
+  EXPECT_EQ(IpAddress(10, 20, 30, 40), IpAddress::parse("10.20.30.40"));
+}
+
+TEST(IpAddress, ComparesByNumericValue) {
+  EXPECT_LT(IpAddress(10, 0, 0, 1), IpAddress(10, 0, 0, 2));
+  EXPECT_LT(IpAddress(9, 255, 255, 255), IpAddress(10, 0, 0, 0));
+}
+
+TEST(IpAddress, RoundTripsThroughString) {
+  const IpAddress ip(203, 0, 113, 7);
+  EXPECT_EQ(IpAddress::parse(ip.to_string()), ip);
+}
+
+TEST(Subnet, MasksHostBits) {
+  const Subnet net(IpAddress(192, 168, 77, 200), 16);
+  EXPECT_EQ(net.base().to_string(), "192.168.0.0");
+  EXPECT_EQ(net.to_string(), "192.168.0.0/16");
+}
+
+TEST(Subnet, ContainsMembershipTest) {
+  const Subnet net(IpAddress(10, 0, 0, 0), 8);
+  EXPECT_TRUE(net.contains(IpAddress(10, 255, 1, 2)));
+  EXPECT_FALSE(net.contains(IpAddress(11, 0, 0, 1)));
+}
+
+TEST(Subnet, SlashZeroContainsEverything) {
+  const Subnet net(IpAddress(1, 2, 3, 4), 0);
+  EXPECT_TRUE(net.contains(IpAddress(255, 255, 255, 255)));
+  EXPECT_TRUE(net.contains(IpAddress(0, 0, 0, 0)));
+  EXPECT_EQ(net.size(), 1ULL << 32);
+}
+
+TEST(Subnet, SlashThirtyTwoIsSingleHost) {
+  const Subnet net(IpAddress(8, 8, 8, 8), 32);
+  EXPECT_TRUE(net.contains(IpAddress(8, 8, 8, 8)));
+  EXPECT_FALSE(net.contains(IpAddress(8, 8, 8, 9)));
+  EXPECT_EQ(net.size(), 1u);
+}
+
+TEST(Subnet, AtEnumeratesAddresses) {
+  const Subnet net(IpAddress(10, 0, 0, 0), 24);
+  EXPECT_EQ(net.at(0).to_string(), "10.0.0.0");
+  EXPECT_EQ(net.at(255).to_string(), "10.0.0.255");
+  EXPECT_THROW((void)net.at(256), std::out_of_range);
+}
+
+TEST(Subnet, ParseAcceptsCidr) {
+  const auto net = Subnet::parse("172.16.0.0/12");
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->prefix_len(), 12);
+  EXPECT_TRUE(net->contains(IpAddress(172, 20, 1, 1)));
+}
+
+TEST(Subnet, ParseRejectsMalformed) {
+  EXPECT_FALSE(Subnet::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Subnet::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Subnet::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Subnet::parse("bad/8").has_value());
+}
+
+TEST(Subnet, ConstructorRejectsBadPrefix) {
+  EXPECT_THROW(Subnet(IpAddress(1, 2, 3, 4), 33), std::invalid_argument);
+  EXPECT_THROW(Subnet(IpAddress(1, 2, 3, 4), -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powai::features

@@ -1,0 +1,85 @@
+// Tests for the leveled logger.
+
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace powai::common {
+namespace {
+
+TEST(Logger, EmitsAtOrAboveLevel) {
+  std::ostringstream sink;
+  Logger log(sink, LogLevel::kWarn);
+  log.info("hidden");
+  log.warn("shown-warn");
+  log.error("shown-error");
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("shown-warn"), std::string::npos);
+  EXPECT_NE(out.find("shown-error"), std::string::npos);
+}
+
+TEST(Logger, IncludesLevelAndComponent) {
+  std::ostringstream sink;
+  Logger log(sink, LogLevel::kDebug, "issuer");
+  log.debug("generated puzzle");
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("DEBUG"), std::string::npos);
+  EXPECT_NE(out.find("[issuer]"), std::string::npos);
+}
+
+TEST(Logger, OffSilencesEverything) {
+  std::ostringstream sink;
+  Logger log(sink, LogLevel::kOff);
+  log.error("should not appear");
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Logger, ChildAppendsComponentPath) {
+  std::ostringstream sink;
+  Logger log(sink, LogLevel::kInfo, "server");
+  Logger child = log.child("verifier");
+  child.info("checked");
+  EXPECT_NE(sink.str().find("[server.verifier]"), std::string::npos);
+}
+
+TEST(Logger, ChildOfAnonymousLogger) {
+  std::ostringstream sink;
+  Logger log(sink, LogLevel::kInfo);
+  Logger child = log.child("solo");
+  child.info("x");
+  EXPECT_NE(sink.str().find("[solo]"), std::string::npos);
+}
+
+TEST(Logger, EnabledReflectsLevel) {
+  std::ostringstream sink;
+  Logger log(sink, LogLevel::kInfo);
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+  log.set_level(LogLevel::kError);
+  EXPECT_FALSE(log.enabled(LogLevel::kWarn));
+}
+
+TEST(ParseLogLevel, KnownAndUnknown) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(LogLevelName, RoundTrips) {
+  EXPECT_EQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Logger, GlobalIsUsable) {
+  Logger& g = Logger::global();
+  EXPECT_GE(static_cast<int>(g.level()), static_cast<int>(LogLevel::kTrace));
+}
+
+}  // namespace
+}  // namespace powai::common

@@ -1,0 +1,187 @@
+// Tests for link models and the message-level network simulator.
+
+#include "netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace powai::netsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LinkModel, ValidatesParameters) {
+  common::Rng rng(1);
+  LinkModel bad;
+  bad.base_latency = -1ms;
+  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+  bad = {};
+  bad.jitter = -1ms;
+  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+  bad = {};
+  bad.loss_rate = 1.5;
+  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+  bad = {};
+  bad.bandwidth_bytes_per_sec = -1.0;
+  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+}
+
+TEST(LinkModel, BaseLatencyWithoutJitterIsExact) {
+  common::Rng rng(2);
+  LinkModel link;
+  link.base_latency = 10ms;
+  link.jitter = 0ms;
+  const auto d = link.delay_for(100, rng);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 10ms);
+}
+
+TEST(LinkModel, JitterStaysWithinBound) {
+  common::Rng rng(3);
+  LinkModel link;
+  link.base_latency = 10ms;
+  link.jitter = 5ms;
+  for (int i = 0; i < 500; ++i) {
+    const auto d = link.delay_for(0, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, 10ms);
+    EXPECT_LT(*d, 15ms);
+  }
+}
+
+TEST(LinkModel, BandwidthAddsSerializationDelay) {
+  common::Rng rng(4);
+  LinkModel link;
+  link.base_latency = 0ms;
+  link.jitter = 0ms;
+  link.bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s
+  const auto d = link.delay_for(500, rng);  // 500 B -> 0.5 s
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 500ms);
+}
+
+TEST(LinkModel, LossRateDropsRoughlyThatFraction) {
+  common::Rng rng(5);
+  LinkModel link;
+  link.loss_rate = 0.3;
+  int dropped = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (!link.delay_for(0, rng)) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.3, 0.02);
+}
+
+TEST(Network, DeliversToHandlerWithSourceAndPayload) {
+  EventLoop loop;
+  common::Rng rng(6);
+  Network net(loop, rng);
+  std::string got_from;
+  std::string got_payload;
+  net.add_host("client", [](const std::string&, common::BytesView) {});
+  net.add_host("server", [&](const std::string& from, common::BytesView p) {
+    got_from = from;
+    got_payload = common::string_of(p);
+  });
+  EXPECT_TRUE(net.send("client", "server", common::bytes_of("hello")));
+  loop.run();
+  EXPECT_EQ(got_from, "client");
+  EXPECT_EQ(got_payload, "hello");
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 5u);
+}
+
+TEST(Network, DeliveryIsDelayedByLink) {
+  EventLoop loop;
+  common::Rng rng(7);
+  Network net(loop, rng);
+  LinkModel link;
+  link.base_latency = 42ms;
+  link.jitter = 0ms;
+  common::TimePoint delivered_at{};
+  net.add_host("a", [](const std::string&, common::BytesView) {});
+  net.add_host("b", [&](const std::string&, common::BytesView) {
+    delivered_at = loop.now();
+  });
+  net.set_link("a", "b", link);
+  net.send("a", "b", common::bytes_of("x"));
+  loop.run();
+  EXPECT_EQ(delivered_at.time_since_epoch(), 42ms);
+}
+
+TEST(Network, DirectedLinksAreIndependent) {
+  EventLoop loop;
+  common::Rng rng(8);
+  Network net(loop, rng);
+  LinkModel slow;
+  slow.base_latency = 100ms;
+  slow.jitter = 0ms;
+  LinkModel fast;
+  fast.base_latency = 1ms;
+  fast.jitter = 0ms;
+  std::vector<std::pair<std::string, common::Duration>> deliveries;
+  net.add_host("a", [&](const std::string&, common::BytesView) {
+    deliveries.emplace_back("at-a", loop.now().time_since_epoch());
+  });
+  net.add_host("b", [&](const std::string&, common::BytesView) {
+    deliveries.emplace_back("at-b", loop.now().time_since_epoch());
+  });
+  net.set_link("a", "b", slow);
+  net.set_link("b", "a", fast);
+  net.send("a", "b", common::bytes_of("x"));
+  net.send("b", "a", common::bytes_of("y"));
+  loop.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].first, "at-a");  // fast link delivers first
+  EXPECT_EQ(deliveries[0].second, 1ms);
+  EXPECT_EQ(deliveries[1].second, 100ms);
+}
+
+TEST(Network, DropCountsAndReturnsFalse) {
+  EventLoop loop;
+  common::Rng rng(9);
+  Network net(loop, rng);
+  LinkModel lossy;
+  lossy.loss_rate = 1.0;
+  net.add_host("a", [](const std::string&, common::BytesView) {});
+  net.add_host("b", [](const std::string&, common::BytesView) {});
+  net.set_link("a", "b", lossy);
+  EXPECT_FALSE(net.send("a", "b", common::bytes_of("x")));
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.messages_sent(), 0u);
+  loop.run();
+}
+
+TEST(Network, UnknownHostsThrow) {
+  EventLoop loop;
+  common::Rng rng(10);
+  Network net(loop, rng);
+  net.add_host("a", [](const std::string&, common::BytesView) {});
+  EXPECT_THROW((void)net.send("a", "ghost", {}), std::invalid_argument);
+  EXPECT_THROW((void)net.send("ghost", "a", {}), std::invalid_argument);
+}
+
+TEST(Network, DuplicateHostOrEmptyHandlerThrow) {
+  EventLoop loop;
+  common::Rng rng(11);
+  Network net(loop, rng);
+  net.add_host("a", [](const std::string&, common::BytesView) {});
+  EXPECT_THROW(net.add_host("a", [](const std::string&, common::BytesView) {}),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_host("b", nullptr), std::invalid_argument);
+  EXPECT_TRUE(net.has_host("a"));
+  EXPECT_FALSE(net.has_host("b"));
+}
+
+TEST(DefaultExperimentLink, IsLossless) {
+  const LinkModel link = default_experiment_link();
+  EXPECT_DOUBLE_EQ(link.loss_rate, 0.0);
+  EXPECT_GT(link.base_latency, 0ms);
+}
+
+}  // namespace
+}  // namespace powai::netsim

@@ -1,0 +1,213 @@
+// Tests for the policy rule DSL: lexing, parsing, rule semantics, error
+// reporting, and the IPolicy adapter.
+
+#include "policy/dsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace powai::policy {
+namespace {
+
+common::Rng& rng() {
+  static common::Rng instance(1);
+  return instance;
+}
+
+Difficulty run(std::string_view program, double score) {
+  return DslPolicy(program).difficulty(score, rng());
+}
+
+// ---------------------------------------------------------------------------
+// Happy paths
+// ---------------------------------------------------------------------------
+
+TEST(Dsl, DefaultOnlyProgram) {
+  EXPECT_EQ(run("default: difficulty = 7", 0.0), 7u);
+  EXPECT_EQ(run("default: difficulty = 7", 10.0), 7u);
+}
+
+TEST(Dsl, FirstMatchingRuleWins) {
+  const std::string_view program =
+      "when score < 5: difficulty = 2\n"
+      "when score < 8: difficulty = 6\n"
+      "default: difficulty = 12";
+  EXPECT_EQ(run(program, 1.0), 2u);
+  EXPECT_EQ(run(program, 6.0), 6u);
+  EXPECT_EQ(run(program, 9.0), 12u);
+}
+
+TEST(Dsl, ComparisonOperators) {
+  EXPECT_EQ(run("when score <= 3: difficulty = 2\ndefault: difficulty = 9", 3.0), 2u);
+  EXPECT_EQ(run("when score < 3: difficulty = 2\ndefault: difficulty = 9", 3.0), 9u);
+  EXPECT_EQ(run("when score > 7: difficulty = 8\ndefault: difficulty = 2", 7.5), 8u);
+  EXPECT_EQ(run("when score >= 7: difficulty = 8\ndefault: difficulty = 2", 7.0), 8u);
+  EXPECT_EQ(run("when score == 5: difficulty = 4\ndefault: difficulty = 2", 5.0), 4u);
+  EXPECT_EQ(run("when score == 5: difficulty = 4\ndefault: difficulty = 2", 5.5), 2u);
+}
+
+TEST(Dsl, IntervalConditions) {
+  const std::string_view program =
+      "when score in [3, 7): difficulty = 5\n"
+      "default: difficulty = 1";
+  EXPECT_EQ(run(program, 3.0), 5u);   // closed low end
+  EXPECT_EQ(run(program, 6.99), 5u);
+  EXPECT_EQ(run(program, 7.0), 1u);   // open high end
+  EXPECT_EQ(run(program, 2.99), 1u);
+}
+
+TEST(Dsl, IntervalAllFourBracketCombinations) {
+  EXPECT_EQ(run("when score in (2, 4): difficulty = 9\ndefault: difficulty = 1", 2.0), 1u);
+  EXPECT_EQ(run("when score in (2, 4): difficulty = 9\ndefault: difficulty = 1", 3.0), 9u);
+  EXPECT_EQ(run("when score in [2, 4]: difficulty = 9\ndefault: difficulty = 1", 4.0), 9u);
+  EXPECT_EQ(run("when score in (2, 4]: difficulty = 9\ndefault: difficulty = 1", 4.0), 9u);
+}
+
+TEST(Dsl, ArithmeticInDifficultyExpr) {
+  EXPECT_EQ(run("default: difficulty = score + 2", 3.0), 5u);
+  EXPECT_EQ(run("default: difficulty = 2 * score + 1", 4.0), 9u);
+  EXPECT_EQ(run("default: difficulty = 20 - score", 4.0), 16u);
+  EXPECT_EQ(run("default: difficulty = score / 2", 8.0), 4u);
+  EXPECT_EQ(run("default: difficulty = (score + 1) * 2", 2.0), 6u);
+}
+
+TEST(Dsl, OperatorPrecedence) {
+  // 2 + 3 * 2 = 8, not 10.
+  EXPECT_EQ(run("default: difficulty = 2 + 3 * 2", 0.0), 8u);
+  // (score) 6 / 2 + 1 = 4.
+  EXPECT_EQ(run("default: difficulty = score / 2 + 1", 6.0), 4u);
+}
+
+TEST(Dsl, UnaryMinus) {
+  EXPECT_EQ(run("default: difficulty = -score + 12", 2.0), 10u);
+  // Negative result clamps to the minimum difficulty.
+  EXPECT_EQ(run("default: difficulty = -5", 0.0), kMinSupportedDifficulty);
+}
+
+TEST(Dsl, Functions) {
+  EXPECT_EQ(run("default: difficulty = ceil(score / 3)", 7.0), 3u);
+  EXPECT_EQ(run("default: difficulty = floor(score / 3) + 1", 7.0), 3u);
+  EXPECT_EQ(run("default: difficulty = round(score * 0.5)", 5.0), 3u);
+  EXPECT_EQ(run("default: difficulty = sqrt(score) + 1", 9.0), 4u);
+  EXPECT_EQ(run("default: difficulty = log2(8)", 0.0), 3u);
+  EXPECT_EQ(run("default: difficulty = min(score, 4)", 9.0), 4u);
+  EXPECT_EQ(run("default: difficulty = max(score, 4)", 9.0), 9u);
+  EXPECT_EQ(run("default: difficulty = pow(2, 3)", 0.0), 8u);
+}
+
+TEST(Dsl, NestedFunctionCalls) {
+  EXPECT_EQ(run("default: difficulty = max(ceil(score / 2), min(score, 3))", 9.0),
+            5u);
+}
+
+TEST(Dsl, CommentsAndBlankLines) {
+  const std::string_view program =
+      "# header comment\n"
+      "\n"
+      "when score < 5: difficulty = 2   # trailing comment\n"
+      "# middle comment\n"
+      "default: difficulty = 9\n";
+  EXPECT_EQ(run(program, 1.0), 2u);
+  EXPECT_EQ(run(program, 6.0), 9u);
+}
+
+TEST(Dsl, PaperPoliciesExpressibleInDsl) {
+  // Policy 1 and Policy 2 are one-liners in the DSL.
+  const std::string_view policy1 = "default: difficulty = ceil(score) + 1";
+  const std::string_view policy2 = "default: difficulty = ceil(score) + 5";
+  for (int r = 0; r <= 10; ++r) {
+    EXPECT_EQ(run(policy1, r), static_cast<Difficulty>(r + 1));
+    EXPECT_EQ(run(policy2, r), static_cast<Difficulty>(r + 5));
+  }
+}
+
+TEST(Dsl, ResultsAreClampedToSupportedBand) {
+  EXPECT_EQ(run("default: difficulty = 1000", 0.0), kMaxSupportedDifficulty);
+  EXPECT_EQ(run("default: difficulty = 0", 0.0), kMinSupportedDifficulty);
+  // Division by zero -> inf -> max difficulty (documented failure mode).
+  EXPECT_EQ(run("default: difficulty = 1 / 0", 0.0), kMaxSupportedDifficulty);
+}
+
+TEST(Dsl, ScoreInputClamped) {
+  const DslPolicy p("default: difficulty = ceil(score) + 1");
+  common::Rng r(2);
+  EXPECT_EQ(p.difficulty(-5.0, r), 1u);   // score treated as 0 -> 0 + 1
+  EXPECT_EQ(p.difficulty(99.0, r), 11u);  // treated as 10
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+TEST(DslErrors, MissingDefaultRule) {
+  EXPECT_THROW(DslPolicy("when score < 5: difficulty = 2"), DslError);
+}
+
+TEST(DslErrors, RuleAfterDefault) {
+  EXPECT_THROW(DslPolicy("default: difficulty = 2\n"
+                         "when score < 5: difficulty = 3"),
+               DslError);
+}
+
+TEST(DslErrors, UnknownFunction) {
+  EXPECT_THROW(DslPolicy("default: difficulty = cube(score)"), DslError);
+}
+
+TEST(DslErrors, WrongArity) {
+  EXPECT_THROW(DslPolicy("default: difficulty = ceil(1, 2)"), DslError);
+  EXPECT_THROW(DslPolicy("default: difficulty = min(1)"), DslError);
+}
+
+TEST(DslErrors, MalformedCondition) {
+  EXPECT_THROW(DslPolicy("when 5 < score: difficulty = 2\ndefault: difficulty = 3"),
+               DslError);
+  EXPECT_THROW(DslPolicy("when score ! 5: difficulty = 2\ndefault: difficulty = 3"),
+               DslError);
+}
+
+TEST(DslErrors, IntervalBoundsOutOfOrder) {
+  EXPECT_THROW(DslPolicy("when score in [7, 3): difficulty = 2\n"
+                         "default: difficulty = 3"),
+               DslError);
+}
+
+TEST(DslErrors, UnbalancedParens) {
+  EXPECT_THROW(DslPolicy("default: difficulty = (score + 1"), DslError);
+}
+
+TEST(DslErrors, GarbageToken) {
+  EXPECT_THROW(DslPolicy("default: difficulty = score @ 2"), DslError);
+}
+
+TEST(DslErrors, EmptyProgram) { EXPECT_THROW(DslPolicy(""), DslError); }
+
+TEST(DslErrors, ReportsLineAndColumn) {
+  try {
+    DslPolicy(
+        "when score < 5: difficulty = 2\n"
+        "when score ? 5: difficulty = 3\n"
+        "default: difficulty = 4");
+    FAIL() << "expected DslError";
+  } catch (const DslError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 1u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(DslErrors, MissingColonOrAssign) {
+  EXPECT_THROW(DslPolicy("default difficulty = 4"), DslError);
+  EXPECT_THROW(DslPolicy("default: difficulty 4"), DslError);
+  EXPECT_THROW(DslPolicy("default: score = 4"), DslError);
+}
+
+TEST(DslPolicyAdapter, ExposesSourceAndName) {
+  const DslPolicy p("default: difficulty = 3");
+  EXPECT_EQ(p.name(), "dsl");
+  EXPECT_EQ(p.source(), "default: difficulty = 3");
+  EXPECT_NE(p.describe().find("1 rules"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace powai::policy

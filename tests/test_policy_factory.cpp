@@ -1,0 +1,94 @@
+// Tests for the config-driven policy factory.
+
+#include "policy/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+
+namespace powai::policy {
+namespace {
+
+using common::Config;
+
+common::Rng& rng() {
+  static common::Rng instance(1);
+  return instance;
+}
+
+TEST(Factory, DefaultIsPolicy1) {
+  const auto p = make_policy(Config{});
+  EXPECT_EQ(p->difficulty(0.0, rng()), 1u);
+  EXPECT_EQ(p->difficulty(10.0, rng()), 11u);
+}
+
+TEST(Factory, Policy1AndPolicy2Aliases) {
+  const auto p1 = make_policy(Config::parse("policy=policy1"));
+  const auto p2 = make_policy(Config::parse("policy=policy2"));
+  EXPECT_EQ(p1->difficulty(3.0, rng()), 4u);
+  EXPECT_EQ(p2->difficulty(3.0, rng()), 8u);
+}
+
+TEST(Factory, LinearWithParameters) {
+  const auto p = make_policy(Config::parse("policy=linear offset=2 slope=2.0"));
+  EXPECT_EQ(p->difficulty(3.0, rng()), 8u);  // ceil(6) + 2
+}
+
+TEST(Factory, ErrorRangeAndPolicy3Alias) {
+  const auto p = make_policy(Config::parse("policy=error_range epsilon=0"));
+  EXPECT_EQ(p->difficulty(4.0, rng()), 5u);
+  const auto alias = make_policy(Config::parse("policy=policy3 epsilon=0"));
+  EXPECT_EQ(alias->difficulty(4.0, rng()), 5u);
+  EXPECT_EQ(p->name(), "error_range");
+}
+
+TEST(Factory, StepWithTierString) {
+  const auto p =
+      make_policy(Config::parse("policy=step tiers=2:1,6:4,10:12"));
+  EXPECT_EQ(p->difficulty(1.0, rng()), 1u);
+  EXPECT_EQ(p->difficulty(5.0, rng()), 4u);
+  EXPECT_EQ(p->difficulty(9.0, rng()), 12u);
+}
+
+TEST(Factory, StepRejectsMalformedTiers) {
+  EXPECT_THROW(make_policy(Config::parse("policy=step tiers=oops")),
+               std::invalid_argument);
+  EXPECT_THROW(make_policy(Config::parse("policy=step tiers=3:x,10:2")),
+               std::invalid_argument);
+}
+
+TEST(Factory, Exponential) {
+  const auto p =
+      make_policy(Config::parse("policy=exponential base=1.0 growth=1.3"));
+  EXPECT_EQ(p->difficulty(0.0, rng()), 1u);
+  EXPECT_EQ(p->difficulty(10.0, rng()), 14u);
+}
+
+TEST(Factory, TargetLatency) {
+  const auto p = make_policy(
+      Config::parse("policy=target_latency l0_ms=30 l1_ms=900 hash_us=0.5"));
+  EXPECT_GE(p->difficulty(10.0, rng()), p->difficulty(0.0, rng()));
+}
+
+TEST(Factory, DslProgramViaConfig) {
+  Config cfg;
+  cfg.set("policy", "dsl");
+  cfg.set("dsl", "when score < 5: difficulty = 2;default: difficulty = 9");
+  const auto p = make_policy(cfg);
+  EXPECT_EQ(p->difficulty(1.0, rng()), 2u);
+  EXPECT_EQ(p->difficulty(8.0, rng()), 9u);
+}
+
+TEST(Factory, DslRequiresProgramText) {
+  EXPECT_THROW(make_policy(Config::parse("policy=dsl")),
+               std::invalid_argument);
+}
+
+TEST(Factory, UnknownPolicyThrows) {
+  EXPECT_THROW(make_policy(Config::parse("policy=quantum")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powai::policy

@@ -1,0 +1,143 @@
+// Tests for the per-IP reputation cache (TTL + EWMA semantics).
+
+#include "reputation/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "features/ip_address.hpp"
+
+namespace powai::reputation {
+namespace {
+
+using namespace std::chrono_literals;
+using features::IpAddress;
+
+TEST(ReputationCache, MissOnEmpty) {
+  common::ManualClock clock;
+  ReputationCache cache(clock);
+  EXPECT_FALSE(cache.lookup(IpAddress(1, 2, 3, 4)).has_value());
+}
+
+TEST(ReputationCache, InsertThenHit) {
+  common::ManualClock clock;
+  ReputationCache cache(clock);
+  cache.update(IpAddress(1, 2, 3, 4), 7.5);
+  const auto hit = cache.lookup(IpAddress(1, 2, 3, 4));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 7.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReputationCache, ExpiresAfterTtl) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.ttl = 10s;
+  ReputationCache cache(clock, cfg);
+  cache.update(IpAddress(1, 2, 3, 4), 3.0);
+  clock.advance(10s);
+  EXPECT_TRUE(cache.lookup(IpAddress(1, 2, 3, 4)).has_value());  // exactly ttl
+  clock.advance(1ms);
+  EXPECT_FALSE(cache.lookup(IpAddress(1, 2, 3, 4)).has_value());
+}
+
+TEST(ReputationCache, EwmaSmoothsUpdates) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.alpha = 0.5;
+  ReputationCache cache(clock, cfg);
+  cache.update(IpAddress(1, 1, 1, 1), 10.0);
+  const double merged = cache.update(IpAddress(1, 1, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(merged, 5.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup(IpAddress(1, 1, 1, 1)), 5.0);
+}
+
+TEST(ReputationCache, ExpiredEntryIsReplacedNotMerged) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.ttl = 5s;
+  cfg.alpha = 0.5;
+  ReputationCache cache(clock, cfg);
+  cache.update(IpAddress(1, 1, 1, 1), 10.0);
+  clock.advance(6s);
+  const double stored = cache.update(IpAddress(1, 1, 1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(stored, 2.0);  // no smoothing against stale state
+}
+
+TEST(ReputationCache, UpdateRefreshesTtl) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.ttl = 10s;
+  ReputationCache cache(clock, cfg);
+  cache.update(IpAddress(9, 9, 9, 9), 4.0);
+  clock.advance(8s);
+  cache.update(IpAddress(9, 9, 9, 9), 4.0);
+  clock.advance(8s);
+  EXPECT_TRUE(cache.lookup(IpAddress(9, 9, 9, 9)).has_value());
+}
+
+TEST(ReputationCache, EvictsStalestAtCapacity) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.max_entries = 2;
+  ReputationCache cache(clock, cfg);
+  cache.update(IpAddress(0, 0, 0, 1), 1.0);
+  clock.advance(1s);
+  cache.update(IpAddress(0, 0, 0, 2), 2.0);
+  clock.advance(1s);
+  cache.update(IpAddress(0, 0, 0, 3), 3.0);  // evicts .1 (stalest)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(IpAddress(0, 0, 0, 1)).has_value());
+  EXPECT_TRUE(cache.lookup(IpAddress(0, 0, 0, 2)).has_value());
+  EXPECT_TRUE(cache.lookup(IpAddress(0, 0, 0, 3)).has_value());
+}
+
+TEST(ReputationCache, PurgeExpiredRemovesOnlyStale) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.ttl = 10s;
+  ReputationCache cache(clock, cfg);
+  cache.update(IpAddress(0, 0, 0, 1), 1.0);
+  clock.advance(11s);
+  cache.update(IpAddress(0, 0, 0, 2), 2.0);
+  EXPECT_EQ(cache.purge_expired(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup(IpAddress(0, 0, 0, 2)).has_value());
+}
+
+TEST(ReputationCache, EraseRemovesEntry) {
+  common::ManualClock clock;
+  ReputationCache cache(clock);
+  cache.update(IpAddress(0, 0, 0, 1), 1.0);
+  cache.erase(IpAddress(0, 0, 0, 1));
+  EXPECT_FALSE(cache.lookup(IpAddress(0, 0, 0, 1)).has_value());
+  cache.erase(IpAddress(0, 0, 0, 1));  // no-op, must not throw
+}
+
+TEST(ReputationCache, RejectsBadConfig) {
+  common::ManualClock clock;
+  CacheConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(ReputationCache(clock, bad), std::invalid_argument);
+  bad = {};
+  bad.alpha = 1.1;
+  EXPECT_THROW(ReputationCache(clock, bad), std::invalid_argument);
+  bad = {};
+  bad.max_entries = 0;
+  EXPECT_THROW(ReputationCache(clock, bad), std::invalid_argument);
+  bad = {};
+  bad.ttl = 0s;
+  EXPECT_THROW(ReputationCache(clock, bad), std::invalid_argument);
+}
+
+TEST(ReputationCache, DistinctIpsAreIndependent) {
+  common::ManualClock clock;
+  ReputationCache cache(clock);
+  cache.update(IpAddress(1, 0, 0, 1), 2.0);
+  cache.update(IpAddress(1, 0, 0, 2), 8.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup(IpAddress(1, 0, 0, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup(IpAddress(1, 0, 0, 2)), 8.0);
+}
+
+}  // namespace
+}  // namespace powai::reputation

@@ -1,0 +1,185 @@
+// Tests for the deterministic PRNG: reproducibility, distribution sanity,
+// and the statistical contracts the simulator depends on.
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace powai::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllValuesInSmallRange) {
+  Rng rng(43);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformU64DegenerateRange) {
+  Rng rng(44);
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64ThrowsOnInvertedBounds) {
+  Rng rng(45);
+  EXPECT_THROW((void)rng.uniform_u64(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformI64HandlesNegativeRanges) {
+  Rng rng(46);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformI64FullRangeDoesNotCrash) {
+  Rng rng(47);
+  const std::int64_t v = rng.uniform_i64(INT64_MIN, INT64_MAX);
+  (void)v;
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(48);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(49);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(50);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalThrowsOnNegativeSigma) {
+  Rng rng(51);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(52);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialThrowsOnBadRate) {
+  Rng rng(53);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(54);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(55);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesDecorrelatedChild) {
+  Rng parent(56);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(57);
+  Rng b(57);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Splitmix64, KnownReferenceValues) {
+  // Reference values from the public-domain splitmix64 test vector
+  // (seed 1234567).
+  std::uint64_t state = 1234567;
+  EXPECT_EQ(splitmix64(state), 6457827717110365317ULL);
+  EXPECT_EQ(splitmix64(state), 3203168211198807973ULL);
+  EXPECT_EQ(splitmix64(state), 9817491932198370423ULL);
+}
+
+TEST(Rng, ChiSquareUniformityOfLowBits) {
+  // 256-bucket chi-square on the low byte; threshold is the 99.9th
+  // percentile of chi2(255) ~ 340.
+  Rng rng(58);
+  std::vector<int> buckets(256, 0);
+  const int n = 256 * 1000;
+  for (int i = 0; i < n; ++i) ++buckets[rng() & 0xff];
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(n) / 256.0;
+  for (int count : buckets) {
+    const double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 340.0);
+}
+
+}  // namespace
+}  // namespace powai::common

@@ -1,0 +1,295 @@
+// Tests for the PowServer pipeline (Fig. 1 wiring) and PowClient round
+// trips: the paper's end-to-end behaviour in-process.
+
+#include "framework/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "features/synthetic.hpp"
+#include "framework/client.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+
+namespace powai::framework {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Fixture: a trained DAbR, a Policy-2 server, and feature samples.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(42);
+    const features::SyntheticTraceGenerator gen;
+    model_.fit(gen.generate(400, 400, rng));
+    benign_features_ = gen.sample(false, rng);
+    malicious_features_ = gen.sample(true, rng);
+  }
+
+  ServerConfig base_config() {
+    ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("server-test-secret");
+    return cfg;
+  }
+
+  common::ManualClock clock_;
+  reputation::DabrModel model_;
+  policy::LinearPolicy policy_ = policy::LinearPolicy::policy2();
+  features::FeatureVector benign_features_;
+  features::FeatureVector malicious_features_;
+};
+
+TEST_F(ServerTest, RequiresFittedModel) {
+  reputation::DabrModel unfitted;
+  EXPECT_THROW(PowServer(clock_, unfitted, policy_, base_config()),
+               std::invalid_argument);
+}
+
+TEST_F(ServerTest, IssuesChallengeForValidRequest) {
+  PowServer server(clock_, model_, policy_, base_config());
+  PowClient client("10.0.0.1");
+  const Request request = client.make_request("/", benign_features_);
+  auto outcome = server.on_request(request);
+  ASSERT_TRUE(std::holds_alternative<Challenge>(outcome));
+  const auto& challenge = std::get<Challenge>(outcome);
+  EXPECT_EQ(challenge.request_id, request.request_id);
+  EXPECT_EQ(challenge.puzzle.client_binding, "10.0.0.1");
+  EXPECT_GE(challenge.puzzle.difficulty, 5u);  // policy2 floor
+  EXPECT_EQ(server.stats().challenges_issued, 1u);
+}
+
+TEST_F(ServerTest, MaliciousFeaturesGetHarderPuzzles) {
+  ServerConfig cfg = base_config();
+  cfg.reputation_cache_enabled = false;
+  PowServer server(clock_, model_, policy_, cfg);
+  PowClient benign("10.0.0.1");
+  PowClient bot("203.0.0.1");
+
+  auto c1 = server.on_request(benign.make_request("/", benign_features_));
+  const unsigned d_benign = std::get<Challenge>(c1).puzzle.difficulty;
+  auto c2 = server.on_request(bot.make_request("/", malicious_features_));
+  const unsigned d_bot = std::get<Challenge>(c2).puzzle.difficulty;
+  EXPECT_GT(d_bot, d_benign);
+}
+
+TEST_F(ServerTest, RejectsUnparsableIp) {
+  PowServer server(clock_, model_, policy_, base_config());
+  Request request;
+  request.client_ip = "not-an-ip";
+  request.features = benign_features_;
+  auto outcome = server.on_request(request);
+  ASSERT_TRUE(std::holds_alternative<Response>(outcome));
+  EXPECT_EQ(std::get<Response>(outcome).status,
+            common::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().rejected_malformed, 1u);
+}
+
+TEST_F(ServerTest, PowDisabledServesImmediately) {
+  ServerConfig cfg = base_config();
+  cfg.pow_enabled = false;
+  cfg.resource_body = "baseline";
+  PowServer server(clock_, model_, policy_, cfg);
+  PowClient client("10.0.0.1");
+  auto outcome = server.on_request(client.make_request("/", benign_features_));
+  ASSERT_TRUE(std::holds_alternative<Response>(outcome));
+  const auto& response = std::get<Response>(outcome);
+  EXPECT_EQ(response.status, common::ErrorCode::kOk);
+  EXPECT_EQ(response.body, "baseline");
+  EXPECT_EQ(server.stats().served_without_pow, 1u);
+}
+
+TEST_F(ServerTest, FullRoundTripServesResource) {
+  PowServer server(clock_, model_, policy_, base_config());
+  PowClient client("10.0.0.1");
+  const RoundTrip trip = client.run(server, "/data", benign_features_);
+  EXPECT_TRUE(trip.served);
+  EXPECT_EQ(trip.response.status, common::ErrorCode::kOk);
+  EXPECT_EQ(trip.response.body, "resource");
+  EXPECT_GT(trip.attempts, 0u);
+  EXPECT_GE(trip.difficulty, 5u);
+  EXPECT_EQ(server.stats().served, 1u);
+}
+
+TEST_F(ServerTest, SubmissionFromWrongIpRejected) {
+  PowServer server(clock_, model_, policy_, base_config());
+  PowClient client("10.0.0.1");
+  const Request request = client.make_request("/", benign_features_);
+  auto outcome = server.on_request(request);
+  const auto& challenge = std::get<Challenge>(outcome);
+  const auto solved = client.solve(challenge);
+  ASSERT_TRUE(solved.solved);
+  const Response response =
+      server.on_submission(solved.submission, "203.0.113.99");
+  EXPECT_EQ(response.status, common::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().rejected_binding, 1u);
+}
+
+TEST_F(ServerTest, ReplayedSubmissionRejected) {
+  PowServer server(clock_, model_, policy_, base_config());
+  PowClient client("10.0.0.1");
+  const Request request = client.make_request("/", benign_features_);
+  auto outcome = server.on_request(request);
+  const auto solved = client.solve(std::get<Challenge>(outcome));
+  ASSERT_TRUE(solved.solved);
+  EXPECT_EQ(server.on_submission(solved.submission, "10.0.0.1").status,
+            common::ErrorCode::kOk);
+  EXPECT_EQ(server.on_submission(solved.submission, "10.0.0.1").status,
+            common::ErrorCode::kReplay);
+  EXPECT_EQ(server.stats().rejected_replay, 1u);
+}
+
+TEST_F(ServerTest, ExpiredSubmissionRejected) {
+  ServerConfig cfg = base_config();
+  cfg.verifier.ttl = 10s;
+  PowServer server(clock_, model_, policy_, cfg);
+  PowClient client("10.0.0.1");
+  auto outcome = server.on_request(client.make_request("/", benign_features_));
+  const auto solved = client.solve(std::get<Challenge>(outcome));
+  ASSERT_TRUE(solved.solved);
+  clock_.advance(11s);
+  EXPECT_EQ(server.on_submission(solved.submission, "10.0.0.1").status,
+            common::ErrorCode::kExpired);
+  EXPECT_EQ(server.stats().rejected_expired, 1u);
+}
+
+TEST_F(ServerTest, BadNonceRejected) {
+  PowServer server(clock_, model_, policy_, base_config());
+  PowClient client("10.0.0.1");
+  auto outcome = server.on_request(client.make_request("/", benign_features_));
+  auto solved = client.solve(std::get<Challenge>(outcome));
+  ASSERT_TRUE(solved.solved);
+  solved.submission.solution.nonce ^= 1;
+  EXPECT_EQ(server.on_submission(solved.submission, "10.0.0.1").status,
+            common::ErrorCode::kBadSolution);
+  EXPECT_EQ(server.stats().rejected_bad_solution, 1u);
+}
+
+TEST_F(ServerTest, ReputationCacheServesRepeatClients) {
+  PowServer server(clock_, model_, policy_, base_config());
+  PowClient client("10.0.0.1");
+  (void)server.on_request(client.make_request("/", benign_features_));
+  EXPECT_FALSE(server.last_trace().from_cache);
+  (void)server.on_request(client.make_request("/", benign_features_));
+  EXPECT_TRUE(server.last_trace().from_cache);
+}
+
+TEST_F(ServerTest, CacheDisabledScoresEveryTime) {
+  ServerConfig cfg = base_config();
+  cfg.reputation_cache_enabled = false;
+  PowServer server(clock_, model_, policy_, cfg);
+  PowClient client("10.0.0.1");
+  (void)server.on_request(client.make_request("/", benign_features_));
+  (void)server.on_request(client.make_request("/", benign_features_));
+  EXPECT_FALSE(server.last_trace().from_cache);
+}
+
+TEST_F(ServerTest, RateLimiterBoundsChallengeIssuance) {
+  ServerConfig cfg = base_config();
+  cfg.rate_limiter_enabled = true;
+  cfg.rate_limiter.tokens_per_second = 1.0;
+  cfg.rate_limiter.burst = 3.0;
+  PowServer server(clock_, model_, policy_, cfg);
+  PowClient client("10.0.0.1");
+  int challenges = 0;
+  int limited = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto outcome = server.on_request(client.make_request("/", benign_features_));
+    if (std::holds_alternative<Challenge>(outcome)) {
+      ++challenges;
+    } else if (std::get<Response>(outcome).status ==
+               common::ErrorCode::kRateLimited) {
+      ++limited;
+    }
+  }
+  EXPECT_EQ(challenges, 3);
+  EXPECT_EQ(limited, 7);
+  EXPECT_EQ(server.stats().rejected_rate_limited, 7u);
+  // Tokens refill with time.
+  clock_.advance(2s);
+  auto outcome = server.on_request(client.make_request("/", benign_features_));
+  EXPECT_TRUE(std::holds_alternative<Challenge>(outcome));
+}
+
+TEST_F(ServerTest, StatsMeanDifficultyTracksIssued) {
+  PowServer server(clock_, model_, policy_, base_config());
+  PowClient client("10.0.0.1");
+  (void)server.on_request(client.make_request("/", benign_features_));
+  const double mean = server.stats().mean_difficulty();
+  EXPECT_GE(mean, 5.0);
+  EXPECT_LE(mean, 15.0);
+}
+
+TEST_F(ServerTest, ClientAttemptBudgetProducesTimeout) {
+  PowServer server(clock_, model_, policy_, base_config());
+  ClientConfig cc;
+  cc.max_attempts = 1;  // malicious features would need far more
+  PowClient client("203.0.0.7", cc);
+  const RoundTrip trip = client.run(server, "/", malicious_features_);
+  // Either solved within 1 attempt (astronomically unlikely at d>=10) or
+  // timed out.
+  if (!trip.served) {
+    EXPECT_EQ(trip.response.status, common::ErrorCode::kTimeout);
+  }
+}
+
+TEST_F(ServerTest, EmptyMasterSecretRejected) {
+  ServerConfig cfg;
+  EXPECT_THROW(PowServer(clock_, model_, policy_, cfg), std::invalid_argument);
+}
+
+TEST(RateLimiterUnit, TokensAndRefill) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.tokens_per_second = 2.0;
+  cfg.burst = 4.0;
+  RateLimiter limiter(clock, cfg);
+  const features::IpAddress ip(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(limiter.tokens(ip), 4.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(limiter.allow(ip));
+  EXPECT_FALSE(limiter.allow(ip));
+  clock.advance(500ms);  // +1 token
+  EXPECT_TRUE(limiter.allow(ip));
+  EXPECT_FALSE(limiter.allow(ip));
+}
+
+TEST(RateLimiterUnit, IndependentPerIp) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.tokens_per_second = 1.0;
+  cfg.burst = 1.0;
+  RateLimiter limiter(clock, cfg);
+  EXPECT_TRUE(limiter.allow(features::IpAddress(1, 1, 1, 1)));
+  EXPECT_TRUE(limiter.allow(features::IpAddress(2, 2, 2, 2)));
+  EXPECT_FALSE(limiter.allow(features::IpAddress(1, 1, 1, 1)));
+  EXPECT_EQ(limiter.tracked_ips(), 2u);
+}
+
+TEST(RateLimiterUnit, CapsTrackedIps) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.max_tracked_ips = 2;
+  RateLimiter limiter(clock, cfg);
+  (void)limiter.allow(features::IpAddress(0, 0, 0, 1));
+  clock.advance(1ms);
+  (void)limiter.allow(features::IpAddress(0, 0, 0, 2));
+  clock.advance(1ms);
+  (void)limiter.allow(features::IpAddress(0, 0, 0, 3));
+  EXPECT_EQ(limiter.tracked_ips(), 2u);
+}
+
+TEST(RateLimiterUnit, RejectsBadConfig) {
+  common::ManualClock clock;
+  RateLimiterConfig bad;
+  bad.tokens_per_second = 0.0;
+  EXPECT_THROW(RateLimiter(clock, bad), std::invalid_argument);
+  bad = {};
+  bad.burst = 0.5;
+  EXPECT_THROW(RateLimiter(clock, bad), std::invalid_argument);
+  bad = {};
+  bad.max_tracked_ips = 0;
+  EXPECT_THROW(RateLimiter(clock, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powai::framework

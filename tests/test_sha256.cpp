@@ -1,0 +1,168 @@
+// Tests for SHA-256 against FIPS/NIST vectors, plus the difficulty
+// helpers the PoW layer is built on.
+
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace powai::crypto {
+namespace {
+
+using common::Bytes;
+using common::bytes_of;
+using common::to_hex;
+
+std::string hex_digest(const Digest& d) {
+  return to_hex(common::BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(hex_digest(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest(Sha256::hash(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_digest(Sha256::hash(bytes_of(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_digest(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: padding must spill into a second block.
+  const Bytes data(64, 0x61);
+  EXPECT_EQ(hex_digest(Sha256::hash(data)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes is the largest message whose padding fits in one block.
+  const Bytes b55(55, 'a');
+  const Bytes b56(56, 'a');
+  EXPECT_EQ(hex_digest(Sha256::hash(b55)),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(hex_digest(Sha256::hash(b56)),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, IncrementalMatchesOneShotAtEverySplit) {
+  const Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog!!");
+  const Digest expected = Sha256::hash(msg);
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(common::BytesView(msg.data(), split));
+    h.update(common::BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), expected) << "split=" << split;
+  }
+}
+
+TEST(Sha256, Hash2MatchesConcatenation) {
+  common::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes a(rng.uniform_u64(0, 100));
+    Bytes b(rng.uniform_u64(0, 100));
+    for (auto& x : a) x = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    for (auto& x : b) x = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    Bytes joined = a;
+    common::append(joined, b);
+    EXPECT_EQ(Sha256::hash2(a, b), Sha256::hash(joined));
+  }
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  h.update(bytes_of("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(bytes_of("y")), std::logic_error);
+  EXPECT_THROW((void)h.finish(), std::logic_error);
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  const Digest first = h.finish();
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(h.finish(), first);
+}
+
+TEST(LeadingZeroBits, AllZeroDigestIs256) {
+  Digest d{};
+  EXPECT_EQ(leading_zero_bits(d), 256u);
+}
+
+TEST(LeadingZeroBits, TopBitSetIsZero) {
+  Digest d{};
+  d[0] = 0x80;
+  EXPECT_EQ(leading_zero_bits(d), 0u);
+}
+
+TEST(LeadingZeroBits, CountsWithinFirstByte) {
+  Digest d{};
+  d[0] = 0x01;  // 7 leading zeros then a one
+  EXPECT_EQ(leading_zero_bits(d), 7u);
+  d[0] = 0x10;
+  EXPECT_EQ(leading_zero_bits(d), 3u);
+}
+
+TEST(LeadingZeroBits, CountsAcrossBytes) {
+  Digest d{};
+  d[0] = 0x00;
+  d[1] = 0x40;  // 8 + 1 leading zeros
+  EXPECT_EQ(leading_zero_bits(d), 9u);
+  d[1] = 0x00;
+  d[2] = 0xff;
+  EXPECT_EQ(leading_zero_bits(d), 16u);
+}
+
+TEST(MeetsDifficulty, ThresholdSemantics) {
+  Digest d{};
+  d[0] = 0x0f;  // exactly 4 leading zero bits
+  EXPECT_TRUE(meets_difficulty(d, 0));
+  EXPECT_TRUE(meets_difficulty(d, 4));
+  EXPECT_FALSE(meets_difficulty(d, 5));
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes shorter = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, shorter));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+// Property: flipping any single input bit changes the digest (collision
+// would be astronomically unlikely).
+TEST(Sha256, AvalancheOnSingleBitFlips) {
+  const Bytes base = bytes_of("avalanche-property-input");
+  const Digest base_digest = Sha256::hash(base);
+  for (std::size_t byte = 0; byte < base.size(); ++byte) {
+    Bytes mutated = base;
+    mutated[byte] ^= 0x01;
+    EXPECT_NE(Sha256::hash(mutated), base_digest) << "byte=" << byte;
+  }
+}
+
+}  // namespace
+}  // namespace powai::crypto

@@ -1,0 +1,97 @@
+// Tests for common/strings parsing helpers.
+
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powai::common {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\tabc\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, PreservesInteriorWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, TrailingSeparatorYieldsEmptyField) {
+  const auto parts = split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitWs, DropsAllWhitespaceRuns) {
+  const auto parts = split_ws("  one \t two\nthree  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[1], "two");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(SplitWs, EmptyInput) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("policy=linear", "policy"));
+  EXPECT_FALSE(starts_with("pol", "policy"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
+
+TEST(ParseI64, AcceptsSignedIntegers) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64(" 13 "), 13);
+  EXPECT_EQ(parse_i64("0"), 0);
+}
+
+TEST(ParseI64, RejectsGarbage) {
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("12x").has_value());
+  EXPECT_FALSE(parse_i64("x12").has_value());
+  EXPECT_FALSE(parse_i64("1 2").has_value());
+  EXPECT_FALSE(parse_i64("999999999999999999999").has_value());  // overflow
+}
+
+TEST(ParseU64, RejectsNegative) {
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+}
+
+TEST(ParseF64, AcceptsFloats) {
+  EXPECT_DOUBLE_EQ(parse_f64("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_f64("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(parse_f64("1e3").value(), 1000.0);
+}
+
+TEST(ParseF64, RejectsGarbage) {
+  EXPECT_FALSE(parse_f64("").has_value());
+  EXPECT_FALSE(parse_f64("1.5ms").has_value());
+  EXPECT_FALSE(parse_f64("one").has_value());
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace powai::common

@@ -1,0 +1,66 @@
+// Tests for the table renderer used by the bench harness.
+
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace powai::common {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"score", "latency_ms"});
+  t.add_row({"0", "31.00"});
+  t.add_row({"10", "912.55"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("score"), std::string::npos);
+  EXPECT_NE(text.find("912.55"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"plain", "a,b"});
+  t.add_row({"quote", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundStructure) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string md = t.to_markdown();
+  EXPECT_EQ(md, "| x |\n|---|\n| 1 |\n");
+}
+
+TEST(Table, Dimensions) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(FmtF, Precision) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(3.14159, 0), "3");
+  EXPECT_EQ(fmt_f(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace powai::common

@@ -1,0 +1,196 @@
+// Integration tests: the full seven-step protocol as encoded bytes over
+// the simulated network — server endpoint, wire clients, link effects.
+
+#include "framework/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "features/synthetic.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+
+namespace powai::framework {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr const char* kServerHost = "198.51.100.250";
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : rng_(21),
+        network_(loop_, net_rng_) {
+    const features::SyntheticTraceGenerator gen;
+    model_.fit(gen.generate(300, 300, rng_));
+    benign_features_ = gen.sample(false, rng_);
+    malicious_features_ = gen.sample(true, rng_);
+
+    ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("transport-secret");
+    server_ = std::make_unique<PowServer>(loop_.clock(), model_, policy_, cfg);
+    endpoint_ = std::make_unique<ServerEndpoint>(network_, kServerHost, *server_);
+  }
+
+  common::Rng rng_;
+  common::Rng net_rng_{5};
+  netsim::EventLoop loop_;
+  netsim::Network network_;
+  reputation::DabrModel model_;
+  policy::LinearPolicy policy_ = policy::LinearPolicy::policy1();
+  std::unique_ptr<PowServer> server_;
+  std::unique_ptr<ServerEndpoint> endpoint_;
+  features::FeatureVector benign_features_;
+  features::FeatureVector malicious_features_;
+};
+
+TEST_F(TransportTest, FullExchangeOverTheWire) {
+  WireClient client(loop_, network_, "10.0.0.1", kServerHost);
+  std::optional<Response> got;
+  common::Duration latency{};
+  const std::uint64_t id =
+      client.send_request("/index", benign_features_, [&](const Response& r,
+                                                          common::Duration d) {
+        got = r;
+        latency = d;
+      });
+  EXPECT_GT(id, 0u);
+  loop_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, common::ErrorCode::kOk);
+  EXPECT_EQ(got->body, "resource");
+  EXPECT_EQ(got->request_id, id);
+  // Four legs of ~14.5-15.5 ms default link + solve time.
+  EXPECT_GT(latency, 4 * 14ms);
+  EXPECT_EQ(server_->stats().served, 1u);
+  EXPECT_EQ(client.challenges_solved(), 1u);
+}
+
+TEST_F(TransportTest, LatencyIncludesModelledSolveTime) {
+  // Malicious features → higher difficulty → more attempts × 38 µs.
+  WireClient good(loop_, network_, "10.0.0.1", kServerHost);
+  WireClient bad(loop_, network_, "203.0.0.1", kServerHost);
+  common::Duration good_latency{};
+  common::Duration bad_latency{};
+  int done = 0;
+  good.send_request("/", benign_features_,
+                    [&](const Response&, common::Duration d) {
+                      good_latency = d;
+                      ++done;
+                    });
+  bad.send_request("/", malicious_features_,
+                   [&](const Response&, common::Duration d) {
+                     bad_latency = d;
+                     ++done;
+                   });
+  loop_.run();
+  ASSERT_EQ(done, 2);
+  EXPECT_GT(bad_latency, good_latency);
+}
+
+TEST_F(TransportTest, ServerTrustsTransportSourceOverClaimedIp) {
+  // The wire client self-reports its registered IP, but the endpoint
+  // overrides with the transport-level source; a puzzle is therefore
+  // bound to the true source and the exchange still succeeds end-to-end.
+  WireClient client(loop_, network_, "10.0.0.9", kServerHost);
+  std::optional<Response> got;
+  client.send_request("/", benign_features_,
+                      [&](const Response& r, common::Duration) { got = r; });
+  loop_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, common::ErrorCode::kOk);
+}
+
+TEST_F(TransportTest, MalformedBytesGetNak) {
+  // Raw garbage to the server from a registered host.
+  std::optional<Response> got;
+  network_.add_host("10.0.0.2", [&](const std::string&, common::BytesView p) {
+    const auto msg = decode(p);
+    ASSERT_TRUE(msg.has_value());
+    got = std::get<Response>(*msg);
+  });
+  network_.send("10.0.0.2", kServerHost, common::bytes_of("garbage"));
+  loop_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, common::ErrorCode::kMalformedMessage);
+  EXPECT_EQ(endpoint_->malformed_count(), 1u);
+}
+
+TEST_F(TransportTest, UnexpectedMessageTypeCountsAsMalformed) {
+  network_.add_host("10.0.0.3", [](const std::string&, common::BytesView) {});
+  Response stray;  // a server should never receive a Response
+  network_.send("10.0.0.3", kServerHost, stray.serialize());
+  loop_.run();
+  EXPECT_EQ(endpoint_->malformed_count(), 1u);
+}
+
+TEST_F(TransportTest, ManyClientsConcurrently) {
+  const features::SyntheticTraceGenerator gen;
+  std::vector<std::unique_ptr<WireClient>> clients;
+  int served = 0;
+  for (int i = 0; i < 12; ++i) {
+    const std::string ip = "10.0.1." + std::to_string(i + 1);
+    clients.push_back(
+        std::make_unique<WireClient>(loop_, network_, ip, kServerHost));
+  }
+  for (auto& c : clients) {
+    c->send_request("/", gen.sample(false, rng_),
+                    [&](const Response& r, common::Duration) {
+                      if (r.status == common::ErrorCode::kOk) ++served;
+                    });
+  }
+  loop_.run();
+  EXPECT_EQ(served, 12);
+  EXPECT_EQ(server_->stats().served, 12u);
+}
+
+TEST_F(TransportTest, SequentialRequestsReuseClient) {
+  WireClient client(loop_, network_, "10.0.0.4", kServerHost);
+  int served = 0;
+  for (int i = 0; i < 3; ++i) {
+    client.send_request("/", benign_features_,
+                        [&](const Response& r, common::Duration) {
+                          if (r.status == common::ErrorCode::kOk) ++served;
+                        });
+    loop_.run();
+  }
+  EXPECT_EQ(served, 3);
+  EXPECT_EQ(client.challenges_solved(), 3u);
+}
+
+TEST_F(TransportTest, DroppedRequestReturnsZeroId) {
+  netsim::LinkModel black_hole;
+  black_hole.loss_rate = 1.0;
+  WireClient client(loop_, network_, "10.0.0.5", kServerHost);
+  network_.set_link("10.0.0.5", kServerHost, black_hole);
+  bool fired = false;
+  const std::uint64_t id = client.send_request(
+      "/", benign_features_,
+      [&](const Response&, common::Duration) { fired = true; });
+  EXPECT_EQ(id, 0u);
+  loop_.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(TransportTest, PowDisabledServerAnswersDirectly) {
+  ServerConfig cfg;
+  cfg.master_secret = common::bytes_of("transport-secret-2");
+  cfg.pow_enabled = false;
+  PowServer baseline(loop_.clock(), model_, policy_, cfg);
+  ServerEndpoint baseline_endpoint(network_, "198.51.100.251", baseline);
+
+  WireClient client(loop_, network_, "10.0.0.6", "198.51.100.251");
+  std::optional<Response> got;
+  client.send_request("/", benign_features_,
+                      [&](const Response& r, common::Duration) { got = r; });
+  loop_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, common::ErrorCode::kOk);
+  EXPECT_EQ(client.challenges_solved(), 0u);  // no puzzle was involved
+}
+
+}  // namespace
+}  // namespace powai::framework
