@@ -1,0 +1,43 @@
+#pragma once
+/// \file hashing.hpp
+/// Shared helpers for the shard-striped containers: integer finalizers
+/// that spread clustered keys (sequential puzzle ids, IPs from one /24)
+/// across a power-of-two shard mask, and the mask-size round-up.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace powai::common {
+
+/// splitmix64 finalizer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// 32-bit multiplicative finalizer (lowbias32).
+[[nodiscard]] constexpr std::uint32_t mix32(std::uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352dU;
+  x ^= x >> 15;
+  x *= 0x846ca68bU;
+  x ^= x >> 16;
+  return x;
+}
+
+/// Saturates at the largest representable power of two instead of the
+/// undefined behavior std::bit_ceil has past it.
+[[nodiscard]] constexpr std::size_t round_up_pow2(std::size_t v) {
+  constexpr std::size_t kMax = std::size_t{1}
+                               << (std::numeric_limits<std::size_t>::digits - 1);
+  if (v >= kMax) return kMax;
+  return std::bit_ceil(v);
+}
+
+}  // namespace powai::common

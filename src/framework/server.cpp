@@ -13,7 +13,7 @@ PowServer::PowServer(const common::Clock& clock,
       policy_rng_(config_.policy_seed),
       generator_(clock, config_.master_secret),
       verifier_(clock, config_.master_secret, config_.verifier),
-      cache_(clock, config_.cache),
+      cache_(clock, config_.cache, config_.cache_shards),
       rate_limiter_(clock, config_.rate_limiter) {
   if (!model.fitted()) {
     throw std::invalid_argument("PowServer: reputation model is not fitted");
@@ -73,12 +73,50 @@ std::variant<Challenge, Response> PowServer::on_request(const Request& request) 
 
 Response PowServer::on_submission(const Submission& submission,
                                   const std::string& observed_ip) {
-  const common::Status status =
-      verifier_.verify(submission.puzzle, submission.solution, observed_ip);
+  return finalize_submission(
+      submission.request_id,
+      verifier_.verify(submission.puzzle, submission.solution, observed_ip));
+}
+
+std::vector<Response> PowServer::on_submission_batch(
+    std::span<const Submission> submissions,
+    std::span<const std::string> observed_ips) {
+  if (!observed_ips.empty() && observed_ips.size() != submissions.size()) {
+    throw std::invalid_argument(
+        "PowServer::on_submission_batch: observed_ips size mismatch");
+  }
+  if (!batch_verifier_) {
+    batch_verifier_ = std::make_unique<pow::BatchVerifier>(
+        verifier_, config_.verify_threads);
+  }
+
+  std::vector<pow::VerificationJob> jobs;
+  jobs.reserve(submissions.size());
+  for (std::size_t i = 0; i < submissions.size(); ++i) {
+    jobs.push_back({&submissions[i].puzzle, &submissions[i].solution,
+                    observed_ips.empty() ? nullptr : &observed_ips[i]});
+  }
+
+  // Verification fans out across the pool; the stats fold stays on the
+  // calling thread so ServerStats needs no atomics.
+  const std::vector<common::Status> statuses =
+      batch_verifier_->verify_batch(jobs);
+
+  std::vector<Response> responses;
+  responses.reserve(submissions.size());
+  for (std::size_t i = 0; i < submissions.size(); ++i) {
+    responses.push_back(
+        finalize_submission(submissions[i].request_id, statuses[i]));
+  }
+  return responses;
+}
+
+Response PowServer::finalize_submission(std::uint64_t request_id,
+                                        const common::Status& status) {
   if (status.ok()) {
     // (6)-(7): solved correctly — serve the resource.
     ++stats_.served;
-    return Response{submission.request_id, common::ErrorCode::kOk,
+    return Response{request_id, common::ErrorCode::kOk,
                     config_.resource_body};
   }
   switch (status.error().code) {
@@ -87,8 +125,7 @@ Response PowServer::on_submission(const Submission& submission,
     case common::ErrorCode::kBadSolution: ++stats_.rejected_bad_solution; break;
     default: ++stats_.rejected_binding; break;
   }
-  return Response{submission.request_id, status.error().code,
-                  status.error().message};
+  return Response{request_id, status.error().code, status.error().message};
 }
 
 }  // namespace powai::framework

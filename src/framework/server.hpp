@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
@@ -25,10 +27,11 @@
 #include "framework/protocol.hpp"
 #include "framework/rate_limiter.hpp"
 #include "policy/policy.hpp"
+#include "pow/batch_verifier.hpp"
 #include "pow/generator.hpp"
 #include "pow/verifier.hpp"
-#include "reputation/cache.hpp"
 #include "reputation/model.hpp"
+#include "reputation/sharded_cache.hpp"
 
 namespace powai::framework {
 
@@ -44,6 +47,15 @@ struct ServerConfig final {
   /// Memoize reputation scores per IP (EWMA + TTL).
   bool reputation_cache_enabled = true;
   reputation::CacheConfig cache;
+
+  /// Lock stripes for the reputation cache (rounded up to a power of
+  /// two); the entry budget in `cache.max_entries` is global.
+  std::size_t cache_shards = 16;
+
+  /// Worker threads for on_submission_batch (0 = hardware concurrency).
+  /// The pool is created lazily on the first batch call, so servers that
+  /// only ever verify one-at-a-time never spawn threads.
+  std::size_t verify_threads = 0;
 
   /// Hard per-IP ceiling on challenge issuance.
   bool rate_limiter_enabled = false;
@@ -106,19 +118,39 @@ class PowServer final {
   [[nodiscard]] Response on_submission(const Submission& submission,
                                        const std::string& observed_ip = {});
 
+  /// Batch form of on_submission: verifies all submissions in parallel
+  /// on the server's thread pool (created lazily, `verify_threads`
+  /// workers), then folds outcomes into the stats serially. Result[i]
+  /// corresponds to submissions[i]. \p observed_ips must be empty (skip
+  /// the binding check everywhere) or one address per submission.
+  /// Throws std::invalid_argument on a length mismatch.
+  ///
+  /// Safe to call while no other thread is inside the server: the
+  /// parallelism is internal to the call, so callers keep the
+  /// single-threaded programming model.
+  [[nodiscard]] std::vector<Response> on_submission_batch(
+      std::span<const Submission> submissions,
+      std::span<const std::string> observed_ips = {});
+
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
   [[nodiscard]] const ScoringTrace& last_trace() const { return trace_; }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
  private:
+  /// Folds one verification outcome into the stats and builds the
+  /// client-facing Response (shared by single and batch submission).
+  Response finalize_submission(std::uint64_t request_id,
+                               const common::Status& status);
+
   const reputation::IReputationModel* model_;
   const policy::IPolicy* policy_;
   ServerConfig config_;
   common::Rng policy_rng_;
   pow::PuzzleGenerator generator_;
   pow::Verifier verifier_;
-  reputation::ReputationCache cache_;
+  reputation::ShardedReputationCache cache_;
   RateLimiter rate_limiter_;
+  std::unique_ptr<pow::BatchVerifier> batch_verifier_;  // lazy
   ServerStats stats_;
   ScoringTrace trace_;
 };

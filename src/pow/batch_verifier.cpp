@@ -1,0 +1,41 @@
+#include "pow/batch_verifier.hpp"
+
+namespace powai::pow {
+
+BatchVerifier::BatchVerifier(Verifier& verifier, std::size_t threads)
+    : verifier_(&verifier),
+      owned_pool_(std::make_unique<common::ThreadPool>(threads)),
+      pool_(owned_pool_.get()) {}
+
+BatchVerifier::BatchVerifier(Verifier& verifier, common::ThreadPool& pool)
+    : verifier_(&verifier), pool_(&pool) {}
+
+namespace {
+const std::string kNoObservedIp;
+}  // namespace
+
+std::vector<common::Status> BatchVerifier::verify_batch(
+    std::span<const VerificationJob> jobs) {
+  std::vector<common::Status> results(jobs.size(), common::Status::success());
+  pool_->parallel_for(jobs.size(), [&](std::size_t i) {
+    const VerificationJob& job = jobs[i];
+    results[i] = verifier_->verify(
+        *job.puzzle, *job.solution,
+        job.observed_ip ? *job.observed_ip : kNoObservedIp);
+  });
+  return results;
+}
+
+std::vector<common::Status> BatchVerifier::verify_sequential(
+    std::span<const VerificationJob> jobs) {
+  std::vector<common::Status> results;
+  results.reserve(jobs.size());
+  for (const VerificationJob& job : jobs) {
+    results.push_back(verifier_->verify(
+        *job.puzzle, *job.solution,
+        job.observed_ip ? *job.observed_ip : kNoObservedIp));
+  }
+  return results;
+}
+
+}  // namespace powai::pow

@@ -1,0 +1,65 @@
+#pragma once
+/// \file batch_verifier.hpp
+/// Parallel solution verification. A production front-end does not see
+/// one submission at a time — it drains a socket and hands the verifier
+/// a batch. BatchVerifier fans a batch out over a thread pool; because
+/// Verifier::verify is thread-safe (shard-striped replay cache), the
+/// workers share one verifier and one replay history.
+///
+/// For a batch with distinct puzzle ids the result vector is identical
+/// to calling verify() sequentially in batch order. Duplicate ids race
+/// for the single redemption: exactly one wins, but *which* one is
+/// scheduling-dependent (sequential order makes the first win).
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "pow/puzzle.hpp"
+#include "pow/verifier.hpp"
+
+namespace powai::pow {
+
+/// One unit of verification work. Non-owning: the referenced puzzle,
+/// solution, and address must outlive the verify call — they normally
+/// live in the submission batch being drained, so building the job list
+/// copies three pointers per item instead of the puzzle bytes.
+struct VerificationJob final {
+  const Puzzle* puzzle = nullptr;
+  const Solution* solution = nullptr;
+  const std::string* observed_ip = nullptr;  ///< null/empty = skip binding check
+};
+
+class BatchVerifier final {
+ public:
+  /// Owns a fresh pool of \p threads workers (0 = hardware concurrency).
+  /// \p verifier must outlive the batch verifier.
+  explicit BatchVerifier(Verifier& verifier, std::size_t threads = 0);
+
+  /// Shares an external pool. Both \p verifier and \p pool must outlive
+  /// the batch verifier.
+  BatchVerifier(Verifier& verifier, common::ThreadPool& pool);
+
+  /// Verifies every job; result[i] corresponds to jobs[i]. Blocks until
+  /// the whole batch is done.
+  [[nodiscard]] std::vector<common::Status> verify_batch(
+      std::span<const VerificationJob> jobs);
+
+  /// Sequential reference implementation (same verifier, same replay
+  /// state) — the baseline verify_batch is benchmarked against.
+  [[nodiscard]] std::vector<common::Status> verify_sequential(
+      std::span<const VerificationJob> jobs);
+
+  [[nodiscard]] std::size_t threads() const { return pool_->size(); }
+
+ private:
+  Verifier* verifier_;
+  std::unique_ptr<common::ThreadPool> owned_pool_;
+  common::ThreadPool* pool_;
+};
+
+}  // namespace powai::pow

@@ -1,0 +1,56 @@
+#include "pow/replay_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hashing.hpp"
+
+namespace powai::pow {
+
+ShardedReplayCache::ShardedReplayCache(std::size_t capacity,
+                                       std::size_t shards) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ShardedReplayCache: capacity == 0");
+  }
+  const std::size_t n =
+      common::round_up_pow2(std::max<std::size_t>(1, shards));
+  shard_mask_ = n - 1;
+  per_shard_capacity_ = std::max<std::size_t>(1, (capacity + n - 1) / n);
+  shards_ = std::make_unique<Shard[]>(n);
+}
+
+ShardedReplayCache::Shard& ShardedReplayCache::shard_for(
+    std::uint64_t id) const {
+  // Puzzle ids are sequential; the finalizer spreads them uniformly
+  // across the power-of-two mask.
+  return shards_[common::mix64(id) & shard_mask_];
+}
+
+bool ShardedReplayCache::try_redeem(std::uint64_t id) {
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.set.insert(id).second) return false;
+  s.fifo.push_back(id);
+  if (s.fifo.size() > per_shard_capacity_) {
+    s.set.erase(s.fifo.front());
+    s.fifo.pop_front();
+  }
+  return true;
+}
+
+bool ShardedReplayCache::contains(std::uint64_t id) const {
+  const Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.set.contains(id);
+}
+
+std::size_t ShardedReplayCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].set.size();
+  }
+  return total;
+}
+
+}  // namespace powai::pow

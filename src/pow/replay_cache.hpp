@@ -1,0 +1,59 @@
+#pragma once
+/// \file replay_cache.hpp
+/// Shard-striped redeemed-puzzle memory. The verifier's replay check is
+/// the only mutable state on the verification hot path; striping it over
+/// independently-locked shards lets many threads redeem concurrently
+/// with contention only on puzzle-id hash collisions into the same
+/// shard. Each shard keeps its own FIFO so eviction stays O(1) and never
+/// takes more than one lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace powai::pow {
+
+class ShardedReplayCache final {
+ public:
+  /// \p capacity is the total redeemed-id budget, split evenly across
+  /// \p shards (rounded up to a power of two, at least 1). Throws
+  /// std::invalid_argument if capacity == 0.
+  explicit ShardedReplayCache(std::size_t capacity, std::size_t shards = 16);
+
+  ShardedReplayCache(const ShardedReplayCache&) = delete;
+  ShardedReplayCache& operator=(const ShardedReplayCache&) = delete;
+
+  /// Atomically tests and records \p id. Returns true exactly once per
+  /// id (until capacity eviction forgets it): the caller that gets true
+  /// owns the redemption. Thread-safe.
+  [[nodiscard]] bool try_redeem(std::uint64_t id);
+
+  /// Membership probe (racy under concurrent redeem, by nature).
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+
+  /// Total remembered ids, summed over shards. Exact when quiescent.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_mask_ + 1; }
+  [[nodiscard]] std::size_t capacity() const {
+    return per_shard_capacity_ * shard_count();
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> set;
+    std::deque<std::uint64_t> fifo;  // insertion order, for eviction
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t id) const;
+
+  std::size_t per_shard_capacity_;
+  std::uint64_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace powai::pow

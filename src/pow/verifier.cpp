@@ -10,10 +10,9 @@ Verifier::Verifier(const common::Clock& clock, common::BytesView master_secret,
                    VerifierConfig config)
     : clock_(&clock),
       mac_key_(PuzzleGenerator::derive_mac_key(master_secret)),
-      config_(config) {
-  if (config_.replay_capacity == 0) {
-    throw std::invalid_argument("Verifier: replay_capacity == 0");
-  }
+      config_(config),
+      // Throws std::invalid_argument on replay_capacity == 0.
+      redeemed_(config.replay_capacity, config.replay_shards) {
   if (config_.ttl <= common::Duration::zero()) {
     throw std::invalid_argument("Verifier: non-positive ttl");
   }
@@ -66,16 +65,12 @@ common::Status Verifier::verify(const Puzzle& puzzle, const Solution& solution,
                        "digest does not meet difficulty");
   }
 
-  // 5. Single redemption.
-  if (redeemed_.contains(puzzle.puzzle_id)) {
+  // 5. Single redemption: the shard-striped cache makes the
+  //    test-and-record atomic, so under concurrent submission of the
+  //    same solution exactly one caller wins.
+  if (!redeemed_.try_redeem(puzzle.puzzle_id)) {
     return common::err(ErrorCode::kReplay, "puzzle already redeemed");
   }
-  if (redeemed_.size() >= config_.replay_capacity) {
-    redeemed_.erase(redeemed_order_.front());
-    redeemed_order_.pop_front();
-  }
-  redeemed_.insert(puzzle.puzzle_id);
-  redeemed_order_.push_back(puzzle.puzzle_id);
 
   return common::Status::success();
 }

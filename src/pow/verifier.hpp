@@ -6,14 +6,13 @@
 /// check (expiry), and a replay-cache membership test.
 
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <unordered_set>
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "pow/puzzle.hpp"
+#include "pow/replay_cache.hpp"
 
 namespace powai::pow {
 
@@ -29,13 +28,27 @@ struct VerifierConfig final {
   /// different machines).
   common::Duration future_skew = std::chrono::seconds(5);
 
-  /// Redeemed-puzzle memory (FIFO). Must exceed the number of puzzles
-  /// the server can issue within one ttl window.
+  /// Redeemed-puzzle memory (FIFO per shard). Must exceed the number of
+  /// puzzles the server can issue within one ttl window — with headroom
+  /// (~2x) when replay_shards > 1: the budget is split per shard, and a
+  /// statistically hot shard evicts before the global budget is reached,
+  /// which would let an early-evicted solution be redeemed twice.
   std::size_t replay_capacity = 1 << 20;
+
+  /// Lock stripes for the replay cache (rounded up to a power of two).
+  /// 1 gives the classic single-FIFO semantics (eviction exactly at
+  /// replay_capacity insertions); higher values trade strict global
+  /// FIFO eviction for concurrent redemption.
+  std::size_t replay_shards = 16;
 };
 
 /// Stateful solution verifier (replay cache); share one instance per
 /// issuing generator.
+///
+/// Thread-safe: every member is immutable after construction except the
+/// replay cache, which is internally shard-striped, so any number of
+/// threads may call verify() concurrently (that is what BatchVerifier
+/// does). A redeemed puzzle is accepted by exactly one of them.
 class Verifier final {
  public:
   /// \p clock must outlive the verifier. \p master_secret must equal the
@@ -62,8 +75,7 @@ class Verifier final {
   const common::Clock* clock_;
   common::Bytes mac_key_;
   VerifierConfig config_;
-  std::unordered_set<std::uint64_t> redeemed_;
-  std::deque<std::uint64_t> redeemed_order_;  // FIFO eviction
+  ShardedReplayCache redeemed_;
 };
 
 }  // namespace powai::pow

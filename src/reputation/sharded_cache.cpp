@@ -1,0 +1,73 @@
+#include "reputation/sharded_cache.hpp"
+
+#include <algorithm>
+
+#include "common/hashing.hpp"
+
+namespace powai::reputation {
+
+ShardedReputationCache::ShardedReputationCache(const common::Clock& clock,
+                                               CacheConfig config,
+                                               std::size_t shards) {
+  const std::size_t n =
+      common::round_up_pow2(std::max<std::size_t>(1, shards));
+  shard_mask_ = static_cast<std::uint32_t>(n - 1);
+
+  // Split the global entry budget across shards; validation of the
+  // other knobs (alpha, ttl) happens inside each ReputationCache.
+  CacheConfig per_shard = config;
+  per_shard.max_entries =
+      std::max<std::size_t>(1, (config.max_entries + n - 1) / n);
+  if (config.max_entries == 0) per_shard.max_entries = 0;  // keep the throw
+
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(clock, per_shard));
+  }
+}
+
+ShardedReputationCache::Shard& ShardedReputationCache::shard_for(
+    features::IpAddress ip) const {
+  // IPv4 addresses cluster in the low octets (one /24 of bots differs
+  // only in the last byte); the finalizer spreads them across the mask.
+  return *shards_[common::mix32(ip.value()) & shard_mask_];
+}
+
+std::optional<double> ShardedReputationCache::lookup(
+    features::IpAddress ip) const {
+  Shard& s = shard_for(ip);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.cache.lookup(ip);
+}
+
+double ShardedReputationCache::update(features::IpAddress ip, double score) {
+  Shard& s = shard_for(ip);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.cache.update(ip, score);
+}
+
+void ShardedReputationCache::erase(features::IpAddress ip) {
+  Shard& s = shard_for(ip);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.cache.erase(ip);
+}
+
+std::size_t ShardedReputationCache::purge_expired() {
+  std::size_t removed = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    removed += shard->cache.purge_expired();
+  }
+  return removed;
+}
+
+std::size_t ShardedReputationCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->cache.size();
+  }
+  return total;
+}
+
+}  // namespace powai::reputation

@@ -1,0 +1,68 @@
+#pragma once
+/// \file sharded_cache.hpp
+/// Mutex-striped sharded wrapper around ReputationCache. The per-IP
+/// score memo sits on the request hot path; striping it across
+/// independently-locked shards (keyed by a mix of the IPv4 address) lets
+/// concurrent request handlers score different clients without
+/// serializing on one lock. Entries for one IP always live in one
+/// shard, so the TTL + EWMA semantics of ReputationCache carry over
+/// unchanged per key.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "features/ip_address.hpp"
+#include "reputation/cache.hpp"
+
+namespace powai::reputation {
+
+class ShardedReputationCache final {
+ public:
+  /// \p config.max_entries is the *total* budget, split evenly across
+  /// \p shards (rounded up to a power of two, at least 1). \p clock must
+  /// outlive the cache.
+  ShardedReputationCache(const common::Clock& clock, CacheConfig config = {},
+                         std::size_t shards = 16);
+
+  ShardedReputationCache(const ShardedReputationCache&) = delete;
+  ShardedReputationCache& operator=(const ShardedReputationCache&) = delete;
+
+  /// Fresh cached score, or nullopt if absent/expired. Thread-safe.
+  [[nodiscard]] std::optional<double> lookup(features::IpAddress ip) const;
+
+  /// Inserts or EWMA-merges an observation; returns the stored score.
+  /// Thread-safe; concurrent updates to one IP serialize on its shard.
+  double update(features::IpAddress ip, double score);
+
+  /// Removes one entry (no-op if absent). Thread-safe.
+  void erase(features::IpAddress ip);
+
+  /// Drops expired entries in every shard; returns how many were
+  /// removed. Takes one shard lock at a time.
+  std::size_t purge_expired();
+
+  /// Total resident entries, summed over shards. Exact when quiescent.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    ReputationCache cache;
+
+    Shard(const common::Clock& clock, CacheConfig config)
+        : cache(clock, config) {}
+  };
+
+  [[nodiscard]] Shard& shard_for(features::IpAddress ip) const;
+
+  std::uint32_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace powai::reputation

@@ -47,6 +47,14 @@ TEST(Hmac, Rfc4231Case4) {
             "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
 }
 
+TEST(Hmac, Rfc4231Case5Truncation) {
+  // Case 5 specifies a MAC truncated to 128 bits; we compute the full
+  // tag and compare its prefix.
+  const Bytes key(20, 0x0c);
+  const Digest mac = hmac_sha256(key, bytes_of("Test With Truncation"));
+  EXPECT_EQ(hex_digest(mac).substr(0, 32), "a3b6167473100ee06e0c796c2955552b");
+}
+
 TEST(Hmac, Rfc4231Case6LongKey) {
   // Key longer than the block size must be hashed first.
   const Bytes key(131, 0xaa);

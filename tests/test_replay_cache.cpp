@@ -1,0 +1,110 @@
+// Tests for the shard-striped replay cache: atomic redeem-once
+// semantics, per-shard FIFO eviction, and race behavior under
+// concurrent redemption of the same id.
+
+#include "pow/replay_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace powai::pow {
+namespace {
+
+TEST(ShardedReplayCache, RedeemsEachIdExactlyOnce) {
+  ShardedReplayCache cache(1024, 8);
+  EXPECT_TRUE(cache.try_redeem(7));
+  EXPECT_FALSE(cache.try_redeem(7));
+  EXPECT_TRUE(cache.try_redeem(8));
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_TRUE(cache.contains(8));
+  EXPECT_FALSE(cache.contains(9));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedReplayCache, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedReplayCache(16, 1).shard_count(), 1u);
+  EXPECT_EQ(ShardedReplayCache(16, 3).shard_count(), 4u);
+  EXPECT_EQ(ShardedReplayCache(16, 16).shard_count(), 16u);
+  EXPECT_EQ(ShardedReplayCache(16, 17).shard_count(), 32u);
+}
+
+TEST(ShardedReplayCache, RejectsZeroCapacity) {
+  EXPECT_THROW(ShardedReplayCache(0, 4), std::invalid_argument);
+}
+
+TEST(ShardedReplayCache, SingleShardEvictsGlobalFifo) {
+  ShardedReplayCache cache(2, 1);
+  EXPECT_TRUE(cache.try_redeem(1));
+  EXPECT_TRUE(cache.try_redeem(2));
+  EXPECT_TRUE(cache.try_redeem(3));  // evicts 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  // The forgotten id can be redeemed again — the documented cost of a
+  // bounded cache.
+  EXPECT_TRUE(cache.try_redeem(1));
+}
+
+TEST(ShardedReplayCache, CapacityBoundsTotalEntries) {
+  ShardedReplayCache cache(64, 8);
+  for (std::uint64_t id = 0; id < 10'000; ++id) {
+    (void)cache.try_redeem(id);
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(ShardedReplayCache, ConcurrentRedeemOfSameIdAcceptsExactlyOnce) {
+  // The race the striped design must win: N threads submit the same
+  // solution simultaneously; the cache must admit exactly one.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kRounds = 200;
+  ShardedReplayCache cache(1 << 16, 16);
+
+  for (std::uint64_t round = 0; round < kRounds; ++round) {
+    const std::uint64_t id = 0x1000 + round;
+    std::atomic<int> winners{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        if (cache.try_redeem(id)) winners.fetch_add(1);
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+  }
+}
+
+TEST(ShardedReplayCache, ConcurrentDistinctIdsAllSucceed) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2'000;
+  ShardedReplayCache cache(1 << 20, 16);
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id =
+            (static_cast<std::uint64_t>(t) << 32) | i;
+        if (cache.try_redeem(id)) accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(accepted.load(), kThreads * kPerThread);
+  EXPECT_EQ(cache.size(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace powai::pow

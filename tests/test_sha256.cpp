@@ -38,6 +38,29 @@ TEST(Sha256, TwoBlockMessage) {
       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
 }
 
+TEST(Sha256, FourBlockMessage) {
+  // FIPS 180-4 / NIST CAVP 896-bit message.
+  EXPECT_EQ(
+      hex_digest(Sha256::hash(bytes_of(
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+          "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, NistOneByte) {
+  // NIST SHA-256 example vector: the single byte 0xbd.
+  const Bytes msg{0xbd};
+  EXPECT_EQ(hex_digest(Sha256::hash(msg)),
+            "68325720aabd7c82f30f554b313d0570c95accbb7dc4b5aae11204c08ffe732b");
+}
+
+TEST(Sha256, NistFourBytes) {
+  // NIST SHA-256 example vector: the 4-byte message 0xc98c8e55.
+  const Bytes msg{0xc9, 0x8c, 0x8e, 0x55};
+  EXPECT_EQ(hex_digest(Sha256::hash(msg)),
+            "7abc22c0ae5af26ce93dbb94433a0e0b2e119d014f8e7f65bd56c61ccccd9504");
+}
+
 TEST(Sha256, MillionAs) {
   Sha256 h;
   const Bytes chunk(1000, 'a');

@@ -1,0 +1,144 @@
+// Tests for the mutex-striped reputation cache: the per-key TTL + EWMA
+// semantics must match the unsharded ReputationCache, and concurrent
+// access must neither lose updates for distinct IPs nor corrupt state
+// for a contended one.
+
+#include "reputation/sharded_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace powai::reputation {
+namespace {
+
+using namespace std::chrono_literals;
+using features::IpAddress;
+
+IpAddress ip(std::uint32_t v) { return IpAddress(v); }
+
+TEST(ShardedReputationCache, LookupMissesWhenEmpty) {
+  common::ManualClock clock;
+  ShardedReputationCache cache(clock);
+  EXPECT_FALSE(cache.lookup(ip(1)).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedReputationCache, StoresAndSmoothsLikeUnshardedCache) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.alpha = 0.5;
+  ShardedReputationCache sharded(clock, cfg, 8);
+  ReputationCache flat(clock, cfg);
+
+  // Same operation sequence → same per-key answers, shards or not.
+  for (std::uint32_t v = 1; v <= 64; ++v) {
+    EXPECT_DOUBLE_EQ(sharded.update(ip(v), 0.25 * v), flat.update(ip(v), 0.25 * v));
+  }
+  for (std::uint32_t v = 1; v <= 64; ++v) {
+    EXPECT_DOUBLE_EQ(sharded.update(ip(v), 0.5), flat.update(ip(v), 0.5));
+    ASSERT_TRUE(sharded.lookup(ip(v)).has_value());
+    EXPECT_DOUBLE_EQ(*sharded.lookup(ip(v)), *flat.lookup(ip(v)));
+  }
+  EXPECT_EQ(sharded.size(), flat.size());
+}
+
+TEST(ShardedReputationCache, TtlExpiryAndPurge) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.ttl = 10s;
+  ShardedReputationCache cache(clock, cfg, 4);
+  (void)cache.update(ip(1), 0.9);
+  (void)cache.update(ip(2), 0.1);
+  clock.advance(11s);
+  EXPECT_FALSE(cache.lookup(ip(1)).has_value());
+  EXPECT_EQ(cache.purge_expired(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedReputationCache, EraseRemovesEntry) {
+  common::ManualClock clock;
+  ShardedReputationCache cache(clock);
+  (void)cache.update(ip(42), 0.7);
+  cache.erase(ip(42));
+  EXPECT_FALSE(cache.lookup(ip(42)).has_value());
+  cache.erase(ip(42));  // no-op
+}
+
+TEST(ShardedReputationCache, GlobalEntryBudgetIsEnforcedPerShard) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.max_entries = 64;
+  ShardedReputationCache cache(clock, cfg, 8);
+  for (std::uint32_t v = 0; v < 10'000; ++v) {
+    (void)cache.update(ip(v), 0.5);
+  }
+  // Per-shard budget is ceil(64/8) = 8, so the resident total can never
+  // exceed shards * per-shard = the configured budget.
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(ShardedReputationCache, RejectsBadConfig) {
+  common::ManualClock clock;
+  CacheConfig bad;
+  bad.max_entries = 0;
+  EXPECT_THROW(ShardedReputationCache(clock, bad), std::invalid_argument);
+  bad = {};
+  bad.alpha = 0.0;
+  EXPECT_THROW(ShardedReputationCache(clock, bad), std::invalid_argument);
+}
+
+TEST(ShardedReputationCache, ConcurrentUpdatesToDistinctIpsAllLand) {
+  common::ManualClock clock;
+  ShardedReputationCache cache(clock, {}, 16);
+  constexpr int kThreads = 8;
+  constexpr std::uint32_t kPerThread = 2'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        const IpAddress addr(static_cast<std::uint32_t>(t) * 1'000'000 + i);
+        (void)cache.update(addr, 0.5);
+        ASSERT_TRUE(cache.lookup(addr).has_value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(ShardedReputationCache, ConcurrentUpdatesToOneIpStayConsistent) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.alpha = 0.3;
+  ShardedReputationCache cache(clock, cfg, 16);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        const double stored = cache.update(ip(99), 0.5);
+        // EWMA of observations all equal to 0.5 starting from 0.5 is
+        // always 0.5 — any torn read/write would break this.
+        ASSERT_DOUBLE_EQ(stored, 0.5);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(*cache.lookup(ip(99)), 0.5);
+}
+
+}  // namespace
+}  // namespace powai::reputation

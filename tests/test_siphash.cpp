@@ -46,6 +46,27 @@ TEST(SipHash, CrossesWordBoundaries) {
   EXPECT_EQ(siphash24(key, input), 0x9e0082df0ba9e4b0ULL);
 }
 
+TEST(SipHash, EveryTailLengthAfterFullWord) {
+  // Official vectors for lengths 10-15: one full 8-byte word plus every
+  // tail size from 2 to 7, pinning the little-endian tail assembly.
+  const SipKey key = test_key();
+  const std::uint64_t expected[] = {
+      0x7a5dbbc594ddb9f3ULL,  // len 10
+      0xf4b32f46226bada7ULL,  // len 11
+      0x751e8fbc860ee5fbULL,  // len 12
+      0x14ea5627c0843d90ULL,  // len 13
+      0xf723ca908e7af2eeULL,  // len 14
+      0xa129ca6149be45e5ULL,  // len 15
+  };
+  Bytes input;
+  for (std::uint8_t i = 0; i < 10; ++i) input.push_back(i);
+  for (std::size_t k = 0; k < std::size(expected); ++k) {
+    EXPECT_EQ(siphash24(key, input), expected[k])
+        << "len=" << input.size();
+    input.push_back(static_cast<std::uint8_t>(10 + k));
+  }
+}
+
 TEST(SipHash, KeySensitivity) {
   const Bytes msg = common::bytes_of("replay-cache-entry");
   SipKey k1{};

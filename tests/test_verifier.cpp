@@ -182,6 +182,7 @@ TEST(Verifier, ReplayCacheDistinguishesPuzzles) {
 TEST(Verifier, ReplayCacheEvictsFifoAtCapacity) {
   VerifierConfig cfg;
   cfg.replay_capacity = 2;
+  cfg.replay_shards = 1;  // single shard = classic global FIFO semantics
   Rig rig(cfg);
   const auto [p1, s1] = rig.solved(2);
   const auto [p2, s2] = rig.solved(2);
