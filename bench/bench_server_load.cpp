@@ -1,0 +1,96 @@
+// SERVER-LOAD — end-to-end throughput of one PowServer under N
+// closed-loop client threads driving the full Fig. 1 exchange:
+// request → score → policy → issue → solve → submit → verify → serve.
+// The first whole-pipeline scalability benchmark: it exercises the
+// atomic stats block, the mutex-striped rate limiter and caches, the
+// locked policy rng, the atomic puzzle-id sequence, and the striped
+// replay cache together, which is where issuance-path contention (the
+// attacker's preferred hotspot per rate_limiter.hpp) would show up.
+//
+// A fresh server is built per row so each thread count starts from the
+// same cold caches. Mostly-benign features keep difficulties in the
+// paper's low band, so the numbers measure the server, not the solver.
+//
+// Usage: ./build/bench/bench_server_load [max_clients=8] [requests=64]
+//        [train=400] [seed=42] [rate_limit=0]
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "features/synthetic.hpp"
+#include "framework/server.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+#include "sim/load_harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace powai;
+
+  const common::Config args = common::Config::from_args(argc, argv);
+  const auto max_clients =
+      static_cast<std::size_t>(args.get_u64("max_clients", 8));
+  const auto requests = static_cast<std::size_t>(args.get_u64("requests", 64));
+  const auto train = static_cast<std::size_t>(args.get_u64("train", 400));
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const bool rate_limit = args.get_u64("rate_limit", 0) != 0;
+
+  if (max_clients == 0 || requests == 0) {
+    std::fprintf(stderr, "max_clients and requests must be positive\n");
+    return 1;
+  }
+
+  common::Rng rng(seed);
+  const features::SyntheticTraceGenerator gen;
+  reputation::DabrModel model;
+  model.fit(gen.generate(train, train, rng));
+  const policy::LinearPolicy policy = policy::LinearPolicy::policy2();
+
+  std::vector<features::FeatureVector> client_features;
+  for (int i = 0; i < 8; ++i) client_features.push_back(gen.sample(false, rng));
+
+  // Powers of two up to max_clients, plus max_clients itself when it is
+  // not one — the top requested count must always get a row.
+  std::vector<std::size_t> client_counts;
+  for (std::size_t clients = 1; clients < max_clients; clients *= 2) {
+    client_counts.push_back(clients);
+  }
+  client_counts.push_back(max_clients);
+
+  common::Table table({"clients", "round-trips", "served", "rate-limited",
+                       "issued/s", "served/s", "mean-d"});
+  for (const std::size_t clients : client_counts) {
+    framework::ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("server-load-bench-secret");
+    if (rate_limit) {
+      cfg.rate_limiter_enabled = true;
+      cfg.rate_limiter.tokens_per_second = 50.0;
+      cfg.rate_limiter.burst = 100.0;
+    }
+    framework::PowServer server(common::WallClock::instance(), model, policy,
+                                cfg);
+
+    sim::LoadHarnessConfig lc;
+    lc.client_threads = clients;
+    lc.requests_per_client = requests;
+    sim::LoadHarness harness(server, lc);
+    const sim::LoadReport report = harness.run(client_features);
+
+    table.add_row({std::to_string(clients), std::to_string(report.round_trips),
+                   std::to_string(report.served),
+                   std::to_string(report.rate_limited),
+                   common::fmt_f(report.issued_per_s(), 0),
+                   common::fmt_f(report.served_per_s(), 0),
+                   common::fmt_f(report.server_delta.mean_difficulty(), 2)});
+  }
+
+  std::printf("SERVER-LOAD: closed-loop request→solve→submit throughput, "
+              "%zu requests per client\n\n%s\n",
+              requests, table.to_text().c_str());
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

@@ -31,6 +31,15 @@ namespace powai::common {
   return x;
 }
 
+/// Size of slice \p i when \p total is distributed exactly across \p n
+/// parts: the first `total % n` parts take one extra. Summing over all
+/// i < n gives exactly \p total — the invariant the sharded containers
+/// rely on to keep their global budgets exact.
+[[nodiscard]] constexpr std::size_t split_slice(std::size_t total,
+                                                std::size_t n, std::size_t i) {
+  return total / n + (i < total % n ? 1 : 0);
+}
+
 /// Saturates at the largest representable power of two instead of the
 /// undefined behavior std::bit_ceil has past it.
 [[nodiscard]] constexpr std::size_t round_up_pow2(std::size_t v) {

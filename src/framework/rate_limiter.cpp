@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/hashing.hpp"
+
 namespace powai::framework {
 
 RateLimiter::RateLimiter(const common::Clock& clock, RateLimiterConfig config)
@@ -13,25 +15,68 @@ RateLimiter::RateLimiter(const common::Clock& clock, RateLimiterConfig config)
   if (config_.max_tracked_ips == 0) {
     throw std::invalid_argument("RateLimiter: max_tracked_ips == 0");
   }
+  // Striping splits the tracking budget, and an eviction re-admits the
+  // IP at full burst — so a shard whose slice is tiny lets colliding
+  // IPs launder their spent balance by evicting each other while the
+  // global budget is mostly free. Keep every shard's slice comfortably
+  // above the collision scale, collapsing to one lock for small budgets
+  // (where the pre-sharding exact-global-ceiling semantics return).
+  constexpr std::size_t kMinIpsPerShard = 1024;
+  std::size_t n = common::round_up_pow2(std::max<std::size_t>(1, config_.shards));
+  while (n > 1 && config_.max_tracked_ips / n < kMinIpsPerShard) n >>= 1;
+  shard_mask_ = static_cast<std::uint32_t>(n - 1);
+  shards_ = std::make_unique<Shard[]>(n);
+  // Distribute the tracking budget exactly so the global ceiling holds.
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i].max_ips = common::split_slice(config_.max_tracked_ips, n, i);
+  }
 }
 
-RateLimiter::Bucket& RateLimiter::bucket_for(features::IpAddress ip) {
-  const auto it = buckets_.find(ip.value());
-  if (it != buckets_.end()) return it->second;
-  if (buckets_.size() >= config_.max_tracked_ips) {
-    // Drop the stalest bucket. Linear scan: hitting the ceiling at all
-    // means the deployment should raise max_tracked_ips.
-    auto stalest = buckets_.begin();
-    for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
-      if (b->second.refilled_at < stalest->second.refilled_at) stalest = b;
+RateLimiter::Shard& RateLimiter::shard_for(features::IpAddress ip) const {
+  // IPv4 addresses cluster in the low octets; the finalizer spreads them
+  // across the power-of-two mask.
+  return shards_[common::mix32(ip.value()) & shard_mask_];
+}
+
+void RateLimiter::evict_one(Shard& s) {
+  // Clock-hand sweep over the hash-bucket array: look at a handful of
+  // resident entries past the cursor and drop the stalest of them. The
+  // map sits at its per-shard ceiling whenever this runs, so the load
+  // factor bounds how many empty hash buckets the hand crosses and the
+  // cost is O(1) amortized — a full stalest-entry scan would be O(n) per
+  // new IP once the ceiling is hit, which is exactly the issuer-side
+  // hotspot this limiter exists to prevent.
+  constexpr std::size_t kCandidates = 4;
+  auto& map = s.buckets;
+  const std::size_t hash_buckets = map.bucket_count();
+  std::size_t seen = 0;
+  bool have_victim = false;
+  std::uint32_t victim = 0;
+  common::TimePoint oldest{};
+  for (std::size_t step = 0; step < hash_buckets && seen < kCandidates;
+       ++step) {
+    const std::size_t bi = s.hand++ % hash_buckets;
+    for (auto it = map.begin(bi); it != map.end(bi); ++it) {
+      if (!have_victim || it->second.refilled_at < oldest) {
+        have_victim = true;
+        victim = it->first;
+        oldest = it->second.refilled_at;
+      }
+      if (++seen >= kCandidates) break;
     }
-    buckets_.erase(stalest);
   }
-  return buckets_.emplace(ip.value(), Bucket{config_.burst, clock_->now()})
+  if (have_victim) map.erase(victim);
+}
+
+RateLimiter::Bucket& RateLimiter::bucket_for(Shard& s, features::IpAddress ip) {
+  const auto it = s.buckets.find(ip.value());
+  if (it != s.buckets.end()) return it->second;
+  if (s.buckets.size() >= s.max_ips) evict_one(s);
+  return s.buckets.emplace(ip.value(), Bucket{config_.burst, clock_->now()})
       .first->second;
 }
 
-void RateLimiter::refill(Bucket& b) {
+void RateLimiter::refill(Bucket& b) const {
   const common::TimePoint now = clock_->now();
   const double elapsed_s =
       std::chrono::duration<double>(now - b.refilled_at).count();
@@ -43,17 +88,34 @@ void RateLimiter::refill(Bucket& b) {
 }
 
 bool RateLimiter::allow(features::IpAddress ip) {
-  Bucket& b = bucket_for(ip);
+  Shard& s = shard_for(ip);
+  std::lock_guard<std::mutex> lock(s.mu);
+  Bucket& b = bucket_for(s, ip);
   refill(b);
   if (b.tokens < 1.0) return false;
   b.tokens -= 1.0;
   return true;
 }
 
-double RateLimiter::tokens(features::IpAddress ip) {
-  Bucket& b = bucket_for(ip);
-  refill(b);
-  return b.tokens;
+double RateLimiter::tokens(features::IpAddress ip) const {
+  const Shard& s = shard_for(ip);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.buckets.find(ip.value());
+  if (it == s.buckets.end()) return config_.burst;
+  // Refill a copy so the diagnostic shares allow()'s arithmetic without
+  // mutating the live bucket.
+  Bucket refreshed = it->second;
+  refill(refreshed);
+  return refreshed.tokens;
+}
+
+std::size_t RateLimiter::tracked_ips() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].buckets.size();
+  }
+  return total;
 }
 
 }  // namespace powai::framework

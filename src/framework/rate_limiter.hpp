@@ -3,8 +3,16 @@
 /// Per-IP token-bucket rate limiter. The PoW layer makes requests costly
 /// but a server still wants a hard ceiling on challenge issuance per
 /// source (otherwise an attacker can make the *issuer* the hotspot).
+///
+/// Mutex-striped like ShardedReplayCache/ShardedReputationCache: the
+/// bucket for one IP always lives in one shard, so per-key token
+/// accounting stays exact under concurrent callers — N threads racing
+/// allow() on one IP serialize on its shard lock and exactly
+/// floor(balance) of them win.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/clock.hpp"
@@ -15,7 +23,17 @@ namespace powai::framework {
 struct RateLimiterConfig final {
   double tokens_per_second = 10.0;  ///< refill rate per IP
   double burst = 20.0;              ///< bucket capacity
+
+  /// Global tracked-bucket budget, distributed exactly across shards.
   std::size_t max_tracked_ips = 1 << 20;
+
+  /// Lock stripes (rounded up to a power of two, then halved until
+  /// every shard keeps a healthy bucket budget — a starved shard would
+  /// thrash-evict colliding IPs back to full burst while the global
+  /// budget is nowhere near spent). Small `max_tracked_ips` therefore
+  /// collapse to a single lock; striping only kicks in at budgets that
+  /// can actually feed the shards.
+  std::size_t shards = 8;
 };
 
 class RateLimiter final {
@@ -23,13 +41,25 @@ class RateLimiter final {
   /// \p clock must outlive the limiter.
   RateLimiter(const common::Clock& clock, RateLimiterConfig config = {});
 
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
   /// Consumes one token for \p ip if available; false = rate limited.
+  /// Thread-safe.
   [[nodiscard]] bool allow(features::IpAddress ip);
 
-  /// Current token balance (diagnostics; refreshed to now).
-  [[nodiscard]] double tokens(features::IpAddress ip);
+  /// Current token balance as of now (diagnostics). Strictly read-only:
+  /// never creates or evicts a bucket, so probing an IP cannot perturb
+  /// live accounting. Untracked IPs report the full burst they would
+  /// start with. Thread-safe.
+  [[nodiscard]] double tokens(features::IpAddress ip) const;
 
-  [[nodiscard]] std::size_t tracked_ips() const { return buckets_.size(); }
+  /// Total tracked buckets, summed over shards. Exact when quiescent.
+  [[nodiscard]] std::size_t tracked_ips() const;
+
+  [[nodiscard]] std::size_t shard_count() const {
+    return static_cast<std::size_t>(shard_mask_) + 1;
+  }
 
  private:
   struct Bucket {
@@ -37,12 +67,28 @@ class RateLimiter final {
     common::TimePoint refilled_at;
   };
 
-  Bucket& bucket_for(features::IpAddress ip);
-  void refill(Bucket& b);
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint32_t, Bucket> buckets;
+    std::size_t max_ips = 0;  ///< this shard's slice of max_tracked_ips
+    std::size_t hand = 0;     ///< clock-hand cursor for eviction
+  };
+
+  [[nodiscard]] Shard& shard_for(features::IpAddress ip) const;
+
+  /// Finds or creates the bucket (caller holds s.mu).
+  Bucket& bucket_for(Shard& s, features::IpAddress ip);
+
+  /// Drops one stale-ish bucket, amortized O(1) (caller holds s.mu and
+  /// guarantees the shard is non-empty).
+  void evict_one(Shard& s);
+
+  void refill(Bucket& b) const;
 
   const common::Clock* clock_;
   RateLimiterConfig config_;
-  std::unordered_map<std::uint32_t, Bucket> buckets_;
+  std::uint32_t shard_mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace powai::framework

@@ -4,6 +4,10 @@
 
 namespace powai::framework {
 
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}
+
 PowServer::PowServer(const common::Clock& clock,
                      const reputation::IReputationModel& model,
                      const policy::IPolicy& pol, ServerConfig config)
@@ -20,55 +24,119 @@ PowServer::PowServer(const common::Clock& clock,
   }
 }
 
-std::variant<Challenge, Response> PowServer::on_request(const Request& request) {
-  ++stats_.requests;
+ServerStats PowServer::AtomicStats::snapshot() const {
+  ServerStats s;
+  s.requests = requests.load(kRelaxed);
+  s.challenges_issued = challenges_issued.load(kRelaxed);
+  s.served = served.load(kRelaxed);
+  s.served_without_pow = served_without_pow.load(kRelaxed);
+  s.rejected_rate_limited = rejected_rate_limited.load(kRelaxed);
+  s.rejected_malformed = rejected_malformed.load(kRelaxed);
+  s.rejected_bad_solution = rejected_bad_solution.load(kRelaxed);
+  s.rejected_expired = rejected_expired.load(kRelaxed);
+  s.rejected_replay = rejected_replay.load(kRelaxed);
+  s.rejected_binding = rejected_binding.load(kRelaxed);
+  s.difficulty_sum = difficulty_sum.load(kRelaxed);
+  return s;
+}
+
+ServerStats ServerStats::operator-(const ServerStats& rhs) const {
+  ServerStats d;
+  d.requests = requests - rhs.requests;
+  d.challenges_issued = challenges_issued - rhs.challenges_issued;
+  d.served = served - rhs.served;
+  d.served_without_pow = served_without_pow - rhs.served_without_pow;
+  d.rejected_rate_limited = rejected_rate_limited - rhs.rejected_rate_limited;
+  d.rejected_malformed = rejected_malformed - rhs.rejected_malformed;
+  d.rejected_bad_solution = rejected_bad_solution - rhs.rejected_bad_solution;
+  d.rejected_expired = rejected_expired - rhs.rejected_expired;
+  d.rejected_replay = rejected_replay - rhs.rejected_replay;
+  d.rejected_binding = rejected_binding - rhs.rejected_binding;
+  d.difficulty_sum = difficulty_sum - rhs.difficulty_sum;
+  return d;
+}
+
+ServerStats PowServer::stats() const { return stats_.snapshot(); }
+
+ScoringTrace PowServer::last_trace() const {
+  ScoringTrace t;
+  t.score = trace_score_.load(kRelaxed);
+  t.difficulty = trace_difficulty_.load(kRelaxed);
+  t.from_cache = trace_from_cache_.load(kRelaxed);
+  return t;
+}
+
+common::ThreadPool& PowServer::ensure_pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<common::ThreadPool>(config_.verify_threads);
+  });
+  return *pool_;
+}
+
+std::variant<Challenge, Response> PowServer::on_request(const Request& request,
+                                                        ScoringTrace* trace) {
+  stats_.requests.fetch_add(1, kRelaxed);
 
   const auto ip = features::IpAddress::parse(request.client_ip);
   if (!ip) {
-    ++stats_.rejected_malformed;
+    stats_.rejected_malformed.fetch_add(1, kRelaxed);
     return Response{request.request_id, common::ErrorCode::kInvalidArgument,
                     "unparsable client ip"};
   }
 
   if (config_.rate_limiter_enabled && !rate_limiter_.allow(*ip)) {
-    ++stats_.rejected_rate_limited;
+    stats_.rejected_rate_limited.fetch_add(1, kRelaxed);
     return Response{request.request_id, common::ErrorCode::kRateLimited,
                     "challenge rate exceeded"};
   }
 
   if (!config_.pow_enabled) {
     // Baseline mode: no puzzle, immediate service.
-    ++stats_.served;
-    ++stats_.served_without_pow;
+    stats_.served.fetch_add(1, kRelaxed);
+    stats_.served_without_pow.fetch_add(1, kRelaxed);
     return Response{request.request_id, common::ErrorCode::kOk,
                     config_.resource_body};
   }
 
   // (2) AI model → reputation score (optionally via the cache).
-  double score;
-  trace_.from_cache = false;
+  ScoringTrace local;
   if (config_.reputation_cache_enabled) {
     if (const auto cached = cache_.lookup(*ip)) {
-      score = *cached;
-      trace_.from_cache = true;
+      local.score = *cached;
+      local.from_cache = true;
     } else {
-      score = model_->score(request.features);
-      cache_.update(*ip, score);
+      local.score = model_->score(request.features);
+      cache_.update(*ip, local.score);
     }
   } else {
-    score = model_->score(request.features);
+    local.score = model_->score(request.features);
   }
 
-  // (3) policy → difficulty.
-  const policy::Difficulty d = policy_->difficulty(score, policy_rng_);
-  trace_.score = score;
-  trace_.difficulty = d;
+  // (3) policy → difficulty. Randomized policies draw from the shared
+  // stream; the lock keeps the single-seed reproducibility contract.
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    local.difficulty = policy_->difficulty(local.score, policy_rng_);
+  }
 
   // (4) issue the puzzle.
-  ++stats_.challenges_issued;
-  stats_.difficulty_sum += d;
+  stats_.challenges_issued.fetch_add(1, kRelaxed);
+  stats_.difficulty_sum.fetch_add(local.difficulty, kRelaxed);
+  trace_score_.store(local.score, kRelaxed);
+  trace_difficulty_.store(local.difficulty, kRelaxed);
+  trace_from_cache_.store(local.from_cache, kRelaxed);
+  if (trace != nullptr) *trace = local;
   return Challenge{request.request_id,
-                   generator_.issue(request.client_ip, d)};
+                   generator_.issue(request.client_ip, local.difficulty)};
+}
+
+std::vector<std::variant<Challenge, Response>> PowServer::on_request_batch(
+    std::span<const Request> requests) {
+  std::vector<std::variant<Challenge, Response>> results(requests.size());
+  ensure_pool().parallel_for(requests.size(), [&](std::size_t i) {
+    results[i] = on_request(requests[i]);
+  });
+  return results;
 }
 
 Response PowServer::on_submission(const Submission& submission,
@@ -85,10 +153,10 @@ std::vector<Response> PowServer::on_submission_batch(
     throw std::invalid_argument(
         "PowServer::on_submission_batch: observed_ips size mismatch");
   }
-  if (!batch_verifier_) {
-    batch_verifier_ = std::make_unique<pow::BatchVerifier>(
-        verifier_, config_.verify_threads);
-  }
+  std::call_once(batch_verifier_once_, [this] {
+    batch_verifier_ =
+        std::make_unique<pow::BatchVerifier>(verifier_, ensure_pool());
+  });
 
   std::vector<pow::VerificationJob> jobs;
   jobs.reserve(submissions.size());
@@ -97,8 +165,6 @@ std::vector<Response> PowServer::on_submission_batch(
                     observed_ips.empty() ? nullptr : &observed_ips[i]});
   }
 
-  // Verification fans out across the pool; the stats fold stays on the
-  // calling thread so ServerStats needs no atomics.
   const std::vector<common::Status> statuses =
       batch_verifier_->verify_batch(jobs);
 
@@ -115,15 +181,23 @@ Response PowServer::finalize_submission(std::uint64_t request_id,
                                         const common::Status& status) {
   if (status.ok()) {
     // (6)-(7): solved correctly — serve the resource.
-    ++stats_.served;
+    stats_.served.fetch_add(1, kRelaxed);
     return Response{request_id, common::ErrorCode::kOk,
                     config_.resource_body};
   }
   switch (status.error().code) {
-    case common::ErrorCode::kExpired: ++stats_.rejected_expired; break;
-    case common::ErrorCode::kReplay: ++stats_.rejected_replay; break;
-    case common::ErrorCode::kBadSolution: ++stats_.rejected_bad_solution; break;
-    default: ++stats_.rejected_binding; break;
+    case common::ErrorCode::kExpired:
+      stats_.rejected_expired.fetch_add(1, kRelaxed);
+      break;
+    case common::ErrorCode::kReplay:
+      stats_.rejected_replay.fetch_add(1, kRelaxed);
+      break;
+    case common::ErrorCode::kBadSolution:
+      stats_.rejected_bad_solution.fetch_add(1, kRelaxed);
+      break;
+    default:
+      stats_.rejected_binding.fetch_add(1, kRelaxed);
+      break;
   }
   return Response{request_id, status.error().code, status.error().message};
 }

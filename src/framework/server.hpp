@@ -12,9 +12,19 @@
 /// modularity claim: any IReputationModel, any IPolicy. The server also
 /// hosts the supporting machinery a deployment needs: a reputation cache,
 /// a per-IP rate limiter, and counters for every outcome.
+///
+/// Thread-safety: on_request, on_submission, and both batch entry points
+/// may be called concurrently from any number of threads. Outcome
+/// counters are relaxed atomics (stats() snapshots them), every shared
+/// container is mutex-striped, and the generator/verifier pair is
+/// internally synchronized. The model and policy passed in must be
+/// safe for concurrent const calls (all in-tree ones are: they are
+/// immutable after fit()/construction).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <variant>
@@ -23,6 +33,7 @@
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "features/ip_address.hpp"
 #include "framework/protocol.hpp"
 #include "framework/rate_limiter.hpp"
@@ -52,9 +63,10 @@ struct ServerConfig final {
   /// two); the entry budget in `cache.max_entries` is global.
   std::size_t cache_shards = 16;
 
-  /// Worker threads for on_submission_batch (0 = hardware concurrency).
-  /// The pool is created lazily on the first batch call, so servers that
-  /// only ever verify one-at-a-time never spawn threads.
+  /// Worker threads for the batch entry points (on_request_batch and
+  /// on_submission_batch); 0 = hardware concurrency. The pool is created
+  /// lazily on the first batch call, so servers that only ever handle
+  /// one message at a time never spawn threads.
   std::size_t verify_threads = 0;
 
   /// Hard per-IP ceiling on challenge issuance.
@@ -71,7 +83,9 @@ struct ServerConfig final {
   std::uint64_t policy_seed = 0x9069'0ce5'7a37'b00fULL;
 };
 
-/// Outcome counters (monotonic).
+/// Outcome counters (monotonic). Plain snapshot struct — the live
+/// counters inside the server are relaxed atomics; stats() materializes
+/// them into this.
 struct ServerStats final {
   std::uint64_t requests = 0;
   std::uint64_t challenges_issued = 0;
@@ -91,9 +105,16 @@ struct ServerStats final {
                      static_cast<double>(challenges_issued)
                : 0.0;
   }
+
+  /// Counter-wise difference (for before/after deltas around a run).
+  /// Counters are monotonic, so subtracting an earlier snapshot from a
+  /// later one never underflows.
+  [[nodiscard]] ServerStats operator-(const ServerStats& rhs) const;
 };
 
-/// Trace of the last scoring decision (diagnostics/experiments).
+/// Trace of one scoring decision (diagnostics/experiments). Produced
+/// per-call by on_request's out-parameter; the server also remembers the
+/// most recent one for single-threaded convenience (last_trace()).
 struct ScoringTrace final {
   double score = 0.0;
   policy::Difficulty difficulty = 0;
@@ -110,49 +131,91 @@ class PowServer final {
 
   /// Steps 1-4: returns a Challenge normally; returns a Response directly
   /// when the request is malformed, rate-limited, or PoW is disabled.
+  /// Thread-safe. When \p trace is non-null and a challenge is issued,
+  /// the scoring decision behind it is written there (the race-free way
+  /// to observe traces under concurrent callers).
   [[nodiscard]] std::variant<Challenge, Response> on_request(
-      const Request& request);
+      const Request& request, ScoringTrace* trace = nullptr);
+
+  /// Batch form of on_request: scores and issues all requests in
+  /// parallel on the server's thread pool (created lazily,
+  /// `verify_threads` workers). Result[i] corresponds to requests[i].
+  /// Thread-safe, including concurrently with the other entry points.
+  [[nodiscard]] std::vector<std::variant<Challenge, Response>>
+  on_request_batch(std::span<const Request> requests);
 
   /// Steps 5-7: verifies and serves. \p observed_ip is the transport-
-  /// level source address (empty skips the binding check).
+  /// level source address (empty skips the binding check). Thread-safe.
   [[nodiscard]] Response on_submission(const Submission& submission,
                                        const std::string& observed_ip = {});
 
   /// Batch form of on_submission: verifies all submissions in parallel
-  /// on the server's thread pool (created lazily, `verify_threads`
-  /// workers), then folds outcomes into the stats serially. Result[i]
-  /// corresponds to submissions[i]. \p observed_ips must be empty (skip
-  /// the binding check everywhere) or one address per submission.
-  /// Throws std::invalid_argument on a length mismatch.
-  ///
-  /// Safe to call while no other thread is inside the server: the
-  /// parallelism is internal to the call, so callers keep the
-  /// single-threaded programming model.
+  /// on the server's thread pool. Result[i] corresponds to
+  /// submissions[i]. \p observed_ips must be empty (skip the binding
+  /// check everywhere) or one address per submission. Throws
+  /// std::invalid_argument on a length mismatch. Thread-safe, including
+  /// concurrently with the other entry points.
   [[nodiscard]] std::vector<Response> on_submission_batch(
       std::span<const Submission> submissions,
       std::span<const std::string> observed_ips = {});
 
-  [[nodiscard]] const ServerStats& stats() const { return stats_; }
-  [[nodiscard]] const ScoringTrace& last_trace() const { return trace_; }
+  /// Snapshot of the outcome counters (relaxed loads). Totals are exact
+  /// once concurrent callers have returned; mid-flight snapshots are
+  /// monotone per counter but not a consistent cut across counters.
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The most recent scoring decision. Convenient in single-threaded
+  /// use; under concurrency the fields are updated atomically but not as
+  /// one unit — prefer on_request's per-call \p trace there.
+  [[nodiscard]] ScoringTrace last_trace() const;
+
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
  private:
+  /// Relaxed-atomic mirror of ServerStats: counters increment
+  /// independently on the hot path, snapshot() re-materializes the plain
+  /// struct.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> challenges_issued{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> served_without_pow{0};
+    std::atomic<std::uint64_t> rejected_rate_limited{0};
+    std::atomic<std::uint64_t> rejected_malformed{0};
+    std::atomic<std::uint64_t> rejected_bad_solution{0};
+    std::atomic<std::uint64_t> rejected_expired{0};
+    std::atomic<std::uint64_t> rejected_replay{0};
+    std::atomic<std::uint64_t> rejected_binding{0};
+    std::atomic<std::uint64_t> difficulty_sum{0};
+
+    [[nodiscard]] ServerStats snapshot() const;
+  };
+
   /// Folds one verification outcome into the stats and builds the
   /// client-facing Response (shared by single and batch submission).
   Response finalize_submission(std::uint64_t request_id,
                                const common::Status& status);
 
+  /// The lazily-created pool both batch entry points share.
+  common::ThreadPool& ensure_pool();
+
   const reputation::IReputationModel* model_;
   const policy::IPolicy* policy_;
   ServerConfig config_;
+  std::mutex rng_mu_;  ///< guards policy_rng_ (randomized policies)
   common::Rng policy_rng_;
   pow::PuzzleGenerator generator_;
   pow::Verifier verifier_;
   reputation::ShardedReputationCache cache_;
   RateLimiter rate_limiter_;
-  std::unique_ptr<pow::BatchVerifier> batch_verifier_;  // lazy
-  ServerStats stats_;
-  ScoringTrace trace_;
+  std::once_flag pool_once_;
+  std::unique_ptr<common::ThreadPool> pool_;  // lazy
+  std::once_flag batch_verifier_once_;
+  std::unique_ptr<pow::BatchVerifier> batch_verifier_;  // lazy, borrows pool_
+  AtomicStats stats_;
+  std::atomic<double> trace_score_{0.0};
+  std::atomic<policy::Difficulty> trace_difficulty_{0};
+  std::atomic<bool> trace_from_cache_{false};
 };
 
 }  // namespace powai::framework

@@ -36,8 +36,13 @@ crypto::Digest PuzzleGenerator::compute_auth(common::BytesView mac_key,
 Puzzle PuzzleGenerator::issue(const std::string& client_ip,
                               unsigned difficulty) {
   Puzzle p;
-  p.puzzle_id = ++next_id_;
-  p.seed = seed_drbg_.generate(kSeedBytes);
+  p.puzzle_id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    // One HMAC-DRBG generate under the lock: seeds must come off the
+    // chain one at a time, but the MAC below runs outside it.
+    std::lock_guard<std::mutex> lock(seed_mu_);
+    p.seed = seed_drbg_.generate(kSeedBytes);
+  }
   p.issued_at_ms = common::to_millis(clock_->now());
   p.difficulty = difficulty;
   p.client_binding = client_ip;

@@ -8,9 +8,16 @@
 /// Key separation: from one master secret the generator derives a seed
 /// key (feeds the DRBG that produces puzzle seeds) and a MAC key (tags
 /// puzzles). The verifier only ever needs the MAC key.
+///
+/// Thread-safe: issue() may be called from any number of threads. The
+/// puzzle-id sequence is a relaxed atomic (ids stay unique, which is all
+/// the replay cache needs) and the DRBG chain state is updated under a
+/// short internal lock; everything else is immutable after construction.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -28,11 +35,14 @@ class PuzzleGenerator final {
   PuzzleGenerator(const common::Clock& clock, common::BytesView master_secret);
 
   /// Issues a puzzle of \p difficulty bound to \p client_ip (textual
-  /// form). Each call produces a unique id and fresh seed.
+  /// form). Each call produces a unique id and fresh seed. Thread-safe.
   [[nodiscard]] Puzzle issue(const std::string& client_ip, unsigned difficulty);
 
-  /// Number of puzzles issued so far.
-  [[nodiscard]] std::uint64_t issued_count() const { return next_id_; }
+  /// Number of puzzles issued so far (exact once concurrent issuers have
+  /// returned).
+  [[nodiscard]] std::uint64_t issued_count() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
 
   /// Computes the MAC a legitimate puzzle must carry. Exposed so the
   /// Verifier (and tests) share one definition.
@@ -46,9 +56,10 @@ class PuzzleGenerator final {
 
  private:
   const common::Clock* clock_;
+  std::mutex seed_mu_;  ///< guards seed_drbg_ (stateful chain)
   crypto::HmacDrbg seed_drbg_;
   common::Bytes mac_key_;
-  std::uint64_t next_id_ = 0;
+  std::atomic<std::uint64_t> next_id_{0};
 };
 
 }  // namespace powai::pow

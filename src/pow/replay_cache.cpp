@@ -8,15 +8,20 @@
 namespace powai::pow {
 
 ShardedReplayCache::ShardedReplayCache(std::size_t capacity,
-                                       std::size_t shards) {
+                                       std::size_t shards)
+    : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("ShardedReplayCache: capacity == 0");
   }
-  const std::size_t n =
-      common::round_up_pow2(std::max<std::size_t>(1, shards));
+  std::size_t n = common::round_up_pow2(std::max<std::size_t>(1, shards));
+  while (n > 1 && n > capacity) n >>= 1;
   shard_mask_ = n - 1;
-  per_shard_capacity_ = std::max<std::size_t>(1, (capacity + n - 1) / n);
   shards_ = std::make_unique<Shard[]>(n);
+  // Distribute the budget exactly: rounding the per-shard slice up would
+  // let the resident total exceed `capacity` by up to n-1 entries.
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i].capacity = common::split_slice(capacity, n, i);
+  }
 }
 
 ShardedReplayCache::Shard& ShardedReplayCache::shard_for(
@@ -31,7 +36,7 @@ bool ShardedReplayCache::try_redeem(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.set.insert(id).second) return false;
   s.fifo.push_back(id);
-  if (s.fifo.size() > per_shard_capacity_) {
+  if (s.fifo.size() > s.capacity) {
     s.set.erase(s.fifo.front());
     s.fifo.pop_front();
   }

@@ -18,9 +18,12 @@ namespace powai::pow {
 
 class ShardedReplayCache final {
  public:
-  /// \p capacity is the total redeemed-id budget, split evenly across
-  /// \p shards (rounded up to a power of two, at least 1). Throws
-  /// std::invalid_argument if capacity == 0.
+  /// \p capacity is the total redeemed-id budget, distributed *exactly*
+  /// across \p shards: the per-shard budgets always sum to \p capacity.
+  /// The shard count is rounded up to a power of two, then halved until
+  /// every shard keeps a budget of at least one entry (a zero-budget
+  /// shard would evict its own insertion and re-admit a replayed id).
+  /// Throws std::invalid_argument if capacity == 0.
   explicit ShardedReplayCache(std::size_t capacity, std::size_t shards = 16);
 
   ShardedReplayCache(const ShardedReplayCache&) = delete;
@@ -38,20 +41,19 @@ class ShardedReplayCache final {
   [[nodiscard]] std::size_t size() const;
 
   [[nodiscard]] std::size_t shard_count() const { return shard_mask_ + 1; }
-  [[nodiscard]] std::size_t capacity() const {
-    return per_shard_capacity_ * shard_count();
-  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   struct Shard {
     mutable std::mutex mu;
+    std::size_t capacity = 0;  // this shard's slice of the global budget
     std::unordered_set<std::uint64_t> set;
     std::deque<std::uint64_t> fifo;  // insertion order, for eviction
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t id) const;
 
-  std::size_t per_shard_capacity_;
+  std::size_t capacity_;
   std::uint64_t shard_mask_;
   std::unique_ptr<Shard[]> shards_;
 };

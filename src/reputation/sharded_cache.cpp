@@ -9,19 +9,18 @@ namespace powai::reputation {
 ShardedReputationCache::ShardedReputationCache(const common::Clock& clock,
                                                CacheConfig config,
                                                std::size_t shards) {
-  const std::size_t n =
-      common::round_up_pow2(std::max<std::size_t>(1, shards));
+  std::size_t n = common::round_up_pow2(std::max<std::size_t>(1, shards));
+  while (n > 1 && n > config.max_entries) n >>= 1;
   shard_mask_ = static_cast<std::uint32_t>(n - 1);
 
-  // Split the global entry budget across shards; validation of the
-  // other knobs (alpha, ttl) happens inside each ReputationCache.
-  CacheConfig per_shard = config;
-  per_shard.max_entries =
-      std::max<std::size_t>(1, (config.max_entries + n - 1) / n);
-  if (config.max_entries == 0) per_shard.max_entries = 0;  // keep the throw
-
+  // Distribute the global entry budget exactly across shards (rounding
+  // each slice up would overshoot the budget by up to n-1 entries);
+  // validation of the other knobs (alpha, ttl) happens inside each
+  // ReputationCache, including the max_entries == 0 throw.
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    CacheConfig per_shard = config;
+    per_shard.max_entries = common::split_slice(config.max_entries, n, i);
     shards_.push_back(std::make_unique<Shard>(clock, per_shard));
   }
 }

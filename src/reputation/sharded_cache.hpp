@@ -22,9 +22,9 @@ namespace powai::reputation {
 
 class ShardedReputationCache final {
  public:
-  /// \p config.max_entries is the *total* budget, split evenly across
-  /// \p shards (rounded up to a power of two, at least 1). \p clock must
-  /// outlive the cache.
+  /// \p config.max_entries is the *total* budget, distributed exactly
+  /// across \p shards (rounded up to a power of two, then halved until
+  /// no shard's slice is zero). \p clock must outlive the cache.
   ShardedReputationCache(const common::Clock& clock, CacheConfig config = {},
                          std::size_t shards = 16);
 

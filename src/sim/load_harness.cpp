@@ -1,0 +1,104 @@
+#include "sim/load_harness.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "framework/client.hpp"
+
+namespace powai::sim {
+
+double LoadReport::issued_per_s() const {
+  return wall_s > 0.0
+             ? static_cast<double>(server_delta.challenges_issued) / wall_s
+             : 0.0;
+}
+
+double LoadReport::served_per_s() const {
+  return wall_s > 0.0 ? static_cast<double>(served) / wall_s : 0.0;
+}
+
+LoadHarness::LoadHarness(framework::PowServer& server, LoadHarnessConfig config)
+    : server_(&server), config_(std::move(config)) {
+  if (config_.client_threads == 0 || config_.requests_per_client == 0) {
+    throw std::invalid_argument(
+        "LoadHarness: client_threads and requests_per_client must be > 0");
+  }
+}
+
+std::string load_client_ip(std::size_t index) {
+  return "10." + std::to_string((index >> 16) & 0xff) + "." +
+         std::to_string((index >> 8) & 0xff) + "." +
+         std::to_string(index & 0xff);
+}
+
+LoadReport LoadHarness::run(
+    const std::vector<features::FeatureVector>& features) {
+  if (features.empty()) {
+    throw std::invalid_argument("LoadHarness: features must be non-empty");
+  }
+
+  // Per-thread tallies; folded after the join so the client loop itself
+  // shares nothing but the server.
+  struct Tally {
+    std::uint64_t round_trips = 0;
+    std::uint64_t served = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t other = 0;
+    std::uint64_t attempts = 0;
+  };
+  std::vector<Tally> tallies(config_.client_threads);
+
+  const framework::ServerStats before = server_->stats();
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(config_.client_threads);
+  for (std::size_t t = 0; t < config_.client_threads; ++t) {
+    threads.emplace_back([this, t, &features, &tallies, &go] {
+      framework::ClientConfig cc;
+      cc.solver_threads = config_.solver_threads;
+      cc.max_attempts = config_.solver_max_attempts;
+      framework::PowClient client(load_client_ip(t), cc);
+      const features::FeatureVector& fv = features[t % features.size()];
+      Tally& tally = tallies[t];
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < config_.requests_per_client; ++i) {
+        const framework::RoundTrip trip =
+            client.run(*server_, config_.path, fv);
+        ++tally.round_trips;
+        tally.attempts += trip.attempts;
+        if (trip.served) {
+          ++tally.served;
+        } else if (trip.response.status == common::ErrorCode::kTimeout) {
+          ++tally.timeouts;
+        } else if (trip.response.status == common::ErrorCode::kRateLimited) {
+          ++tally.rate_limited;
+        } else {
+          ++tally.other;
+        }
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  LoadReport report;
+  report.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (const Tally& tally : tallies) {
+    report.round_trips += tally.round_trips;
+    report.served += tally.served;
+    report.solve_timeouts += tally.timeouts;
+    report.rate_limited += tally.rate_limited;
+    report.rejected_other += tally.other;
+    report.solve_attempts += tally.attempts;
+  }
+  report.server_delta = server_->stats() - before;
+  return report;
+}
+
+}  // namespace powai::sim

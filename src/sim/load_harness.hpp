@@ -1,0 +1,81 @@
+#pragma once
+/// \file load_harness.hpp
+/// Closed-loop end-to-end load generator: N client threads drive the
+/// full Fig. 1 exchange (request → challenge → solve → submit →
+/// response) against one PowServer and report throughput plus
+/// per-outcome counts. Unlike sim::ThrottlingExperiment, which models
+/// time, this runs real threads against the real server — shard
+/// contention, the atomic stats block, and solver cost all show up in
+/// the numbers. It is the harness the concurrent issuance path is
+/// measured with (bench/bench_server_load.cpp) and stress-tested with
+/// (tests/test_concurrent_server.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/feature_vector.hpp"
+#include "framework/server.hpp"
+
+namespace powai::sim {
+
+struct LoadHarnessConfig final {
+  std::size_t client_threads = 4;
+  std::size_t requests_per_client = 64;
+
+  /// Solver threads per client; keep 1 when client_threads already
+  /// covers the cores, or the solvers fight each other.
+  unsigned solver_threads = 1;
+
+  /// Client-side attempt budget per puzzle (0 = solve to completion).
+  std::uint64_t solver_max_attempts = 0;
+
+  std::string path = "/";
+};
+
+/// Aggregate outcome of one load run. Client-side tallies and the
+/// server-side counter delta are reported separately so double counting
+/// (the concurrency bug class this harness exists to catch) is visible.
+struct LoadReport final {
+  double wall_s = 0.0;
+  std::uint64_t round_trips = 0;     ///< completed request→response loops
+  std::uint64_t served = 0;          ///< responses with kOk
+  std::uint64_t solve_timeouts = 0;  ///< client attempt budget exhausted
+  std::uint64_t rate_limited = 0;
+  std::uint64_t rejected_other = 0;  ///< any other terminal error
+  std::uint64_t solve_attempts = 0;  ///< total hashes clients spent
+
+  /// Server counters accumulated during this run only.
+  framework::ServerStats server_delta;
+
+  [[nodiscard]] double issued_per_s() const;
+  [[nodiscard]] double served_per_s() const;
+};
+
+class LoadHarness final {
+ public:
+  /// \p server must outlive the harness. Throws std::invalid_argument on
+  /// zero client_threads or requests_per_client.
+  explicit LoadHarness(framework::PowServer& server,
+                       LoadHarnessConfig config = {});
+
+  /// Runs the closed loop: every client thread performs
+  /// requests_per_client full round trips, all released together.
+  /// Client i sends \p features[i % features.size()] from the source
+  /// address load_client_ip(i), so per-IP state (rate limiter,
+  /// reputation cache) is exercised per client. Throws on empty
+  /// \p features.
+  [[nodiscard]] LoadReport run(
+      const std::vector<features::FeatureVector>& features);
+
+ private:
+  framework::PowServer* server_;
+  LoadHarnessConfig config_;
+};
+
+/// Source address for client \p index ("10.a.b.c"; unique per index
+/// below 2^24).
+[[nodiscard]] std::string load_client_ip(std::size_t index);
+
+}  // namespace powai::sim

@@ -29,7 +29,24 @@ TEST(ShardedReplayCache, ShardCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(ShardedReplayCache(16, 1).shard_count(), 1u);
   EXPECT_EQ(ShardedReplayCache(16, 3).shard_count(), 4u);
   EXPECT_EQ(ShardedReplayCache(16, 16).shard_count(), 16u);
-  EXPECT_EQ(ShardedReplayCache(16, 17).shard_count(), 32u);
+  // Clamped: 32 stripes over a 16-entry budget would leave zero-budget
+  // shards that re-admit replayed ids.
+  EXPECT_EQ(ShardedReplayCache(16, 17).shard_count(), 16u);
+  EXPECT_EQ(ShardedReplayCache(3, 16).shard_count(), 2u);
+}
+
+TEST(ShardedReplayCache, CapacityIsDistributedExactly) {
+  // 67 = 8*8 + 3: rounding each shard's slice up would admit 72 ids.
+  ShardedReplayCache cache(67, 8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_EQ(cache.capacity(), 67u);
+  for (std::uint64_t id = 0; id < 50'000; ++id) {
+    (void)cache.try_redeem(id);
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  // Uniform id mixing keeps every shard populated, so the resident total
+  // sits at (not merely below) the global budget.
+  EXPECT_EQ(cache.size(), 67u);
 }
 
 TEST(ShardedReplayCache, RejectsZeroCapacity) {

@@ -165,6 +165,57 @@ TEST_F(ServerTest, BadNonceRejected) {
   EXPECT_EQ(server.stats().rejected_bad_solution, 1u);
 }
 
+TEST_F(ServerTest, PerCallTraceMatchesIssuedChallenge) {
+  ServerConfig cfg = base_config();
+  cfg.reputation_cache_enabled = false;
+  PowServer server(clock_, model_, policy_, cfg);
+  PowClient client("10.0.0.1");
+  ScoringTrace trace;
+  auto outcome = server.on_request(client.make_request("/", benign_features_),
+                                   &trace);
+  ASSERT_TRUE(std::holds_alternative<Challenge>(outcome));
+  EXPECT_EQ(trace.difficulty, std::get<Challenge>(outcome).puzzle.difficulty);
+  EXPECT_FALSE(trace.from_cache);
+  // The member trace mirrors the per-call one in single-threaded use.
+  const ScoringTrace last = server.last_trace();
+  EXPECT_DOUBLE_EQ(last.score, trace.score);
+  EXPECT_EQ(last.difficulty, trace.difficulty);
+}
+
+TEST_F(ServerTest, RequestBatchMatchesPerIndexOutcomes) {
+  ServerConfig cfg = base_config();
+  cfg.verify_threads = 2;
+  PowServer server(clock_, model_, policy_, cfg);
+
+  std::vector<Request> requests;
+  for (int i = 0; i < 8; ++i) {
+    Request request;
+    request.client_ip = "10.0.0." + std::to_string(i + 1);
+    request.features = benign_features_;
+    request.request_id = 100 + i;
+    requests.push_back(std::move(request));
+  }
+  Request malformed;
+  malformed.client_ip = "not-an-ip";
+  malformed.features = benign_features_;
+  malformed.request_id = 999;
+  requests.push_back(std::move(malformed));
+
+  const auto outcomes = server.on_request_batch(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (std::size_t i = 0; i + 1 < outcomes.size(); ++i) {
+    ASSERT_TRUE(std::holds_alternative<Challenge>(outcomes[i]));
+    EXPECT_EQ(std::get<Challenge>(outcomes[i]).request_id,
+              requests[i].request_id);
+  }
+  ASSERT_TRUE(std::holds_alternative<Response>(outcomes.back()));
+  EXPECT_EQ(std::get<Response>(outcomes.back()).status,
+            common::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().requests, 9u);
+  EXPECT_EQ(server.stats().challenges_issued, 8u);
+  EXPECT_EQ(server.stats().rejected_malformed, 1u);
+}
+
 TEST_F(ServerTest, ReputationCacheServesRepeatClients) {
   PowServer server(clock_, model_, policy_, base_config());
   PowClient client("10.0.0.1");
@@ -269,6 +320,7 @@ TEST(RateLimiterUnit, CapsTrackedIps) {
   common::ManualClock clock;
   RateLimiterConfig cfg;
   cfg.max_tracked_ips = 2;
+  cfg.shards = 1;  // one shard = deterministic global eviction
   RateLimiter limiter(clock, cfg);
   (void)limiter.allow(features::IpAddress(0, 0, 0, 1));
   clock.advance(1ms);
@@ -276,6 +328,69 @@ TEST(RateLimiterUnit, CapsTrackedIps) {
   clock.advance(1ms);
   (void)limiter.allow(features::IpAddress(0, 0, 0, 3));
   EXPECT_EQ(limiter.tracked_ips(), 2u);
+}
+
+TEST(RateLimiterUnit, EvictsStaleBucketWhenFull) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.max_tracked_ips = 2;
+  cfg.shards = 1;
+  cfg.burst = 4.0;
+  RateLimiter limiter(clock, cfg);
+  for (int i = 0; i < 3; ++i) {
+    (void)limiter.allow(features::IpAddress(0, 0, 0, 1));  // stale after this
+  }
+  clock.advance(10ms);
+  (void)limiter.allow(features::IpAddress(0, 0, 0, 2));
+  clock.advance(10ms);
+  (void)limiter.allow(features::IpAddress(0, 0, 0, 3));  // evicts .1
+  // The evicted IP restarts with a full (minus one) bucket instead of
+  // its spent balance.
+  EXPECT_TRUE(limiter.allow(features::IpAddress(0, 0, 0, 1)));
+  EXPECT_DOUBLE_EQ(limiter.tokens(features::IpAddress(0, 0, 0, 1)), 3.0);
+}
+
+TEST(RateLimiterUnit, TokensDiagnosticsAreReadOnly) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.burst = 4.0;
+  cfg.max_tracked_ips = 2;
+  cfg.shards = 1;
+  RateLimiter limiter(clock, cfg);
+
+  // Probing a never-seen IP reports the full burst without creating a
+  // bucket.
+  EXPECT_DOUBLE_EQ(limiter.tokens(features::IpAddress(9, 9, 9, 9)), 4.0);
+  EXPECT_EQ(limiter.tracked_ips(), 0u);
+
+  // Fill to the ceiling, then probe a third IP: no live bucket may be
+  // evicted by a diagnostics read.
+  EXPECT_TRUE(limiter.allow(features::IpAddress(0, 0, 0, 1)));
+  clock.advance(1ms);
+  EXPECT_TRUE(limiter.allow(features::IpAddress(0, 0, 0, 2)));
+  EXPECT_DOUBLE_EQ(limiter.tokens(features::IpAddress(0, 0, 0, 3)), 4.0);
+  EXPECT_EQ(limiter.tracked_ips(), 2u);
+  // Both live buckets still carry their spent balance (plus the 1ms
+  // refill on the first).
+  EXPECT_LT(limiter.tokens(features::IpAddress(0, 0, 0, 1)), 4.0);
+  EXPECT_LT(limiter.tokens(features::IpAddress(0, 0, 0, 2)), 4.0);
+}
+
+TEST(RateLimiterUnit, ShardCountClampedToTrackingBudget) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  // Tiny budgets collapse to one lock: starved shards would thrash-evict
+  // colliding IPs back to full burst below the global ceiling.
+  cfg.max_tracked_ips = 2;
+  cfg.shards = 8;
+  EXPECT_EQ(RateLimiter(clock, cfg).shard_count(), 1u);
+  cfg = {};
+  cfg.max_tracked_ips = 4096;  // feeds 4 shards at the 1024-bucket floor
+  cfg.shards = 8;
+  EXPECT_EQ(RateLimiter(clock, cfg).shard_count(), 4u);
+  cfg = {};
+  cfg.shards = 5;
+  EXPECT_EQ(RateLimiter(clock, cfg).shard_count(), 8u);  // rounded up
 }
 
 TEST(RateLimiterUnit, RejectsBadConfig) {

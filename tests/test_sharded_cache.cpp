@@ -78,10 +78,21 @@ TEST(ShardedReputationCache, GlobalEntryBudgetIsEnforcedPerShard) {
   for (std::uint32_t v = 0; v < 10'000; ++v) {
     (void)cache.update(ip(v), 0.5);
   }
-  // Per-shard budget is ceil(64/8) = 8, so the resident total can never
-  // exceed shards * per-shard = the configured budget.
+  // The budget is distributed exactly across shards (64 = 8 per shard
+  // here), so the resident total can never exceed the configured budget.
   EXPECT_LE(cache.size(), 64u);
   EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(ShardedReputationCache, BudgetDistributedExactlyWhenNotDivisible) {
+  common::ManualClock clock;
+  CacheConfig cfg;
+  cfg.max_entries = 67;  // 8*8 + 3: rounding up per shard would admit 72
+  ShardedReputationCache cache(clock, cfg, 8);
+  for (std::uint32_t v = 0; v < 50'000; ++v) {
+    (void)cache.update(ip(v), 0.5);
+  }
+  EXPECT_LE(cache.size(), 67u);
 }
 
 TEST(ShardedReputationCache, RejectsBadConfig) {
