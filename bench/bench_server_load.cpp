@@ -12,14 +12,20 @@
 // paper's low band, so the numbers measure the server, not the solver.
 //
 // Usage: ./build/bench/bench_server_load [max_clients=8] [requests=64]
-//        [train=400] [seed=42] [rate_limit=0]
+//        [train=400] [seed=42] [rate_limit=0] [json=path]
+//
+// json=path writes the rows as a JSON artifact (CI uploads one per run;
+// docs/ARCHITECTURE.md describes how to compare them across commits).
 
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "features/synthetic.hpp"
 #include "framework/server.hpp"
@@ -37,6 +43,7 @@ int main(int argc, char** argv) {
   const auto train = static_cast<std::size_t>(args.get_u64("train", 400));
   const std::uint64_t seed = args.get_u64("seed", 42);
   const bool rate_limit = args.get_u64("rate_limit", 0) != 0;
+  const std::string json_path = args.get_string("json", "");
 
   if (max_clients == 0 || requests == 0) {
     std::fprintf(stderr, "max_clients and requests must be positive\n");
@@ -62,6 +69,7 @@ int main(int argc, char** argv) {
 
   common::Table table({"clients", "round-trips", "served", "rate-limited",
                        "issued/s", "served/s", "mean-d"});
+  std::vector<std::pair<std::size_t, sim::LoadReport>> rows;
   for (const std::size_t clients : client_counts) {
     framework::ServerConfig cfg;
     cfg.master_secret = common::bytes_of("server-load-bench-secret");
@@ -85,6 +93,7 @@ int main(int argc, char** argv) {
                    common::fmt_f(report.issued_per_s(), 0),
                    common::fmt_f(report.served_per_s(), 0),
                    common::fmt_f(report.server_delta.mean_difficulty(), 2)});
+    rows.emplace_back(clients, report);
   }
 
   std::printf("SERVER-LOAD: closed-loop request→solve→submit throughput, "
@@ -92,5 +101,34 @@ int main(int argc, char** argv) {
               requests, table.to_text().c_str());
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+
+  if (!json_path.empty()) {
+    common::JsonWriter w;
+    w.begin_object();
+    w.field_str("bench", "server_load");
+    w.field_u64("requests_per_client", requests);
+    w.field_bool("rate_limit", rate_limit);
+    w.field_u64("hardware_threads", std::thread::hardware_concurrency());
+    w.begin_array("rows");
+    for (const auto& [clients, report] : rows) {
+      w.begin_object();
+      w.field_u64("clients", clients);
+      w.field_u64("round_trips", report.round_trips);
+      w.field_u64("served", report.served);
+      w.field_u64("rate_limited", report.rate_limited);
+      w.field_f64("wall_s", report.wall_s);
+      w.field_f64("issued_per_s", report.issued_per_s());
+      w.field_f64("served_per_s", report.served_per_s());
+      w.field_f64("mean_difficulty", report.server_delta.mean_difficulty());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!common::write_json_file(json_path, w)) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json written: %s\n", json_path.c_str());
+  }
   return 0;
 }

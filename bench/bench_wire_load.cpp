@@ -1,0 +1,151 @@
+// WIRE-LOAD — end-to-end throughput of the full protocol as bytes over
+// the simulated network: request → challenge → solve → submit →
+// response, through the synchronous ServerEndpoint shim (row "sync")
+// and through the AsyncFrontEnd batch bridge at several server pool
+// sizes (rows "async/T"). The interesting column is wall-clock, not
+// simulated time: simulated time is identical by construction (the
+// async pump freezes the clock while batches are in flight), so wall
+// time isolates what the queue + batch + post machinery costs or saves.
+// On a single-core container async ≈ sync; the async rows pull ahead
+// with hardware threads because solving happens on the loop thread but
+// scoring/issuing/verifying fans out over the server pool.
+//
+// Usage: ./build/bench/bench_wire_load [clients=8] [requests=16]
+//        [max_threads=4] [train=400] [seed=42] [json=path]
+//
+// json=path writes the rows as a JSON artifact (CI uploads one per run;
+// docs/ARCHITECTURE.md describes how to compare them across commits).
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "features/synthetic.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+#include "sim/load_harness.hpp"
+
+namespace {
+
+struct Row {
+  std::string mode;
+  powai::sim::WireLoadReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace powai;
+
+  const common::Config args = common::Config::from_args(argc, argv);
+  const auto clients = static_cast<std::size_t>(args.get_u64("clients", 8));
+  const auto requests = static_cast<std::size_t>(args.get_u64("requests", 16));
+  const auto max_threads =
+      static_cast<std::size_t>(args.get_u64("max_threads", 4));
+  const auto train = static_cast<std::size_t>(args.get_u64("train", 400));
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string json_path = args.get_string("json", "");
+
+  if (clients == 0 || requests == 0 || max_threads == 0) {
+    std::fprintf(stderr, "clients, requests, max_threads must be positive\n");
+    return 1;
+  }
+
+  common::Rng rng(seed);
+  const features::SyntheticTraceGenerator gen;
+  reputation::DabrModel model;
+  model.fit(gen.generate(train, train, rng));
+  const policy::LinearPolicy policy = policy::LinearPolicy::policy2();
+
+  std::vector<features::FeatureVector> client_features;
+  for (int i = 0; i < 8; ++i) client_features.push_back(gen.sample(false, rng));
+
+  const auto run_mode = [&](bool async, std::size_t threads) {
+    framework::ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("wire-load-bench-secret");
+    cfg.verify_threads = threads;
+    sim::WireLoadConfig wc;
+    wc.clients = clients;
+    wc.requests_per_client = requests;
+    wc.async = async;
+    return sim::run_wire_load(model, policy, cfg, client_features, wc);
+  };
+
+  std::vector<Row> rows;
+  rows.push_back({"sync", run_mode(false, 1)});
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    rows.push_back({"async/" + std::to_string(threads),
+                    run_mode(true, threads)});
+  }
+
+  common::Table table({"mode", "answered", "served", "wall-ms", "sim-ms",
+                       "ans/s", "batches", "max-batch"});
+  for (const Row& row : rows) {
+    const auto& r = row.report;
+    table.add_row({row.mode, std::to_string(r.answered),
+                   std::to_string(r.served),
+                   common::fmt_f(r.wall_s * 1e3, 1),
+                   common::fmt_f(common::to_millis_f(r.sim_elapsed), 1),
+                   common::fmt_f(r.answered_per_wall_s(), 0),
+                   std::to_string(r.front_end.batches),
+                   std::to_string(r.front_end.largest_batch)});
+  }
+
+  std::printf("WIRE-LOAD: full protocol over netsim, %zu clients x %zu "
+              "requests\n\n%s\n",
+              clients, requests, table.to_text().c_str());
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  // Cross-transport invariant, checked here too so CI's informational
+  // run fails loudly if the bridge ever loses or duplicates a message.
+  const auto& sync_r = rows.front().report;
+  for (const Row& row : rows) {
+    const auto& r = row.report;
+    if (r.served != sync_r.served || r.answered != sync_r.answered ||
+        r.server_delta.challenges_issued !=
+            sync_r.server_delta.challenges_issued) {
+      std::fprintf(stderr, "MISMATCH: %s totals diverge from sync\n",
+                   row.mode.c_str());
+      return 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    common::JsonWriter w;
+    w.begin_object();
+    w.field_str("bench", "wire_load");
+    w.field_u64("clients", clients);
+    w.field_u64("requests_per_client", requests);
+    w.field_u64("hardware_threads", std::thread::hardware_concurrency());
+    w.begin_array("rows");
+    for (const Row& row : rows) {
+      const auto& r = row.report;
+      w.begin_object();
+      w.field_str("mode", row.mode);
+      w.field_u64("answered", r.answered);
+      w.field_u64("served", r.served);
+      w.field_u64("overloaded", r.overloaded);
+      w.field_f64("wall_s", r.wall_s);
+      w.field_f64("sim_ms", common::to_millis_f(r.sim_elapsed));
+      w.field_f64("answered_per_wall_s", r.answered_per_wall_s());
+      w.field_u64("batches", r.front_end.batches);
+      w.field_u64("largest_batch", r.front_end.largest_batch);
+      w.field_u64("challenges_issued", r.server_delta.challenges_issued);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!common::write_json_file(json_path, w)) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json written: %s\n", json_path.c_str());
+  }
+  return 0;
+}

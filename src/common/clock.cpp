@@ -18,14 +18,16 @@ void ManualClock::advance(Duration d) {
   if (d < Duration::zero()) {
     throw std::invalid_argument("ManualClock::advance: negative duration");
   }
-  now_ += d;
+  // Single-mutator contract: a load/store pair is not a lost-update risk.
+  now_.store(now_.load(std::memory_order_relaxed) + d,
+             std::memory_order_relaxed);
 }
 
 void ManualClock::set(TimePoint t) {
-  if (t < now_) {
+  if (t < now_.load(std::memory_order_relaxed)) {
     throw std::invalid_argument("ManualClock::set: time moved backwards");
   }
-  now_ = t;
+  now_.store(t, std::memory_order_relaxed);
 }
 
 }  // namespace powai::common

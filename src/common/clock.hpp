@@ -5,6 +5,7 @@
 /// through the `Clock` interface so they run identically against the wall
 /// clock and against simulated time.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -48,20 +49,30 @@ class WallClock final : public Clock {
 
 /// Manually-advanced time for simulations and tests. Never moves on its
 /// own; `advance`/`set` are the only mutators.
+///
+/// Reads are safe from any thread: the async front end hands simulated
+/// work to pool threads that read the owning event loop's clock while
+/// the loop thread remains the only mutator. The pump protocol keeps
+/// time frozen while such work is in flight, so a relaxed atomic is all
+/// the synchronization the value needs.
 class ManualClock final : public Clock {
  public:
   explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
 
-  [[nodiscard]] TimePoint now() const override { return now_; }
+  [[nodiscard]] TimePoint now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
 
   /// Moves time forward by \p d (negative d is a programming error).
+  /// Call from the owning (mutating) thread only.
   void advance(Duration d);
 
-  /// Jumps to an absolute time (must not move backwards).
+  /// Jumps to an absolute time (must not move backwards). Call from the
+  /// owning (mutating) thread only.
   void set(TimePoint t);
 
  private:
-  TimePoint now_;
+  std::atomic<TimePoint> now_;
 };
 
 }  // namespace powai::common

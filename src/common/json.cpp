@@ -1,0 +1,155 @@
+#include "common/json.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace powai::common {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::element_prefix() {
+  if (scopes_.empty()) {
+    if (!out_.empty()) {
+      throw std::logic_error("JsonWriter: more than one root value");
+    }
+    return;
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+}
+
+void JsonWriter::member_prefix(std::string_view key) {
+  if (scopes_.empty() || scopes_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: member outside an object");
+  }
+  element_prefix();
+  out_ += '"';
+  out_ += json_escape(key);
+  out_ += "\":";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  if (!scopes_.empty() && scopes_.back() == Scope::kObject) {
+    throw std::logic_error("JsonWriter: anonymous object inside an object");
+  }
+  element_prefix();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  member_prefix(key);
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (scopes_.empty() || scopes_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: end_object without begin_object");
+  }
+  out_ += '}';
+  scopes_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  member_prefix(key);
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (scopes_.empty() || scopes_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: end_array without begin_array");
+  }
+  out_ += ']';
+  scopes_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_str(std::string_view key,
+                                  std::string_view value) {
+  member_prefix(key);
+  out_ += '"';
+  out_ += json_escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_u64(std::string_view key, std::uint64_t value) {
+  member_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_f64(std::string_view key, double value) {
+  member_prefix(key);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_bool(std::string_view key, bool value) {
+  member_prefix(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!scopes_.empty()) {
+    throw std::logic_error("JsonWriter: str() with open containers");
+  }
+  return out_;
+}
+
+bool write_json_file(const std::string& path, const JsonWriter& writer) {
+  const std::string& doc = writer.str();  // may throw on open containers
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fputs(doc.c_str(), f) >= 0;
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace powai::common

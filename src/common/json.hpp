@@ -1,0 +1,71 @@
+#pragma once
+/// \file json.hpp
+/// Minimal append-only JSON emitter for machine-readable artifacts (the
+/// bench JSON files CI uploads per run). Handles commas, nesting, and
+/// string escaping; nothing else — no parsing, no DOM. Typed field_*
+/// methods sidestep numeric overload ambiguity at call sites.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace powai::common {
+
+/// Escapes \p s for embedding inside a JSON string literal (quotes not
+/// included): `"`, `\`, and control characters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming writer. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field_str("bench", "wire_load");
+///   w.begin_array("rows");
+///   w.begin_object(); w.field_u64("clients", 4); w.end_object();
+///   w.end_array();
+///   w.end_object();
+///   write_file(path, w.str());
+///
+/// Misnesting (ending a container that was never begun, or str() with
+/// containers still open) throws std::logic_error — artifact writers
+/// should fail loudly, not emit truncated JSON.
+class JsonWriter final {
+ public:
+  /// Begins the root value or an array-element object.
+  JsonWriter& begin_object();
+  /// Begins an object-valued member \p key of the current object.
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+
+  /// Begins an array-valued member \p key of the current object.
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+
+  JsonWriter& field_str(std::string_view key, std::string_view value);
+  JsonWriter& field_u64(std::string_view key, std::uint64_t value);
+  JsonWriter& field_f64(std::string_view key, double value);
+  JsonWriter& field_bool(std::string_view key, bool value);
+
+  /// The finished document. Throws std::logic_error while any object or
+  /// array is still open.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void element_prefix();            ///< comma handling before any element
+  void member_prefix(std::string_view key);  ///< prefix + quoted key
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_;  ///< parallel to scopes_: no element emitted yet
+};
+
+/// Writes \p writer's finished document to \p path (truncating any
+/// existing file). Returns false on any I/O failure; propagates
+/// JsonWriter's std::logic_error if the document is still open.
+[[nodiscard]] bool write_json_file(const std::string& path,
+                                   const JsonWriter& writer);
+
+}  // namespace powai::common

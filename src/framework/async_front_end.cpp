@@ -1,0 +1,145 @@
+#include "framework/async_front_end.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+namespace powai::framework {
+
+AsyncFrontEnd::AsyncFrontEnd(netsim::EventLoop& loop, netsim::Network& network,
+                             std::string host_name, PowServer& server,
+                             AsyncFrontEndConfig config)
+    : loop_(&loop),
+      network_(&network),
+      host_name_(std::move(host_name)),
+      server_(&server),
+      config_(config),
+      queue_(config.queue_capacity),
+      started_(!config.start_paused),
+      drain_([this] { drain_loop(); }) {}
+
+AsyncFrontEnd::~AsyncFrontEnd() {
+  queue_.close();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;  // a paused drain must wake to observe the close
+  }
+  cv_.notify_all();
+  drain_.join();
+}
+
+void AsyncFrontEnd::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  cv_.notify_all();
+}
+
+FrontEndStats AsyncFrontEnd::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncFrontEnd::drain_loop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return started_; });
+  }
+  std::vector<WireMessage> batch;
+  for (;;) {
+    batch.clear();
+    if (queue_.pop_up_to(config_.max_batch, batch) == 0) return;  // closed
+    process_batch(std::move(batch));
+  }
+}
+
+void AsyncFrontEnd::process_batch(std::vector<WireMessage>&& batch) {
+  const std::size_t n = batch.size();
+
+  // Partition while remembering each message's slot so responses go out
+  // in arrival order regardless of how the two batch calls interleave.
+  std::vector<Request> requests;
+  std::vector<std::size_t> request_slots;
+  std::vector<Submission> submissions;
+  std::vector<std::string> observed_ips;
+  std::vector<std::size_t> submission_slots;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto* request = std::get_if<Request>(&batch[i].payload)) {
+      request_slots.push_back(i);
+      requests.push_back(std::move(*request));
+    } else {
+      auto& submission = std::get<Submission>(batch[i].payload);
+      submission_slots.push_back(i);
+      observed_ips.push_back(batch[i].from);
+      submissions.push_back(std::move(submission));
+    }
+  }
+
+  // Fan out on the server's shared pool (this thread participates via
+  // parallel_for), then serialize every reply into its arrival slot.
+  std::vector<std::pair<std::string, common::Bytes>> outgoing(n);
+  if (!requests.empty()) {
+    auto outcomes = server_->on_request_batch(requests);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const std::size_t slot = request_slots[i];
+      if (const auto* challenge = std::get_if<Challenge>(&outcomes[i])) {
+        outgoing[slot] = {batch[slot].from, challenge->serialize()};
+      } else {
+        outgoing[slot] = {batch[slot].from,
+                          std::get<Response>(outcomes[i]).serialize()};
+      }
+    }
+  }
+  if (!submissions.empty()) {
+    auto responses = server_->on_submission_batch(submissions, observed_ips);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      const std::size_t slot = submission_slots[i];
+      outgoing[slot] = {batch[slot].from, responses[i].serialize()};
+    }
+  }
+
+  // Route completions back onto the loop: sends happen on the loop
+  // thread at the simulated instant the batch was accepted, so link
+  // modelling and wire determinism are untouched by pool threads.
+  loop_->post([network = network_, host = host_name_,
+               outgoing = std::move(outgoing)]() mutable {
+    for (auto& [to, payload] : outgoing) {
+      (void)network->send(host, to, std::move(payload));
+    }
+  });
+  queue_.complete(n);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.messages += n;
+    stats_.requests += request_slots.size();
+    stats_.submissions += submission_slots.size();
+    stats_.largest_batch = std::max(stats_.largest_batch, n);
+  }
+  cv_.notify_all();
+}
+
+std::size_t AsyncFrontEnd::run_until_idle() {
+  start();
+  std::size_t executed = 0;
+  for (;;) {
+    // Settle the current instant: keep executing due events (including
+    // posted completions) and waiting on the drain until the front end
+    // owes nothing for this timestamp. The clock does not move here.
+    for (;;) {
+      executed += loop_->run_until(loop_->now());
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!queue_.busy() && !loop_->has_posted()) break;
+      cv_.wait(lock,
+               [this] { return loop_->has_posted() || !queue_.busy(); });
+    }
+    // Everything at this instant is settled; hop to the next one.
+    const auto next = loop_->next_event_time();
+    if (!next) return executed;
+    executed += loop_->run_until(*next);
+  }
+}
+
+}  // namespace powai::framework

@@ -1,0 +1,135 @@
+#pragma once
+/// \file async_front_end.hpp
+/// The asynchronous transport front end: decouples wire-message arrival
+/// from server execution so the batch entry points PR 2 built
+/// (on_request_batch / on_submission_batch) are reachable from the wire.
+///
+/// Data flow (see docs/ARCHITECTURE.md for the full diagram):
+///
+///   netsim::EventLoop (loop thread)
+///     └─ ServerEndpoint::on_message — decode, enqueue → RequestQueue
+///          └─ drain thread: pop up to max_batch (whatever is pending —
+///             adaptive batch sizing), fan out on the server's pool via
+///             on_request_batch / on_submission_batch
+///               └─ EventLoop::post(completions) — responses are sent
+///                  on the loop thread, at the simulated instant the
+///                  batch was accepted
+///
+/// Determinism contract: run_until_idle() never advances simulated time
+/// while the front end owes responses, so a run produces exactly the
+/// totals of the synchronous in-process shim (same requests issued /
+/// verified / rejected) — the property tests/test_async_front_end.cpp
+/// pins. Backpressure is explicit: when the queue is full the endpoint
+/// answers kUnavailable immediately and the refusal lands in
+/// ServerStats::rejected_overload, so a flooding adversary meets a
+/// defined ceiling instead of unbounded buffering.
+///
+/// Lifetime: the loop, network, queue owner (this class), and server
+/// must all outlive any pending simulated events; destroy the front end
+/// before the loop/network/server it references.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "framework/request_queue.hpp"
+#include "framework/server.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/network.hpp"
+
+namespace powai::framework {
+
+/// Front-end knobs. All of them trade throughput against latency or
+/// memory, never against correctness — totals are exact at any setting.
+struct AsyncFrontEndConfig final {
+  /// RequestQueue bound: decoded messages buffered ahead of the server.
+  /// The backpressure point — senders beyond it get kUnavailable.
+  std::size_t queue_capacity = 1024;
+
+  /// Ceiling on one dispatched batch. The drain pops whatever is
+  /// pending up to this, so batches adapt to load: 1 under trickle
+  /// traffic, max_batch under burst.
+  std::size_t max_batch = 64;
+
+  /// When true the drain thread waits until start() (or the first
+  /// run_until_idle()) — lets tests and staged harnesses build a
+  /// deterministic backlog first.
+  bool start_paused = false;
+};
+
+/// Counters describing how the drain actually batched (diagnostics; one
+/// writer — the drain thread — so a snapshot is consistent when idle).
+struct FrontEndStats final {
+  std::uint64_t batches = 0;      ///< dispatches to the server
+  std::uint64_t messages = 0;     ///< wire messages across all batches
+  std::uint64_t requests = 0;     ///< of which Request
+  std::uint64_t submissions = 0;  ///< of which Submission
+  std::size_t largest_batch = 0;  ///< adaptive-batching high-water mark
+};
+
+class AsyncFrontEnd final {
+ public:
+  /// Creates the queue (config.queue_capacity) and the drain thread.
+  /// \p loop, \p network, and \p server must outlive the front end;
+  /// \p host_name is the endpoint's registered host (responses are sent
+  /// from it). Wire a ServerEndpoint to queue() to complete the path.
+  AsyncFrontEnd(netsim::EventLoop& loop, netsim::Network& network,
+                std::string host_name, PowServer& server,
+                AsyncFrontEndConfig config = {});
+
+  /// Closes the queue and joins the drain thread. Completions already
+  /// posted but not yet executed stay scheduled on the loop.
+  ~AsyncFrontEnd();
+
+  AsyncFrontEnd(const AsyncFrontEnd&) = delete;
+  AsyncFrontEnd& operator=(const AsyncFrontEnd&) = delete;
+
+  /// The queue transports enqueue into (pass to ServerEndpoint).
+  [[nodiscard]] RequestQueue& queue() { return queue_; }
+
+  /// Releases a paused drain thread. Idempotent; run_until_idle() calls
+  /// it implicitly.
+  void start();
+
+  /// The pump: runs the owning loop until the wire, the queue, and all
+  /// in-flight batches are drained, then returns the number of events
+  /// executed. Simulated time advances only between settled instants —
+  /// while a batch is in flight the clock is frozen at the instant its
+  /// messages arrived, which is what keeps async totals identical to a
+  /// synchronous run. Call from the loop thread; do not mix with a
+  /// concurrent plain loop.run().
+  std::size_t run_until_idle();
+
+  /// True when the front end owes no responses (queue empty, nothing in
+  /// flight). Thread-safe.
+  [[nodiscard]] bool idle() const { return !queue_.busy(); }
+
+  /// Snapshot of the batching counters. Exact when idle(). Thread-safe.
+  [[nodiscard]] FrontEndStats stats() const;
+
+  [[nodiscard]] const AsyncFrontEndConfig& config() const { return config_; }
+
+ private:
+  void drain_loop();
+  void process_batch(std::vector<WireMessage>&& batch);
+
+  netsim::EventLoop* loop_;
+  netsim::Network* network_;
+  std::string host_name_;
+  PowServer* server_;
+  AsyncFrontEndConfig config_;
+  RequestQueue queue_;
+
+  mutable std::mutex mu_;  ///< guards started_/stats_ + pump/drain cv
+  std::condition_variable cv_;
+  bool started_;
+  FrontEndStats stats_;
+
+  std::thread drain_;  // last member: joins before the rest unwinds
+};
+
+}  // namespace powai::framework

@@ -1,0 +1,91 @@
+#include "framework/request_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powai::framework {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RequestQueue: capacity must be > 0");
+  }
+}
+
+bool RequestQueue::try_push(WireMessage message) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) {
+      ++overflows_;
+      return false;
+    }
+    items_.push_back(std::move(message));
+    ++accepted_;
+    high_water_ = std::max(high_water_, items_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t RequestQueue::pop_up_to(std::size_t max,
+                                    std::vector<WireMessage>& out) {
+  if (max == 0) {
+    throw std::invalid_argument("RequestQueue::pop_up_to: max must be > 0");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  const std::size_t n = std::min(max, items_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  in_flight_ += n;
+  return n;
+}
+
+void RequestQueue::complete(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (n > in_flight_) {
+    throw std::logic_error("RequestQueue::complete: more than in flight");
+  }
+  in_flight_ -= n;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::size_t RequestQueue::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+bool RequestQueue::busy() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return !items_.empty() || in_flight_ > 0;
+}
+
+std::uint64_t RequestQueue::accepted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t RequestQueue::overflows() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return overflows_;
+}
+
+std::size_t RequestQueue::high_water() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace powai::framework

@@ -1,0 +1,98 @@
+#pragma once
+/// \file request_queue.hpp
+/// Bounded MPMC queue between the wire and the server: transports
+/// enqueue decoded messages (producers), the async front end drains
+/// them in batches (consumers). The bound is the backpressure point —
+/// try_push failing is the signal to answer the sender with an explicit
+/// overload response instead of buffering without limit, which is the
+/// defined behavior under the paper's flooding adversary.
+///
+/// Accounting is designed so "no message is silently lost" is checkable:
+/// a popped batch stays counted (in_flight) until the consumer calls
+/// complete(), so busy() == false guarantees every accepted message has
+/// been fully processed, not merely dequeued.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "framework/protocol.hpp"
+
+namespace powai::framework {
+
+/// One decoded wire message awaiting service, tagged with its
+/// transport-level source (the address responses go back to, and the
+/// address puzzles are bound to).
+struct WireMessage final {
+  std::string from;
+  std::variant<Request, Submission> payload;
+};
+
+class RequestQueue final {
+ public:
+  /// \p capacity bounds queued (not yet popped) messages; must be > 0.
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues \p message unless the queue is at capacity or closed;
+  /// false means the caller must answer the sender itself (overload).
+  /// Thread-safe; never blocks.
+  [[nodiscard]] bool try_push(WireMessage message);
+
+  /// Blocks until at least one message is queued (or the queue is
+  /// closed), then moves up to \p max messages into \p out and returns
+  /// the count. Returns 0 only when the queue is closed *and* drained.
+  /// Popped messages remain counted as in-flight until complete().
+  /// Thread-safe.
+  std::size_t pop_up_to(std::size_t max, std::vector<WireMessage>& out);
+
+  /// Marks \p n previously popped messages fully processed. Thread-safe.
+  void complete(std::size_t n);
+
+  /// Closes the queue: subsequent try_push fails, blocked poppers wake.
+  /// Idempotent. Thread-safe.
+  void close();
+
+  /// Queued (accepted, not yet popped) messages. Thread-safe.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Popped but not yet complete()d messages. Thread-safe.
+  [[nodiscard]] std::size_t in_flight() const;
+
+  /// True while any accepted message is queued or in flight — the
+  /// "front end still owes responses" predicate the pump waits on.
+  /// Thread-safe.
+  [[nodiscard]] bool busy() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Messages accepted by try_push so far. Thread-safe.
+  [[nodiscard]] std::uint64_t accepted() const;
+
+  /// try_push calls rejected at capacity (the overload count seen from
+  /// the queue's side). Thread-safe.
+  [[nodiscard]] std::uint64_t overflows() const;
+
+  /// Largest queue depth observed (diagnostics for sizing). Thread-safe.
+  [[nodiscard]] std::size_t high_water() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<WireMessage> items_;
+  std::size_t in_flight_ = 0;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t overflows_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace powai::framework

@@ -36,6 +36,7 @@ ServerStats PowServer::AtomicStats::snapshot() const {
   s.rejected_expired = rejected_expired.load(kRelaxed);
   s.rejected_replay = rejected_replay.load(kRelaxed);
   s.rejected_binding = rejected_binding.load(kRelaxed);
+  s.rejected_overload = rejected_overload.load(kRelaxed);
   s.difficulty_sum = difficulty_sum.load(kRelaxed);
   return s;
 }
@@ -52,11 +53,16 @@ ServerStats ServerStats::operator-(const ServerStats& rhs) const {
   d.rejected_expired = rejected_expired - rhs.rejected_expired;
   d.rejected_replay = rejected_replay - rhs.rejected_replay;
   d.rejected_binding = rejected_binding - rhs.rejected_binding;
+  d.rejected_overload = rejected_overload - rhs.rejected_overload;
   d.difficulty_sum = difficulty_sum - rhs.difficulty_sum;
   return d;
 }
 
 ServerStats PowServer::stats() const { return stats_.snapshot(); }
+
+void PowServer::note_overload() {
+  stats_.rejected_overload.fetch_add(1, kRelaxed);
+}
 
 ScoringTrace PowServer::last_trace() const {
   ScoringTrace t;

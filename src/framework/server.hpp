@@ -97,6 +97,11 @@ struct ServerStats final {
   std::uint64_t rejected_expired = 0;
   std::uint64_t rejected_replay = 0;
   std::uint64_t rejected_binding = 0;
+
+  /// Messages refused at the transport for backpressure (async front-end
+  /// queue full). Reported by the front end via note_overload() so one
+  /// stats block accounts for every wire message's fate.
+  std::uint64_t rejected_overload = 0;
   std::uint64_t difficulty_sum = 0;  ///< over issued challenges
 
   [[nodiscard]] double mean_difficulty() const {
@@ -159,6 +164,12 @@ class PowServer final {
       std::span<const Submission> submissions,
       std::span<const std::string> observed_ips = {});
 
+  /// Records one transport-level backpressure rejection (async front-end
+  /// queue full). The server never sees the message itself; the endpoint
+  /// reports the refusal here so ServerStats stays the single ledger a
+  /// load harness can balance against client-side tallies. Thread-safe.
+  void note_overload();
+
   /// Snapshot of the outcome counters (relaxed loads). Totals are exact
   /// once concurrent callers have returned; mid-flight snapshots are
   /// monotone per counter but not a consistent cut across counters.
@@ -186,6 +197,7 @@ class PowServer final {
     std::atomic<std::uint64_t> rejected_expired{0};
     std::atomic<std::uint64_t> rejected_replay{0};
     std::atomic<std::uint64_t> rejected_binding{0};
+    std::atomic<std::uint64_t> rejected_overload{0};
     std::atomic<std::uint64_t> difficulty_sum{0};
 
     [[nodiscard]] ServerStats snapshot() const;

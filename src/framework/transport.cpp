@@ -17,11 +17,17 @@ ServerEndpoint::ServerEndpoint(netsim::Network& network, std::string host_name,
                      });
 }
 
+ServerEndpoint::ServerEndpoint(netsim::Network& network, std::string host_name,
+                               PowServer& server, RequestQueue& queue)
+    : ServerEndpoint(network, std::move(host_name), server) {
+  queue_ = &queue;
+}
+
 void ServerEndpoint::on_message(const std::string& from,
                                 common::BytesView payload) {
   const auto message = decode(payload);
   if (!message) {
-    ++malformed_;
+    malformed_.fetch_add(1, std::memory_order_relaxed);
     Response nak;
     nak.status = common::ErrorCode::kMalformedMessage;
     nak.body = "could not decode message";
@@ -34,6 +40,14 @@ void ServerEndpoint::on_message(const std::string& from,
     // client lying about its IP would otherwise bind puzzles elsewhere.
     Request effective = *request;
     effective.client_ip = from;
+    if (queue_ != nullptr) {
+      // Read the id before the move: argument evaluation order is
+      // unsequenced, so the same call must not both read and move from
+      // `effective`.
+      const std::uint64_t request_id = effective.request_id;
+      enqueue(from, request_id, WireMessage{from, std::move(effective)});
+      return;
+    }
     auto outcome = server_->on_request(effective);
     if (const auto* challenge = std::get_if<Challenge>(&outcome)) {
       (void)network_->send(host_name_, from, challenge->serialize());
@@ -45,13 +59,31 @@ void ServerEndpoint::on_message(const std::string& from,
   }
 
   if (const auto* submission = std::get_if<Submission>(&*message)) {
+    if (queue_ != nullptr) {
+      enqueue(from, submission->request_id, WireMessage{from, *submission});
+      return;
+    }
     const Response response = server_->on_submission(*submission, from);
     (void)network_->send(host_name_, from, response.serialize());
     return;
   }
 
   // A server never expects Challenge/Response messages; treat as noise.
-  ++malformed_;
+  malformed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerEndpoint::enqueue(const std::string& from, std::uint64_t request_id,
+                             WireMessage message) {
+  if (queue_->try_push(std::move(message))) return;
+  // Backpressure: the queue is at capacity. Answer immediately with an
+  // explicit overload NAK — never buffer without bound, never drop
+  // silently — and put the refusal on the server's ledger.
+  server_->note_overload();
+  Response overloaded;
+  overloaded.request_id = request_id;
+  overloaded.status = common::ErrorCode::kUnavailable;
+  overloaded.body = "server overloaded";
+  (void)network_->send(host_name_, from, overloaded.serialize());
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 /// form, so the transport-level source of a message doubles as the
 /// observed client IP for puzzle binding.
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "framework/client.hpp"
 #include "framework/protocol.hpp"
+#include "framework/request_queue.hpp"
 #include "framework/server.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/network.hpp"
@@ -27,28 +29,52 @@ namespace powai::framework {
 /// Server side: registers a host and answers protocol messages with the
 /// wrapped PowServer. Malformed payloads get a kMalformedMessage
 /// response (request id 0, since none could be parsed).
+///
+/// Two service modes:
+/// - **Synchronous** (2-arg constructor): each decoded message is handed
+///   to the server inline on the event-loop thread — simple, serial, the
+///   baseline the async path is checked against.
+/// - **Asynchronous** (constructor taking a RequestQueue): decoded
+///   messages are enqueued for the AsyncFrontEnd to batch onto the
+///   server's thread pool. When the queue is full the endpoint answers
+///   kUnavailable immediately (explicit backpressure) and reports the
+///   refusal via PowServer::note_overload().
 class ServerEndpoint final {
  public:
-  /// \p network and \p server must outlive the endpoint. Registers host
-  /// \p host_name on construction.
+  /// Synchronous mode. \p network and \p server must outlive the
+  /// endpoint. Registers host \p host_name on construction.
   ServerEndpoint(netsim::Network& network, std::string host_name,
                  PowServer& server);
+
+  /// Asynchronous mode: decoded messages go to \p queue (typically
+  /// AsyncFrontEnd::queue()), which must outlive the endpoint too.
+  ServerEndpoint(netsim::Network& network, std::string host_name,
+                 PowServer& server, RequestQueue& queue);
 
   ServerEndpoint(const ServerEndpoint&) = delete;
   ServerEndpoint& operator=(const ServerEndpoint&) = delete;
 
   [[nodiscard]] const std::string& host_name() const { return host_name_; }
 
-  /// Messages whose decode failed (diagnostics).
-  [[nodiscard]] std::uint64_t malformed_count() const { return malformed_; }
+  /// Messages whose decode failed (diagnostics). Atomic so monitoring
+  /// threads may read it while completions run on pool threads.
+  [[nodiscard]] std::uint64_t malformed_count() const {
+    return malformed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void on_message(const std::string& from, common::BytesView payload);
 
+  /// Async mode: pushes \p message, or sends the overload NAK for
+  /// \p request_id back to \p from when the queue is full.
+  void enqueue(const std::string& from, std::uint64_t request_id,
+               WireMessage message);
+
   netsim::Network* network_;
   std::string host_name_;
   PowServer* server_;
-  std::uint64_t malformed_ = 0;
+  RequestQueue* queue_ = nullptr;  ///< non-null = asynchronous mode
+  std::atomic<std::uint64_t> malformed_{0};
 };
 
 /// Client side: drives request → challenge → solve → submission →

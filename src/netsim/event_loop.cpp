@@ -27,7 +27,44 @@ bool EventLoop::cancel(EventId id) {
   return cancelled_.insert(id).second;
 }
 
+void EventLoop::post(std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("EventLoop::post: empty fn");
+  const std::lock_guard<std::mutex> lock(posted_mu_);
+  posted_.push_back(std::move(fn));
+}
+
+bool EventLoop::has_posted() const {
+  const std::lock_guard<std::mutex> lock(posted_mu_);
+  return !posted_.empty();
+}
+
+void EventLoop::collect_posted() {
+  std::vector<std::function<void()>> collected;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mu_);
+    collected.swap(posted_);
+  }
+  // Fold into the timed queue at the current instant; the shared seq
+  // counter keeps posts FIFO among themselves and after events already
+  // due now.
+  for (auto& fn : collected) {
+    queue_.push(Event{clock_.now(), next_seq_++, next_id_++, std::move(fn)});
+  }
+}
+
+std::optional<common::TimePoint> EventLoop::next_event_time() {
+  collect_posted();
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return queue_.top().at;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+  return std::nullopt;
+}
+
 bool EventLoop::pop_next(Event& out) {
+  collect_posted();
   while (!queue_.empty()) {
     // priority_queue::top is const; copy the small header, move the fn
     // via const_cast-free re-push-less approach: top then pop.
@@ -60,9 +97,9 @@ std::size_t EventLoop::run() {
 
 std::size_t EventLoop::run_until(common::TimePoint deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
+  for (;;) {
     Event e;
-    if (!pop_next(e)) break;
+    if (!pop_next(e)) break;  // also folds in post()ed callbacks
     if (e.at > deadline) {
       // Not due yet: put it back and stop.
       queue_.push(std::move(e));

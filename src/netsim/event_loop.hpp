@@ -5,9 +5,15 @@
 /// are fully deterministic given the same inputs. The loop owns a
 /// ManualClock that components read through the common::Clock interface —
 /// the same server/verifier code runs unmodified under simulated time.
+///
+/// Threading: every member is loop-thread-only except post() and
+/// has_posted(), the cross-thread completion-injection pair the async
+/// front end uses to route pool-thread results back onto the loop.
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -38,6 +44,23 @@ class EventLoop final {
   /// Cancels a pending event; returns false if it already ran, was
   /// cancelled before, or never existed.
   bool cancel(EventId id);
+
+  /// Thread-safe: hands \p fn to the loop from any thread. Posted
+  /// callbacks are folded into the timed queue at the loop's *current*
+  /// simulated time the next time the loop thread executes (step/run/
+  /// run_until/next_event_time), preserving FIFO order among posts.
+  /// This is how pool threads inject completions without touching
+  /// simulated time themselves.
+  void post(std::function<void()> fn);
+
+  /// Thread-safe: true while post()ed callbacks are waiting to be
+  /// collected by the loop thread. Callbacks already folded into the
+  /// timed queue count as pending(), not as posted.
+  [[nodiscard]] bool has_posted() const;
+
+  /// Earliest pending event time, or std::nullopt when the timed queue
+  /// is empty (after folding in any posted callbacks). Loop thread only.
+  [[nodiscard]] std::optional<common::TimePoint> next_event_time();
 
   /// Runs events until the queue empties. Returns events executed.
   std::size_t run();
@@ -70,11 +93,17 @@ class EventLoop final {
   /// Pops the next non-cancelled event, or returns false.
   bool pop_next(Event& out);
 
+  /// Moves post()ed callbacks into the timed queue at now (loop thread).
+  void collect_posted();
+
   common::ManualClock clock_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+
+  mutable std::mutex posted_mu_;           ///< guards posted_
+  std::vector<std::function<void()>> posted_;
 };
 
 }  // namespace powai::netsim

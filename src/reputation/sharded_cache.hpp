@@ -22,7 +22,7 @@ namespace powai::reputation {
 
 class ShardedReputationCache final {
  public:
-  /// \p config.max_entries is the *total* budget, distributed exactly
+  /// `config.max_entries` is the *total* budget, distributed exactly
   /// across \p shards (rounded up to a power of two, then halved until
   /// no shard's slice is zero). \p clock must outlive the cache.
   ShardedReputationCache(const common::Clock& clock, CacheConfig config = {},

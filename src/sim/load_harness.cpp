@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
 #include "framework/client.hpp"
+#include "framework/transport.hpp"
+#include "netsim/network.hpp"
 
 namespace powai::sim {
 
@@ -98,6 +102,106 @@ LoadReport LoadHarness::run(
     report.solve_attempts += tally.attempts;
   }
   report.server_delta = server_->stats() - before;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Wire mode
+// ---------------------------------------------------------------------------
+
+WireLoadReport run_wire_load(const reputation::IReputationModel& model,
+                             const policy::IPolicy& policy,
+                             framework::ServerConfig server_cfg,
+                             const std::vector<features::FeatureVector>& features,
+                             WireLoadConfig cfg) {
+  if (features.empty()) {
+    throw std::invalid_argument("run_wire_load: features must be non-empty");
+  }
+  if (cfg.clients == 0 || cfg.requests_per_client == 0) {
+    throw std::invalid_argument(
+        "run_wire_load: clients and requests_per_client must be > 0");
+  }
+
+  netsim::EventLoop loop;
+  common::Rng net_rng(cfg.net_seed);
+  netsim::Network network(loop, net_rng);
+  network.set_default_link(cfg.link);
+
+  framework::PowServer server(loop.clock(), model, policy,
+                              std::move(server_cfg));
+
+  // Both transports share one endpoint class; the queue reference flips
+  // it into async mode.
+  std::unique_ptr<framework::AsyncFrontEnd> front_end;
+  std::unique_ptr<framework::ServerEndpoint> endpoint;
+  if (cfg.async) {
+    front_end = std::make_unique<framework::AsyncFrontEnd>(
+        loop, network, cfg.server_host, server, cfg.front_end);
+    endpoint = std::make_unique<framework::ServerEndpoint>(
+        network, cfg.server_host, server, front_end->queue());
+  } else {
+    endpoint = std::make_unique<framework::ServerEndpoint>(
+        network, cfg.server_host, server);
+  }
+
+  struct ClientState {
+    std::unique_ptr<framework::WireClient> wire;
+    std::size_t sent = 0;
+  };
+  std::vector<ClientState> clients(cfg.clients);
+  for (std::size_t i = 0; i < cfg.clients; ++i) {
+    clients[i].wire = std::make_unique<framework::WireClient>(
+        loop, network, load_client_ip(i), cfg.server_host,
+        cfg.client_hash_cost_us);
+  }
+
+  WireLoadReport report;
+  const framework::ServerStats before = server.stats();
+  const common::TimePoint sim_start = loop.now();
+
+  // Closed loop: each response triggers the client's next request. A
+  // request dropped by a lossy link also moves on — otherwise one lost
+  // message would stall that client forever.
+  std::function<void(std::size_t)> kick = [&](std::size_t ci) {
+    ClientState& state = clients[ci];
+    while (state.sent < cfg.requests_per_client) {
+      ++state.sent;
+      ++report.sent;
+      const std::uint64_t id = state.wire->send_request(
+          cfg.path, features[ci % features.size()],
+          [&report, &kick, ci](const framework::Response& response,
+                               common::Duration) {
+            ++report.answered;
+            if (response.status == common::ErrorCode::kOk) {
+              ++report.served;
+            } else if (response.status == common::ErrorCode::kUnavailable) {
+              ++report.overloaded;
+            } else {
+              ++report.rejected;
+            }
+            kick(ci);
+          });
+      if (id != 0) return;  // in flight; the callback continues the loop
+    }
+  };
+  for (std::size_t i = 0; i < cfg.clients; ++i) kick(i);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (cfg.async && cfg.front_end.start_paused) {
+    // Staged mode: play the wire against the paused drain first, so the
+    // initial pile-up (and every overload total) is deterministic, then
+    // drain the backlog.
+    report.events = loop.run();
+  }
+  report.events += cfg.async ? front_end->run_until_idle() : loop.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  report.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  report.sim_elapsed = loop.now() - sim_start;
+  report.unanswered = report.sent - report.answered;
+  report.messages_sent = network.messages_sent();
+  report.server_delta = server.stats() - before;
+  if (front_end) report.front_end = front_end->stats();
   return report;
 }
 

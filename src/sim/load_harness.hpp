@@ -1,14 +1,17 @@
 #pragma once
 /// \file load_harness.hpp
-/// Closed-loop end-to-end load generator: N client threads drive the
-/// full Fig. 1 exchange (request → challenge → solve → submit →
-/// response) against one PowServer and report throughput plus
-/// per-outcome counts. Unlike sim::ThrottlingExperiment, which models
-/// time, this runs real threads against the real server — shard
-/// contention, the atomic stats block, and solver cost all show up in
-/// the numbers. It is the harness the concurrent issuance path is
-/// measured with (bench/bench_server_load.cpp) and stress-tested with
-/// (tests/test_concurrent_server.cpp).
+/// Closed-loop end-to-end load generators, two flavors:
+///
+/// - LoadHarness: N real client threads call the PowServer entry points
+///   directly (no wire) — shard contention, the atomic stats block, and
+///   solver cost all show up in the numbers. Used by
+///   bench/bench_server_load.cpp and tests/test_concurrent_server.cpp.
+/// - run_wire_load: the same closed loop as *encoded bytes over the
+///   simulated network*, through either the synchronous ServerEndpoint
+///   path or the AsyncFrontEnd batch bridge. The two transports must
+///   produce identical totals, which is the invariant
+///   tests/test_async_front_end.cpp pins and bench/bench_wire_load.cpp
+///   measures the cost of.
 
 #include <cstddef>
 #include <cstdint>
@@ -16,7 +19,11 @@
 #include <vector>
 
 #include "features/feature_vector.hpp"
+#include "framework/async_front_end.hpp"
 #include "framework/server.hpp"
+#include "netsim/link.hpp"
+#include "policy/policy.hpp"
+#include "reputation/model.hpp"
 
 namespace powai::sim {
 
@@ -62,7 +69,7 @@ class LoadHarness final {
 
   /// Runs the closed loop: every client thread performs
   /// requests_per_client full round trips, all released together.
-  /// Client i sends \p features[i % features.size()] from the source
+  /// Client i sends `features[i % features.size()]` from the source
   /// address load_client_ip(i), so per-IP state (rate limiter,
   /// reputation cache) is exercised per client. Throws on empty
   /// \p features.
@@ -77,5 +84,72 @@ class LoadHarness final {
 /// Source address for client \p index ("10.a.b.c"; unique per index
 /// below 2^24).
 [[nodiscard]] std::string load_client_ip(std::size_t index);
+
+// ---------------------------------------------------------------------------
+// Wire mode
+// ---------------------------------------------------------------------------
+
+/// Wire-mode run shape. The default link is deterministic (fixed 15 ms,
+/// no jitter, no loss) so a synchronous and an asynchronous run of the
+/// same configuration produce identical totals; dial jitter/loss back in
+/// for robustness experiments where exact matching is not the point.
+struct WireLoadConfig final {
+  std::size_t clients = 4;
+  std::size_t requests_per_client = 8;
+
+  /// false = synchronous ServerEndpoint (inline service on the loop
+  /// thread); true = AsyncFrontEnd batch bridge. With
+  /// front_end.start_paused set, the wire is first played out against
+  /// the paused drain (a deterministic worst-case pile-up), then the
+  /// backlog is drained.
+  bool async = true;
+  framework::AsyncFrontEndConfig front_end;
+
+  /// Modelled per-hash client solve cost (see WireClient).
+  double client_hash_cost_us = 38.0;
+
+  netsim::LinkModel link{.base_latency = std::chrono::milliseconds(15),
+                         .jitter = common::Duration::zero(),
+                         .bandwidth_bytes_per_sec = 0.0,
+                         .loss_rate = 0.0};
+  std::uint64_t net_seed = 17;
+  std::string path = "/";
+  std::string server_host = "198.51.100.250";
+};
+
+/// Outcome of one wire-mode run. Client-side tallies (what responses
+/// said) and the server-side counter delta are reported separately so
+/// lost or double-counted messages are visible, exactly like LoadReport.
+struct WireLoadReport final {
+  std::uint64_t sent = 0;        ///< requests handed to the wire
+  std::uint64_t answered = 0;    ///< final responses that arrived
+  std::uint64_t served = 0;      ///< … with kOk
+  std::uint64_t overloaded = 0;  ///< … with kUnavailable (backpressure)
+  std::uint64_t rejected = 0;    ///< … with any other error
+  std::uint64_t unanswered = 0;  ///< dropped on the wire (lossy links only)
+  std::uint64_t events = 0;      ///< loop events executed
+  common::Duration sim_elapsed{};  ///< simulated duration of the run
+  double wall_s = 0.0;             ///< real time the run took
+  std::uint64_t messages_sent = 0;  ///< wire messages (all four legs)
+
+  framework::ServerStats server_delta;
+  framework::FrontEndStats front_end;  ///< zeros in synchronous mode
+
+  [[nodiscard]] double answered_per_wall_s() const {
+    return wall_s > 0.0 ? static_cast<double>(answered) / wall_s : 0.0;
+  }
+};
+
+/// Runs the closed loop over the netsim transport: \p cfg.clients wire
+/// clients each complete \p cfg.requests_per_client request→response
+/// exchanges (client i sends `features[i % features.size()]` from
+/// load_client_ip(i)), against a PowServer built from \p server_cfg
+/// reading the simulated clock. Builds its own EventLoop/Network.
+/// Throws std::invalid_argument on empty \p features or zero counts.
+[[nodiscard]] WireLoadReport run_wire_load(
+    const reputation::IReputationModel& model, const policy::IPolicy& policy,
+    framework::ServerConfig server_cfg,
+    const std::vector<features::FeatureVector>& features,
+    WireLoadConfig cfg = {});
 
 }  // namespace powai::sim

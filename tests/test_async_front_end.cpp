@@ -1,0 +1,344 @@
+// Integration tests for the asynchronous transport front end: the
+// queue-draining batch bridge between the simulated wire and the
+// PowServer batch entry points. Pins the three contracts the
+// architecture promises (docs/ARCHITECTURE.md):
+//   1. determinism — an async run produces exactly the totals of the
+//      synchronous in-process shim;
+//   2. backpressure — a full queue yields explicit kUnavailable answers,
+//      counted in ServerStats, never silent drops;
+//   3. conservation — across bursts and drains every message is
+//      answered exactly once (exactly-once submission accounting).
+// Runs under TSan via the `concurrency` label.
+
+#include "framework/async_front_end.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/synthetic.hpp"
+#include "framework/transport.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+#include "sim/load_harness.hpp"
+
+namespace powai::framework {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr const char* kServerHost = "198.51.100.250";
+
+class AsyncFrontEndTest : public ::testing::Test {
+ protected:
+  AsyncFrontEndTest() : rng_(21), network_(loop_, net_rng_) {
+    // Deterministic wire: every same-instant burst stays one instant.
+    netsim::LinkModel link;
+    link.base_latency = 15ms;
+    link.jitter = common::Duration::zero();
+    network_.set_default_link(link);
+
+    const features::SyntheticTraceGenerator gen;
+    model_.fit(gen.generate(300, 300, rng_));
+    benign_features_ = gen.sample(false, rng_);
+
+    ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("async-front-end-secret");
+    server_ = std::make_unique<PowServer>(loop_.clock(), model_, policy_, cfg);
+  }
+
+  /// Builds the async path (front end + endpoint) with the given knobs.
+  void build_front_end(AsyncFrontEndConfig cfg) {
+    front_end_ = std::make_unique<AsyncFrontEnd>(loop_, network_, kServerHost,
+                                                 *server_, cfg);
+    endpoint_ = std::make_unique<ServerEndpoint>(network_, kServerHost,
+                                                 *server_, front_end_->queue());
+  }
+
+  common::Rng rng_;
+  common::Rng net_rng_{5};
+  netsim::EventLoop loop_;
+  netsim::Network network_;
+  reputation::DabrModel model_;
+  policy::LinearPolicy policy_ = policy::LinearPolicy::policy1();
+  std::unique_ptr<PowServer> server_;
+  std::unique_ptr<AsyncFrontEnd> front_end_;
+  std::unique_ptr<ServerEndpoint> endpoint_;
+  features::FeatureVector benign_features_;
+};
+
+TEST_F(AsyncFrontEndTest, FullExchangeThroughAsyncPath) {
+  build_front_end({});
+  WireClient client(loop_, network_, "10.0.0.1", kServerHost);
+  std::optional<Response> got;
+  const std::uint64_t id = client.send_request(
+      "/index", benign_features_,
+      [&](const Response& r, common::Duration) { got = r; });
+  EXPECT_GT(id, 0u);
+  front_end_->run_until_idle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, common::ErrorCode::kOk);
+  EXPECT_EQ(got->request_id, id);
+  EXPECT_EQ(got->body, "resource");
+  EXPECT_EQ(server_->stats().served, 1u);
+  EXPECT_TRUE(front_end_->idle());
+  const FrontEndStats fs = front_end_->stats();
+  EXPECT_EQ(fs.requests, 1u);
+  EXPECT_EQ(fs.submissions, 1u);
+  EXPECT_EQ(fs.messages, 2u);
+}
+
+TEST_F(AsyncFrontEndTest, SameInstantBurstBecomesOneBatch) {
+  // Paused drain: all 6 requests arrive at one instant and sit in the
+  // queue, so the adaptive pop takes them as a single batch.
+  AsyncFrontEndConfig cfg;
+  cfg.start_paused = true;
+  build_front_end(cfg);
+  std::vector<std::unique_ptr<WireClient>> clients;
+  int served = 0;
+  for (int i = 0; i < 6; ++i) {
+    clients.push_back(std::make_unique<WireClient>(
+        loop_, network_, "10.0.1." + std::to_string(i + 1), kServerHost));
+    clients.back()->send_request("/", benign_features_,
+                                 [&](const Response& r, common::Duration) {
+                                   if (r.status == common::ErrorCode::kOk) {
+                                     ++served;
+                                   }
+                                 });
+  }
+  loop_.run();  // burst lands in the queue while the drain is paused
+  EXPECT_EQ(front_end_->queue().size(), 6u);
+  front_end_->run_until_idle();
+  EXPECT_EQ(served, 6);
+  EXPECT_EQ(front_end_->stats().largest_batch, 6u);
+}
+
+TEST_F(AsyncFrontEndTest, MaxBatchCapsOneDispatch) {
+  AsyncFrontEndConfig cfg;
+  cfg.max_batch = 3;
+  cfg.start_paused = true;
+  build_front_end(cfg);
+  std::vector<std::unique_ptr<WireClient>> clients;
+  int served = 0;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<WireClient>(
+        loop_, network_, "10.0.1." + std::to_string(i + 1), kServerHost));
+    clients.back()->send_request("/", benign_features_,
+                                 [&](const Response& r, common::Duration) {
+                                   if (r.status == common::ErrorCode::kOk) {
+                                     ++served;
+                                   }
+                                 });
+  }
+  loop_.run();  // burst lands in the queue while the drain is paused
+  front_end_->run_until_idle();
+  EXPECT_EQ(served, 8);
+  const FrontEndStats fs = front_end_->stats();
+  EXPECT_LE(fs.largest_batch, 3u);
+  EXPECT_EQ(fs.messages, 16u);  // 8 requests + 8 submissions
+}
+
+TEST_F(AsyncFrontEndTest, QueueFullAnswersOverloadExactly) {
+  // 6 same-instant requests against a capacity-2 queue with the drain
+  // paused: exactly 2 accepted, exactly 4 refused with kUnavailable —
+  // deterministically, no silent drops.
+  AsyncFrontEndConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.start_paused = true;
+  build_front_end(cfg);
+  std::vector<std::unique_ptr<WireClient>> clients;
+  int served = 0;
+  int overloaded = 0;
+  int answered = 0;
+  std::vector<int> answers_per_client(6, 0);
+  for (int i = 0; i < 6; ++i) {
+    clients.push_back(std::make_unique<WireClient>(
+        loop_, network_, "10.0.2." + std::to_string(i + 1), kServerHost));
+    clients.back()->send_request(
+        "/", benign_features_, [&, i](const Response& r, common::Duration) {
+          ++answered;
+          ++answers_per_client[static_cast<std::size_t>(i)];
+          if (r.status == common::ErrorCode::kOk) ++served;
+          if (r.status == common::ErrorCode::kUnavailable) ++overloaded;
+        });
+  }
+  // Deliver the burst while nothing drains: the overload NAKs are
+  // already en route before the front end ever runs.
+  loop_.run();
+  EXPECT_EQ(overloaded, 4);
+  EXPECT_EQ(server_->stats().rejected_overload, 4u);
+  EXPECT_EQ(front_end_->queue().overflows(), 4u);
+
+  // Drain the backlog: the two accepted requests complete end to end.
+  front_end_->run_until_idle();
+  EXPECT_EQ(served, 2);
+  EXPECT_EQ(answered, 6);
+  for (const int n : answers_per_client) EXPECT_EQ(n, 1);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.rejected_overload, 4u);
+  EXPECT_EQ(stats.challenges_issued, 2u);
+}
+
+TEST_F(AsyncFrontEndTest, DrainAfterBurstLosesAndDuplicatesNothing) {
+  // Capacity comfortably above the burst: every message must be
+  // answered exactly once once the backlog drains.
+  AsyncFrontEndConfig cfg;
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  cfg.start_paused = true;
+  build_front_end(cfg);
+  constexpr int kClients = 12;
+  std::vector<std::unique_ptr<WireClient>> clients;
+  std::vector<int> answers_per_client(kClients, 0);
+  int served = 0;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<WireClient>(
+        loop_, network_, "10.0.3." + std::to_string(i + 1), kServerHost));
+    clients.back()->send_request(
+        "/", benign_features_, [&, i](const Response& r, common::Duration) {
+          ++answers_per_client[static_cast<std::size_t>(i)];
+          if (r.status == common::ErrorCode::kOk) ++served;
+        });
+  }
+  loop_.run();  // burst queued, nothing processed yet
+  EXPECT_EQ(front_end_->queue().size(), static_cast<std::size_t>(kClients));
+  front_end_->run_until_idle();
+
+  EXPECT_EQ(served, kClients);
+  for (const int n : answers_per_client) EXPECT_EQ(n, 1);
+  const ServerStats stats = server_->stats();
+  // Exactly-once submission accounting end to end: every challenge was
+  // redeemed exactly once, nothing replayed, nothing dropped.
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.challenges_issued, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.served, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.rejected_replay, 0u);
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_TRUE(front_end_->idle());
+  EXPECT_FALSE(front_end_->queue().busy());
+}
+
+TEST_F(AsyncFrontEndTest, AsyncTotalsMatchSynchronousTransportExactly) {
+  // The acceptance invariant: the same wire workload through the
+  // synchronous shim and through the async front end, identical totals.
+  const features::SyntheticTraceGenerator gen;
+  common::Rng frng(33);
+  std::vector<features::FeatureVector> features;
+  for (int i = 0; i < 5; ++i) features.push_back(gen.sample(i % 2 == 1, frng));
+
+  const auto run = [&](bool async, std::size_t verify_threads) {
+    ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("match-secret");
+    cfg.verify_threads = verify_threads;
+    sim::WireLoadConfig wc;
+    wc.clients = 6;
+    wc.requests_per_client = 5;
+    wc.async = async;
+    wc.front_end.max_batch = 4;
+    return sim::run_wire_load(model_, policy_, cfg, features, wc);
+  };
+
+  const sim::WireLoadReport sync_run = run(false, 1);
+  const sim::WireLoadReport async_run = run(true, 2);
+
+  EXPECT_EQ(sync_run.answered, 30u);
+  EXPECT_EQ(async_run.answered, sync_run.answered);
+  EXPECT_EQ(async_run.served, sync_run.served);
+  EXPECT_EQ(async_run.unanswered, 0u);
+  const ServerStats& s = sync_run.server_delta;
+  const ServerStats& a = async_run.server_delta;
+  EXPECT_EQ(a.requests, s.requests);
+  EXPECT_EQ(a.challenges_issued, s.challenges_issued);
+  EXPECT_EQ(a.served, s.served);
+  EXPECT_EQ(a.difficulty_sum, s.difficulty_sum);
+  EXPECT_EQ(a.rejected_rate_limited, s.rejected_rate_limited);
+  EXPECT_EQ(a.rejected_bad_solution, s.rejected_bad_solution);
+  EXPECT_EQ(a.rejected_replay, s.rejected_replay);
+  EXPECT_EQ(a.rejected_overload, 0u);
+  // Same wire conversation, not merely the same totals. (Simulated
+  // *durations* may legitimately differ on many-core hosts: batch issue
+  // order permutes puzzle ids across clients, which changes individual
+  // solve times — but never the number or fate of messages.)
+  EXPECT_EQ(async_run.messages_sent, sync_run.messages_sent);
+}
+
+TEST_F(AsyncFrontEndTest, ClosedLoopWithBackpressureConservesEveryMessage) {
+  // Tiny queue + many clients: overloads interleave with successes over
+  // several closed-loop rounds; the ledger must still balance exactly.
+  const std::vector<features::FeatureVector> features{benign_features_};
+  ServerConfig cfg;
+  cfg.master_secret = common::bytes_of("conserve-secret");
+  sim::WireLoadConfig wc;
+  wc.clients = 8;
+  wc.requests_per_client = 4;
+  wc.async = true;
+  wc.front_end.queue_capacity = 1;
+  wc.front_end.max_batch = 2;
+  // Staged: run_wire_load plays the wire against the paused drain
+  // first, so the pile-up (and therefore every total) is deterministic:
+  // one client's request is accepted, the others burn all their rounds
+  // on overload NAKs, then the drain completes the accepted client.
+  wc.front_end.start_paused = true;
+  const sim::WireLoadReport report =
+      sim::run_wire_load(model_, policy_, cfg, features, wc);
+
+  EXPECT_EQ(report.sent, 32u);
+  EXPECT_EQ(report.answered, report.sent);
+  EXPECT_EQ(report.unanswered, 0u);
+  EXPECT_EQ(report.served + report.overloaded + report.rejected,
+            report.answered);
+  EXPECT_EQ(report.served, 4u);       // the one accepted client's rounds
+  EXPECT_EQ(report.overloaded, 28u);  // everyone else's, exactly
+  // Client-observed refusals and the server ledger agree exactly.
+  EXPECT_EQ(report.server_delta.rejected_overload, report.overloaded);
+  EXPECT_EQ(report.server_delta.served, report.served);
+  EXPECT_EQ(report.server_delta.rejected_replay, 0u);
+}
+
+TEST_F(AsyncFrontEndTest, MalformedCountReadableWhileServing) {
+  // Regression: malformed_ was a plain uint64 written on the event-loop
+  // thread; with completions on pool threads a monitoring read races.
+  // Atomic now — this test puts a polling reader next to live traffic
+  // and relies on the TSan job to prove the claim.
+  build_front_end({});
+  network_.add_host("203.0.0.66",
+                    [](const std::string&, common::BytesView) {});
+  for (int i = 0; i < 50; ++i) {
+    loop_.schedule_in(std::chrono::milliseconds(i), [this] {
+      (void)network_.send("203.0.0.66", kServerHost,
+                          common::bytes_of("garbage"));
+    });
+  }
+  WireClient client(loop_, network_, "10.0.4.1", kServerHost);
+  int served = 0;
+  client.send_request("/", benign_features_,
+                      [&](const Response& r, common::Duration) {
+                        if (r.status == common::ErrorCode::kOk) ++served;
+                      });
+
+  std::atomic<bool> done{false};
+  std::uint64_t observed = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      observed = std::max(observed, endpoint_->malformed_count());
+      std::this_thread::yield();
+    }
+  });
+  front_end_->run_until_idle();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(endpoint_->malformed_count(), 50u);
+  EXPECT_LE(observed, 50u);
+  EXPECT_EQ(served, 1);
+}
+
+}  // namespace
+}  // namespace powai::framework

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 namespace powai::netsim {
@@ -130,6 +132,78 @@ TEST(EventLoop, ZeroDelayRunsAtCurrentTime) {
   loop.run();
   EXPECT_TRUE(fired);
   EXPECT_EQ(loop.now().time_since_epoch(), 0ms);
+}
+
+TEST(EventLoop, PostedCallbacksRunAtCurrentTimeInFifoOrder) {
+  EventLoop loop;
+  loop.schedule_in(10ms, [] {});
+  loop.run();  // advance the clock to 10ms first
+  std::vector<int> order;
+  common::TimePoint seen{};
+  loop.post([&] {
+    order.push_back(1);
+    seen = loop.now();
+  });
+  loop.post([&] { order.push_back(2); });
+  EXPECT_TRUE(loop.has_posted());
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_FALSE(loop.has_posted());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Posts attach to the loop's current instant, not a new one.
+  EXPECT_EQ(seen.time_since_epoch(), 10ms);
+  EXPECT_EQ(loop.now().time_since_epoch(), 10ms);
+}
+
+TEST(EventLoop, PostedCallbackRunsBeforeLaterScheduledEvents) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(5ms, [&] { order.push_back(2); });
+  loop.post([&] { order.push_back(1); });  // due "now" (t=0)
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, PostRejectsEmptyFn) {
+  EventLoop loop;
+  EXPECT_THROW(loop.post(nullptr), std::invalid_argument);
+}
+
+TEST(EventLoop, NextEventTimeSkipsCancelledAndSeesPosts) {
+  EventLoop loop;
+  const EventId id = loop.schedule_in(10ms, [] {});
+  loop.schedule_in(20ms, [] {});
+  ASSERT_TRUE(loop.next_event_time().has_value());
+  EXPECT_EQ(loop.next_event_time()->time_since_epoch(), 10ms);
+  loop.cancel(id);
+  EXPECT_EQ(loop.next_event_time()->time_since_epoch(), 20ms);
+  loop.post([] {});  // due immediately → becomes the earliest event
+  EXPECT_EQ(loop.next_event_time()->time_since_epoch(), 0ms);
+  loop.run();
+  EXPECT_FALSE(loop.next_event_time().has_value());
+}
+
+TEST(EventLoop, PostsFromManyThreadsAllRun) {
+  // The cross-thread injection path the async front end relies on;
+  // exercised under TSan via the `concurrency` label.
+  EventLoop loop;
+  constexpr int kThreads = 4;
+  constexpr int kPostsPerThread = 250;
+  std::atomic<int> ran{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPostsPerThread; ++i) {
+        loop.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : posters) t.join();
+  loop.run();
+  EXPECT_EQ(ran.load(), kThreads * kPostsPerThread);
+  EXPECT_FALSE(loop.has_posted());
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// Tests for the minimal JSON emitter behind the bench artifacts.
+
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+namespace powai::common {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("abc xyz 123"), "abc xyz 123");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, FlatObjectWithEveryFieldType) {
+  JsonWriter w;
+  w.begin_object();
+  w.field_str("name", "wire_load");
+  w.field_u64("count", 42);
+  w.field_f64("rate", 1.5);
+  w.field_bool("ok", true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"wire_load","count":42,"rate":1.5,"ok":true})");
+}
+
+TEST(JsonWriter, NestedArraysOfObjects) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("rows");
+  w.begin_object().field_u64("clients", 1).end_object();
+  w.begin_object().field_u64("clients", 2).end_object();
+  w.end_array();
+  w.begin_object("meta").field_str("host", "ci").end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"rows":[{"clients":1},{"clients":2}],"meta":{"host":"ci"}})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("rows").end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[]})");
+}
+
+TEST(JsonWriter, WriteJsonFileRoundTripsAndReportsFailure) {
+  JsonWriter w;
+  w.begin_object();
+  w.field_u64("n", 7);
+  w.end_object();
+  const std::string path = ::testing::TempDir() + "powai_json_test.json";
+  ASSERT_TRUE(write_json_file(path, w));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, R"({"n":7})");
+  EXPECT_FALSE(write_json_file("/nonexistent-dir/x.json", w));
+  JsonWriter open_writer;
+  open_writer.begin_object();
+  EXPECT_THROW((void)write_json_file(path, open_writer), std::logic_error);
+}
+
+TEST(JsonWriter, MisnestingThrows) {
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.field_u64("k", 1), std::logic_error);  // no open object
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), std::logic_error);  // still open
+  }
+}
+
+}  // namespace
+}  // namespace powai::common
