@@ -58,8 +58,7 @@ int main(int argc, char** argv) {
   fc.start_paused = true;
   const char* host = "198.51.100.250";
   framework::AsyncFrontEnd front_end(loop, network, host, server, fc);
-  framework::ServerEndpoint endpoint(network, host, server,
-                                     front_end.queue());
+  framework::ServerEndpoint endpoint(network, host, server, front_end);
 
   std::vector<std::unique_ptr<framework::WireClient>> clients;
   int served = 0;

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare bench JSON artifacts against a committed baseline.
+
+The load benches (bench_server_load, bench_wire_load) emit one JSON
+artifact per run (the `json=path` knob; CI uploads them per commit).
+This script is the second half of the bench-tracking story: it diffs a
+run's artifacts against bench/baseline.json and warns loudly — GitHub
+workflow annotations plus a nonzero-looking banner — when a throughput
+metric regresses by more than the threshold (default 10%).
+
+Throughput on shared CI runners is noisy and the baseline was recorded
+on different hardware, so a regression is a *warning* by default, not a
+failure; pass --strict to turn warnings into exit code 1 (useful on
+dedicated hardware).
+
+Usage:
+  scripts/bench_diff.py --baseline bench/baseline.json \
+      bench-server-load.json bench-wire-load.json [--threshold 0.10]
+      [--strict]
+
+Baseline format: a JSON object mapping each artifact's "bench" name to
+the artifact itself, e.g. {"server_load": {...}, "wire_load": {...}}.
+Refresh it by re-running the benches and committing the new numbers:
+  ./build/bench/bench_server_load max_clients=4 requests=32 json=sl.json
+  ./build/bench/bench_wire_load clients=6 requests=8 max_threads=4 json=wl.json
+  python3 -c "import json,sys; print(json.dumps({a['bench']: a for a in \
+      (json.load(open(p)) for p in ['sl.json','wl.json'])}, indent=2))" \
+      > bench/baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+# Per-bench comparison spec: how rows are keyed and which metric is the
+# throughput we track.
+SPECS = {
+    "server_load": {"row_key": "clients", "metric": "served_per_s"},
+    "wire_load": {"row_key": "mode", "metric": "answered_per_wall_s"},
+}
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def compare_artifact(artifact, baseline_artifact, threshold):
+    """Yields (row_key, baseline_value, current_value, ratio, regressed)."""
+    name = artifact.get("bench", "?")
+    spec = SPECS.get(name)
+    if spec is None:
+        print(f"note: no comparison spec for bench '{name}', skipping")
+        return
+    key, metric = spec["row_key"], spec["metric"]
+    base_rows = {row[key]: row for row in baseline_artifact.get("rows", [])}
+    for row in artifact.get("rows", []):
+        base = base_rows.get(row[key])
+        if base is None:
+            print(f"note: {name} row {row[key]!r} absent from baseline")
+            continue
+        current, reference = row.get(metric), base.get(metric)
+        if not current or not reference:  # missing/zero: nothing to compare
+            print(f"note: {name} row {row[key]!r} lacks a usable {metric}")
+            continue
+        ratio = current / reference
+        yield row[key], reference, current, ratio, ratio < 1.0 - threshold
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="+", help="bench JSON artifacts")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (bench name -> artifact)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative throughput drop that counts as a "
+                             "regression (default 0.10 = 10%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any regression instead of warning")
+    args = parser.parse_args()
+
+    baseline = load_json(args.baseline)
+    regressions = []
+
+    for path in args.artifacts:
+        artifact = load_json(path)
+        name = artifact.get("bench", "?")
+        base = baseline.get(name)
+        if base is None:
+            print(f"note: bench '{name}' has no baseline entry, skipping")
+            continue
+        metric = SPECS.get(name, {}).get("metric", "?")
+        print(f"\n{name} ({metric}), threshold {args.threshold:.0%}:")
+        print(f"  {'row':<12} {'baseline':>12} {'current':>12} {'ratio':>8}")
+        for row_key, ref, cur, ratio, regressed in compare_artifact(
+                artifact, base, args.threshold):
+            marker = "  << REGRESSION" if regressed else ""
+            print(f"  {str(row_key):<12} {ref:>12.0f} {cur:>12.0f} "
+                  f"{ratio:>7.2f}x{marker}")
+            if regressed:
+                regressions.append((name, row_key, ref, cur, ratio))
+
+    if regressions:
+        print("\n" + "!" * 66)
+        print(f"!! {len(regressions)} throughput regression(s) beyond "
+              f"{args.threshold:.0%} vs committed baseline")
+        for name, row_key, ref, cur, ratio in regressions:
+            msg = (f"{name}[{row_key}]: {cur:.0f}/s vs baseline {ref:.0f}/s "
+                   f"({ratio:.2f}x)")
+            print(f"!!   {msg}")
+            # GitHub Actions annotation: shows on the workflow summary.
+            print(f"::warning title=bench regression::{msg}")
+        print("!" * 66)
+        print("If this is expected (slower runner, intentional trade-off), "
+              "refresh bench/baseline.json; see this script's docstring.")
+        return 1 if args.strict else 0
+
+    print("\nno throughput regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,4 +107,13 @@ Rng Rng::split() {
   return Rng(child_seed);
 }
 
+Rng stream_rng(std::uint64_t seed, std::uint64_t stream) {
+  // Finalize the stream id before folding it into the seed so adjacent
+  // ids (counters, sequential puzzle ids) land on decorrelated seeds;
+  // the Rng constructor then splitmixes the combination into the full
+  // 256-bit state. Pure function of (seed, stream) by construction.
+  std::uint64_t sm = stream ^ 0x6a09e667f3bcc909ULL;  // domain-separate id 0
+  return Rng(seed ^ splitmix64(sm));
+}
+
 }  // namespace powai::common

@@ -72,4 +72,13 @@ class Rng final {
   bool has_cached_normal_ = false;
 };
 
+/// Counter-based stream derivation: the generator for (seed, stream) is
+/// a pure function of the pair — the same stream id yields the same
+/// sequence in every run, no matter how many other streams were drawn
+/// first or from which thread. This is the non-cryptographic sibling of
+/// crypto::DerivedDrbg, used where shared-Rng locking would either
+/// serialize a hot path or make results depend on arrival order (e.g.
+/// per-request policy randomness keyed by puzzle id).
+[[nodiscard]] Rng stream_rng(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace powai::common

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <random>
+#include <stdexcept>
 
 #include "crypto/hmac.hpp"
 
@@ -71,6 +72,34 @@ std::uint64_t HmacDrbg::next_u64() {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
   return v;
+}
+
+DerivedDrbg::DerivedDrbg(common::BytesView key,
+                         common::BytesView personalization)
+    : key_(key.begin(), key.end()),
+      personalization_(personalization.begin(), personalization.end()) {
+  if (key_.empty()) {
+    throw std::invalid_argument("DerivedDrbg: empty key");
+  }
+}
+
+HmacDrbg DerivedDrbg::stream(std::uint64_t id) const {
+  // Instantiate with the family key as entropy and (personalization ||
+  // id) as the personalization string: SP 800-90A folds both into the
+  // initial state, so distinct ids yield independent streams while the
+  // derivation stays a pure function of (key, personalization, id).
+  common::Bytes info = personalization_;
+  common::append_u64be(info, id);
+  return HmacDrbg(common::BytesView(key_.data(), key_.size()),
+                  common::BytesView(info.data(), info.size()));
+}
+
+common::Bytes DerivedDrbg::generate(std::uint64_t id, std::size_t n) const {
+  return stream(id).generate(n);
+}
+
+std::uint64_t DerivedDrbg::next_u64(std::uint64_t id) const {
+  return stream(id).next_u64();
 }
 
 common::Bytes os_entropy(std::size_t n) {

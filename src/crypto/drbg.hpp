@@ -37,6 +37,40 @@ class HmacDrbg final {
   std::array<std::uint8_t, 32> value_{};
 };
 
+/// A stateless *family* of DRBG streams under one key: `stream(id)`
+/// deterministically instantiates the HMAC-DRBG whose output is a pure
+/// function of (key, personalization, id) — never of call order, thread
+/// interleaving, or how many other streams were drawn first. This is the
+/// primitive that makes issuance order-independent: where a chained
+/// HmacDrbg hands consecutive callers consecutive slices of one stream
+/// (so a batch that permutes arrival order permutes every seed), a
+/// DerivedDrbg hands the caller for id X the same bytes in every run.
+///
+/// All methods are const and the object holds no mutable state, so one
+/// instance may be shared across any number of threads without locks.
+class DerivedDrbg final {
+ public:
+  /// \p key is the derivation key (non-empty); \p personalization
+  /// domain-separates independent families under the same key.
+  explicit DerivedDrbg(common::BytesView key,
+                       common::BytesView personalization = {});
+
+  /// Instantiates stream \p id. The returned generator is an ordinary
+  /// chained HmacDrbg — callers that need more than one draw from the
+  /// same id keep it and chain locally.
+  [[nodiscard]] HmacDrbg stream(std::uint64_t id) const;
+
+  /// One-shot: the first \p n bytes of stream \p id.
+  [[nodiscard]] common::Bytes generate(std::uint64_t id, std::size_t n) const;
+
+  /// Convenience: the first 64-bit value of stream \p id.
+  [[nodiscard]] std::uint64_t next_u64(std::uint64_t id) const;
+
+ private:
+  common::Bytes key_;
+  common::Bytes personalization_;
+};
+
 /// Returns \p n bytes sampled from std::random_device (wrapped so call
 /// sites do not depend on <random> and tests can see a single choke
 /// point for entropy).

@@ -1,10 +1,27 @@
 #include "framework/async_front_end.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 #include <variant>
 
+#include "common/hashing.hpp"
+
 namespace powai::framework {
+
+namespace {
+/// FNV-1a over the address string: a stable, platform-independent hash
+/// so shard assignment (and therefore batch diagnostics) reproduce
+/// across runs. std::hash would work but is unspecified per platform.
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
 
 AsyncFrontEnd::AsyncFrontEnd(netsim::EventLoop& loop, netsim::Network& network,
                              std::string host_name, PowServer& server,
@@ -14,18 +31,43 @@ AsyncFrontEnd::AsyncFrontEnd(netsim::EventLoop& loop, netsim::Network& network,
       host_name_(std::move(host_name)),
       server_(&server),
       config_(config),
-      queue_(config.queue_capacity),
-      started_(!config.start_paused),
-      drain_([this] { drain_loop(); }) {}
+      started_(!config.start_paused) {
+  const std::size_t shards = std::max<std::size_t>(1, config_.drain_shards);
+  if (config_.queue_capacity < shards) {
+    throw std::invalid_argument(
+        "AsyncFrontEnd: queue_capacity must be >= drain_shards");
+  }
+  queues_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    // Exact split: shard capacities sum to queue_capacity, so the
+    // global backpressure bound is unchanged by sharding.
+    queues_.push_back(std::make_unique<RequestQueue>(
+        common::split_slice(config_.queue_capacity, shards, i)));
+  }
+  drains_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    drains_.emplace_back([this, i] { drain_loop(i); });
+  }
+}
 
 AsyncFrontEnd::~AsyncFrontEnd() {
-  queue_.close();
+  for (auto& queue : queues_) queue->close();
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    started_ = true;  // a paused drain must wake to observe the close
+    started_ = true;  // paused drains must wake to observe the close
   }
   cv_.notify_all();
-  drain_.join();
+  for (auto& drain : drains_) drain.join();
+}
+
+std::size_t AsyncFrontEnd::shard_for(const std::string& from) const {
+  return static_cast<std::size_t>(common::mix64(fnv1a64(from))) %
+         queues_.size();
+}
+
+bool AsyncFrontEnd::try_push(WireMessage message) {
+  const std::size_t shard = shard_for(message.from);
+  return queues_[shard]->try_push(std::move(message));
 }
 
 void AsyncFrontEnd::start() {
@@ -36,25 +78,58 @@ void AsyncFrontEnd::start() {
   cv_.notify_all();
 }
 
+bool AsyncFrontEnd::idle() const {
+  for (const auto& queue : queues_) {
+    if (queue->busy()) return false;
+  }
+  return true;
+}
+
+std::size_t AsyncFrontEnd::queued() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue->size();
+  return total;
+}
+
+std::size_t AsyncFrontEnd::in_flight() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue->in_flight();
+  return total;
+}
+
+std::uint64_t AsyncFrontEnd::overflows() const {
+  std::uint64_t total = 0;
+  for (const auto& queue : queues_) total += queue->overflows();
+  return total;
+}
+
+std::uint64_t AsyncFrontEnd::accepted() const {
+  std::uint64_t total = 0;
+  for (const auto& queue : queues_) total += queue->accepted();
+  return total;
+}
+
 FrontEndStats AsyncFrontEnd::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }
 
-void AsyncFrontEnd::drain_loop() {
+void AsyncFrontEnd::drain_loop(std::size_t shard) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return started_; });
   }
+  RequestQueue& queue = *queues_[shard];
   std::vector<WireMessage> batch;
   for (;;) {
     batch.clear();
-    if (queue_.pop_up_to(config_.max_batch, batch) == 0) return;  // closed
-    process_batch(std::move(batch));
+    if (queue.pop_up_to(config_.max_batch, batch) == 0) return;  // closed
+    process_batch(queue, std::move(batch));
   }
 }
 
-void AsyncFrontEnd::process_batch(std::vector<WireMessage>&& batch) {
+void AsyncFrontEnd::process_batch(RequestQueue& queue,
+                                  std::vector<WireMessage>&& batch) {
   const std::size_t n = batch.size();
 
   // Partition while remembering each message's slot so responses go out
@@ -78,6 +153,8 @@ void AsyncFrontEnd::process_batch(std::vector<WireMessage>&& batch) {
 
   // Fan out on the server's shared pool (this thread participates via
   // parallel_for), then serialize every reply into its arrival slot.
+  // Shards share that one pool, so drain_shards scales dispatch without
+  // multiplying worker threads.
   std::vector<std::pair<std::string, common::Bytes>> outgoing(n);
   if (!requests.empty()) {
     auto outcomes = server_->on_request_batch(requests);
@@ -108,7 +185,7 @@ void AsyncFrontEnd::process_batch(std::vector<WireMessage>&& batch) {
       (void)network->send(host, to, std::move(payload));
     }
   });
-  queue_.complete(n);
+  queue.complete(n);
 
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -126,14 +203,15 @@ std::size_t AsyncFrontEnd::run_until_idle() {
   std::size_t executed = 0;
   for (;;) {
     // Settle the current instant: keep executing due events (including
-    // posted completions) and waiting on the drain until the front end
-    // owes nothing for this timestamp. The clock does not move here.
+    // posted completions) and waiting on the drains until no shard owes
+    // anything for this timestamp. The clock does not move here. The
+    // loop thread is the only producer, so queues can only go busy →
+    // idle while it waits — the conjunction over shards is race-free.
     for (;;) {
       executed += loop_->run_until(loop_->now());
       std::unique_lock<std::mutex> lock(mu_);
-      if (!queue_.busy() && !loop_->has_posted()) break;
-      cv_.wait(lock,
-               [this] { return loop_->has_posted() || !queue_.busy(); });
+      if (idle() && !loop_->has_posted()) break;
+      cv_.wait(lock, [this] { return loop_->has_posted() || idle(); });
     }
     // Everything at this instant is settled; hop to the next one.
     const auto next = loop_->next_event_time();

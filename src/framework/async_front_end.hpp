@@ -7,22 +7,39 @@
 /// Data flow (see docs/ARCHITECTURE.md for the full diagram):
 ///
 ///   netsim::EventLoop (loop thread)
-///     └─ ServerEndpoint::on_message — decode, enqueue → RequestQueue
-///          └─ drain thread: pop up to max_batch (whatever is pending —
-///             adaptive batch sizing), fan out on the server's pool via
-///             on_request_batch / on_submission_batch
+///     └─ ServerEndpoint::on_message — decode, route by source IP into
+///        one of `drain_shards` RequestQueues (AsyncFrontEnd::try_push)
+///          └─ per-shard drain thread: pop up to max_batch (whatever is
+///             pending — adaptive batch sizing), fan out on the server's
+///             pool via on_request_batch / on_submission_batch
 ///               └─ EventLoop::post(completions) — responses are sent
 ///                  on the loop thread, at the simulated instant the
 ///                  batch was accepted
+///
+/// Sharding: the queue is partitioned by transport-level source address
+/// with one drain thread per shard. A client's messages always land in
+/// the same shard and are popped in arrival order (per-client FIFO
+/// preserved); different clients drain in parallel, so a single drainer
+/// is no longer the serialization point under many cores + tiny
+/// batches. Because issuance is order-independent (keyed per-id
+/// derivation, see server.hpp), cross-shard interleaving cannot change
+/// what any client receives — over a deterministic link (no jitter, no
+/// loss) whole histories stay bit-identical at any drain_shards
+/// setting. (A jittered/lossy link draws from one send-ordered wire
+/// Rng, which racy cross-shard completion order can permute — that
+/// caveat predates sharding and applies to any concurrent poster.)
 ///
 /// Determinism contract: run_until_idle() never advances simulated time
 /// while the front end owes responses, so a run produces exactly the
 /// totals of the synchronous in-process shim (same requests issued /
 /// verified / rejected) — the property tests/test_async_front_end.cpp
-/// pins. Backpressure is explicit: when the queue is full the endpoint
-/// answers kUnavailable immediately and the refusal lands in
+/// pins. Backpressure is explicit: when a shard's queue is full the
+/// endpoint answers kUnavailable immediately and the refusal lands in
 /// ServerStats::rejected_overload, so a flooding adversary meets a
-/// defined ceiling instead of unbounded buffering.
+/// defined ceiling instead of unbounded buffering. In-flight accounting
+/// stays exact globally: every accepted message is counted in exactly
+/// one shard until its batch completes, and idle() is the conjunction
+/// over shards.
 ///
 /// Lifetime: the loop, network, queue owner (this class), and server
 /// must all outlive any pending simulated events; destroy the front end
@@ -31,6 +48,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -46,23 +64,32 @@ namespace powai::framework {
 /// Front-end knobs. All of them trade throughput against latency or
 /// memory, never against correctness — totals are exact at any setting.
 struct AsyncFrontEndConfig final {
-  /// RequestQueue bound: decoded messages buffered ahead of the server.
-  /// The backpressure point — senders beyond it get kUnavailable.
+  /// Global bound on decoded messages buffered ahead of the server,
+  /// split exactly across the drain shards (split_slice). The
+  /// backpressure point — senders beyond a shard's slice get
+  /// kUnavailable. Must be >= drain_shards so every shard can buffer.
   std::size_t queue_capacity = 1024;
 
-  /// Ceiling on one dispatched batch. The drain pops whatever is
-  /// pending up to this, so batches adapt to load: 1 under trickle
-  /// traffic, max_batch under burst.
+  /// Ceiling on one dispatched batch. Each drain pops whatever is
+  /// pending in its shard up to this, so batches adapt to load: 1 under
+  /// trickle traffic, max_batch under burst.
   std::size_t max_batch = 64;
 
-  /// When true the drain thread waits until start() (or the first
+  /// Drain threads, each owning one queue partition keyed by source IP
+  /// (0 is treated as 1). Per-client FIFO is preserved — a client's
+  /// messages always hash to the same shard — while distinct clients
+  /// drain in parallel.
+  std::size_t drain_shards = 1;
+
+  /// When true the drain threads wait until start() (or the first
   /// run_until_idle()) — lets tests and staged harnesses build a
   /// deterministic backlog first.
   bool start_paused = false;
 };
 
-/// Counters describing how the drain actually batched (diagnostics; one
-/// writer — the drain thread — so a snapshot is consistent when idle).
+/// Counters describing how the drains actually batched (diagnostics;
+/// written by drain threads under one lock — a snapshot is consistent
+/// when idle).
 struct FrontEndStats final {
   std::uint64_t batches = 0;      ///< dispatches to the server
   std::uint64_t messages = 0;     ///< wire messages across all batches
@@ -73,40 +100,63 @@ struct FrontEndStats final {
 
 class AsyncFrontEnd final {
  public:
-  /// Creates the queue (config.queue_capacity) and the drain thread.
-  /// \p loop, \p network, and \p server must outlive the front end;
-  /// \p host_name is the endpoint's registered host (responses are sent
-  /// from it). Wire a ServerEndpoint to queue() to complete the path.
+  /// Creates the shard queues (config.queue_capacity split across
+  /// config.drain_shards) and one drain thread per shard. \p loop,
+  /// \p network, and \p server must outlive the front end; \p host_name
+  /// is the endpoint's registered host (responses are sent from it).
+  /// Wire a ServerEndpoint to this front end to complete the path.
+  /// Throws std::invalid_argument when queue_capacity < drain_shards.
   AsyncFrontEnd(netsim::EventLoop& loop, netsim::Network& network,
                 std::string host_name, PowServer& server,
                 AsyncFrontEndConfig config = {});
 
-  /// Closes the queue and joins the drain thread. Completions already
+  /// Closes the queues and joins the drain threads. Completions already
   /// posted but not yet executed stay scheduled on the loop.
   ~AsyncFrontEnd();
 
   AsyncFrontEnd(const AsyncFrontEnd&) = delete;
   AsyncFrontEnd& operator=(const AsyncFrontEnd&) = delete;
 
-  /// The queue transports enqueue into (pass to ServerEndpoint).
-  [[nodiscard]] RequestQueue& queue() { return queue_; }
+  /// Routes \p message into its source's shard queue. False = that
+  /// shard is at capacity (or the front end is shutting down) and the
+  /// caller must answer the sender itself (overload NAK). Thread-safe;
+  /// never blocks.
+  [[nodiscard]] bool try_push(WireMessage message);
 
-  /// Releases a paused drain thread. Idempotent; run_until_idle() calls
+  /// Releases paused drain threads. Idempotent; run_until_idle() calls
   /// it implicitly.
   void start();
 
-  /// The pump: runs the owning loop until the wire, the queue, and all
-  /// in-flight batches are drained, then returns the number of events
-  /// executed. Simulated time advances only between settled instants —
-  /// while a batch is in flight the clock is frozen at the instant its
-  /// messages arrived, which is what keeps async totals identical to a
-  /// synchronous run. Call from the loop thread; do not mix with a
-  /// concurrent plain loop.run().
+  /// The pump: runs the owning loop until the wire, every shard queue,
+  /// and all in-flight batches are drained, then returns the number of
+  /// events executed. Simulated time advances only between settled
+  /// instants — while any batch is in flight the clock is frozen at the
+  /// instant its messages arrived, which is what keeps async totals
+  /// identical to a synchronous run. Call from the loop thread; do not
+  /// mix with a concurrent plain loop.run().
   std::size_t run_until_idle();
 
-  /// True when the front end owes no responses (queue empty, nothing in
-  /// flight). Thread-safe.
-  [[nodiscard]] bool idle() const { return !queue_.busy(); }
+  /// True when the front end owes no responses (every shard queue
+  /// empty, nothing in flight). Thread-safe.
+  [[nodiscard]] bool idle() const;
+
+  /// Messages queued (accepted, not yet popped), summed over shards.
+  /// Thread-safe.
+  [[nodiscard]] std::size_t queued() const;
+
+  /// Messages popped but not yet completed, summed over shards.
+  /// Thread-safe.
+  [[nodiscard]] std::size_t in_flight() const;
+
+  /// try_push calls refused at capacity, summed over shards.
+  /// Thread-safe.
+  [[nodiscard]] std::uint64_t overflows() const;
+
+  /// Messages accepted so far, summed over shards. Thread-safe.
+  [[nodiscard]] std::uint64_t accepted() const;
+
+  /// Actual number of drain shards (>= 1).
+  [[nodiscard]] std::size_t shard_count() const { return queues_.size(); }
 
   /// Snapshot of the batching counters. Exact when idle(). Thread-safe.
   [[nodiscard]] FrontEndStats stats() const;
@@ -114,22 +164,26 @@ class AsyncFrontEnd final {
   [[nodiscard]] const AsyncFrontEndConfig& config() const { return config_; }
 
  private:
-  void drain_loop();
-  void process_batch(std::vector<WireMessage>&& batch);
+  void drain_loop(std::size_t shard);
+  void process_batch(RequestQueue& queue, std::vector<WireMessage>&& batch);
+
+  /// Shard index for a transport-level source address (stable across
+  /// runs and platforms, so batching diagnostics are reproducible).
+  [[nodiscard]] std::size_t shard_for(const std::string& from) const;
 
   netsim::EventLoop* loop_;
   netsim::Network* network_;
   std::string host_name_;
   PowServer* server_;
   AsyncFrontEndConfig config_;
-  RequestQueue queue_;
+  std::vector<std::unique_ptr<RequestQueue>> queues_;  ///< one per shard
 
   mutable std::mutex mu_;  ///< guards started_/stats_ + pump/drain cv
   std::condition_variable cv_;
   bool started_;
   FrontEndStats stats_;
 
-  std::thread drain_;  // last member: joins before the rest unwinds
+  std::vector<std::thread> drains_;  // last member: joins before the rest
 };
 
 }  // namespace powai::framework

@@ -36,6 +36,7 @@ RoundTrip PowClient::run(PowServer& server, const std::string& path,
                          const features::FeatureVector& features) {
   RoundTrip trip;
   const Request request = make_request(path, features);
+  trip.request_id = request.request_id;
   auto first = server.on_request(request);
 
   if (std::holds_alternative<Response>(first)) {
@@ -46,6 +47,8 @@ RoundTrip PowClient::run(PowServer& server, const std::string& path,
 
   const Challenge& challenge = std::get<Challenge>(first);
   trip.difficulty = challenge.puzzle.difficulty;
+  trip.challenged = true;
+  trip.puzzle = challenge.puzzle;
 
   const auto t0 = std::chrono::steady_clock::now();
   const SolveOutcome outcome = solve(challenge);

@@ -25,10 +25,13 @@ struct ClientConfig final {
 /// Result of one full request→resource round trip.
 struct RoundTrip final {
   Response response;             ///< final server answer
+  std::uint64_t request_id = 0;  ///< correlation id the request carried
   std::uint64_t attempts = 0;    ///< hashes spent on the puzzle
   unsigned difficulty = 0;       ///< difficulty that was assigned (0 = none)
   double solve_wall_ms = 0.0;    ///< wall-clock time inside the solver
   bool served = false;           ///< response.status == kOk
+  bool challenged = false;       ///< a challenge was received
+  pow::Puzzle puzzle;            ///< the challenge's puzzle (if challenged)
 };
 
 class PowClient final {

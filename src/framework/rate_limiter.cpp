@@ -1,16 +1,39 @@
 #include "framework/rate_limiter.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/hashing.hpp"
 
 namespace powai::framework {
 
+namespace {
+constexpr double kTokenOne = 65536.0;  ///< fixed-point scale (16.16)
+
+std::uint64_t pack(double tokens, std::uint32_t ms) {
+  const auto fp = static_cast<std::uint64_t>(std::llround(tokens * kTokenOne));
+  return (fp << 32) | ms;
+}
+
+double unpack_tokens(std::uint64_t word) {
+  return static_cast<double>(word >> 32) / kTokenOne;
+}
+
+std::uint32_t unpack_ms(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word);
+}
+}  // namespace
+
 RateLimiter::RateLimiter(const common::Clock& clock, RateLimiterConfig config)
     : clock_(&clock), config_(config) {
   if (!(config_.tokens_per_second > 0.0) || !(config_.burst >= 1.0)) {
     throw std::invalid_argument("RateLimiter: need rate > 0 and burst >= 1");
+  }
+  if (config_.burst > kMaxBurst) {
+    throw std::invalid_argument(
+        "RateLimiter: burst exceeds the packed-word ceiling (kMaxBurst)");
   }
   if (config_.max_tracked_ips == 0) {
     throw std::invalid_argument("RateLimiter: max_tracked_ips == 0");
@@ -38,7 +61,11 @@ RateLimiter::Shard& RateLimiter::shard_for(features::IpAddress ip) const {
   return shards_[common::mix32(ip.value()) & shard_mask_];
 }
 
-void RateLimiter::evict_one(Shard& s) {
+std::uint32_t RateLimiter::now_ms32() const {
+  return static_cast<std::uint32_t>(common::to_millis(clock_->now()));
+}
+
+void RateLimiter::evict_one(Shard& s, std::uint32_t now_ms) {
   // Clock-hand sweep over the hash-bucket array: look at a handful of
   // resident entries past the cursor and drop the stalest of them. The
   // map sits at its per-shard ceiling whenever this runs, so the load
@@ -52,15 +79,21 @@ void RateLimiter::evict_one(Shard& s) {
   std::size_t seen = 0;
   bool have_victim = false;
   std::uint32_t victim = 0;
-  common::TimePoint oldest{};
+  std::uint32_t oldest_age_ms = 0;
   for (std::size_t step = 0; step < hash_buckets && seen < kCandidates;
        ++step) {
     const std::size_t bi = s.hand++ % hash_buckets;
     for (auto it = map.begin(bi); it != map.end(bi); ++it) {
-      if (!have_victim || it->second.refilled_at < oldest) {
+      // Staleness as modular distance from now, not an absolute stamp
+      // comparison — otherwise the ~49-day wrap of the ms32 clock would
+      // invert the order and evict the *freshest* buckets.
+      const std::uint32_t age_ms =
+          now_ms -
+          unpack_ms(it->second.packed.load(std::memory_order_relaxed));
+      if (!have_victim || age_ms > oldest_age_ms) {
         have_victim = true;
         victim = it->first;
-        oldest = it->second.refilled_at;
+        oldest_age_ms = age_ms;
       }
       if (++seen >= kCandidates) break;
     }
@@ -68,51 +101,93 @@ void RateLimiter::evict_one(Shard& s) {
   if (have_victim) map.erase(victim);
 }
 
-RateLimiter::Bucket& RateLimiter::bucket_for(Shard& s, features::IpAddress ip) {
+RateLimiter::Bucket& RateLimiter::bucket_for(Shard& s, features::IpAddress ip,
+                                             std::uint32_t now_ms) {
   const auto it = s.buckets.find(ip.value());
   if (it != s.buckets.end()) return it->second;
-  if (s.buckets.size() >= s.max_ips) evict_one(s);
-  return s.buckets.emplace(ip.value(), Bucket{config_.burst, clock_->now()})
-      .first->second;
+  if (s.buckets.size() >= s.max_ips) evict_one(s, now_ms);
+  Bucket& b = s.buckets[ip.value()];
+  b.packed.store(pack(config_.burst, now_ms), std::memory_order_relaxed);
+  return b;
 }
 
-void RateLimiter::refill(Bucket& b) const {
-  const common::TimePoint now = clock_->now();
-  const double elapsed_s =
-      std::chrono::duration<double>(now - b.refilled_at).count();
-  if (elapsed_s > 0.0) {
-    b.tokens = std::min(config_.burst,
-                        b.tokens + elapsed_s * config_.tokens_per_second);
-    b.refilled_at = now;
+double RateLimiter::refreshed_tokens(std::uint64_t word,
+                                     std::uint32_t now_ms) const {
+  // Modular difference read as *signed*: correct across one wrap of the
+  // 32-bit millisecond clock (~49 days), and negative — a caller that
+  // captured `now` just before a racing thread stored a newer stamp —
+  // clamps to zero instead of wrapping to ~49 days of free refill.
+  const auto delta_ms = static_cast<std::int32_t>(now_ms - unpack_ms(word));
+  if (delta_ms <= 0) return unpack_tokens(word);
+  return std::min(config_.burst,
+                  unpack_tokens(word) + (static_cast<double>(delta_ms) /
+                                         1000.0) * config_.tokens_per_second);
+}
+
+bool RateLimiter::consume(Bucket& b, std::uint32_t now_ms) {
+  std::uint64_t cur = b.packed.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint32_t last_ms = unpack_ms(cur);
+    // Timestamps must stay monotone under the modular order: a thread
+    // whose `now` lost the race keeps the newer stamp, otherwise the
+    // regressed stamp would hand the next caller the same elapsed
+    // credit twice.
+    const std::uint32_t fresh_ms =
+        static_cast<std::int32_t>(now_ms - last_ms) > 0 ? now_ms : last_ms;
+    const double have = refreshed_tokens(cur, now_ms);
+    const bool granted = have >= 1.0;
+    std::uint64_t next;
+    if (granted) {
+      next = pack(have - 1.0, fresh_ms);
+    } else {
+      next = pack(have, fresh_ms);
+      if ((next >> 32) == (cur >> 32)) {
+        // Deny with no whole fixed-point quantum earned: leave the word
+        // untouched so the fractional credit keeps accruing against the
+        // old stamp — advancing the stamp while rounding the credit
+        // away would starve low-rate buckets under polling forever.
+        next = cur;
+      }
+    }
+    if (b.packed.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      return granted;
+    }
   }
 }
 
 bool RateLimiter::allow(features::IpAddress ip) {
   Shard& s = shard_for(ip);
-  std::lock_guard<std::mutex> lock(s.mu);
-  Bucket& b = bucket_for(s, ip);
-  refill(b);
-  if (b.tokens < 1.0) return false;
-  b.tokens -= 1.0;
-  return true;
+  const std::uint32_t now_ms = now_ms32();
+  {
+    // Fast path: bucket exists — CAS under the shared lock (held only
+    // so eviction cannot erase the bucket mid-CAS; allows never block
+    // each other here).
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    const auto it = s.buckets.find(ip.value());
+    if (it != s.buckets.end()) return consume(it->second, now_ms);
+  }
+  // Cold path: first sighting of this IP (or it was evicted) — take the
+  // exclusive lock to create, then consume. Another thread may have
+  // created it between the two locks; bucket_for handles both cases.
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  return consume(bucket_for(s, ip, now_ms), now_ms);
 }
 
 double RateLimiter::tokens(features::IpAddress ip) const {
   const Shard& s = shard_for(ip);
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
   const auto it = s.buckets.find(ip.value());
   if (it == s.buckets.end()) return config_.burst;
-  // Refill a copy so the diagnostic shares allow()'s arithmetic without
-  // mutating the live bucket.
-  Bucket refreshed = it->second;
-  refill(refreshed);
-  return refreshed.tokens;
+  // Pure read: share allow()'s arithmetic without writing the word.
+  return refreshed_tokens(it->second.packed.load(std::memory_order_relaxed),
+                          now_ms32());
 }
 
 std::size_t RateLimiter::tracked_ips() const {
   std::size_t total = 0;
   for (std::size_t i = 0; i <= shard_mask_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
     total += shards_[i].buckets.size();
   }
   return total;

@@ -4,15 +4,25 @@
 /// but a server still wants a hard ceiling on challenge issuance per
 /// source (otherwise an attacker can make the *issuer* the hotspot).
 ///
-/// Mutex-striped like ShardedReplayCache/ShardedReputationCache: the
-/// bucket for one IP always lives in one shard, so per-key token
-/// accounting stays exact under concurrent callers — N threads racing
-/// allow() on one IP serialize on its shard lock and exactly
-/// floor(balance) of them win.
+/// Fast path: each bucket is one atomic 64-bit word packing
+/// (tokens as 16.16 fixed point, last-refill in truncated ms), and
+/// allow() refills + consumes with a CAS loop — no exclusive lock is
+/// ever taken for an existing bucket. Per-key accounting stays exact
+/// under concurrent callers: N threads racing one IP each retire one
+/// CAS, and exactly floor(balance) of them win a token. The shard's
+/// shared_mutex is held *shared* on this path (readers never contend);
+/// the exclusive side exists only for the cold path — bucket creation
+/// and eviction — so the map cannot mutate under a racing CAS.
+///
+/// Precision notes: time is quantized to milliseconds and tokens to
+/// 1/65536, so burst is capped (kMaxBurst) and refill credit for
+/// sub-millisecond elapses within one millisecond quantum is deferred
+/// to the next quantum, never lost beyond it.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/clock.hpp"
@@ -22,7 +32,7 @@ namespace powai::framework {
 
 struct RateLimiterConfig final {
   double tokens_per_second = 10.0;  ///< refill rate per IP
-  double burst = 20.0;              ///< bucket capacity
+  double burst = 20.0;              ///< bucket capacity (<= kMaxBurst)
 
   /// Global tracked-bucket budget, distributed exactly across shards.
   std::size_t max_tracked_ips = 1 << 20;
@@ -38,6 +48,9 @@ struct RateLimiterConfig final {
 
 class RateLimiter final {
  public:
+  /// Largest representable bucket capacity (16.16 fixed point).
+  static constexpr double kMaxBurst = 65535.0;
+
   /// \p clock must outlive the limiter.
   RateLimiter(const common::Clock& clock, RateLimiterConfig config = {});
 
@@ -45,7 +58,7 @@ class RateLimiter final {
   RateLimiter& operator=(const RateLimiter&) = delete;
 
   /// Consumes one token for \p ip if available; false = rate limited.
-  /// Thread-safe.
+  /// Thread-safe; lock-free (CAS) for already-tracked IPs.
   [[nodiscard]] bool allow(features::IpAddress ip);
 
   /// Current token balance as of now (diagnostics). Strictly read-only:
@@ -62,13 +75,18 @@ class RateLimiter final {
   }
 
  private:
+  /// Bucket state packed into one CAS-able word:
+  /// bits 63..32 — tokens in 1/65536 units; bits 31..0 — last-refill
+  /// time in truncated milliseconds (wraps every ~49 days; elapsed time
+  /// is the modular difference read as signed — correct across a single
+  /// wrap, and a negative delta from a racing thread's older `now`
+  /// clamps to zero instead of refilling the bucket).
   struct Bucket {
-    double tokens;
-    common::TimePoint refilled_at;
+    std::atomic<std::uint64_t> packed{0};
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable std::shared_mutex mu;  ///< shared: CAS path; exclusive: create/evict
     std::unordered_map<std::uint32_t, Bucket> buckets;
     std::size_t max_ips = 0;  ///< this shard's slice of max_tracked_ips
     std::size_t hand = 0;     ///< clock-hand cursor for eviction
@@ -76,14 +94,22 @@ class RateLimiter final {
 
   [[nodiscard]] Shard& shard_for(features::IpAddress ip) const;
 
-  /// Finds or creates the bucket (caller holds s.mu).
-  Bucket& bucket_for(Shard& s, features::IpAddress ip);
+  /// Finds or creates the bucket (caller holds s.mu exclusively).
+  Bucket& bucket_for(Shard& s, features::IpAddress ip, std::uint32_t now_ms);
 
-  /// Drops one stale-ish bucket, amortized O(1) (caller holds s.mu and
-  /// guarantees the shard is non-empty).
-  void evict_one(Shard& s);
+  /// Drops one stale-ish bucket — the candidate with the largest
+  /// modular age relative to \p now_ms — amortized O(1) (caller holds
+  /// s.mu exclusively and guarantees the shard is non-empty).
+  void evict_one(Shard& s, std::uint32_t now_ms);
 
-  void refill(Bucket& b) const;
+  /// Refill-and-consume CAS loop (caller holds s.mu at least shared).
+  bool consume(Bucket& b, std::uint32_t now_ms);
+
+  /// The balance the packed state \p word represents at \p now_ms.
+  [[nodiscard]] double refreshed_tokens(std::uint64_t word,
+                                        std::uint32_t now_ms) const;
+
+  [[nodiscard]] std::uint32_t now_ms32() const;
 
   const common::Clock* clock_;
   RateLimiterConfig config_;

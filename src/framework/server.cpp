@@ -14,7 +14,6 @@ PowServer::PowServer(const common::Clock& clock,
     : model_(&model),
       policy_(&pol),
       config_(std::move(config)),
-      policy_rng_(config_.policy_seed),
       generator_(clock, config_.master_secret),
       verifier_(clock, config_.master_secret, config_.verifier),
       cache_(clock, config_.cache, config_.cache_shards),
@@ -118,14 +117,17 @@ std::variant<Challenge, Response> PowServer::on_request(const Request& request,
     local.score = model_->score(request.features);
   }
 
-  // (3) policy → difficulty. Randomized policies draw from the shared
-  // stream; the lock keeps the single-seed reproducibility contract.
-  {
-    std::lock_guard<std::mutex> lock(rng_mu_);
-    local.difficulty = policy_->difficulty(local.score, policy_rng_);
-  }
+  // (3) policy → difficulty. Randomized policies draw from a private
+  // counter-based stream keyed by the request's stable puzzle id: no
+  // lock, and the draw is reproducible from (policy_seed, puzzle_id)
+  // alone — arrival order cannot permute it.
+  const std::uint64_t puzzle_id =
+      generator_.derive_puzzle_id(request.client_ip, request.request_id);
+  common::Rng policy_stream =
+      common::stream_rng(config_.policy_seed, puzzle_id);
+  local.difficulty = policy_->difficulty(local.score, policy_stream);
 
-  // (4) issue the puzzle.
+  // (4) issue the puzzle under the same stable identity.
   stats_.challenges_issued.fetch_add(1, kRelaxed);
   stats_.difficulty_sum.fetch_add(local.difficulty, kRelaxed);
   trace_score_.store(local.score, kRelaxed);
@@ -133,7 +135,8 @@ std::variant<Challenge, Response> PowServer::on_request(const Request& request,
   trace_from_cache_.store(local.from_cache, kRelaxed);
   if (trace != nullptr) *trace = local;
   return Challenge{request.request_id,
-                   generator_.issue(request.client_ip, local.difficulty)};
+                   generator_.issue_with_id(puzzle_id, request.client_ip,
+                                            local.difficulty)};
 }
 
 std::vector<std::variant<Challenge, Response>> PowServer::on_request_batch(

@@ -20,6 +20,18 @@
 /// internally synchronized. The model and policy passed in must be
 /// safe for concurrent const calls (all in-tree ones are: they are
 /// immutable after fit()/construction).
+///
+/// Determinism: the issuance path is lock-free *and* order-independent.
+/// Each request's puzzle id is a keyed PRF of (client_ip, request_id),
+/// its seed a pure function of (master_secret, puzzle_id), and its
+/// policy randomness a counter-based stream keyed by (policy_seed,
+/// puzzle_id) — so what a given request receives does not depend on
+/// which thread, batch, or drain shard served it, and whole simulated
+/// histories are bit-identical across serial and parallel runs (the
+/// invariant tests/test_determinism.cpp pins). Corollary: request_id is
+/// an idempotency key — re-sending the same (client_ip, request_id)
+/// yields the same puzzle, and the replay cache still caps redemption
+/// at once.
 
 #include <atomic>
 #include <cstdint>
@@ -78,8 +90,10 @@ struct ServerConfig final {
   /// Body returned with a successful response.
   std::string resource_body = "resource";
 
-  /// Seed for the policy Rng (Policy 3 randomness); fixed default keeps
-  /// experiments reproducible.
+  /// Seed for the per-request policy randomness streams (Policy 3).
+  /// Each request draws from common::stream_rng(policy_seed, puzzle_id)
+  /// — reproducible from this one seed, lock-free, and independent of
+  /// arrival order. Fixed default keeps experiments reproducible.
   std::uint64_t policy_seed = 0x9069'0ce5'7a37'b00fULL;
 };
 
@@ -214,8 +228,6 @@ class PowServer final {
   const reputation::IReputationModel* model_;
   const policy::IPolicy* policy_;
   ServerConfig config_;
-  std::mutex rng_mu_;  ///< guards policy_rng_ (randomized policies)
-  common::Rng policy_rng_;
   pow::PuzzleGenerator generator_;
   pow::Verifier verifier_;
   reputation::ShardedReputationCache cache_;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "framework/async_front_end.hpp"
+
 namespace powai::framework {
 
 // ---------------------------------------------------------------------------
@@ -18,9 +20,9 @@ ServerEndpoint::ServerEndpoint(netsim::Network& network, std::string host_name,
 }
 
 ServerEndpoint::ServerEndpoint(netsim::Network& network, std::string host_name,
-                               PowServer& server, RequestQueue& queue)
+                               PowServer& server, AsyncFrontEnd& front_end)
     : ServerEndpoint(network, std::move(host_name), server) {
-  queue_ = &queue;
+  front_end_ = &front_end;
 }
 
 void ServerEndpoint::on_message(const std::string& from,
@@ -40,7 +42,7 @@ void ServerEndpoint::on_message(const std::string& from,
     // client lying about its IP would otherwise bind puzzles elsewhere.
     Request effective = *request;
     effective.client_ip = from;
-    if (queue_ != nullptr) {
+    if (front_end_ != nullptr) {
       // Read the id before the move: argument evaluation order is
       // unsequenced, so the same call must not both read and move from
       // `effective`.
@@ -59,7 +61,7 @@ void ServerEndpoint::on_message(const std::string& from,
   }
 
   if (const auto* submission = std::get_if<Submission>(&*message)) {
-    if (queue_ != nullptr) {
+    if (front_end_ != nullptr) {
       enqueue(from, submission->request_id, WireMessage{from, *submission});
       return;
     }
@@ -74,8 +76,8 @@ void ServerEndpoint::on_message(const std::string& from,
 
 void ServerEndpoint::enqueue(const std::string& from, std::uint64_t request_id,
                              WireMessage message) {
-  if (queue_->try_push(std::move(message))) return;
-  // Backpressure: the queue is at capacity. Answer immediately with an
+  if (front_end_->try_push(std::move(message))) return;
+  // Backpressure: the source's shard is at capacity. Answer immediately with an
   // explicit overload NAK — never buffer without bound, never drop
   // silently — and put the refusal on the server's ledger.
   server_->note_overload();
@@ -133,6 +135,7 @@ void WireClient::on_message(const std::string& /*from*/,
 
 void WireClient::on_challenge(const Challenge& challenge) {
   if (!pending_.contains(challenge.request_id)) return;  // stale/unknown
+  if (challenge_observer_) challenge_observer_(challenge);
 
   // Really solve (correct nonce), but account for the time on the
   // modelled CPU: one solver core, sequential backlog.

@@ -26,19 +26,22 @@
 
 namespace powai::framework {
 
+class AsyncFrontEnd;
+
 /// Server side: registers a host and answers protocol messages with the
 /// wrapped PowServer. Malformed payloads get a kMalformedMessage
 /// response (request id 0, since none could be parsed).
 ///
 /// Two service modes:
-/// - **Synchronous** (2-arg constructor): each decoded message is handed
+/// - **Synchronous** (3-arg constructor): each decoded message is handed
 ///   to the server inline on the event-loop thread — simple, serial, the
 ///   baseline the async path is checked against.
-/// - **Asynchronous** (constructor taking a RequestQueue): decoded
-///   messages are enqueued for the AsyncFrontEnd to batch onto the
-///   server's thread pool. When the queue is full the endpoint answers
-///   kUnavailable immediately (explicit backpressure) and reports the
-///   refusal via PowServer::note_overload().
+/// - **Asynchronous** (constructor taking an AsyncFrontEnd): decoded
+///   messages are routed into the front end's sharded queues
+///   (partitioned by source IP) for its drain threads to batch onto the
+///   server's thread pool. When the source's shard is full the endpoint
+///   answers kUnavailable immediately (explicit backpressure) and
+///   reports the refusal via PowServer::note_overload().
 class ServerEndpoint final {
  public:
   /// Synchronous mode. \p network and \p server must outlive the
@@ -46,10 +49,10 @@ class ServerEndpoint final {
   ServerEndpoint(netsim::Network& network, std::string host_name,
                  PowServer& server);
 
-  /// Asynchronous mode: decoded messages go to \p queue (typically
-  /// AsyncFrontEnd::queue()), which must outlive the endpoint too.
+  /// Asynchronous mode: decoded messages go to \p front_end, which must
+  /// outlive the endpoint too.
   ServerEndpoint(netsim::Network& network, std::string host_name,
-                 PowServer& server, RequestQueue& queue);
+                 PowServer& server, AsyncFrontEnd& front_end);
 
   ServerEndpoint(const ServerEndpoint&) = delete;
   ServerEndpoint& operator=(const ServerEndpoint&) = delete;
@@ -66,14 +69,14 @@ class ServerEndpoint final {
   void on_message(const std::string& from, common::BytesView payload);
 
   /// Async mode: pushes \p message, or sends the overload NAK for
-  /// \p request_id back to \p from when the queue is full.
+  /// \p request_id back to \p from when the source's shard is full.
   void enqueue(const std::string& from, std::uint64_t request_id,
                WireMessage message);
 
   netsim::Network* network_;
   std::string host_name_;
   PowServer* server_;
-  RequestQueue* queue_ = nullptr;  ///< non-null = asynchronous mode
+  AsyncFrontEnd* front_end_ = nullptr;  ///< non-null = asynchronous mode
   std::atomic<std::uint64_t> malformed_{0};
 };
 
@@ -104,6 +107,14 @@ class WireClient final {
                              const features::FeatureVector& features,
                              Callback done);
 
+  /// Invoked on the loop thread for every challenge this client accepts
+  /// (before solving). History capture hook for the determinism
+  /// harnesses; pass an empty function to clear.
+  using ChallengeObserver = std::function<void(const Challenge&)>;
+  void set_challenge_observer(ChallengeObserver observer) {
+    challenge_observer_ = std::move(observer);
+  }
+
   [[nodiscard]] const std::string& ip() const { return ip_; }
 
   /// Challenges answered so far (diagnostics).
@@ -125,6 +136,7 @@ class WireClient final {
   std::string server_host_;
   double hash_cost_us_;
   pow::Solver solver_;
+  ChallengeObserver challenge_observer_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t solved_ = 0;
   common::TimePoint solver_busy_until_{};

@@ -1,11 +1,16 @@
 #include "netsim/network.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace powai::netsim {
 
 Network::Network(EventLoop& loop, common::Rng& rng)
-    : loop_(&loop), rng_(&rng) {}
+    : loop_(&loop), rng_(&rng) {
+  // References cannot be null in well-formed code, but a dangling or
+  // reinterpret-cast binding can produce exactly this; fail fast.
+  assert(loop_ != nullptr && rng_ != nullptr);
+}
 
 void Network::add_host(const std::string& name, MessageHandler handler) {
   if (!handler) throw std::invalid_argument("Network::add_host: empty handler");

@@ -23,7 +23,16 @@ using MessageHandler =
 
 class Network final {
  public:
-  /// \p loop and \p rng must outlive the network.
+  /// \p loop and \p rng must outlive the network — the network holds
+  /// plain pointers to both (no ownership, no null state) and touches
+  /// them on every send() and scheduled delivery, so destroying either
+  /// while deliveries are pending is undefined behavior. Destruction
+  /// order for a simulation is therefore: transports/front ends first,
+  /// then the network, then the loop and rng (the reverse of
+  /// construction — same discipline async_front_end.hpp documents for
+  /// its loop/network/server references). The constructor asserts the
+  /// stored pointers are non-null so a miswired binding fails at build
+  /// time of the simulation, not mid-run.
   Network(EventLoop& loop, common::Rng& rng);
 
   /// Registers a host; throws std::invalid_argument on duplicates or an

@@ -1,5 +1,6 @@
 #include "pow/generator.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -8,17 +9,25 @@ namespace powai::pow {
 
 namespace {
 constexpr std::size_t kSeedBytes = 32;
-}
+
+/// Identity domains for puzzle-id derivation (wire-stable: changing
+/// them changes every issued seed).
+constexpr std::uint8_t kKeyedDomain = 0x01;    ///< issue_for(request_key)
+constexpr std::uint8_t kCounterDomain = 0x02;  ///< issue() internal counter
+}  // namespace
 
 PuzzleGenerator::PuzzleGenerator(const common::Clock& clock,
                                  common::BytesView master_secret)
     : clock_(&clock),
-      seed_drbg_(crypto::derive_key(master_secret, common::bytes_of("seed"), 32),
-                 common::bytes_of("powai-seed-drbg")),
+      seed_streams_(crypto::derive_key(master_secret, common::bytes_of("seed"), 32),
+                    common::bytes_of("powai-seed-drbg")),
       mac_key_(derive_mac_key(master_secret)) {
   if (master_secret.empty()) {
     throw std::invalid_argument("PuzzleGenerator: empty master secret");
   }
+  const common::Bytes id_key =
+      crypto::derive_key(master_secret, common::bytes_of("puzzle-id"), 16);
+  std::memcpy(id_key_.data(), id_key.data(), id_key_.size());
 }
 
 common::Bytes PuzzleGenerator::derive_mac_key(common::BytesView master_secret) {
@@ -33,21 +42,54 @@ crypto::Digest PuzzleGenerator::compute_auth(common::BytesView mac_key,
   return crypto::hmac_sha256(mac_key, puzzle.mac_input());
 }
 
-Puzzle PuzzleGenerator::issue(const std::string& client_ip,
-                              unsigned difficulty) {
+std::uint64_t PuzzleGenerator::derive_id(std::uint8_t domain,
+                                         const std::string& client_ip,
+                                         std::uint64_t request_key) const {
+  // Fixed-width prefix (domain || key) before the variable-length ip, so
+  // no two distinct (domain, key, ip) triples serialize identically.
+  common::Bytes material;
+  material.reserve(9 + client_ip.size());
+  material.push_back(domain);
+  common::append_u64be(material, request_key);
+  common::append(material, common::bytes_of(client_ip));
+  return crypto::siphash24(id_key_, material);
+}
+
+std::uint64_t PuzzleGenerator::derive_puzzle_id(
+    const std::string& client_ip, std::uint64_t request_key) const {
+  return derive_id(kKeyedDomain, client_ip, request_key);
+}
+
+Puzzle PuzzleGenerator::issue_with_id(std::uint64_t puzzle_id,
+                                      const std::string& client_ip,
+                                      unsigned difficulty) {
   Puzzle p;
-  p.puzzle_id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-  {
-    // One HMAC-DRBG generate under the lock: seeds must come off the
-    // chain one at a time, but the MAC below runs outside it.
-    std::lock_guard<std::mutex> lock(seed_mu_);
-    p.seed = seed_drbg_.generate(kSeedBytes);
-  }
+  p.puzzle_id = puzzle_id;
+  // Pure per-id derivation: no chain state, no lock — the seed depends
+  // only on (master_secret, puzzle_id), so concurrent issuers cannot
+  // perturb each other's puzzles.
+  p.seed = seed_streams_.generate(p.puzzle_id, kSeedBytes);
   p.issued_at_ms = common::to_millis(clock_->now());
   p.difficulty = difficulty;
   p.client_binding = client_ip;
   p.auth = compute_auth(mac_key_, p);
+  issued_.fetch_add(1, std::memory_order_relaxed);
   return p;
+}
+
+Puzzle PuzzleGenerator::issue_for(const std::string& client_ip,
+                                  std::uint64_t request_key,
+                                  unsigned difficulty) {
+  return issue_with_id(derive_id(kKeyedDomain, client_ip, request_key),
+                       client_ip, difficulty);
+}
+
+Puzzle PuzzleGenerator::issue(const std::string& client_ip,
+                              unsigned difficulty) {
+  const std::uint64_t key =
+      legacy_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return issue_with_id(derive_id(kCounterDomain, client_ip, key), client_ip,
+                       difficulty);
 }
 
 }  // namespace powai::pow

@@ -5,24 +5,34 @@
 /// authenticates every field with an HMAC so the verifier can be
 /// stateless.
 ///
-/// Key separation: from one master secret the generator derives a seed
-/// key (feeds the DRBG that produces puzzle seeds) and a MAC key (tags
-/// puzzles). The verifier only ever needs the MAC key.
+/// Key separation: from one master secret the generator derives an id
+/// key (keys the puzzle-id PRF), a seed key (keys the per-id seed
+/// streams), and a MAC key (tags puzzles). The verifier only ever needs
+/// the MAC key.
 ///
-/// Thread-safe: issue() may be called from any number of threads. The
-/// puzzle-id sequence is a relaxed atomic (ids stay unique, which is all
-/// the replay cache needs) and the DRBG chain state is updated under a
-/// short internal lock; everything else is immutable after construction.
+/// Determinism: issuance is *keyed derivation*, not a chained stream.
+/// `issue_for(client_ip, request_key, d)` derives the puzzle id as a
+/// keyed PRF of (client_ip, request_key) and the seed as a pure function
+/// of (master_secret, puzzle_id) — so the puzzle a given request gets is
+/// independent of arrival order, thread interleaving, or batch shape,
+/// and two runs of the same workload produce bit-identical puzzles.
+/// Re-issuing for the same (client_ip, request_key) returns the same
+/// id + seed (idempotent retry semantics; the replay cache still limits
+/// redemption to once). The legacy `issue()` overload draws its request
+/// key from an internal counter — unique per call, but arrival-ordered.
+///
+/// Thread-safe: all entry points may be called from any number of
+/// threads with no locks anywhere — the derivation state is immutable
+/// after construction and the only mutable members are relaxed atomics.
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "crypto/drbg.hpp"
+#include "crypto/siphash.hpp"
 #include "pow/puzzle.hpp"
 
 namespace powai::pow {
@@ -35,13 +45,41 @@ class PuzzleGenerator final {
   PuzzleGenerator(const common::Clock& clock, common::BytesView master_secret);
 
   /// Issues a puzzle of \p difficulty bound to \p client_ip (textual
-  /// form). Each call produces a unique id and fresh seed. Thread-safe.
+  /// form) for the stable request identity \p request_key (typically the
+  /// client-chosen request id). Same (client_ip, request_key) → same
+  /// puzzle id and seed, in any run, under any scheduling. Thread-safe,
+  /// lock-free.
+  [[nodiscard]] Puzzle issue_for(const std::string& client_ip,
+                                 std::uint64_t request_key,
+                                 unsigned difficulty);
+
+  /// Issues a puzzle using an internal counter as the request identity:
+  /// each call produces a unique id and fresh seed, in arrival order.
+  /// For callers without a stable per-request identity (standalone
+  /// tools, benches). Thread-safe, lock-free.
   [[nodiscard]] Puzzle issue(const std::string& client_ip, unsigned difficulty);
+
+  /// The puzzle id `issue_for(client_ip, request_key, …)` would assign —
+  /// a keyed 64-bit PRF of the pair, exposed so callers can key other
+  /// per-puzzle derivations (e.g. policy randomness streams) off the
+  /// same stable identity before the puzzle exists. Thread-safe.
+  [[nodiscard]] std::uint64_t derive_puzzle_id(const std::string& client_ip,
+                                               std::uint64_t request_key) const;
+
+  /// Hot-path variant of issue_for for callers that already hold the
+  /// derived id: \p puzzle_id MUST be `derive_puzzle_id(client_ip, k)`
+  /// for the request's identity k — passing anything else breaks the
+  /// determinism and idempotency contracts (the id is not re-checked,
+  /// to keep the PRF at one evaluation per request). Thread-safe,
+  /// lock-free.
+  [[nodiscard]] Puzzle issue_with_id(std::uint64_t puzzle_id,
+                                     const std::string& client_ip,
+                                     unsigned difficulty);
 
   /// Number of puzzles issued so far (exact once concurrent issuers have
   /// returned).
   [[nodiscard]] std::uint64_t issued_count() const {
-    return next_id_.load(std::memory_order_relaxed);
+    return issued_.load(std::memory_order_relaxed);
   }
 
   /// Computes the MAC a legitimate puzzle must carry. Exposed so the
@@ -55,11 +93,18 @@ class PuzzleGenerator final {
       common::BytesView master_secret);
 
  private:
+  /// \p domain separates the keyed (issue_for) and counter (issue)
+  /// identity spaces so they can never alias each other's puzzle ids.
+  [[nodiscard]] std::uint64_t derive_id(std::uint8_t domain,
+                                        const std::string& client_ip,
+                                        std::uint64_t request_key) const;
+
   const common::Clock* clock_;
-  std::mutex seed_mu_;  ///< guards seed_drbg_ (stateful chain)
-  crypto::HmacDrbg seed_drbg_;
+  crypto::DerivedDrbg seed_streams_;  ///< per-puzzle-id seed derivation
+  crypto::SipKey id_key_{};           ///< keys the puzzle-id PRF
   common::Bytes mac_key_;
-  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> issued_{0};      ///< puzzles issued (count)
+  std::atomic<std::uint64_t> legacy_seq_{0};  ///< identity source for issue()
 };
 
 }  // namespace powai::pow

@@ -31,6 +31,31 @@ LoadHarness::LoadHarness(framework::PowServer& server, LoadHarnessConfig config)
   }
 }
 
+IssueRecord make_issue_record(const framework::RoundTrip& trip) {
+  IssueRecord record;
+  record.request_id = trip.request_id;
+  record.challenged = trip.challenged;
+  if (trip.challenged) {
+    record.puzzle_id = trip.puzzle.puzzle_id;
+    record.seed = trip.puzzle.seed;
+    record.difficulty = trip.puzzle.difficulty;
+    record.issued_at_ms = trip.puzzle.issued_at_ms;
+  }
+  record.outcome = trip.response.status;
+  return record;
+}
+
+IssueRecord make_issue_record(const framework::Challenge& challenge) {
+  IssueRecord record;
+  record.request_id = challenge.request_id;
+  record.challenged = true;
+  record.puzzle_id = challenge.puzzle.puzzle_id;
+  record.seed = challenge.puzzle.seed;
+  record.difficulty = challenge.puzzle.difficulty;
+  record.issued_at_ms = challenge.puzzle.issued_at_ms;
+  return record;
+}
+
 std::string load_client_ip(std::size_t index) {
   return "10." + std::to_string((index >> 16) & 0xff) + "." +
          std::to_string((index >> 8) & 0xff) + "." +
@@ -54,19 +79,24 @@ LoadReport LoadHarness::run(
     std::uint64_t attempts = 0;
   };
   std::vector<Tally> tallies(config_.client_threads);
+  std::vector<ClientHistory> histories(
+      config_.capture_history ? config_.client_threads : 0);
 
   const framework::ServerStats before = server_->stats();
   std::atomic<bool> go{false};
   std::vector<std::thread> threads;
   threads.reserve(config_.client_threads);
   for (std::size_t t = 0; t < config_.client_threads; ++t) {
-    threads.emplace_back([this, t, &features, &tallies, &go] {
+    threads.emplace_back([this, t, &features, &tallies, &histories, &go] {
       framework::ClientConfig cc;
       cc.solver_threads = config_.solver_threads;
       cc.max_attempts = config_.solver_max_attempts;
       framework::PowClient client(load_client_ip(t), cc);
       const features::FeatureVector& fv = features[t % features.size()];
       Tally& tally = tallies[t];
+      if (config_.capture_history) {
+        histories[t].reserve(config_.requests_per_client);
+      }
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       for (std::size_t i = 0; i < config_.requests_per_client; ++i) {
         const framework::RoundTrip trip =
@@ -81,6 +111,11 @@ LoadReport LoadHarness::run(
           ++tally.rate_limited;
         } else {
           ++tally.other;
+        }
+        if (config_.capture_history) {
+          // Each thread writes only its own slot; per-client order is
+          // this client's send order by construction.
+          histories[t].push_back(make_issue_record(trip));
         }
       }
     });
@@ -102,6 +137,7 @@ LoadReport LoadHarness::run(
     report.solve_attempts += tally.attempts;
   }
   report.server_delta = server_->stats() - before;
+  report.histories = std::move(histories);
   return report;
 }
 
@@ -130,19 +166,22 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
   framework::PowServer server(loop.clock(), model, policy,
                               std::move(server_cfg));
 
-  // Both transports share one endpoint class; the queue reference flips
-  // it into async mode.
+  // Both transports share one endpoint class; the front-end reference
+  // flips it into async mode.
   std::unique_ptr<framework::AsyncFrontEnd> front_end;
   std::unique_ptr<framework::ServerEndpoint> endpoint;
   if (cfg.async) {
     front_end = std::make_unique<framework::AsyncFrontEnd>(
         loop, network, cfg.server_host, server, cfg.front_end);
     endpoint = std::make_unique<framework::ServerEndpoint>(
-        network, cfg.server_host, server, front_end->queue());
+        network, cfg.server_host, server, *front_end);
   } else {
     endpoint = std::make_unique<framework::ServerEndpoint>(
         network, cfg.server_host, server);
   }
+
+  WireLoadReport report;
+  if (cfg.capture_history) report.histories.resize(cfg.clients);
 
   struct ClientState {
     std::unique_ptr<framework::WireClient> wire;
@@ -153,9 +192,17 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
     clients[i].wire = std::make_unique<framework::WireClient>(
         loop, network, load_client_ip(i), cfg.server_host,
         cfg.client_hash_cost_us);
+    if (cfg.capture_history) {
+      // Challenge and response handlers both run on the loop thread, so
+      // the per-client vector needs no synchronization. In the closed
+      // loop a request's response always follows its own challenge, so
+      // "does the last record carry my id" decides append vs finalize.
+      clients[i].wire->set_challenge_observer(
+          [&report, i](const framework::Challenge& challenge) {
+            report.histories[i].push_back(make_issue_record(challenge));
+          });
+    }
   }
-
-  WireLoadReport report;
   const framework::ServerStats before = server.stats();
   const common::TimePoint sim_start = loop.now();
 
@@ -169,8 +216,8 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
       ++report.sent;
       const std::uint64_t id = state.wire->send_request(
           cfg.path, features[ci % features.size()],
-          [&report, &kick, ci](const framework::Response& response,
-                               common::Duration) {
+          [&report, &kick, &cfg, ci](const framework::Response& response,
+                                     common::Duration) {
             ++report.answered;
             if (response.status == common::ErrorCode::kOk) {
               ++report.served;
@@ -178,6 +225,18 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
               ++report.overloaded;
             } else {
               ++report.rejected;
+            }
+            if (cfg.capture_history) {
+              ClientHistory& history = report.histories[ci];
+              if (!history.empty() && history.back().challenged &&
+                  history.back().request_id == response.request_id) {
+                history.back().outcome = response.status;
+              } else {
+                IssueRecord record;
+                record.request_id = response.request_id;
+                record.outcome = response.status;
+                history.push_back(std::move(record));
+              }
             }
             kick(ci);
           });

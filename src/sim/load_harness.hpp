@@ -20,12 +20,45 @@
 
 #include "features/feature_vector.hpp"
 #include "framework/async_front_end.hpp"
+#include "framework/client.hpp"
 #include "framework/server.hpp"
 #include "netsim/link.hpp"
 #include "policy/policy.hpp"
 #include "reputation/model.hpp"
 
 namespace powai::sim {
+
+/// One request's client-visible fate: what puzzle it was assigned (if
+/// any) and how the exchange ended. The unit of the determinism
+/// contract — two runs of the same workload must produce *equal*
+/// records per client, byte for byte (seeds included), regardless of
+/// thread counts or drain shards.
+struct IssueRecord final {
+  std::uint64_t request_id = 0;
+  bool challenged = false;     ///< a puzzle was assigned
+  std::uint64_t puzzle_id = 0; ///< 0 when !challenged
+  common::Bytes seed;          ///< empty when !challenged
+  unsigned difficulty = 0;     ///< 0 when !challenged
+  std::int64_t issued_at_ms = 0;
+  common::ErrorCode outcome = common::ErrorCode::kOk;  ///< final response
+
+  bool operator==(const IssueRecord&) const = default;
+};
+
+/// A client's full request history, in that client's send order.
+using ClientHistory = std::vector<IssueRecord>;
+
+/// Builds the IssueRecord for one completed in-process round trip —
+/// the single definition both the harness and hand-rolled serial
+/// drivers (tests, examples) must share, so the golden comparison can
+/// never drift field-by-field from the capture.
+[[nodiscard]] IssueRecord make_issue_record(const framework::RoundTrip& trip);
+
+/// Wire-mode sibling: the (not yet finalized) record for a received
+/// challenge; the outcome field is filled when the final response
+/// arrives. Same single-definition rationale as the RoundTrip overload.
+[[nodiscard]] IssueRecord make_issue_record(
+    const framework::Challenge& challenge);
 
 struct LoadHarnessConfig final {
   std::size_t client_threads = 4;
@@ -37,6 +70,10 @@ struct LoadHarnessConfig final {
 
   /// Client-side attempt budget per puzzle (0 = solve to completion).
   std::uint64_t solver_max_attempts = 0;
+
+  /// Record per-client IssueRecord histories into LoadReport::histories
+  /// (off by default).
+  bool capture_history = false;
 
   std::string path = "/";
 };
@@ -55,6 +92,10 @@ struct LoadReport final {
 
   /// Server counters accumulated during this run only.
   framework::ServerStats server_delta;
+
+  /// Per-client histories (index = client thread), populated only when
+  /// LoadHarnessConfig::capture_history is set.
+  std::vector<ClientHistory> histories;
 
   [[nodiscard]] double issued_per_s() const;
   [[nodiscard]] double served_per_s() const;
@@ -98,12 +139,17 @@ struct WireLoadConfig final {
   std::size_t requests_per_client = 8;
 
   /// false = synchronous ServerEndpoint (inline service on the loop
-  /// thread); true = AsyncFrontEnd batch bridge. With
+  /// thread); true = AsyncFrontEnd batch bridge (front_end.drain_shards
+  /// drain threads over the source-partitioned queue). With
   /// front_end.start_paused set, the wire is first played out against
   /// the paused drain (a deterministic worst-case pile-up), then the
   /// backlog is drained.
   bool async = true;
   framework::AsyncFrontEndConfig front_end;
+
+  /// Record per-client IssueRecord histories into
+  /// WireLoadReport::histories (off by default).
+  bool capture_history = false;
 
   /// Modelled per-hash client solve cost (see WireClient).
   double client_hash_cost_us = 38.0;
@@ -134,6 +180,12 @@ struct WireLoadReport final {
 
   framework::ServerStats server_delta;
   framework::FrontEndStats front_end;  ///< zeros in synchronous mode
+
+  /// Per-client histories (index = client), populated only when
+  /// WireLoadConfig::capture_history is set. Identical across sync,
+  /// async, and any drain_shards/verify_threads setting by the
+  /// determinism contract.
+  std::vector<ClientHistory> histories;
 
   [[nodiscard]] double answered_per_wall_s() const {
     return wall_s > 0.0 ? static_cast<double>(answered) / wall_s : 0.0;

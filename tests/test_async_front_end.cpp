@@ -58,7 +58,7 @@ class AsyncFrontEndTest : public ::testing::Test {
     front_end_ = std::make_unique<AsyncFrontEnd>(loop_, network_, kServerHost,
                                                  *server_, cfg);
     endpoint_ = std::make_unique<ServerEndpoint>(network_, kServerHost,
-                                                 *server_, front_end_->queue());
+                                                 *server_, *front_end_);
   }
 
   common::Rng rng_;
@@ -113,7 +113,7 @@ TEST_F(AsyncFrontEndTest, SameInstantBurstBecomesOneBatch) {
                                  });
   }
   loop_.run();  // burst lands in the queue while the drain is paused
-  EXPECT_EQ(front_end_->queue().size(), 6u);
+  EXPECT_EQ(front_end_->queued(), 6u);
   front_end_->run_until_idle();
   EXPECT_EQ(served, 6);
   EXPECT_EQ(front_end_->stats().largest_batch, 6u);
@@ -173,7 +173,7 @@ TEST_F(AsyncFrontEndTest, QueueFullAnswersOverloadExactly) {
   loop_.run();
   EXPECT_EQ(overloaded, 4);
   EXPECT_EQ(server_->stats().rejected_overload, 4u);
-  EXPECT_EQ(front_end_->queue().overflows(), 4u);
+  EXPECT_EQ(front_end_->overflows(), 4u);
 
   // Drain the backlog: the two accepted requests complete end to end.
   front_end_->run_until_idle();
@@ -208,7 +208,7 @@ TEST_F(AsyncFrontEndTest, DrainAfterBurstLosesAndDuplicatesNothing) {
         });
   }
   loop_.run();  // burst queued, nothing processed yet
-  EXPECT_EQ(front_end_->queue().size(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(front_end_->queued(), static_cast<std::size_t>(kClients));
   front_end_->run_until_idle();
 
   EXPECT_EQ(served, kClients);
@@ -222,7 +222,7 @@ TEST_F(AsyncFrontEndTest, DrainAfterBurstLosesAndDuplicatesNothing) {
   EXPECT_EQ(stats.rejected_replay, 0u);
   EXPECT_EQ(stats.rejected_overload, 0u);
   EXPECT_TRUE(front_end_->idle());
-  EXPECT_FALSE(front_end_->queue().busy());
+  EXPECT_EQ(front_end_->in_flight(), 0u);
 }
 
 TEST_F(AsyncFrontEndTest, AsyncTotalsMatchSynchronousTransportExactly) {
@@ -262,11 +262,62 @@ TEST_F(AsyncFrontEndTest, AsyncTotalsMatchSynchronousTransportExactly) {
   EXPECT_EQ(a.rejected_bad_solution, s.rejected_bad_solution);
   EXPECT_EQ(a.rejected_replay, s.rejected_replay);
   EXPECT_EQ(a.rejected_overload, 0u);
-  // Same wire conversation, not merely the same totals. (Simulated
-  // *durations* may legitimately differ on many-core hosts: batch issue
-  // order permutes puzzle ids across clients, which changes individual
-  // solve times — but never the number or fate of messages.)
+  // Same wire conversation, not merely the same totals. Since PR 4 the
+  // simulated *duration* matches too: puzzle seeds are keyed per id
+  // rather than chained, so batch issue order cannot permute anyone's
+  // puzzle (or solve time) anymore.
   EXPECT_EQ(async_run.messages_sent, sync_run.messages_sent);
+  EXPECT_EQ(async_run.sim_elapsed, sync_run.sim_elapsed);
+}
+
+TEST_F(AsyncFrontEndTest, ShardedDrainMatchesSingleDrainExactly) {
+  // drain_shards only changes which thread pops a message, never what
+  // any client receives: totals, conversation length, and simulated
+  // duration must all match the single-drainer run.
+  const features::SyntheticTraceGenerator gen;
+  common::Rng frng(91);
+  std::vector<features::FeatureVector> features;
+  for (int i = 0; i < 4; ++i) features.push_back(gen.sample(i % 2 == 1, frng));
+
+  const auto run = [&](std::size_t drain_shards) {
+    ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("shard-match-secret");
+    cfg.verify_threads = 2;
+    sim::WireLoadConfig wc;
+    wc.clients = 7;
+    wc.requests_per_client = 4;
+    wc.async = true;
+    wc.front_end.max_batch = 3;
+    wc.front_end.drain_shards = drain_shards;
+    return sim::run_wire_load(model_, policy_, cfg, features, wc);
+  };
+
+  const sim::WireLoadReport one = run(1);
+  const sim::WireLoadReport four = run(4);
+  EXPECT_EQ(one.answered, 28u);
+  EXPECT_EQ(four.answered, one.answered);
+  EXPECT_EQ(four.served, one.served);
+  EXPECT_EQ(four.messages_sent, one.messages_sent);
+  EXPECT_EQ(four.sim_elapsed, one.sim_elapsed);
+  EXPECT_EQ(four.server_delta.difficulty_sum, one.server_delta.difficulty_sum);
+}
+
+TEST_F(AsyncFrontEndTest, ShardConfigValidated) {
+  // Raw front ends (no endpoint — the network host can register once).
+  AsyncFrontEndConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.drain_shards = 4;  // capacity cannot feed every shard
+  EXPECT_THROW(
+      AsyncFrontEnd(loop_, network_, kServerHost, *server_, cfg),
+      std::invalid_argument);
+  cfg.queue_capacity = 4;
+  EXPECT_EQ(AsyncFrontEnd(loop_, network_, kServerHost, *server_, cfg)
+                .shard_count(),
+            4u);
+  cfg.drain_shards = 0;  // treated as 1
+  EXPECT_EQ(AsyncFrontEnd(loop_, network_, kServerHost, *server_, cfg)
+                .shard_count(),
+            1u);
 }
 
 TEST_F(AsyncFrontEndTest, ClosedLoopWithBackpressureConservesEveryMessage) {

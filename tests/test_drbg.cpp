@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "common/bytes.hpp"
 
@@ -84,6 +86,46 @@ TEST(HmacDrbg, ByteDistributionRoughlyUniform) {
     chi2 += d * d / expected;
   }
   EXPECT_LT(chi2, 340.0);
+}
+
+TEST(DerivedDrbg, PureFunctionOfKeyAndId) {
+  const DerivedDrbg family(bytes_of("derived-key"), bytes_of("test-family"));
+  // Same id → same bytes, however many times and in whatever order.
+  const Bytes a = family.generate(42, 32);
+  (void)family.generate(7, 32);
+  (void)family.generate(1, 8);
+  EXPECT_EQ(family.generate(42, 32), a);
+  // A second instance with the same material reproduces the stream.
+  const DerivedDrbg again(bytes_of("derived-key"), bytes_of("test-family"));
+  EXPECT_EQ(again.generate(42, 32), a);
+}
+
+TEST(DerivedDrbg, DistinctIdsKeysAndPersonalizationsDiverge) {
+  const DerivedDrbg family(bytes_of("derived-key"), bytes_of("test-family"));
+  std::set<std::string> streams;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    streams.insert(common::to_hex(family.generate(id, 32)));
+  }
+  EXPECT_EQ(streams.size(), 64u);
+
+  const DerivedDrbg other_key(bytes_of("other-key"), bytes_of("test-family"));
+  EXPECT_NE(other_key.generate(42, 32), family.generate(42, 32));
+  const DerivedDrbg other_family(bytes_of("derived-key"), bytes_of("b"));
+  EXPECT_NE(other_family.generate(42, 32), family.generate(42, 32));
+}
+
+TEST(DerivedDrbg, StreamChainsLikeAnOrdinaryDrbg) {
+  // stream(id) hands back a chained HmacDrbg whose first draw matches
+  // the one-shot generate().
+  const DerivedDrbg family(bytes_of("derived-key"));
+  HmacDrbg stream = family.stream(9);
+  EXPECT_EQ(stream.generate(16), family.generate(9, 16));
+  // Further draws continue the chain rather than repeating.
+  EXPECT_NE(stream.generate(16), family.generate(9, 16));
+}
+
+TEST(DerivedDrbg, RejectsEmptyKey) {
+  EXPECT_THROW(DerivedDrbg({}, bytes_of("x")), std::invalid_argument);
 }
 
 TEST(OsEntropy, ProducesRequestedLength) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "common/clock.hpp"
 
@@ -107,6 +108,72 @@ TEST(Generator, SeedStreamsDifferAcrossSecrets) {
   PuzzleGenerator gen_a(clock, common::bytes_of("secret-a"));
   PuzzleGenerator gen_b(clock, common::bytes_of("secret-b"));
   EXPECT_NE(gen_a.issue("1.2.3.4", 1).seed, gen_b.issue("1.2.3.4", 1).seed);
+}
+
+TEST(Generator, KeyedIssuanceIsOrderIndependent) {
+  // The tentpole property: issue_for is a pure function of identity —
+  // interleaving other issues (keyed or counter) between two calls for
+  // the same (ip, request_key) changes nothing, and two generator
+  // instances over the same secret agree.
+  common::ManualClock clock;
+  const common::Bytes secret = common::bytes_of("keyed-secret");
+  PuzzleGenerator gen(clock, secret);
+
+  const Puzzle first = gen.issue_for("10.0.0.1", 7, 5);
+  for (int i = 0; i < 10; ++i) (void)gen.issue("9.9.9.9", 3);
+  (void)gen.issue_for("10.0.0.2", 7, 5);   // same key, other ip
+  (void)gen.issue_for("10.0.0.1", 8, 5);   // same ip, other key
+  const Puzzle again = gen.issue_for("10.0.0.1", 7, 5);
+  EXPECT_EQ(again.puzzle_id, first.puzzle_id);
+  EXPECT_EQ(again.seed, first.seed);
+  EXPECT_EQ(again, first);  // frozen clock: every field matches
+
+  PuzzleGenerator fresh(clock, secret);
+  EXPECT_EQ(fresh.issue_for("10.0.0.1", 7, 5), first);
+}
+
+TEST(Generator, KeyedIdsDistinctAcrossIpAndKey) {
+  common::ManualClock clock;
+  PuzzleGenerator gen(clock, common::bytes_of("keyed-secret"));
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    for (int c = 0; c < 16; ++c) {
+      ids.insert(gen.derive_puzzle_id("10.0.0." + std::to_string(c), key));
+    }
+  }
+  EXPECT_EQ(ids.size(), 256u);
+}
+
+TEST(Generator, DerivePuzzleIdMatchesIssueFor) {
+  common::ManualClock clock;
+  PuzzleGenerator gen(clock, common::bytes_of("keyed-secret"));
+  const std::uint64_t id = gen.derive_puzzle_id("192.0.2.77", 31337);
+  EXPECT_EQ(gen.issue_for("192.0.2.77", 31337, 4).puzzle_id, id);
+}
+
+TEST(Generator, CounterAndKeyedIdentityDomainsDoNotAlias) {
+  // issue()'s counter starts at 1; a client using request keys 1, 2, …
+  // from the same ip must still get different puzzles than the counter
+  // path hands out (separate derivation domains).
+  common::ManualClock clock;
+  PuzzleGenerator gen(clock, common::bytes_of("keyed-secret"));
+  const Puzzle counter_issued = gen.issue("1.2.3.4", 5);  // counter key 1
+  const Puzzle keyed = gen.issue_for("1.2.3.4", 1, 5);
+  EXPECT_NE(counter_issued.puzzle_id, keyed.puzzle_id);
+  EXPECT_NE(counter_issued.seed, keyed.seed);
+}
+
+TEST(Generator, KeyedIssuanceVerifiesAndCounts) {
+  common::ManualClock clock;
+  const common::Bytes secret = common::bytes_of("keyed-secret");
+  PuzzleGenerator gen(clock, secret);
+  const Puzzle p = gen.issue_for("10.1.2.3", 99, 6);
+  EXPECT_EQ(p.client_binding, "10.1.2.3");
+  EXPECT_EQ(p.difficulty, 6u);
+  EXPECT_EQ(p.seed.size(), 32u);
+  const common::Bytes mac_key = PuzzleGenerator::derive_mac_key(secret);
+  EXPECT_EQ(PuzzleGenerator::compute_auth(mac_key, p), p.auth);
+  EXPECT_EQ(gen.issued_count(), 1u);
 }
 
 }  // namespace

@@ -165,6 +165,25 @@ TEST(Splitmix64, KnownReferenceValues) {
   EXPECT_EQ(splitmix64(state), 9817491932198370423ULL);
 }
 
+TEST(StreamRng, PureFunctionOfSeedAndStream) {
+  Rng a = stream_rng(99, 1234);
+  Rng b = stream_rng(99, 1234);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StreamRng, DistinctStreamsAndSeedsDecorrelate) {
+  // Adjacent stream ids (the common case: sequential puzzle ids) must
+  // land on distinct first draws.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t stream = 0; stream < 256; ++stream) {
+    firsts.insert(stream_rng(7, stream)());
+  }
+  EXPECT_EQ(firsts.size(), 256u);
+  EXPECT_NE(stream_rng(7, 5)(), stream_rng(8, 5)());
+  // Stream id 0 is not the plain seed (domain separation).
+  EXPECT_NE(stream_rng(7, 0)(), Rng(7)());
+}
+
 TEST(Rng, ChiSquareUniformityOfLowBits) {
   // 256-bucket chi-square on the low byte; threshold is the 99.9th
   // percentile of chi2(255) ~ 340.
