@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   client_counts.push_back(max_clients);
 
   common::Table table({"clients", "round-trips", "served", "rate-limited",
-                       "issued/s", "served/s", "mean-d"});
+                       "issued/s", "served/s", "hashes/s", "mean-d"});
   std::vector<std::pair<std::size_t, sim::LoadReport>> rows;
   for (const std::size_t clients : client_counts) {
     framework::ServerConfig cfg;
@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
                    std::to_string(report.rate_limited),
                    common::fmt_f(report.issued_per_s(), 0),
                    common::fmt_f(report.served_per_s(), 0),
+                   common::fmt_f(report.hashes_per_s(), 0),
                    common::fmt_f(report.server_delta.mean_difficulty(), 2)});
     rows.emplace_back(clients, report);
   }
@@ -119,6 +120,7 @@ int main(int argc, char** argv) {
       w.field_f64("wall_s", report.wall_s);
       w.field_f64("issued_per_s", report.issued_per_s());
       w.field_f64("served_per_s", report.served_per_s());
+      w.field_f64("hashes_per_s", report.hashes_per_s());
       w.field_f64("mean_difficulty", report.server_delta.mean_difficulty());
       w.end_object();
     }

@@ -8,15 +8,26 @@
 //     absolute numbers differ from the paper's testbed; the doubling
 //     shape is what must hold).
 //
-// Usage:   ./build/bench/bench_solve_time [trials=30] [max_d=16]
+// The wall columns double as the solver-throughput headline: the
+// single-thread hashes/sec column (attempts / wall) is what the
+// midstate + dispatch work speeds up, and `json=path` writes it per
+// difficulty as a bench_diff.py artifact ("solve_time", metric
+// hashes_per_s). POWAI_SHA256_BACKEND=generic re-runs the same sweep on
+// the scalar reference for before/after comparisons on one machine.
+//
+// Usage:   ./build/bench/bench_solve_time [trials=30] [max_d=16] [json=path]
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "crypto/sha256.hpp"
 #include "pow/difficulty.hpp"
 #include "pow/generator.hpp"
 #include "pow/solver.hpp"
@@ -28,6 +39,7 @@ int main(int argc, char** argv) {
   const common::Config args = common::Config::from_args(argc, argv);
   const int trials = static_cast<int>(args.get_i64("trials", 30));
   const unsigned max_d = static_cast<unsigned>(args.get_u64("max_d", 16));
+  const std::string json_path = args.get_string("json", "");
 
   common::ManualClock clock;
   pow::PuzzleGenerator generator(clock, common::bytes_of("solve-time-secret"));
@@ -37,35 +49,80 @@ int main(int argc, char** argv) {
 
   common::Table table({"difficulty", "expected_hashes", "model_mean_ms",
                        "model_median_ms", "wall_mean_ms", "wall_median_ms",
-                       "mean_attempts"});
+                       "mean_attempts", "hashes_per_s"});
+
+  struct Row {
+    unsigned difficulty = 0;
+    double wall_mean_ms = 0.0;
+    double mean_attempts = 0.0;
+    double hashes_per_s = 0.0;
+  };
+  std::vector<Row> rows;
 
   for (unsigned d = 1; d <= max_d; ++d) {
     common::Samples wall_ms;
     common::Samples modeled_ms;
     common::RunningStats attempts;
+    double total_s = 0.0;
+    double total_attempts = 0.0;
     for (int t = 0; t < trials; ++t) {
       const pow::Puzzle puzzle = generator.issue("198.51.100.1", d);
       const auto t0 = std::chrono::steady_clock::now();
       const pow::SolveResult r = solver.solve(puzzle);
       const auto t1 = std::chrono::steady_clock::now();
-      wall_ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      wall_ms.add(s * 1e3);
+      total_s += s;
+      total_attempts += static_cast<double>(r.attempts);
       modeled_ms.add(model.end_to_end_ms(r.attempts, rng));
       attempts.add(static_cast<double>(r.attempts));
     }
+    const double hashes_per_s = total_s > 0.0 ? total_attempts / total_s : 0.0;
+    rows.push_back({d, wall_ms.mean(), attempts.mean(), hashes_per_s});
     table.add_row({std::to_string(d),
                    common::fmt_f(pow::expected_hashes(d), 0),
                    common::fmt_f(modeled_ms.mean(), 2),
                    common::fmt_f(modeled_ms.median(), 2),
                    common::fmt_f(wall_ms.mean(), 3),
                    common::fmt_f(wall_ms.median(), 3),
-                   common::fmt_f(attempts.mean(), 1)});
+                   common::fmt_f(attempts.mean(), 1),
+                   common::fmt_f(hashes_per_s, 0)});
   }
 
-  std::printf("CLAIM-31MS: solve time vs difficulty, %d trials each\n\n%s\n",
-              trials, table.to_text().c_str());
+  std::printf("CLAIM-31MS: solve time vs difficulty, %d trials each "
+              "(sha256 backend: %s)\n\n%s\n",
+              trials,
+              std::string(crypto::Sha256::backend_name(
+                              crypto::Sha256::backend())).c_str(),
+              table.to_text().c_str());
   std::printf("paper anchor: 1-difficult puzzle ~ 31 ms average (their "
               "testbed, incl. round trip);\n"
               "model column reproduces that anchor; wall columns show this "
               "machine's raw hash cost.\n");
+
+  if (!json_path.empty()) {
+    common::JsonWriter w;
+    w.begin_object();
+    w.field_str("bench", "solve_time");
+    w.field_u64("trials", static_cast<std::uint64_t>(trials));
+    w.field_str("sha256_backend", std::string(crypto::Sha256::backend_name(
+                                      crypto::Sha256::backend())));
+    w.begin_array("rows");
+    for (const Row& row : rows) {
+      w.begin_object();
+      w.field_u64("difficulty", row.difficulty);
+      w.field_f64("wall_mean_ms", row.wall_mean_ms);
+      w.field_f64("mean_attempts", row.mean_attempts);
+      w.field_f64("hashes_per_s", row.hashes_per_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!common::write_json_file(json_path, w)) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json written: %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -23,9 +23,11 @@ the artifact itself, e.g. {"server_load": {...}, "wire_load": {...}}.
 Refresh it by re-running the benches and committing the new numbers:
   ./build/bench/bench_server_load max_clients=4 requests=32 json=sl.json
   ./build/bench/bench_wire_load clients=6 requests=8 max_threads=4 json=wl.json
+  ./build/bench/bench_crypto --benchmark_filter=NONE json=cr.json
+  ./build/bench/bench_solve_time trials=10 max_d=14 json=st.json
   python3 -c "import json,sys; print(json.dumps({a['bench']: a for a in \
-      (json.load(open(p)) for p in ['sl.json','wl.json'])}, indent=2))" \
-      > bench/baseline.json
+      (json.load(open(p)) for p in ['sl.json','wl.json','cr.json','st.json'])}, \
+      indent=2))" > bench/baseline.json
 """
 
 import argparse
@@ -37,6 +39,17 @@ import sys
 SPECS = {
     "server_load": {"row_key": "clients", "metric": "served_per_s"},
     "wire_load": {"row_key": "mode", "metric": "answered_per_wall_s"},
+    # Raw SHA-256 hot-path throughput (bench_crypto json=...): rows are
+    # "<mode>/<backend>" cases, e.g. "solver_midstate/shani" — the
+    # backend is part of the key, so rows only ever compare like with
+    # like (a runner without SHA-NI simply has no shani rows).
+    "crypto": {"row_key": "case", "metric": "hashes_per_s"},
+    # Single-thread solver throughput per difficulty (bench_solve_time
+    # json=...). Comparable only when both runs used the same dispatch
+    # backend (match_fields), and the d<8 rows are microsecond-noise
+    # (min_row_key drops them): the higher difficulties are the signal.
+    "solve_time": {"row_key": "difficulty", "metric": "hashes_per_s",
+                   "match_fields": ["sha256_backend"], "min_row_key": 8},
 }
 
 
@@ -53,8 +66,18 @@ def compare_artifact(artifact, baseline_artifact, threshold):
         print(f"note: no comparison spec for bench '{name}', skipping")
         return
     key, metric = spec["row_key"], spec["metric"]
+    for field in spec.get("match_fields", []):
+        current, reference = artifact.get(field), baseline_artifact.get(field)
+        if current != reference:
+            print(f"note: {name} ran with {field}={current!r} but the "
+                  f"baseline has {field}={reference!r}; not comparable, "
+                  f"skipping")
+            return
+    min_row_key = spec.get("min_row_key")
     base_rows = {row[key]: row for row in baseline_artifact.get("rows", [])}
     for row in artifact.get("rows", []):
+        if min_row_key is not None and row[key] < min_row_key:
+            continue
         base = base_rows.get(row[key])
         if base is None:
             print(f"note: {name} row {row[key]!r} absent from baseline")

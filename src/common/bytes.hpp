@@ -48,6 +48,15 @@ void append_u16be(Bytes& dst, std::uint16_t value);
 void append_u32be(Bytes& dst, std::uint32_t value);
 void append_u64be(Bytes& dst, std::uint64_t value);
 
+/// Stores the big-endian encoding of \p value into the 8 bytes at \p dst
+/// — the allocation-free sibling of append_u64be for fixed buffers on
+/// hot paths (the solver's per-nonce store).
+inline void store_u64be(std::uint8_t* dst, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::uint8_t>(value >> (8 * (7 - i)));
+  }
+}
+
 /// Incremental big-endian reader over a byte view. All \c read_* methods
 /// return std::nullopt once the underlying buffer is exhausted; the cursor
 /// is not advanced on failure, so callers can safely probe.

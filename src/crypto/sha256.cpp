@@ -1,8 +1,14 @@
 #include "crypto/sha256.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
+
+#include "crypto/sha256_dispatch.hpp"
 
 namespace powai::crypto {
 
@@ -39,7 +45,156 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) {
   p[3] = static_cast<std::uint8_t>(v);
 }
 
+/// Block-compression entry used for single-stream hashing under the
+/// active backend (the AVX2 backend is multi-buffer only, so it shares
+/// the scalar path here).
+using CompressFn = void (*)(std::uint32_t*, const std::uint8_t*, std::size_t);
+
+bool backend_supported(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kGeneric:
+      return true;
+#ifdef POWAI_SHA256_X86_DISPATCH
+    case Sha256Backend::kShaNi:
+      return detail::cpu_supports_shani();
+    case Sha256Backend::kAvx2:
+      return detail::cpu_supports_avx2();
+#endif
+    default:
+      return false;
+  }
+}
+
+Sha256Backend best_backend() {
+  if (backend_supported(Sha256Backend::kShaNi)) return Sha256Backend::kShaNi;
+  if (backend_supported(Sha256Backend::kAvx2)) return Sha256Backend::kAvx2;
+  return Sha256Backend::kGeneric;
+}
+
+/// Startup choice: POWAI_SHA256_BACKEND=auto|generic|shani|avx2, where
+/// anything unset, unknown, or unsupported on this CPU means auto (the
+/// best available) — a forced backend must never crash a lesser machine.
+Sha256Backend initial_backend() {
+  const char* env = std::getenv("POWAI_SHA256_BACKEND");
+  if (env != nullptr) {
+    const std::string_view v(env);
+    Sha256Backend forced = Sha256Backend::kGeneric;
+    bool known = true;
+    if (v == "generic") {
+      forced = Sha256Backend::kGeneric;
+    } else if (v == "shani") {
+      forced = Sha256Backend::kShaNi;
+    } else if (v == "avx2") {
+      forced = Sha256Backend::kAvx2;
+    } else {
+      known = false;  // includes "auto"
+    }
+    if (known && backend_supported(forced)) return forced;
+  }
+  return best_backend();
+}
+
+std::atomic<std::uint8_t>& backend_slot() {
+  static std::atomic<std::uint8_t> slot{
+      static_cast<std::uint8_t>(initial_backend())};
+  return slot;
+}
+
+CompressFn active_compress() {
+#ifdef POWAI_SHA256_X86_DISPATCH
+  if (static_cast<Sha256Backend>(
+          backend_slot().load(std::memory_order_relaxed)) ==
+      Sha256Backend::kShaNi) {
+    return &detail::compress_shani;
+  }
+#endif
+  return &detail::compress_generic;
+}
+
 }  // namespace
+
+namespace detail {
+
+void compress_generic(std::uint32_t* state, const std::uint8_t* blocks,
+                      std::size_t n) {
+  for (; n > 0; --n, blocks += Sha256::kBlockSize) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(blocks + 4 * i);
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 = std::rotr(w[i - 15], 7) ^
+                               std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 = std::rotr(w[i - 2], 17) ^
+                               std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 =
+          std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
+      const std::uint32_t s0 =
+          std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+}  // namespace detail
+
+Sha256Backend Sha256::backend() {
+  return static_cast<Sha256Backend>(
+      backend_slot().load(std::memory_order_relaxed));
+}
+
+bool Sha256::set_backend(Sha256Backend b) {
+  if (!backend_supported(b)) return false;
+  backend_slot().store(static_cast<std::uint8_t>(b),
+                       std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<Sha256Backend> Sha256::supported_backends() {
+  std::vector<Sha256Backend> out;
+  for (Sha256Backend b : {Sha256Backend::kGeneric, Sha256Backend::kShaNi,
+                          Sha256Backend::kAvx2}) {
+    if (backend_supported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::string_view Sha256::backend_name(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kGeneric:
+      return "generic";
+    case Sha256Backend::kShaNi:
+      return "shani";
+    case Sha256Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
 
 void Sha256::reset() {
   state_ = kInitialState;
@@ -48,51 +203,9 @@ void Sha256::reset() {
   finished_ = false;
 }
 
-void Sha256::compress(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^
-                             (w[i - 15] >> 3);
-    const std::uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^
-                             (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 =
-        std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    const std::uint32_t s0 =
-        std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
-
 void Sha256::update(common::BytesView data) {
   if (finished_) throw std::logic_error("Sha256::update after finish");
+  const CompressFn compress = active_compress();
   total_len_ += data.size();
   std::size_t offset = 0;
 
@@ -103,14 +216,16 @@ void Sha256::update(common::BytesView data) {
     buffer_len_ += take;
     offset += take;
     if (buffer_len_ == kBlockSize) {
-      compress(buffer_.data());
+      compress(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
 
-  while (offset + kBlockSize <= data.size()) {
-    compress(data.data() + offset);
-    offset += kBlockSize;
+  // All remaining full blocks in one backend call.
+  const std::size_t full = (data.size() - offset) / kBlockSize;
+  if (full > 0) {
+    compress(state_.data(), data.data() + offset, full);
+    offset += full * kBlockSize;
   }
 
   if (offset < data.size()) {
@@ -123,6 +238,7 @@ Digest Sha256::finish() {
   if (finished_) throw std::logic_error("Sha256::finish called twice");
   finished_ = true;
 
+  const CompressFn compress = active_compress();
   const std::uint64_t bit_len = total_len_ * 8;
 
   // Padding: 0x80, zeros, 64-bit big-endian bit length.
@@ -145,7 +261,7 @@ Digest Sha256::finish() {
     buffer_len_ += take;
     offset += take;
     if (buffer_len_ == kBlockSize) {
-      compress(buffer_.data());
+      compress(state_.data(), buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
@@ -166,6 +282,113 @@ Digest Sha256::hash2(common::BytesView a, common::BytesView b) {
   h.update(a);
   h.update(b);
   return h.finish();
+}
+
+Sha256Midstate Sha256::precompute(common::BytesView prefix) {
+  Sha256Midstate ms;
+  ms.state = kInitialState;
+  const std::size_t full = prefix.size() / kBlockSize;
+  if (full > 0) {
+    active_compress()(ms.state.data(), prefix.data(), full);
+  }
+  ms.absorbed = static_cast<std::uint64_t>(full) * kBlockSize;
+  return ms;
+}
+
+Digest Sha256::finish_with_suffix(const Sha256Midstate& midstate,
+                                  common::BytesView tail,
+                                  common::BytesView suffix) {
+  const std::size_t mlen = tail.size() + suffix.size();
+  const std::uint64_t total = midstate.absorbed + mlen;
+
+  std::array<std::uint32_t, 8> state = midstate.state;
+
+  if (mlen + 9 <= 2 * kBlockSize) {
+    // Hot path (solver/verifier: short tail + 8-byte nonce): lay the
+    // remainder and its padding out in at most two stack blocks and
+    // compress once. No allocation, no buffering.
+    std::uint8_t buf[2 * kBlockSize];
+    if (!tail.empty()) std::memcpy(buf, tail.data(), tail.size());
+    if (!suffix.empty()) {
+      std::memcpy(buf + tail.size(), suffix.data(), suffix.size());
+    }
+    const std::size_t blocks = (mlen + 9 <= kBlockSize) ? 1 : 2;
+    const std::size_t padded = blocks * kBlockSize;
+    buf[mlen] = 0x80;
+    std::memset(buf + mlen + 1, 0, padded - 8 - (mlen + 1));
+    const std::uint64_t bit_len = total * 8;
+    for (int i = 0; i < 8; ++i) {
+      buf[padded - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    }
+    active_compress()(state.data(), buf, blocks);
+  } else {
+    // General remainder (long tails/suffixes): stream through an
+    // incremental hasher seeded from the midstate.
+    Sha256 h;
+    h.state_ = state;
+    h.total_len_ = midstate.absorbed;
+    h.update(tail);
+    h.update(suffix);
+    return h.finish();
+  }
+
+  Digest digest;
+  for (int i = 0; i < 8; ++i) store_be32(digest.data() + 4 * i, state[i]);
+  return digest;
+}
+
+void Sha256::hash_many(std::span<const common::BytesView> messages,
+                       std::span<Digest> out) {
+  if (messages.size() != out.size()) {
+    throw std::invalid_argument("Sha256::hash_many: span size mismatch");
+  }
+  const std::size_t n = messages.size();
+  if (n == 0) return;
+
+#ifdef POWAI_SHA256_X86_DISPATCH
+  if (backend() == Sha256Backend::kAvx2 && n >= 4) {
+    // Group equal-length messages into 8-wide lanes. Order by length
+    // (stable, so equal-length runs keep batch order), then sweep runs.
+    std::vector<std::uint32_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return messages[a].size() < messages[b].size();
+                     });
+    std::size_t run_start = 0;
+    while (run_start < n) {
+      const std::size_t len = messages[idx[run_start]].size();
+      std::size_t run_end = run_start + 1;
+      while (run_end < n && messages[idx[run_end]].size() == len) ++run_end;
+      for (std::size_t base = run_start; base < run_end; base += 8) {
+        const std::size_t lanes = std::min<std::size_t>(8, run_end - base);
+        if (lanes >= 4) {
+          // Fill idle lanes by repeating the first message; their
+          // outputs are discarded.
+          const std::uint8_t* ptrs[8];
+          std::uint8_t digests[8][32];
+          for (std::size_t l = 0; l < 8; ++l) {
+            ptrs[l] = messages[idx[base + std::min(l, lanes - 1)]].data();
+          }
+          detail::hash8_avx2(ptrs, len, digests);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            std::memcpy(out[idx[base + l]].data(), digests[l], 32);
+          }
+        } else {
+          for (std::size_t l = 0; l < lanes; ++l) {
+            out[idx[base + l]] = hash(messages[idx[base + l]]);
+          }
+        }
+      }
+      run_start = run_end;
+    }
+    return;
+  }
+#endif
+
+  // Single-stream backends (SHA-NI is fastest one message at a time).
+  for (std::size_t i = 0; i < n; ++i) out[i] = hash(messages[i]);
 }
 
 unsigned leading_zero_bits(const Digest& digest) {

@@ -4,10 +4,26 @@
 /// paper's PoW puzzles: a solution is a nonce such that
 /// SHA-256(puzzle-string || nonce) has a prefix of `d` zero bits.
 ///
-/// Incremental interface (init/update/final) plus one-shot helpers.
+/// Three interfaces, from general to hot-path:
+///  - incremental (init/update/final) plus one-shot helpers;
+///  - a midstate API (precompute / finish_with_suffix) that absorbs an
+///    invariant prefix once and then per-suffix compresses only the
+///    final block(s) — the solver and verifier fast path;
+///  - hash_many, which hashes N independent messages at once, in SIMD
+///    lanes when the hardware has them.
+///
+/// The compression function is runtime-dispatched: a generic scalar
+/// backend (the reference all others are tested against), an x86 SHA-NI
+/// backend, and an 8-way AVX2 multi-buffer backend for hash_many. The
+/// best supported backend is selected once at startup; the environment
+/// variable POWAI_SHA256_BACKEND (auto|generic|shani|avx2) overrides the
+/// choice, and tests can force one programmatically via set_backend().
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -15,6 +31,23 @@ namespace powai::crypto {
 
 /// A 32-byte SHA-256 digest.
 using Digest = std::array<std::uint8_t, 32>;
+
+/// Which compression-function implementation services hash calls.
+enum class Sha256Backend : std::uint8_t {
+  kGeneric = 0,  ///< portable scalar (always available; the reference)
+  kShaNi = 1,    ///< x86 SHA extensions, one message at a time
+  kAvx2 = 2,     ///< 8-lane AVX2 multi-buffer for hash_many; scalar otherwise
+};
+
+/// Chaining state captured after absorbing the full 64-byte blocks of a
+/// message prefix. Plain value type: copy it freely, reuse it from any
+/// number of threads. Only meaningful with the finish_with_suffix that
+/// shares its contract: `absorbed` is a multiple of the block size and
+/// the unabsorbed prefix tail is re-supplied per call.
+struct Sha256Midstate final {
+  std::array<std::uint32_t, 8> state{};
+  std::uint64_t absorbed = 0;  ///< prefix bytes folded in (multiple of 64)
+};
 
 /// Incremental SHA-256. Usage: construct, update() any number of times,
 /// finish() once. A finished hasher can be reset() and reused.
@@ -39,13 +72,46 @@ class Sha256 final {
   /// One-shot convenience.
   [[nodiscard]] static Digest hash(common::BytesView data);
 
-  /// One-shot over the concatenation of two buffers — the solver's hot
-  /// path (puzzle-prefix || nonce) without building a temporary.
+  /// One-shot over the concatenation of two buffers (no temporary).
   [[nodiscard]] static Digest hash2(common::BytesView a, common::BytesView b);
 
- private:
-  void compress(const std::uint8_t* block);
+  /// Absorbs the full 64-byte blocks of \p prefix once. The remaining
+  /// `prefix.size() % 64` bytes (the tail, `prefix.subspan(m.absorbed)`)
+  /// are NOT folded in — pass them to every finish_with_suffix call.
+  [[nodiscard]] static Sha256Midstate precompute(common::BytesView prefix);
 
+  /// Completes SHA-256(prefix || suffix) from a midstate: compresses
+  /// only `tail || suffix || padding`. With a short tail and suffix
+  /// (the solver: tail < 64, suffix = 8-byte nonce) that is a single
+  /// compression per call, allocation-free. Thread-safe; the midstate
+  /// is read-only.
+  [[nodiscard]] static Digest finish_with_suffix(const Sha256Midstate& midstate,
+                                                 common::BytesView tail,
+                                                 common::BytesView suffix);
+
+  /// Hashes N independent messages: out[i] = hash(messages[i]). Equal-
+  /// length messages are swept in SIMD lanes when the active backend
+  /// supports it (mixed lengths are grouped internally); the result is
+  /// bit-identical to N scalar hash() calls on every backend. Throws
+  /// std::invalid_argument when the spans' sizes differ.
+  static void hash_many(std::span<const common::BytesView> messages,
+                        std::span<Digest> out);
+
+  /// The backend servicing calls right now.
+  [[nodiscard]] static Sha256Backend backend();
+
+  /// Forces a backend (tests, experiments). Returns false — and changes
+  /// nothing — when this CPU cannot run \p b. Takes effect for
+  /// subsequent calls process-wide.
+  static bool set_backend(Sha256Backend b);
+
+  /// Backends this CPU can run, kGeneric always included.
+  [[nodiscard]] static std::vector<Sha256Backend> supported_backends();
+
+  /// Stable lowercase name ("generic", "shani", "avx2").
+  [[nodiscard]] static std::string_view backend_name(Sha256Backend b);
+
+ private:
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, kBlockSize> buffer_{};
   std::size_t buffer_len_ = 0;

@@ -1,0 +1,46 @@
+#pragma once
+/// \file sha256_dispatch.hpp
+/// Internal seam between the portable SHA-256 front end (sha256.cpp) and
+/// the CPU-specific compression backends (sha256_shani.cpp,
+/// sha256_avx2.cpp). Not part of the public API — include sha256.hpp.
+///
+/// Every backend implements the same contract as compress_generic: fold
+/// \p blocks (n contiguous 64-byte blocks, big-endian words) into
+/// \p state. The multi-lane AVX2 entry point instead hashes eight whole
+/// equal-length messages, padding included, producing eight digests.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace powai::crypto::detail {
+
+/// Folds \p n 64-byte blocks into \p state (8 words). The portable
+/// reference implementation; always available.
+void compress_generic(std::uint32_t* state, const std::uint8_t* blocks,
+                      std::size_t n);
+
+// x86 runtime dispatch is only wired up for the GCC/Clang family, which
+// supports per-function target attributes (no special compile flags
+// needed for the rest of the translation unit).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define POWAI_SHA256_X86_DISPATCH 1
+
+/// CPUID: SHA extensions plus the SSE levels the kernel needs.
+[[nodiscard]] bool cpu_supports_shani();
+
+/// CPUID + XGETBV: AVX2 with OS-enabled YMM state.
+[[nodiscard]] bool cpu_supports_avx2();
+
+/// SHA-NI compression (same contract as compress_generic). Only call
+/// when cpu_supports_shani() is true.
+void compress_shani(std::uint32_t* state, const std::uint8_t* blocks,
+                    std::size_t n);
+
+/// Hashes eight equal-length messages in AVX2 lanes, producing
+/// out[i] = SHA-256(msgs[i]) for i in [0, 8). Handles padding
+/// internally. Only call when cpu_supports_avx2() is true.
+void hash8_avx2(const std::uint8_t* const msgs[8], std::size_t len,
+                std::uint8_t (*out)[32]);
+#endif  // x86 dispatch
+
+}  // namespace powai::crypto::detail

@@ -1,0 +1,273 @@
+/// \file sha256_shani.cpp
+/// SHA-256 compression via the x86 SHA extensions (sha256rnds2 /
+/// sha256msg1 / sha256msg2). Same contract as compress_generic; verified
+/// bit-exact against it by the KAT and property suites, which CI runs
+/// with each backend forced.
+///
+/// Compiled into every build (no special flags: the kernels carry
+/// per-function target attributes) and only ever called after the CPUID
+/// check in cpu_supports_shani().
+
+#include "crypto/sha256_dispatch.hpp"
+
+#ifdef POWAI_SHA256_X86_DISPATCH
+
+#include <cpuid.h>
+#include <immintrin.h>
+
+namespace powai::crypto::detail {
+
+namespace {
+
+/// XCR0 via xgetbv: are YMM (bit 2) and XMM (bit 1) state OS-enabled?
+bool os_enables_ymm() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  if (((ecx >> 27) & 1u) == 0) return false;  // OSXSAVE
+  std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+  return (xcr0_lo & 0x6u) == 0x6u;
+}
+
+}  // namespace
+
+bool cpu_supports_shani() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool sse_levels = ((ecx >> 0) & 1u) != 0 &&   // SSE3
+                          ((ecx >> 9) & 1u) != 0 &&   // SSSE3
+                          ((ecx >> 19) & 1u) != 0;    // SSE4.1
+  if (!sse_levels) return false;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return ((ebx >> 29) & 1u) != 0;  // SHA
+}
+
+bool cpu_supports_avx2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  if (((ebx >> 5) & 1u) == 0) return false;  // AVX2
+  return os_enables_ymm();
+}
+
+__attribute__((target("sha,sse4.1,ssse3"))) void compress_shani(
+    std::uint32_t* state, const std::uint8_t* blocks, std::size_t n) {
+  // Byte shuffle turning little-endian loads into big-endian words.
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // The sha256rnds2 instruction wants the state split as ABEF / CDGH.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  while (n > 0) {
+    const __m128i save0 = state0;
+    const __m128i save1 = state1;
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3.
+    msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 0));
+    msg0 = _mm_shuffle_epi8(msg, kShuffle);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(static_cast<long long>(0xE9B5DBA5B5C0FBCFULL),
+                             static_cast<long long>(0x71374491428A2F98ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    msg1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16));
+    msg1 = _mm_shuffle_epi8(msg1, kShuffle);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(static_cast<long long>(0xAB1C5ED5923F82A4ULL),
+                             static_cast<long long>(0x59F111F13956C25BULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32));
+    msg2 = _mm_shuffle_epi8(msg2, kShuffle);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(static_cast<long long>(0x550C7DC3243185BEULL),
+                             static_cast<long long>(0x12835B01D807AA98ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    msg3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48));
+    msg3 = _mm_shuffle_epi8(msg3, kShuffle);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(static_cast<long long>(0xC19BF1749BDC06A7ULL),
+                             static_cast<long long>(0x80DEB1FE72BE5D74ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(static_cast<long long>(0x240CA1CC0FC19DC6ULL),
+                             static_cast<long long>(0xEFBE4786E49B69C1ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(static_cast<long long>(0x76F988DA5CB0A9DCULL),
+                             static_cast<long long>(0x4A7484AA2DE92C6FULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(static_cast<long long>(0xBF597FC7B00327C8ULL),
+                             static_cast<long long>(0xA831C66D983E5152ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(static_cast<long long>(0x1429296706CA6351ULL),
+                             static_cast<long long>(0xD5A79147C6E00BF3ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(static_cast<long long>(0x53380D134D2C6DFCULL),
+                             static_cast<long long>(0x2E1B213827B70A85ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(static_cast<long long>(0x92722C8581C2C92EULL),
+                             static_cast<long long>(0x766A0ABB650A7354ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(static_cast<long long>(0xC76C51A3C24B8B70ULL),
+                             static_cast<long long>(0xA81A664BA2BFE8A1ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(static_cast<long long>(0x106AA070F40E3585ULL),
+                             static_cast<long long>(0xD6990624D192E819ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(static_cast<long long>(0x34B0BCB52748774CULL),
+                             static_cast<long long>(0x1E376C0819A4C116ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55 (message schedule complete; no more msg1 steps).
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(static_cast<long long>(0x682E6FF35B9CCA4FULL),
+                             static_cast<long long>(0x4ED8AA4A391C0CB3ULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(static_cast<long long>(0x8CC7020884C87814ULL),
+                             static_cast<long long>(0x78A5636F748F82EEULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(static_cast<long long>(0xC67178F2BEF9A3F7ULL),
+                             static_cast<long long>(0xA4506CEB90BEFFFAULL)));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, save0);
+    state1 = _mm_add_epi32(state1, save1);
+
+    blocks += 64;
+    --n;
+  }
+
+  // ABEF / CDGH back to ABCD / EFGH.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);        // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);           // HGFE... ABCD/EFGH order
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+}  // namespace powai::crypto::detail
+
+#endif  // POWAI_SHA256_X86_DISPATCH

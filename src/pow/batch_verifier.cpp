@@ -1,5 +1,7 @@
 #include "pow/batch_verifier.hpp"
 
+#include "crypto/sha256.hpp"
+
 namespace powai::pow {
 
 BatchVerifier::BatchVerifier(Verifier& verifier, std::size_t threads)
@@ -12,17 +14,73 @@ BatchVerifier::BatchVerifier(Verifier& verifier, common::ThreadPool& pool)
 
 namespace {
 const std::string kNoObservedIp;
+
+/// Messages per hash_many call in the digest sweep: large enough to
+/// fill SIMD lanes several times over, small enough that the pool can
+/// split a big batch across workers.
+constexpr std::size_t kSweepChunk = 64;
 }  // namespace
 
 std::vector<common::Status> BatchVerifier::verify_batch(
     std::span<const VerificationJob> jobs) {
-  std::vector<common::Status> results(jobs.size(), common::Status::success());
-  pool_->parallel_for(jobs.size(), [&](std::size_t i) {
+  const std::size_t n = jobs.size();
+  std::vector<common::Status> results(n, common::Status::success());
+  if (n == 0) return results;
+
+  // Stage 1 (parallel): precheck + one (prefix || nonce) serialization
+  // per job. Workers touch disjoint indices only.
+  std::vector<common::Bytes> messages(n);
+  std::vector<std::uint8_t> passed(n, 0);
+  pool_->parallel_for(n, [&](std::size_t i) {
     const VerificationJob& job = jobs[i];
-    results[i] = verifier_->verify(
+    // Id mismatches stay one integer compare — no serialization.
+    if (const common::Status id = Verifier::check_id(*job.puzzle,
+                                                     *job.solution);
+        !id.ok()) {
+      results[i] = id;
+      return;
+    }
+    common::Bytes message = job.puzzle->prefix_bytes();
+    const common::Status status = verifier_->precheck(
         *job.puzzle, *job.solution,
-        job.observed_ip ? *job.observed_ip : kNoObservedIp);
+        job.observed_ip ? *job.observed_ip : kNoObservedIp, message);
+    if (!status.ok()) {
+      results[i] = status;
+      return;
+    }
+    common::append_u64be(message, job.solution->nonce);
+    messages[i] = std::move(message);
+    passed[i] = 1;
   });
+
+  // Stage 2 (parallel over chunks): digest every surviving message in
+  // multi-buffer lane sweeps.
+  std::vector<std::uint32_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (passed[i] != 0) pending.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<common::BytesView> views(pending.size());
+  std::vector<crypto::Digest> digests(pending.size());
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    views[k] = messages[pending[k]];
+  }
+  const std::size_t chunks = (pending.size() + kSweepChunk - 1) / kSweepChunk;
+  pool_->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * kSweepChunk;
+    const std::size_t len = std::min(kSweepChunk, pending.size() - lo);
+    crypto::Sha256::hash_many(
+        std::span<const common::BytesView>(views).subspan(lo, len),
+        std::span<crypto::Digest>(digests).subspan(lo, len));
+  });
+
+  // Stage 3 (serial, batch order): difficulty + exactly-once
+  // redemption. Batch order makes duplicate-id outcomes identical to a
+  // sequential run — the first occurrence wins.
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    const std::uint32_t i = pending[k];
+    results[i] = verifier_->finalize(*jobs[i].puzzle, digests[k]);
+  }
   return results;
 }
 

@@ -2,14 +2,22 @@
 /// \file batch_verifier.hpp
 /// Parallel solution verification. A production front-end does not see
 /// one submission at a time — it drains a socket and hands the verifier
-/// a batch. BatchVerifier fans a batch out over a thread pool; because
-/// Verifier::verify is thread-safe (shard-striped replay cache), the
-/// workers share one verifier and one replay history.
+/// a batch. BatchVerifier runs the batch through the verifier's staged
+/// API in three passes sharing one verifier and one replay history:
 ///
-/// For a batch with distinct puzzle ids the result vector is identical
-/// to calling verify() sequentially in batch order. Duplicate ids race
-/// for the single redemption: exactly one wins, but *which* one is
-/// scheduling-dependent (sequential order makes the first win).
+///  1. precheck (parallel on the pool): MAC / binding / expiry per job,
+///     plus one serialization of each job's (prefix || nonce) message;
+///  2. digest sweep (parallel over chunks): every surviving message is
+///     hashed via crypto::Sha256::hash_many, so a batch is a handful of
+///     multi-buffer lane sweeps instead of N scalar hashes;
+///  3. finalize (serial, batch order): difficulty check and the
+///     exactly-once replay redemption.
+///
+/// Because stage 3 runs in batch order, the result vector is identical
+/// to calling verify() sequentially in batch order — including
+/// duplicate puzzle ids, where the first occurrence in the batch wins
+/// the single redemption (verify_batch used to leave the winner
+/// scheduling-dependent; the staged form pins it).
 
 #include <cstddef>
 #include <memory>

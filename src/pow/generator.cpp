@@ -39,7 +39,19 @@ common::Bytes PuzzleGenerator::derive_mac_key(common::BytesView master_secret) {
 
 crypto::Digest PuzzleGenerator::compute_auth(common::BytesView mac_key,
                                              const Puzzle& puzzle) {
-  return crypto::hmac_sha256(mac_key, puzzle.mac_input());
+  return compute_auth(mac_key, puzzle.prefix_bytes(), puzzle.puzzle_id);
+}
+
+crypto::Digest PuzzleGenerator::compute_auth(common::BytesView mac_key,
+                                             common::BytesView prefix,
+                                             std::uint64_t puzzle_id) {
+  // Streams mac_input() = prefix || u64be(id) without materializing it.
+  crypto::HmacSha256 mac(mac_key);
+  mac.update(prefix);
+  std::uint8_t id_be[8];
+  common::store_u64be(id_be, puzzle_id);
+  mac.update(common::BytesView(id_be, 8));
+  return mac.finish();
 }
 
 std::uint64_t PuzzleGenerator::derive_id(std::uint8_t domain,

@@ -87,6 +87,15 @@ class PuzzleGenerator final {
   [[nodiscard]] static crypto::Digest compute_auth(common::BytesView mac_key,
                                                    const Puzzle& puzzle);
 
+  /// Same MAC from an already-serialized prefix (the MAC input is
+  /// prefix || id, streamed through the HMAC — no concatenation
+  /// buffer). Lets the verify path reuse one serialization for both
+  /// the authenticity check and the solution hash instead of deriving
+  /// the prefix twice per submission.
+  [[nodiscard]] static crypto::Digest compute_auth(common::BytesView mac_key,
+                                                   common::BytesView prefix,
+                                                   std::uint64_t puzzle_id);
+
   /// Derives the MAC key from a master secret (same derivation the
   /// generator uses internally; the Verifier calls this too).
   [[nodiscard]] static common::Bytes derive_mac_key(

@@ -56,12 +56,48 @@ struct Solution final {
   bool operator==(const Solution&) const = default;
 };
 
+/// Precomputed hashing context for one puzzle — the hot-path form of
+/// the (prefix || nonce) digest. Construction serializes the prefix
+/// once and absorbs its full 64-byte blocks into a SHA-256 midstate;
+/// after that every digest_for()/check() call is a single final-block
+/// compression with an in-place big-endian nonce store: no allocation,
+/// no re-serialization, no re-compression of the prefix.
+///
+/// Immutable after construction and therefore freely shared across
+/// threads (the solver's strided workers all read one context).
+class PuzzleContext final {
+ public:
+  explicit PuzzleContext(const Puzzle& puzzle);
+
+  /// The serialized prefix (also the MAC input minus the trailing id) —
+  /// cached so callers never re-derive it per use.
+  [[nodiscard]] const common::Bytes& prefix() const { return prefix_; }
+
+  [[nodiscard]] std::uint64_t puzzle_id() const { return puzzle_id_; }
+  [[nodiscard]] unsigned difficulty() const { return difficulty_; }
+
+  /// SHA-256(prefix || nonce_be64). Allocation-free.
+  [[nodiscard]] crypto::Digest digest_for(std::uint64_t nonce) const;
+
+  /// True iff \p nonce solves the puzzle this context was built from.
+  [[nodiscard]] bool check(std::uint64_t nonce) const;
+
+ private:
+  common::Bytes prefix_;
+  crypto::Sha256Midstate midstate_;  ///< over prefix_'s full blocks
+  std::uint64_t puzzle_id_ = 0;
+  unsigned difficulty_ = 1;
+};
+
 /// Hash of (puzzle prefix || nonce) — the quantity compared against the
 /// difficulty target. One definition shared by solver and verifier.
+/// Convenience form: builds a PuzzleContext per call — loops should
+/// build the context once and use digest_for().
 [[nodiscard]] crypto::Digest solution_digest(const Puzzle& puzzle,
                                              std::uint64_t nonce);
 
-/// True iff \p nonce solves \p puzzle.
+/// True iff \p nonce solves \p puzzle (one-shot; loops should use
+/// PuzzleContext::check).
 [[nodiscard]] bool is_valid_solution(const Puzzle& puzzle, std::uint64_t nonce);
 
 }  // namespace powai::pow

@@ -9,8 +9,11 @@ namespace powai::pow {
 namespace {
 
 /// Check the cancel flag / shared found flag only every N attempts: an
-/// atomic load per hash would dominate at low difficulties.
+/// atomic load per hash would dominate at low difficulties. Power of
+/// two so the hot loop tests `attempts & (N - 1)` instead of dividing.
 constexpr std::uint64_t kCheckInterval = 256;
+static_assert((kCheckInterval & (kCheckInterval - 1)) == 0,
+              "kCheckInterval must be a power of two");
 
 struct WorkerResult {
   std::uint64_t nonce = 0;
@@ -19,30 +22,25 @@ struct WorkerResult {
 };
 
 /// Strided scan: worker w tries start + w, start + w + stride, ...
-WorkerResult scan(const Puzzle& puzzle, std::uint64_t start,
+/// The shared context carries the serialized prefix and its SHA-256
+/// midstate, so each attempt is one final-block compression with an
+/// in-place big-endian nonce store — nothing is allocated or
+/// re-serialized inside the loop.
+WorkerResult scan(const PuzzleContext& context, std::uint64_t start,
                   std::uint64_t stride, std::uint64_t max_attempts,
                   const std::atomic<bool>* cancel,
                   std::atomic<bool>& someone_found) {
-  // Hoist the prefix: only the nonce suffix changes per attempt.
-  const common::Bytes prefix = puzzle.prefix_bytes();
-  common::Bytes nonce_bytes(8, 0);
-
   WorkerResult result;
   std::uint64_t nonce = start;
   while (max_attempts == 0 || result.attempts < max_attempts) {
-    if (result.attempts % kCheckInterval == 0) {
+    if ((result.attempts & (kCheckInterval - 1)) == 0) {
       if (someone_found.load(std::memory_order_relaxed)) return result;
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
         return result;
       }
     }
-    for (int i = 0; i < 8; ++i) {
-      nonce_bytes[static_cast<std::size_t>(i)] =
-          static_cast<std::uint8_t>(nonce >> (8 * (7 - i)));
-    }
     ++result.attempts;
-    const crypto::Digest digest = crypto::Sha256::hash2(prefix, nonce_bytes);
-    if (crypto::meets_difficulty(digest, puzzle.difficulty)) {
+    if (context.check(nonce)) {
       result.nonce = nonce;
       result.found = true;
       someone_found.store(true, std::memory_order_relaxed);
@@ -64,9 +62,13 @@ SolveResult Solver::solve(const Puzzle& puzzle,
   std::atomic<bool> someone_found{false};
   SolveResult result;
 
+  // One context for the whole solve: serialized prefix + midstate are
+  // computed once and shared read-only by every worker.
+  const PuzzleContext context(puzzle);
+
   if (options.threads == 1) {
     const WorkerResult w =
-        scan(puzzle, options.start_nonce, 1, options.max_attempts,
+        scan(context, options.start_nonce, 1, options.max_attempts,
              options.cancel, someone_found);
     result.attempts = w.attempts;
     result.found = w.found;
@@ -85,7 +87,7 @@ SolveResult Solver::solve(const Puzzle& puzzle,
     workers.reserve(n);
     for (unsigned w = 0; w < n; ++w) {
       workers.emplace_back([&, w] {
-        results[w] = scan(puzzle, options.start_nonce + w, n, per_worker,
+        results[w] = scan(context, options.start_nonce + w, n, per_worker,
                           options.cancel, someone_found);
       });
     }

@@ -18,20 +18,32 @@ Verifier::Verifier(const common::Clock& clock, common::BytesView master_secret,
   }
 }
 
-common::Status Verifier::verify(const Puzzle& puzzle, const Solution& solution,
-                                const std::string& observed_ip) {
+common::Status Verifier::check_id(const Puzzle& puzzle,
+                                  const Solution& solution) {
+  if (solution.puzzle_id != puzzle.puzzle_id) {
+    return common::err(common::ErrorCode::kInvalidArgument,
+                       "solution references a different puzzle");
+  }
+  return common::Status::success();
+}
+
+common::Status Verifier::precheck(const Puzzle& puzzle,
+                                  const Solution& solution,
+                                  const std::string& observed_ip,
+                                  common::BytesView prefix) const {
   using common::ErrorCode;
 
-  if (solution.puzzle_id != puzzle.puzzle_id) {
-    return common::err(ErrorCode::kInvalidArgument,
-                       "solution references a different puzzle");
+  if (const common::Status id = check_id(puzzle, solution); !id.ok()) {
+    return id;
   }
 
   // 1. Authenticity: the puzzle (id, seed, timestamp, difficulty, bind)
   //    must carry our MAC — otherwise a client could lower its own
-  //    difficulty or reuse a stale seed.
+  //    difficulty or reuse a stale seed. The caller's serialized prefix
+  //    doubles as the MAC input (plus the trailing id), so this is the
+  //    submission's only serialization.
   const crypto::Digest expected =
-      PuzzleGenerator::compute_auth(mac_key_, puzzle);
+      PuzzleGenerator::compute_auth(mac_key_, prefix, puzzle.puzzle_id);
   if (!crypto::constant_time_equal(
           common::BytesView(expected.data(), expected.size()),
           common::BytesView(puzzle.auth.data(), puzzle.auth.size()))) {
@@ -59,8 +71,15 @@ common::Status Verifier::verify(const Puzzle& puzzle, const Solution& solution,
     return common::err(ErrorCode::kExpired, "puzzle issued in the future");
   }
 
+  return common::Status::success();
+}
+
+common::Status Verifier::finalize(const Puzzle& puzzle,
+                                  const crypto::Digest& digest) {
+  using common::ErrorCode;
+
   // 4. The work itself.
-  if (!is_valid_solution(puzzle, solution.nonce)) {
+  if (!crypto::meets_difficulty(digest, puzzle.difficulty)) {
     return common::err(ErrorCode::kBadSolution,
                        "digest does not meet difficulty");
   }
@@ -73,6 +92,21 @@ common::Status Verifier::verify(const Puzzle& puzzle, const Solution& solution,
   }
 
   return common::Status::success();
+}
+
+common::Status Verifier::verify(const Puzzle& puzzle, const Solution& solution,
+                                const std::string& observed_ip) {
+  // Reject id mismatches before paying for the context: a flood of
+  // mismatched solutions must stay one integer compare, not a prefix
+  // serialization plus midstate per submission.
+  if (const common::Status id = check_id(puzzle, solution); !id.ok()) {
+    return id;
+  }
+  const PuzzleContext context(puzzle);
+  const common::Status pre =
+      precheck(puzzle, solution, observed_ip, context.prefix());
+  if (!pre.ok()) return pre;
+  return finalize(puzzle, context.digest_for(solution.nonce));
 }
 
 }  // namespace powai::pow

@@ -62,9 +62,39 @@ class Verifier final {
   ///
   /// Error codes: kInvalidArgument (MAC/bind/id mismatch), kExpired,
   /// kBadSolution, kReplay.
+  ///
+  /// Serializes the puzzle prefix exactly once per call: the same bytes
+  /// feed the MAC authenticity check (streamed through the HMAC) and
+  /// the solution digest (via a PuzzleContext midstate).
   [[nodiscard]] common::Status verify(const Puzzle& puzzle,
                                       const Solution& solution,
                                       const std::string& observed_ip = {});
+
+  /// Staged API for batch callers (BatchVerifier): verify() is exactly
+  /// precheck() → solution digest → finalize(), split so a batch can
+  /// compute all its digests in one Sha256::hash_many multi-lane sweep
+  /// between the two stages.
+  ///
+  /// Stage 1 — everything *before* the solution hash: id match, MAC
+  /// authenticity over \p prefix (which must be puzzle.prefix_bytes();
+  /// pass the copy you already hold), client binding, expiry window.
+  /// Const and lock-free.
+  [[nodiscard]] common::Status precheck(const Puzzle& puzzle,
+                                        const Solution& solution,
+                                        const std::string& observed_ip,
+                                        common::BytesView prefix) const;
+
+  /// Stage 2 — the work itself plus single redemption, given the
+  /// already-computed digest of (prefix || nonce). Touches the replay
+  /// cache; thread-safe.
+  [[nodiscard]] common::Status finalize(const Puzzle& puzzle,
+                                        const crypto::Digest& digest);
+
+  /// The cheap id-mismatch guard (also the first thing precheck does),
+  /// exposed so callers can reject a mismatched submission before
+  /// paying for the prefix serialization the other stages need.
+  [[nodiscard]] static common::Status check_id(const Puzzle& puzzle,
+                                               const Solution& solution);
 
   /// Number of puzzles currently remembered as redeemed.
   [[nodiscard]] std::size_t replay_entries() const { return redeemed_.size(); }

@@ -23,6 +23,10 @@ double LoadReport::served_per_s() const {
   return wall_s > 0.0 ? static_cast<double>(served) / wall_s : 0.0;
 }
 
+double LoadReport::hashes_per_s() const {
+  return wall_s > 0.0 ? static_cast<double>(solve_attempts) / wall_s : 0.0;
+}
+
 LoadHarness::LoadHarness(framework::PowServer& server, LoadHarnessConfig config)
     : server_(&server), config_(std::move(config)) {
   if (config_.client_threads == 0 || config_.requests_per_client == 0) {

@@ -99,6 +99,10 @@ struct LoadReport final {
 
   [[nodiscard]] double issued_per_s() const;
   [[nodiscard]] double served_per_s() const;
+  /// Aggregate client hashing throughput (solve_attempts / wall): the
+  /// end-to-end view of the SHA-256 hot path — midstate + dispatch wins
+  /// in the solver show up here directly.
+  [[nodiscard]] double hashes_per_s() const;
 };
 
 class LoadHarness final {

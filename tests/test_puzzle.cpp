@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/clock.hpp"
+#include "crypto/sha256.hpp"
 #include "pow/generator.hpp"
 
 namespace powai::pow {
@@ -117,6 +120,39 @@ TEST(IsValidSolution, MatchesManualDigestCheck) {
     const bool manual =
         crypto::leading_zero_bits(solution_digest(p, nonce)) >= 2;
     EXPECT_EQ(valid, manual) << "nonce=" << nonce;
+  }
+}
+
+TEST(PuzzleContext, DigestMatchesHashOfPrefixPlusNonce) {
+  // The midstate fast path must be bit-identical to the definitional
+  // digest: SHA-256(prefix_bytes() || u64be(nonce)).
+  const Puzzle p = sample_puzzle(3);
+  const PuzzleContext context(p);
+  EXPECT_EQ(context.prefix(), p.prefix_bytes());
+  EXPECT_EQ(context.puzzle_id(), p.puzzle_id);
+  EXPECT_EQ(context.difficulty(), p.difficulty);
+  for (std::uint64_t nonce : {std::uint64_t{0}, std::uint64_t{1},
+                              std::uint64_t{255}, std::uint64_t{1} << 33,
+                              ~std::uint64_t{0}}) {
+    common::Bytes message = p.prefix_bytes();
+    common::append_u64be(message, nonce);
+    EXPECT_EQ(context.digest_for(nonce), crypto::Sha256::hash(message));
+    EXPECT_EQ(context.digest_for(nonce), solution_digest(p, nonce));
+    EXPECT_EQ(context.check(nonce), is_valid_solution(p, nonce));
+  }
+}
+
+TEST(PuzzleContext, SharedAcrossCallsGivesStableAnswers) {
+  // One context, many probes — the solver's usage pattern. Probing must
+  // not mutate the context.
+  const Puzzle p = sample_puzzle(1);
+  const PuzzleContext context(p);
+  std::vector<crypto::Digest> first;
+  for (std::uint64_t nonce = 0; nonce < 32; ++nonce) {
+    first.push_back(context.digest_for(nonce));
+  }
+  for (std::uint64_t nonce = 0; nonce < 32; ++nonce) {
+    EXPECT_EQ(context.digest_for(nonce), first[nonce]);
   }
 }
 

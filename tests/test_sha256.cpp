@@ -1,10 +1,15 @@
 // Tests for SHA-256 against FIPS/NIST vectors, plus the difficulty
-// helpers the PoW layer is built on.
+// helpers the PoW layer is built on. The KAT suite is parameterized
+// over every compression backend this CPU supports (generic scalar,
+// SHA-NI, AVX2) so a dispatch bug can never hide behind the default
+// selection; midstate and hash_many cross-checks live in
+// test_sha256_dispatch.cpp.
 
 #include "crypto/sha256.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -21,24 +26,41 @@ std::string hex_digest(const Digest& d) {
   return to_hex(common::BytesView(d.data(), d.size()));
 }
 
-TEST(Sha256, EmptyMessage) {
+// ---------------------------------------------------------------------------
+// Known-answer tests, forced onto each supported backend in turn.
+// ---------------------------------------------------------------------------
+
+class Sha256Kat : public ::testing::TestWithParam<Sha256Backend> {
+ protected:
+  void SetUp() override {
+    previous_ = Sha256::backend();
+    ASSERT_TRUE(Sha256::set_backend(GetParam()))
+        << "supported_backends() offered an unusable backend";
+  }
+  void TearDown() override { ASSERT_TRUE(Sha256::set_backend(previous_)); }
+
+ private:
+  Sha256Backend previous_ = Sha256Backend::kGeneric;
+};
+
+TEST_P(Sha256Kat, EmptyMessage) {
   EXPECT_EQ(hex_digest(Sha256::hash({})),
             "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
 }
 
-TEST(Sha256, Abc) {
+TEST_P(Sha256Kat, Abc) {
   EXPECT_EQ(hex_digest(Sha256::hash(bytes_of("abc"))),
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
-TEST(Sha256, TwoBlockMessage) {
+TEST_P(Sha256Kat, TwoBlockMessage) {
   EXPECT_EQ(
       hex_digest(Sha256::hash(bytes_of(
           "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
 }
 
-TEST(Sha256, FourBlockMessage) {
+TEST_P(Sha256Kat, FourBlockMessage) {
   // FIPS 180-4 / NIST CAVP 896-bit message.
   EXPECT_EQ(
       hex_digest(Sha256::hash(bytes_of(
@@ -47,21 +69,21 @@ TEST(Sha256, FourBlockMessage) {
       "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
 }
 
-TEST(Sha256, NistOneByte) {
+TEST_P(Sha256Kat, NistOneByte) {
   // NIST SHA-256 example vector: the single byte 0xbd.
   const Bytes msg{0xbd};
   EXPECT_EQ(hex_digest(Sha256::hash(msg)),
             "68325720aabd7c82f30f554b313d0570c95accbb7dc4b5aae11204c08ffe732b");
 }
 
-TEST(Sha256, NistFourBytes) {
+TEST_P(Sha256Kat, NistFourBytes) {
   // NIST SHA-256 example vector: the 4-byte message 0xc98c8e55.
   const Bytes msg{0xc9, 0x8c, 0x8e, 0x55};
   EXPECT_EQ(hex_digest(Sha256::hash(msg)),
             "7abc22c0ae5af26ce93dbb94433a0e0b2e119d014f8e7f65bd56c61ccccd9504");
 }
 
-TEST(Sha256, MillionAs) {
+TEST_P(Sha256Kat, MillionAs) {
   Sha256 h;
   const Bytes chunk(1000, 'a');
   for (int i = 0; i < 1000; ++i) h.update(chunk);
@@ -69,14 +91,14 @@ TEST(Sha256, MillionAs) {
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
 }
 
-TEST(Sha256, ExactlyOneBlock) {
+TEST_P(Sha256Kat, ExactlyOneBlock) {
   // 64 bytes: padding must spill into a second block.
   const Bytes data(64, 0x61);
   EXPECT_EQ(hex_digest(Sha256::hash(data)),
             "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
 }
 
-TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+TEST_P(Sha256Kat, FiftyFiveAndFiftySixBytes) {
   // 55 bytes is the largest message whose padding fits in one block.
   const Bytes b55(55, 'a');
   const Bytes b56(56, 'a');
@@ -86,7 +108,7 @@ TEST(Sha256, FiftyFiveAndFiftySixBytes) {
             "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
 }
 
-TEST(Sha256, IncrementalMatchesOneShotAtEverySplit) {
+TEST_P(Sha256Kat, IncrementalMatchesOneShotAtEverySplit) {
   const Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog!!");
   const Digest expected = Sha256::hash(msg);
   for (std::size_t split = 0; split <= msg.size(); ++split) {
@@ -97,7 +119,7 @@ TEST(Sha256, IncrementalMatchesOneShotAtEverySplit) {
   }
 }
 
-TEST(Sha256, Hash2MatchesConcatenation) {
+TEST_P(Sha256Kat, Hash2MatchesConcatenation) {
   common::Rng rng(3);
   for (int trial = 0; trial < 20; ++trial) {
     Bytes a(rng.uniform_u64(0, 100));
@@ -109,6 +131,17 @@ TEST(Sha256, Hash2MatchesConcatenation) {
     EXPECT_EQ(Sha256::hash2(a, b), Sha256::hash(joined));
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, Sha256Kat,
+    ::testing::ValuesIn(Sha256::supported_backends()),
+    [](const ::testing::TestParamInfo<Sha256Backend>& info) {
+      return std::string(Sha256::backend_name(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Backend-independent behavior (runs under the default selection).
+// ---------------------------------------------------------------------------
 
 TEST(Sha256, UpdateAfterFinishThrows) {
   Sha256 h;
@@ -125,6 +158,22 @@ TEST(Sha256, ResetAllowsReuse) {
   h.reset();
   h.update(bytes_of("abc"));
   EXPECT_EQ(h.finish(), first);
+}
+
+TEST(Sha256, GenericBackendAlwaysSupported) {
+  const auto backends = Sha256::supported_backends();
+  EXPECT_NE(std::find(backends.begin(), backends.end(),
+                      Sha256Backend::kGeneric),
+            backends.end());
+  // The active backend is always one of the supported set.
+  EXPECT_NE(std::find(backends.begin(), backends.end(), Sha256::backend()),
+            backends.end());
+}
+
+TEST(Sha256, BackendNamesAreStable) {
+  EXPECT_EQ(Sha256::backend_name(Sha256Backend::kGeneric), "generic");
+  EXPECT_EQ(Sha256::backend_name(Sha256Backend::kShaNi), "shani");
+  EXPECT_EQ(Sha256::backend_name(Sha256Backend::kAvx2), "avx2");
 }
 
 TEST(LeadingZeroBits, AllZeroDigestIs256) {

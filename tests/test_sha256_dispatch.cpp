@@ -1,0 +1,215 @@
+// Cross-checks for the SHA-256 hot-path API against the plain streaming
+// interface, run with every compression backend this CPU supports
+// forced in turn: midstate precompute/finish_with_suffix equivalence at
+// random split points and lengths, and hash_many vs N scalar hashes
+// (equal-length batches that fill AVX2 lanes, mixed-length batches that
+// exercise the run grouping, and degenerate shapes). The KATs
+// themselves live in test_sha256.cpp, likewise backend-parameterized.
+
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace powai;
+using crypto::Digest;
+using crypto::Sha256;
+using crypto::Sha256Backend;
+using crypto::Sha256Midstate;
+
+common::Bytes random_bytes(common::Rng& rng, std::size_t n) {
+  common::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+  }
+  return out;
+}
+
+class Sha256Dispatch : public ::testing::TestWithParam<Sha256Backend> {
+ protected:
+  void SetUp() override {
+    previous_ = Sha256::backend();
+    ASSERT_TRUE(Sha256::set_backend(GetParam()));
+  }
+  void TearDown() override { ASSERT_TRUE(Sha256::set_backend(previous_)); }
+
+ private:
+  Sha256Backend previous_ = Sha256Backend::kGeneric;
+};
+
+// ---------------------------------------------------------------------------
+// Midstate API
+// ---------------------------------------------------------------------------
+
+TEST_P(Sha256Dispatch, MidstateMatchesOneShotAtEverySplit) {
+  // One message, every (prefix, suffix) split: precompute(prefix) +
+  // finish_with_suffix(tail, suffix) must equal hash(message). Length
+  // 150 covers prefixes of zero, one, and two full blocks.
+  common::Rng rng(7);
+  const common::Bytes message = random_bytes(rng, 150);
+  const Digest expected = Sha256::hash(message);
+  for (std::size_t split = 0; split <= message.size(); ++split) {
+    const common::BytesView prefix(message.data(), split);
+    const Sha256Midstate midstate = Sha256::precompute(prefix);
+    ASSERT_EQ(midstate.absorbed % Sha256::kBlockSize, 0u);
+    ASSERT_LE(midstate.absorbed, split);
+    const common::BytesView tail(
+        message.data() + midstate.absorbed,
+        split - static_cast<std::size_t>(midstate.absorbed));
+    const common::BytesView suffix(message.data() + split,
+                                   message.size() - split);
+    EXPECT_EQ(Sha256::finish_with_suffix(midstate, tail, suffix), expected)
+        << "split at " << split;
+  }
+}
+
+TEST_P(Sha256Dispatch, MidstateMatchesStreamingOnRandomShapes) {
+  // Random prefix/suffix lengths, including suffixes long enough to
+  // force the general (incremental) remainder path.
+  common::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const common::Bytes prefix = random_bytes(rng, rng.uniform_u64(0, 300));
+    const common::Bytes suffix = random_bytes(rng, rng.uniform_u64(0, 260));
+    const Sha256Midstate midstate = Sha256::precompute(prefix);
+    const common::BytesView tail(
+        prefix.data() + midstate.absorbed,
+        prefix.size() - static_cast<std::size_t>(midstate.absorbed));
+    Sha256 stream;
+    stream.update(prefix);
+    stream.update(suffix);
+    EXPECT_EQ(Sha256::finish_with_suffix(midstate, tail, suffix),
+              stream.finish())
+        << "prefix " << prefix.size() << " suffix " << suffix.size();
+  }
+}
+
+TEST_P(Sha256Dispatch, MidstateIsReusableAndThreadAgnostic) {
+  // One precompute, many suffixes — the solver's exact usage. The
+  // midstate must be read-only: digesting suffix B after suffix A gives
+  // the same answer as digesting B first.
+  const common::Bytes prefix = common::bytes_of(
+      "POWAI1|0123456789abcdef0123456789abcdef|1700000000000|12|192.0.2.1|");
+  const Sha256Midstate midstate = Sha256::precompute(prefix);
+  const common::BytesView tail(
+      prefix.data() + midstate.absorbed,
+      prefix.size() - static_cast<std::size_t>(midstate.absorbed));
+  std::vector<Digest> first;
+  for (std::uint64_t nonce = 0; nonce < 32; ++nonce) {
+    std::uint8_t nonce_be[8];
+    common::store_u64be(nonce_be, nonce);
+    first.push_back(Sha256::finish_with_suffix(
+        midstate, tail, common::BytesView(nonce_be, 8)));
+    common::Bytes message = prefix;
+    common::append_u64be(message, nonce);
+    EXPECT_EQ(first.back(), Sha256::hash(message));
+  }
+  for (std::uint64_t nonce = 0; nonce < 32; ++nonce) {
+    std::uint8_t nonce_be[8];
+    common::store_u64be(nonce_be, nonce);
+    EXPECT_EQ(Sha256::finish_with_suffix(midstate, tail,
+                                         common::BytesView(nonce_be, 8)),
+              first[nonce]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hash_many
+// ---------------------------------------------------------------------------
+
+TEST_P(Sha256Dispatch, HashManyEqualLengthsMatchesScalar) {
+  // Equal lengths at several batch sizes: below the lane width, exactly
+  // one lane sweep, a partial trailing group, and multiple sweeps.
+  common::Rng rng(13);
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                        std::size_t{11}, std::size_t{64}}) {
+    for (std::size_t len : {std::size_t{0}, std::size_t{55}, std::size_t{64},
+                            std::size_t{108}, std::size_t{200}}) {
+      std::vector<common::Bytes> messages;
+      messages.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        messages.push_back(random_bytes(rng, len));
+      }
+      std::vector<common::BytesView> views(messages.begin(), messages.end());
+      std::vector<Digest> out(n);
+      Sha256::hash_many(views, out);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], Sha256::hash(views[i]))
+            << "n=" << n << " len=" << len << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(Sha256Dispatch, HashManyMixedLengthsMatchesScalar) {
+  // Mixed lengths force the internal grouping-by-length; results must
+  // land back at the caller's original indices.
+  common::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = rng.uniform_u64(1, 40);
+    std::vector<common::Bytes> messages;
+    messages.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Skewed toward a few repeated lengths so equal-length runs form.
+      const std::size_t len = 16 * rng.uniform_u64(0, 8);
+      messages.push_back(random_bytes(rng, len));
+    }
+    std::vector<common::BytesView> views(messages.begin(), messages.end());
+    std::vector<Digest> out(n);
+    Sha256::hash_many(views, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], Sha256::hash(views[i])) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(Sha256Dispatch, HashManyEmptyBatchIsANoOp) {
+  Sha256::hash_many({}, {});
+}
+
+TEST_P(Sha256Dispatch, HashManySizeMismatchThrows) {
+  const common::Bytes message = common::bytes_of("x");
+  const common::BytesView views[1] = {common::BytesView(message)};
+  std::vector<Digest> out(2);
+  EXPECT_THROW(Sha256::hash_many(views, out), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, Sha256Dispatch,
+    ::testing::ValuesIn(Sha256::supported_backends()),
+    [](const ::testing::TestParamInfo<Sha256Backend>& info) {
+      return std::string(Sha256::backend_name(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-backend agreement (not parameterized: compares backends pairwise)
+// ---------------------------------------------------------------------------
+
+TEST(Sha256DispatchCross, AllBackendsAgreeOnRandomMessages) {
+  const auto backends = Sha256::supported_backends();
+  const Sha256Backend previous = Sha256::backend();
+  common::Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const common::Bytes message = random_bytes(rng, rng.uniform_u64(0, 400));
+    std::vector<Digest> digests;
+    for (Sha256Backend b : backends) {
+      ASSERT_TRUE(Sha256::set_backend(b));
+      digests.push_back(Sha256::hash(message));
+    }
+    for (std::size_t i = 1; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[i], digests[0])
+          << Sha256::backend_name(backends[i]) << " disagrees with "
+          << Sha256::backend_name(backends[0]) << " on length "
+          << message.size();
+    }
+  }
+  ASSERT_TRUE(Sha256::set_backend(previous));
+}
+
+}  // namespace
