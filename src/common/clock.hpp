@@ -75,4 +75,34 @@ class ManualClock final : public Clock {
   std::atomic<TimePoint> now_;
 };
 
+/// A view of another clock shifted by an adjustable offset — the
+/// clock-skew injection seam: a fault campaign hands the server a
+/// SkewClock over the event loop's clock and steps the offset from the
+/// loop thread, so the server's idea of "now" diverges from the wire's
+/// (issuance timestamps jump ahead, in-flight puzzles expire or arrive
+/// future-dated) without the loop's own schedule moving.
+///
+/// Same threading contract as ManualClock: one mutating thread (the
+/// loop), any number of readers (server pool threads) — the offset is a
+/// relaxed atomic and the pump keeps time frozen while work is in
+/// flight.
+class SkewClock final : public Clock {
+ public:
+  /// \p base must outlive this clock.
+  explicit SkewClock(const Clock& base) : base_(&base) {}
+
+  [[nodiscard]] TimePoint now() const override {
+    return base_->now() + skew_.load(std::memory_order_relaxed);
+  }
+
+  void set_skew(Duration d) { skew_.store(d, std::memory_order_relaxed); }
+  [[nodiscard]] Duration skew() const {
+    return skew_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Clock* base_;
+  std::atomic<Duration> skew_{Duration::zero()};
+};
+
 }  // namespace powai::common

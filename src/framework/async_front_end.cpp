@@ -109,6 +109,17 @@ std::uint64_t AsyncFrontEnd::accepted() const {
   return total;
 }
 
+std::uint64_t AsyncFrontEnd::completed() const {
+  std::uint64_t total = 0;
+  for (const auto& queue : queues_) total += queue->completed();
+  return total;
+}
+
+void AsyncFrontEnd::set_fault_hooks(FrontEndFaultHooks hooks) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  hooks_ = std::move(hooks);
+}
+
 FrontEndStats AsyncFrontEnd::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -121,9 +132,18 @@ void AsyncFrontEnd::drain_loop(std::size_t shard) {
   }
   RequestQueue& queue = *queues_[shard];
   std::vector<WireMessage> batch;
-  for (;;) {
+  for (std::uint64_t batch_index = 0;; ++batch_index) {
     batch.clear();
     if (queue.pop_up_to(config_.max_batch, batch) == 0) return;  // closed
+    {
+      // Copy the hook out so a stall does not hold the stats lock.
+      std::function<void(std::size_t, std::uint64_t)> before;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        before = hooks_.before_batch;
+      }
+      if (before) before(shard, batch_index);
+    }
     process_batch(queue, std::move(batch));
   }
 }

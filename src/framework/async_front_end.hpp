@@ -48,6 +48,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -85,6 +86,18 @@ struct AsyncFrontEndConfig final {
   /// run_until_idle()) — lets tests and staged harnesses build a
   /// deterministic backlog first.
   bool start_paused = false;
+};
+
+/// Fault-injection hooks for the deterministic campaign layer
+/// (sim::CampaignRunner). Every hook runs on a drain thread and may only
+/// consume *wall-clock* time (sleep, spin) — the determinism contract
+/// means a stalled drain changes batching shape and wall latency but
+/// never totals, which is exactly the invariant stall campaigns check.
+struct FrontEndFaultHooks final {
+  /// Invoked before dispatching a batch: (shard, per-shard batch index).
+  /// Install before start() / the first run_until_idle().
+  std::function<void(std::size_t shard, std::uint64_t batch_index)>
+      before_batch;
 };
 
 /// Counters describing how the drains actually batched (diagnostics;
@@ -155,6 +168,16 @@ class AsyncFrontEnd final {
   /// Messages accepted so far, summed over shards. Thread-safe.
   [[nodiscard]] std::uint64_t accepted() const;
 
+  /// Messages fully processed (batch completed), summed over shards.
+  /// Thread-safe. When idle(), accepted() == completed() exactly — the
+  /// front-end side of the conservation invariant campaigns check.
+  [[nodiscard]] std::uint64_t completed() const;
+
+  /// Installs fault hooks (campaign stall injection). Call before the
+  /// drains start working — with start_paused, before start(); otherwise
+  /// before the first message is pushed.
+  void set_fault_hooks(FrontEndFaultHooks hooks);
+
   /// Actual number of drain shards (>= 1).
   [[nodiscard]] std::size_t shard_count() const { return queues_.size(); }
 
@@ -178,10 +201,11 @@ class AsyncFrontEnd final {
   AsyncFrontEndConfig config_;
   std::vector<std::unique_ptr<RequestQueue>> queues_;  ///< one per shard
 
-  mutable std::mutex mu_;  ///< guards started_/stats_ + pump/drain cv
+  mutable std::mutex mu_;  ///< guards started_/stats_/hooks_ + pump/drain cv
   std::condition_variable cv_;
   bool started_;
   FrontEndStats stats_;
+  FrontEndFaultHooks hooks_;
 
   std::vector<std::thread> drains_;  // last member: joins before the rest
 };

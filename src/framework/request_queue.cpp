@@ -43,11 +43,17 @@ std::size_t RequestQueue::pop_up_to(std::size_t max,
 }
 
 void RequestQueue::complete(std::size_t n) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (n > in_flight_) {
-    throw std::logic_error("RequestQueue::complete: more than in flight");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (n > in_flight_) {
+      throw std::logic_error("RequestQueue::complete: more than in flight");
+    }
+    in_flight_ -= n;
+    completed_ += n;
   }
-  in_flight_ -= n;
+  // A closer may be waiting for in-flight work to land (not a blocking
+  // API here, but AsyncFrontEnd's pump waits on busy() transitions).
+  not_empty_.notify_all();
 }
 
 void RequestQueue::close() {
@@ -76,6 +82,11 @@ bool RequestQueue::busy() const {
 std::uint64_t RequestQueue::accepted() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return accepted_;
+}
+
+std::uint64_t RequestQueue::completed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
 }
 
 std::uint64_t RequestQueue::overflows() const {

@@ -54,6 +54,8 @@ class RequestQueue final {
   std::size_t pop_up_to(std::size_t max, std::vector<WireMessage>& out);
 
   /// Marks \p n previously popped messages fully processed. Thread-safe.
+  /// Throws std::logic_error when n exceeds the in-flight count — an
+  /// accounting bug, never a load condition.
   void complete(std::size_t n);
 
   /// Closes the queue: subsequent try_push fails, blocked poppers wake.
@@ -76,6 +78,14 @@ class RequestQueue final {
   /// Messages accepted by try_push so far. Thread-safe.
   [[nodiscard]] std::uint64_t accepted() const;
 
+  /// Messages fully processed (cumulative complete() total). Thread-safe.
+  /// Shutdown conservation: once the queue is closed and every consumer
+  /// has drained — pop_up_to returned 0 and the final complete() landed —
+  /// accepted() == completed() exactly; a close() racing an in-flight
+  /// batch must never strand the batch's completion (the invariant the
+  /// shutdown hammer test in tests/test_request_queue.cpp pins).
+  [[nodiscard]] std::uint64_t completed() const;
+
   /// try_push calls rejected at capacity (the overload count seen from
   /// the queue's side). Thread-safe.
   [[nodiscard]] std::uint64_t overflows() const;
@@ -91,6 +101,7 @@ class RequestQueue final {
   std::size_t in_flight_ = 0;
   bool closed_ = false;
   std::uint64_t accepted_ = 0;
+  std::uint64_t completed_ = 0;
   std::uint64_t overflows_ = 0;
   std::size_t high_water_ = 0;
 };

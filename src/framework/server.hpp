@@ -129,6 +129,8 @@ struct ServerStats final {
   /// Counters are monotonic, so subtracting an earlier snapshot from a
   /// later one never underflows.
   [[nodiscard]] ServerStats operator-(const ServerStats& rhs) const;
+
+  bool operator==(const ServerStats&) const = default;
 };
 
 /// Trace of one scoring decision (diagnostics/experiments). Produced

@@ -19,14 +19,17 @@ void LinkModel::validate() const {
   }
 }
 
-std::optional<common::Duration> LinkModel::delay_for(std::size_t size,
-                                                     common::Rng& rng) const {
-  validate();
+std::optional<common::Duration> LinkModel::delay_for(
+    std::size_t size, common::Rng& rng) const noexcept {
   if (loss_rate > 0.0 && rng.bernoulli(loss_rate)) return std::nullopt;
   common::Duration delay = base_latency;
   if (jitter > common::Duration::zero()) {
+    // Inclusive draw over [0, jitter] in clock ticks: the configured
+    // bound is reachable and the distribution is exactly uniform (the
+    // old uniform01()*count form truncated toward zero and could never
+    // produce the bound itself).
     delay += common::Duration(static_cast<common::Duration::rep>(
-        rng.uniform01() * static_cast<double>(jitter.count())));
+        rng.uniform_u64(0, static_cast<std::uint64_t>(jitter.count()))));
   }
   if (bandwidth_bytes_per_sec > 0.0) {
     const double seconds =

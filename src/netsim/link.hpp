@@ -16,7 +16,7 @@ struct LinkModel final {
   /// One-way propagation latency.
   common::Duration base_latency = std::chrono::milliseconds(5);
 
-  /// Uniform jitter added on top: U[0, jitter].
+  /// Uniform jitter added on top: U[0, jitter], bounds inclusive.
   common::Duration jitter = std::chrono::milliseconds(1);
 
   /// Bytes/second; 0 = infinite (no serialization delay).
@@ -26,12 +26,16 @@ struct LinkModel final {
   double loss_rate = 0.0;
 
   /// One-way delay for a \p size-byte message, or std::nullopt if the
-  /// message is lost. Throws std::invalid_argument on a malformed model
-  /// (negative latency/jitter, loss outside [0,1], negative bandwidth).
+  /// message is lost. The model must already be valid: validation is an
+  /// attach-time concern (Network::set_link / set_default_link call
+  /// validate()), never a per-message one — this is the per-packet hot
+  /// path of every simulated send.
   [[nodiscard]] std::optional<common::Duration> delay_for(
-      std::size_t size, common::Rng& rng) const;
+      std::size_t size, common::Rng& rng) const noexcept;
 
-  /// Validates fields; called by delay_for but also usable at setup.
+  /// Validates fields; throws std::invalid_argument on a malformed model
+  /// (negative latency/jitter, loss outside [0,1], negative bandwidth).
+  /// Called by Network when a model is attached.
   void validate() const;
 };
 

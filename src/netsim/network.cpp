@@ -5,6 +5,25 @@
 
 namespace powai::netsim {
 
+namespace {
+/// Stable 64-bit hash of a directed (from, to) pair for keying the fault
+/// draw streams (FNV-1a; platform-independent on purpose).
+std::uint64_t pair_hash(const std::string& from, const std::string& to) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
+    h *= 0x100000001b3ULL;
+  };
+  mix(from);
+  mix(to);
+  return h;
+}
+}  // namespace
+
 Network::Network(EventLoop& loop, common::Rng& rng)
     : loop_(&loop), rng_(&rng) {
   // References cannot be null in well-formed code, but a dangling or
@@ -32,6 +51,11 @@ void Network::set_link(const std::string& from, const std::string& to,
   links_[{from, to}] = link;
 }
 
+void Network::set_default_link(LinkModel link) {
+  link.validate();
+  default_link_ = link;
+}
+
 bool Network::send(const std::string& from, const std::string& to,
                    common::Bytes payload) {
   if (!hosts_.contains(from)) {
@@ -47,11 +71,37 @@ bool Network::send(const std::string& from, const std::string& to,
   const LinkModel& link =
       link_it != links_.end() ? link_it->second : default_link_;
 
-  const auto delay = link.delay_for(payload.size(), *rng_);
+  // Base link draws always happen (even when the fault overlay will drop
+  // the message) so the shared Rng's draw sequence is identical with and
+  // without an active fault window — removing a fault event from a plan
+  // must not perturb unrelated deliveries.
+  auto delay = link.delay_for(payload.size(), *rng_);
   if (!delay) {
     ++dropped_;
     return false;
   }
+
+  if (fault_.active()) {
+    // Per-pair, per-message derived stream: a pure function of
+    // (fault seed, directed pair, pair message index). Cross-pair
+    // interleaving — e.g. racy completion order across drain shards —
+    // cannot permute what any one pair's messages experience.
+    const std::uint64_t seq = pair_seq_[{from, to}]++;
+    common::Rng fault_rng =
+        common::stream_rng(fault_seed_ ^ pair_hash(from, to), seq);
+    if (fault_.extra_loss > 0.0 && fault_rng.bernoulli(fault_.extra_loss)) {
+      ++dropped_;
+      ++fault_dropped_;
+      return false;
+    }
+    *delay += fault_.extra_latency;
+    if (fault_.extra_jitter > common::Duration::zero()) {
+      *delay += common::Duration(
+          static_cast<common::Duration::rep>(fault_rng.uniform_u64(
+              0, static_cast<std::uint64_t>(fault_.extra_jitter.count()))));
+    }
+  }
+
   ++sent_;
   bytes_ += payload.size();
 

@@ -5,6 +5,7 @@
 /// the substrate the throttling experiment runs the full client/server
 /// protocol over.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -20,6 +21,29 @@ namespace powai::netsim {
 /// Invoked on delivery: (source host, payload).
 using MessageHandler =
     std::function<void(const std::string& from, common::BytesView payload)>;
+
+/// Transient fault overlay applied on top of the static link models while
+/// active (sim::FaultPlan events toggle it). Draws for the overlay come
+/// from per-pair counter-based streams keyed by fault_stream_seed — never
+/// from the network's shared Rng — so (a) activating or removing a fault
+/// window does not perturb the base link's draw sequence, and (b) the
+/// fault a given message experiences is a pure function of (seed,
+/// directed pair, that pair's message index), which is what keeps fault
+/// campaigns bit-identical across sync/async transports and any
+/// drain_shards setting.
+struct LinkFault final {
+  /// Additional independent loss probability in [0, 1].
+  double extra_loss = 0.0;
+  /// Additional uniform jitter U[0, extra_jitter], bounds inclusive.
+  common::Duration extra_jitter{};
+  /// Deterministic added one-way latency.
+  common::Duration extra_latency{};
+
+  [[nodiscard]] bool active() const {
+    return extra_loss > 0.0 || extra_jitter > common::Duration::zero() ||
+           extra_latency > common::Duration::zero();
+  }
+};
 
 class Network final {
  public:
@@ -42,21 +66,36 @@ class Network final {
   [[nodiscard]] bool has_host(const std::string& name) const;
 
   /// Sets the (directed) link model used from \p from to \p to.
-  /// Unconfigured pairs use the default link.
+  /// Unconfigured pairs use the default link. Validates \p link —
+  /// malformed models are rejected here, at attach time, not per packet.
   void set_link(const std::string& from, const std::string& to,
                 LinkModel link);
 
-  /// Default model for unconfigured pairs.
-  void set_default_link(LinkModel link) { default_link_ = link; }
+  /// Default model for unconfigured pairs. Validates \p link.
+  void set_default_link(LinkModel link);
 
-  /// Queues \p payload for delivery; returns false if the link dropped
-  /// it. Throws std::invalid_argument for unknown hosts.
+  /// Installs (or, with a default-constructed fault, clears) the fault
+  /// overlay. Replaces any previous overlay; callers composing multiple
+  /// overlapping fault windows combine them before installing.
+  void set_fault(LinkFault fault) { fault_ = fault; }
+  void clear_fault() { fault_ = LinkFault{}; }
+  [[nodiscard]] const LinkFault& fault() const { return fault_; }
+
+  /// Seed of the per-pair fault draw streams (see LinkFault).
+  void set_fault_stream_seed(std::uint64_t seed) { fault_seed_ = seed; }
+
+  /// Queues \p payload for delivery; returns false if the link (or the
+  /// fault overlay) dropped it. Throws std::invalid_argument for unknown
+  /// hosts.
   bool send(const std::string& from, const std::string& to,
             common::Bytes payload);
 
   /// Counters for assertions and reporting.
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  /// Of messages_dropped, how many the fault overlay (not the base link
+  /// model) dropped.
+  [[nodiscard]] std::uint64_t fault_dropped() const { return fault_dropped_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
  private:
@@ -65,8 +104,13 @@ class Network final {
   std::map<std::string, MessageHandler> hosts_;
   std::map<std::pair<std::string, std::string>, LinkModel> links_;
   LinkModel default_link_ = default_experiment_link();
+  LinkFault fault_;
+  std::uint64_t fault_seed_ = 0;
+  /// Per directed pair: messages attempted so far (the fault stream id).
+  std::map<std::pair<std::string, std::string>, std::uint64_t> pair_seq_;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t fault_dropped_ = 0;
   std::uint64_t bytes_ = 0;
 };
 

@@ -1,0 +1,823 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "features/synthetic.hpp"
+#include "framework/protocol.hpp"
+#include "framework/transport.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/network.hpp"
+#include "pow/solver.hpp"
+
+namespace powai::sim {
+
+namespace {
+
+constexpr const char* kServerHost = "198.51.100.10";
+constexpr double kBenignHashCostUs = 38.0;
+
+common::Duration millis_dur(double ms) {
+  return std::chrono::duration_cast<common::Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Scenario shaping: who the attackers are. Scenarios never touch the
+/// fault schedule — only client behavior — so a plan replays identically
+/// under every scenario.
+struct ScenarioShape final {
+  double attacker_hash_cost_us;     ///< solve-farm outsourcing = cheap
+  common::Duration attacker_gap;    ///< think time between requests
+  common::Duration benign_gap;
+  common::Duration ramp;            ///< attacker i joins at i * ramp
+  bool poison_features;             ///< alternate benign/malicious traffic
+  bool auto_replay;                 ///< re-submit every redeemed proof
+  std::uint32_t auto_replay_count;
+};
+
+ScenarioShape shape_for(Scenario scenario) {
+  using std::chrono::milliseconds;
+  switch (scenario) {
+    case Scenario::kBotnetRampUp:
+      return {2.0,  milliseconds(10), milliseconds(200), milliseconds(800),
+              false, false, 0};
+    case Scenario::kReplayFlood:
+      return {4.0,  milliseconds(40), milliseconds(200), milliseconds(0),
+              false, true, 3};
+    case Scenario::kReputationPoisoning:
+      return {4.0,  milliseconds(60), milliseconds(200), milliseconds(0),
+              true, false, 0};
+    case Scenario::kSolveFarm:
+      return {0.25, milliseconds(15), milliseconds(200), milliseconds(0),
+              false, false, 0};
+  }
+  return {2.0, milliseconds(10), milliseconds(200), milliseconds(0), false,
+          false, 0};
+}
+
+std::string client_ip(std::size_t index, bool attacker) {
+  // Matches the synthetic-trace subnets (10/8 benign, 203/8 malicious) so
+  // populations are tellable apart in logs and repro artifacts.
+  return std::string(attacker ? "203.0." : "10.0.") +
+         std::to_string((index >> 8) & 0xff) + "." +
+         std::to_string(index & 0xff);
+}
+
+/// Per-client ledger. Mutated on the loop thread only.
+struct ClientTally final {
+  std::uint64_t sent = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deserted = 0;
+  std::uint64_t challenges = 0;
+  std::uint64_t wire_lost_request = 0;
+  std::uint64_t wire_lost_submission = 0;
+  std::uint64_t replays_sent = 0;
+  std::uint64_t replay_answers = 0;
+  std::uint64_t replays_served = 0;
+  std::uint64_t malformed_sent = 0;
+};
+
+struct ClientSpec final {
+  std::string ip;
+  double hash_cost_us = kBenignHashCostUs;
+  /// Cycled by request index (poisoning attackers alternate two vectors).
+  std::vector<features::FeatureVector> features;
+  std::size_t n_requests = 0;
+  common::Duration gap{};
+  common::Duration start_at{};
+  bool auto_replay = false;
+  std::uint32_t auto_replay_count = 0;
+};
+
+/// A protocol-speaking campaign participant: a closed request loop like
+/// WireClient's, plus the misbehavior seams fault events steer (desert
+/// challenges, replay redeemed proofs, flood undecodable bytes). Every
+/// request's fate lands in exactly one tally bucket, which is what the
+/// conservation invariant balances.
+class CampaignClient final {
+ public:
+  CampaignClient(netsim::EventLoop& loop, netsim::Network& network,
+                 ClientSpec spec)
+      : loop_(&loop), network_(&network), spec_(std::move(spec)) {
+    network_->add_host(
+        spec_.ip, [this](const std::string& from, common::BytesView payload) {
+          (void)from;
+          on_message(payload);
+        });
+  }
+
+  CampaignClient(const CampaignClient&) = delete;
+  CampaignClient& operator=(const CampaignClient&) = delete;
+
+  void start() {
+    loop_->schedule_in(spec_.start_at, [this] { send_next(); });
+  }
+
+  /// Abandon the next \p n challenges without submitting.
+  void desert_next(std::uint32_t n) { desert_budget_ += n; }
+
+  /// Re-submit the most recently redeemed proof \p n times (no-op until
+  /// something has been served).
+  void replay_last(std::uint32_t n) {
+    if (!last_served_) return;
+    const common::Bytes wire = last_served_->serialize();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ++tally_.replays_sent;
+      (void)network_->send(spec_.ip, kServerHost, wire);
+    }
+  }
+
+  /// Send \p n undecodable payloads (bogus type tag) at the server.
+  void send_malformed(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ++tally_.malformed_sent;
+      common::Bytes junk = {0xff, static_cast<std::uint8_t>(i),
+                            static_cast<std::uint8_t>(tally_.malformed_sent)};
+      (void)network_->send(spec_.ip, kServerHost, std::move(junk));
+    }
+  }
+
+  [[nodiscard]] const ClientTally& tally() const { return tally_; }
+
+ private:
+  void send_next() {
+    if (tally_.sent >= spec_.n_requests) return;
+    framework::Request request;
+    request.client_ip = spec_.ip;
+    request.path = "/";
+    request.features =
+        spec_.features[tally_.sent % spec_.features.size()];
+    request.request_id = tally_.sent + 1;
+    ++tally_.sent;
+    if (!network_->send(spec_.ip, kServerHost, request.serialize())) {
+      ++tally_.wire_lost_request;  // lost at send; move on
+      schedule_next();
+      return;
+    }
+    pending_.insert(request.request_id);
+  }
+
+  void schedule_next() {
+    loop_->schedule_in(spec_.gap, [this] { send_next(); });
+  }
+
+  void on_message(common::BytesView payload) {
+    const auto message = framework::decode(payload);
+    if (!message) return;  // noise
+    if (const auto* challenge =
+            std::get_if<framework::Challenge>(&*message)) {
+      on_challenge(*challenge);
+    } else if (const auto* response =
+                   std::get_if<framework::Response>(&*message)) {
+      on_response(*response);
+    }
+  }
+
+  void on_challenge(const framework::Challenge& challenge) {
+    if (!pending_.contains(challenge.request_id)) return;
+    ++tally_.challenges;
+    if (desert_budget_ > 0) {
+      --desert_budget_;
+      ++tally_.deserted;
+      pending_.erase(challenge.request_id);
+      schedule_next();
+      return;
+    }
+    // Really solve, but model the time it occupies (attempts × per-hash
+    // cost on one sequential solver core) — same device model as
+    // WireClient, so campaign latencies are hardware-independent.
+    const pow::SolveResult solved = solver_.solve(challenge.puzzle);
+    const auto solve_cost = std::chrono::duration_cast<common::Duration>(
+        std::chrono::duration<double, std::micro>(
+            static_cast<double>(solved.attempts) * spec_.hash_cost_us));
+    const common::TimePoint begin =
+        std::max(loop_->now(), solver_busy_until_);
+    solver_busy_until_ = begin + solve_cost;
+
+    framework::Submission submission;
+    submission.request_id = challenge.request_id;
+    submission.puzzle = challenge.puzzle;
+    submission.solution = solved.solution;
+    loop_->schedule_in(solver_busy_until_ - loop_->now(),
+                       [this, submission = std::move(submission)] {
+                         submitted_.insert_or_assign(submission.request_id,
+                                                     submission);
+                         if (!network_->send(spec_.ip, kServerHost,
+                                             submission.serialize())) {
+                           ++tally_.wire_lost_submission;  // request hangs
+                         }
+                       });
+  }
+
+  void on_response(const framework::Response& response) {
+    const auto it = pending_.find(response.request_id);
+    if (it == pending_.end()) {
+      if (response.request_id == 0) return;  // malformed-flood NAK
+      // A reply to a replayed (already settled) submission. A kOk here
+      // means the server redeemed the same proof twice — the
+      // single-redemption invariant's detector.
+      ++tally_.replay_answers;
+      if (response.status == common::ErrorCode::kOk) ++tally_.replays_served;
+      return;
+    }
+    pending_.erase(it);
+    ++tally_.answered;
+    if (response.status == common::ErrorCode::kOk) {
+      ++tally_.served;
+      if (const auto sub = submitted_.find(response.request_id);
+          sub != submitted_.end()) {
+        last_served_ = sub->second;
+      }
+      if (spec_.auto_replay) replay_last(spec_.auto_replay_count);
+    } else if (response.status == common::ErrorCode::kUnavailable) {
+      ++tally_.overloaded;
+    } else {
+      ++tally_.rejected;
+    }
+    submitted_.erase(response.request_id);
+    schedule_next();
+  }
+
+  netsim::EventLoop* loop_;
+  netsim::Network* network_;
+  ClientSpec spec_;
+  pow::Solver solver_;
+  ClientTally tally_;
+  std::uint32_t desert_budget_ = 0;
+  common::TimePoint solver_busy_until_{};
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_map<std::uint64_t, framework::Submission> submitted_;
+  std::optional<framework::Submission> last_served_;
+};
+
+/// One execution's raw output: the comparable tallies plus async-side
+/// bookkeeping the invariant checkers need but the fingerprint excludes.
+struct RunOutput final {
+  CampaignTallies tallies;
+  std::uint64_t unresolved = 0;  ///< sent - answered - deserted
+  bool async = false;
+  std::uint64_t fe_accepted = 0;
+  std::uint64_t fe_completed = 0;
+  std::uint64_t fe_overflows = 0;
+  std::uint64_t fe_requests = 0;
+  std::uint64_t fe_submissions = 0;
+};
+
+/// Pre-derives the per-client feature vectors. Streamed per client index
+/// so the vectors are identical regardless of execution mode or order.
+std::vector<std::vector<features::FeatureVector>> derive_features(
+    const CampaignConfig& cfg, const ScenarioShape& shape) {
+  const features::SyntheticTraceGenerator traffic;
+  const std::size_t total = cfg.benign_clients + cfg.attackers;
+  std::vector<std::vector<features::FeatureVector>> out(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool attacker = i >= cfg.benign_clients;
+    common::Rng rng = common::stream_rng(cfg.seed, 0xfea70000ULL + i);
+    if (attacker && shape.poison_features) {
+      // Poisoning: look benign on even requests, flood on odd ones, so
+      // the per-IP EWMA cache averages a half-clean history.
+      out[i].push_back(traffic.sample(false, rng));
+      out[i].push_back(traffic.sample(true, rng));
+    } else {
+      out[i].push_back(traffic.sample(attacker, rng));
+    }
+  }
+  return out;
+}
+
+RunOutput execute(const reputation::IReputationModel& model,
+                  const policy::IPolicy& policy, const CampaignConfig& cfg,
+                  const FaultPlan& plan, bool async) {
+  const ScenarioShape shape = shape_for(cfg.scenario);
+  const std::size_t total = cfg.benign_clients + cfg.attackers;
+  if (total == 0) {
+    throw std::invalid_argument("run_campaign: no clients configured");
+  }
+
+  netsim::EventLoop loop;
+  common::Rng net_rng(plan.seed);
+  netsim::Network network(loop, net_rng);
+
+  // Campaign base links are draw-free (no jitter, no loss): all
+  // randomness in delivery comes from the fault overlay's per-pair
+  // derived streams, so adding or removing fault events never perturbs
+  // anything else — the property the shrinker relies on.
+  netsim::LinkModel link;
+  link.base_latency = std::chrono::milliseconds(15);
+  link.jitter = common::Duration::zero();
+  link.loss_rate = 0.0;
+  network.set_default_link(link);
+  network.set_fault_stream_seed(plan.seed ^ 0x666175'6c747321ULL);
+
+  common::SkewClock skew_clock(loop.clock());
+  framework::ServerConfig server_cfg;
+  server_cfg.master_secret = common::bytes_of("powai.campaign.secret.v1");
+  server_cfg.verify_threads = cfg.verify_threads;
+  server_cfg.rate_limiter_enabled = true;
+  server_cfg.rate_limiter.tokens_per_second = cfg.rate_tokens_per_second;
+  server_cfg.rate_limiter.burst = cfg.rate_burst;
+  framework::PowServer server(skew_clock, model, policy,
+                              std::move(server_cfg));
+
+  std::unique_ptr<framework::AsyncFrontEnd> front_end;
+  std::unique_ptr<framework::ServerEndpoint> endpoint;
+  if (async) {
+    framework::AsyncFrontEndConfig fe_cfg = cfg.front_end;
+    // Paused until run_until_idle(): fault hooks install before any
+    // batch can pop.
+    fe_cfg.start_paused = true;
+    front_end = std::make_unique<framework::AsyncFrontEnd>(
+        loop, network, kServerHost, server, fe_cfg);
+    endpoint = std::make_unique<framework::ServerEndpoint>(
+        network, kServerHost, server, *front_end);
+  } else {
+    endpoint = std::make_unique<framework::ServerEndpoint>(
+        network, kServerHost, server);
+  }
+
+  const auto features = derive_features(cfg, shape);
+  std::vector<std::unique_ptr<CampaignClient>> clients;
+  clients.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool attacker = i >= cfg.benign_clients;
+    ClientSpec spec;
+    spec.ip = client_ip(i, attacker);
+    spec.hash_cost_us =
+        attacker ? shape.attacker_hash_cost_us : kBenignHashCostUs;
+    spec.features = features[i];
+    spec.n_requests = cfg.requests_per_client;
+    spec.gap = attacker ? shape.attacker_gap : shape.benign_gap;
+    // Benign clients stagger lightly; attackers join on the scenario's
+    // ramp (all at once when ramp is zero).
+    spec.start_at = attacker
+                        ? std::chrono::milliseconds(50) +
+                              shape.ramp * static_cast<std::int64_t>(
+                                               i - cfg.benign_clients)
+                        : std::chrono::milliseconds(30) *
+                              static_cast<std::int64_t>(i);
+    spec.auto_replay = attacker && shape.auto_replay;
+    spec.auto_replay_count = shape.auto_replay_count;
+    clients.push_back(
+        std::make_unique<CampaignClient>(loop, network, std::move(spec)));
+  }
+
+  // --- Schedule the fault plan -------------------------------------------
+  // Overlapping link windows compose: losses combine as independent
+  // probabilities, jitters and skews add. The shared `active` list is
+  // loop-thread-only.
+  const common::TimePoint start = loop.now();
+  auto active = std::make_shared<std::vector<FaultEvent>>();
+  netsim::Network* net = &network;
+  auto apply_overlay = [net, active] {
+    netsim::LinkFault combined;
+    double pass = 1.0;
+    for (const FaultEvent& e : *active) {
+      if (e.kind == FaultKind::kLinkLossBurst) {
+        pass *= 1.0 - e.magnitude;
+      } else if (e.kind == FaultKind::kJitterBurst) {
+        combined.extra_jitter += millis_dur(e.magnitude);
+      }
+    }
+    combined.extra_loss = 1.0 - pass;
+    net->set_fault(combined);
+  };
+  auto skew_sum = std::make_shared<common::Duration>(common::Duration::zero());
+  common::SkewClock* skew = &skew_clock;
+
+  struct Stall final {
+    std::size_t shard;
+    std::uint64_t first_batch;
+    std::uint64_t batches;
+    double ms;
+  };
+  std::vector<Stall> stalls;
+  const std::size_t shards = std::max<std::size_t>(1, cfg.front_end.drain_shards);
+
+  for (const FaultEvent& event : plan.events) {
+    switch (event.kind) {
+      case FaultKind::kLinkLossBurst:
+      case FaultKind::kJitterBurst:
+        loop.schedule_at(start + event.at, [active, apply_overlay, event] {
+          active->push_back(event);
+          apply_overlay();
+        });
+        loop.schedule_at(start + event.at + event.duration,
+                         [active, apply_overlay, event] {
+                           const auto it = std::find(active->begin(),
+                                                     active->end(), event);
+                           if (it != active->end()) active->erase(it);
+                           apply_overlay();
+                         });
+        break;
+      case FaultKind::kClockSkew:
+        loop.schedule_at(start + event.at, [skew, skew_sum, event] {
+          *skew_sum += millis_dur(event.magnitude);
+          skew->set_skew(*skew_sum);
+        });
+        loop.schedule_at(start + event.at + event.duration,
+                         [skew, skew_sum, event] {
+                           *skew_sum -= millis_dur(event.magnitude);
+                           skew->set_skew(*skew_sum);
+                         });
+        break;
+      case FaultKind::kDrainStall:
+        // Wall-clock-only: stalls a shard's drain thread for a run of
+        // batches. Sim time and totals must be unaffected — that is the
+        // invariant under test.
+        if (async) {
+          stalls.push_back(Stall{event.target % shards,
+                                 (event.target / 16) % 8, event.count,
+                                 event.magnitude});
+        }
+        break;
+      case FaultKind::kMalformedFlood:
+        loop.schedule_at(start + event.at,
+                         [&clients, total, event] {
+                           clients[event.target % total]->send_malformed(
+                               event.count);
+                         });
+        break;
+      case FaultKind::kSolverDesertion:
+        loop.schedule_at(start + event.at,
+                         [&clients, total, event] {
+                           clients[event.target % total]->desert_next(
+                               event.count);
+                         });
+        break;
+      case FaultKind::kReplayFlood:
+        loop.schedule_at(start + event.at,
+                         [&clients, total, event] {
+                           clients[event.target % total]->replay_last(
+                               event.count);
+                         });
+        break;
+    }
+  }
+  if (front_end && !stalls.empty()) {
+    framework::FrontEndFaultHooks hooks;
+    hooks.before_batch = [stalls](std::size_t shard,
+                                  std::uint64_t batch_index) {
+      for (const Stall& s : stalls) {
+        if (s.shard == shard && batch_index >= s.first_batch &&
+            batch_index < s.first_batch + s.batches) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(s.ms));
+        }
+      }
+    };
+    front_end->set_fault_hooks(std::move(hooks));
+  }
+
+  for (auto& client : clients) client->start();
+  if (async) {
+    (void)front_end->run_until_idle();
+  } else {
+    (void)loop.run();
+  }
+
+  // --- Collect -----------------------------------------------------------
+  RunOutput out;
+  out.async = async;
+  out.tallies.server = server.stats();
+  out.tallies.clients.reserve(total);
+  for (const auto& client : clients) {
+    const ClientTally& t = client->tally();
+    ClientOutcome row;
+    row.sent = t.sent;
+    row.served = t.served;
+    row.rejected = t.rejected;
+    row.overloaded = t.overloaded;
+    row.deserted = t.deserted;
+    row.challenges = t.challenges;
+    row.replays_served = t.replays_served;
+    out.tallies.clients.push_back(row);
+
+    out.tallies.requests_sent += t.sent;
+    out.tallies.answered += t.answered;
+    out.tallies.served += t.served;
+    out.tallies.deserted += t.deserted;
+    out.tallies.replays_sent += t.replays_sent;
+    out.tallies.replays_served += t.replays_served;
+    out.tallies.malformed_sent += t.malformed_sent;
+    out.unresolved += t.sent - t.answered - t.deserted;
+    out.tallies.hung +=
+        t.sent - t.answered - t.deserted - t.wire_lost_request -
+        t.wire_lost_submission;
+  }
+  out.tallies.wire_messages = network.messages_sent();
+  out.tallies.wire_dropped = network.messages_dropped();
+  out.tallies.fault_dropped = network.fault_dropped();
+  out.tallies.sim_elapsed = loop.now() - start;
+  if (front_end) {
+    out.fe_accepted = front_end->accepted();
+    out.fe_completed = front_end->completed();
+    out.fe_overflows = front_end->overflows();
+    const framework::FrontEndStats fe = front_end->stats();
+    out.fe_requests = fe.requests;
+    out.fe_submissions = fe.submissions;
+  }
+  return out;
+}
+
+bool plan_contains(const FaultPlan& plan, FaultKind kind) {
+  return std::any_of(plan.events.begin(), plan.events.end(),
+                     [kind](const FaultEvent& e) { return e.kind == kind; });
+}
+
+void check_invariants(const CampaignConfig& cfg, const FaultPlan& plan,
+                      const RunOutput& run,
+                      std::vector<InvariantViolation>& out) {
+  const CampaignTallies& t = run.tallies;
+  const framework::ServerStats& s = t.server;
+
+  // Conservation: every unanswered, undeserted request must be explained
+  // by a wire drop, and with lossless base links every drop is the fault
+  // overlay's doing.
+  if (run.unresolved > t.wire_dropped) {
+    out.push_back(
+        {"conservation",
+         std::to_string(run.unresolved) + " unresolved requests but only " +
+             std::to_string(t.wire_dropped) + " dropped messages"});
+  }
+  if (t.wire_dropped != t.fault_dropped) {
+    out.push_back({"conservation",
+                   "base links are lossless yet dropped=" +
+                       std::to_string(t.wire_dropped) + " != fault_dropped=" +
+                       std::to_string(t.fault_dropped)});
+  }
+
+  // Ledger: the server's request-side counters partition its requests,
+  // servings never exceed issuance, and client-observed servings never
+  // exceed the server's.
+  if (s.requests != s.challenges_issued + s.served_without_pow +
+                        s.rejected_rate_limited + s.rejected_malformed) {
+    out.push_back({"ledger",
+                   "requests=" + std::to_string(s.requests) +
+                       " != issued+no_pow+rate_limited+malformed=" +
+                       std::to_string(s.challenges_issued +
+                                      s.served_without_pow +
+                                      s.rejected_rate_limited +
+                                      s.rejected_malformed)});
+  }
+  if (s.served > s.challenges_issued + s.served_without_pow) {
+    out.push_back({"ledger", "served=" + std::to_string(s.served) +
+                                 " exceeds challenges_issued=" +
+                                 std::to_string(s.challenges_issued)});
+  }
+  if (t.served > s.served) {
+    out.push_back({"ledger",
+                   "clients observed served=" + std::to_string(t.served) +
+                       " > server served=" + std::to_string(s.served)});
+  }
+  if (run.async) {
+    if (run.fe_accepted != run.fe_completed) {
+      out.push_back({"ledger",
+                     "front end accepted=" + std::to_string(run.fe_accepted) +
+                         " != completed=" + std::to_string(run.fe_completed) +
+                         " after drain"});
+    }
+    if (run.fe_overflows != s.rejected_overload) {
+      out.push_back(
+          {"ledger", "queue overflows=" + std::to_string(run.fe_overflows) +
+                         " != rejected_overload=" +
+                         std::to_string(s.rejected_overload)});
+    }
+    if (run.fe_requests != s.requests) {
+      out.push_back({"ledger",
+                     "front end drained " + std::to_string(run.fe_requests) +
+                         " requests but server counted " +
+                         std::to_string(s.requests)});
+    }
+    const std::uint64_t submission_outcomes =
+        (s.served - s.served_without_pow) + s.rejected_bad_solution +
+        s.rejected_expired + s.rejected_replay + s.rejected_binding;
+    if (run.fe_submissions != submission_outcomes) {
+      out.push_back(
+          {"ledger",
+           "front end drained " + std::to_string(run.fe_submissions) +
+               " submissions but outcomes sum to " +
+               std::to_string(submission_outcomes)});
+    }
+  }
+
+  // Single redemption: no replayed proof may ever be served again.
+  if (t.replays_served != 0) {
+    out.push_back({"single_redeem",
+                   std::to_string(t.replays_served) +
+                       " replayed submissions were served (cache must cap "
+                       "redemption at once)"});
+  }
+
+  // Rate budget: no client may receive more challenges than its token
+  // bucket could have granted. Forward clock skew refills buckets early,
+  // so the bound credits the total scheduled skew.
+  double skew_extra_s = 0.0;
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind == FaultKind::kClockSkew) skew_extra_s += e.magnitude / 1000.0;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(t.sim_elapsed).count();
+  const double budget = cfg.rate_burst +
+                        cfg.rate_tokens_per_second * (elapsed_s + skew_extra_s) +
+                        1.0;
+  for (std::size_t i = 0; i < t.clients.size(); ++i) {
+    if (static_cast<double>(t.clients[i].challenges) > budget) {
+      out.push_back(
+          {"rate_budget",
+           "client " + std::to_string(i) + " received " +
+               std::to_string(t.clients[i].challenges) +
+               " challenges, budget " + std::to_string(budget)});
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view scenario_name(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kBotnetRampUp: return "botnet_ramp_up";
+    case Scenario::kReplayFlood: return "replay_flood";
+    case Scenario::kReputationPoisoning: return "reputation_poisoning";
+    case Scenario::kSolveFarm: return "solve_farm";
+  }
+  return "unknown";
+}
+
+std::optional<Scenario> scenario_from_name(std::string_view name) {
+  for (const Scenario scenario : kAllScenarios) {
+    if (scenario_name(scenario) == name) return scenario;
+  }
+  return std::nullopt;
+}
+
+std::string CampaignTallies::fingerprint() const {
+  std::string out;
+  const auto add = [&out](const char* key, std::uint64_t value) {
+    out += key;
+    out += std::to_string(value);
+  };
+  add("req=", requests_sent);
+  add(" ans=", answered);
+  add(" served=", served);
+  add(" deserted=", deserted);
+  add(" hung=", hung);
+  add(" replay_sent=", replays_sent);
+  add(" replay_served=", replays_served);
+  add(" malformed=", malformed_sent);
+  add(" wire=", wire_messages);
+  add("/", wire_dropped);
+  add("/", fault_dropped);
+  add(" sim_ns=", static_cast<std::uint64_t>(sim_elapsed.count()));
+  add(" | srv req=", server.requests);
+  add(" iss=", server.challenges_issued);
+  add(" served=", server.served);
+  add(" rl=", server.rejected_rate_limited);
+  add(" bad=", server.rejected_bad_solution);
+  add(" exp=", server.rejected_expired);
+  add(" rep=", server.rejected_replay);
+  add(" bind=", server.rejected_binding);
+  add(" ovl=", server.rejected_overload);
+  add(" dsum=", server.difficulty_sum);
+  out += " |";
+  for (const ClientOutcome& c : clients) {
+    add(" ", c.sent);
+    add(":", c.served);
+    add(":", c.rejected);
+    add(":", c.overloaded);
+    add(":", c.deserted);
+    add(":", c.challenges);
+    add(":", c.replays_served);
+  }
+  return out;
+}
+
+CampaignResult run_campaign_with_plan(
+    const reputation::IReputationModel& model, const policy::IPolicy& policy,
+    const CampaignConfig& config, const FaultPlan& plan) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignResult result;
+  result.plan = plan;
+
+  const RunOutput primary = execute(model, policy, config, plan, true);
+  result.tallies = primary.tallies;
+  check_invariants(config, plan, primary, result.violations);
+
+  if (config.check_sync_equivalence) {
+    const RunOutput twin = execute(model, policy, config, plan, false);
+    if (twin.tallies != primary.tallies) {
+      result.violations.push_back(
+          {"async_sync_divergence",
+           "async: " + primary.tallies.fingerprint() +
+               "\n  sync: " + twin.tallies.fingerprint()});
+    }
+  }
+
+  if (config.fail_on_kind && plan_contains(plan, *config.fail_on_kind)) {
+    result.violations.push_back(
+        {"test_hook", "plan contains " +
+                          std::string(fault_kind_name(*config.fail_on_kind))});
+  }
+
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+CampaignResult run_campaign(const reputation::IReputationModel& model,
+                            const policy::IPolicy& policy,
+                            const CampaignConfig& config) {
+  return run_campaign_with_plan(model, policy, config,
+                                FaultPlan::derive(config.seed, config.plan));
+}
+
+std::string ShrinkReport::replay_command(Scenario scenario) const {
+  std::string cmd = "run_campaigns scenario=" +
+                    std::string(scenario_name(scenario)) +
+                    " seed=" + std::to_string(minimized.seed);
+  if (!minimized.is_full()) cmd += " keep=" + minimized.keep_spec();
+  return cmd;
+}
+
+ShrinkReport shrink_failing_plan(const reputation::IReputationModel& model,
+                                 const policy::IPolicy& policy,
+                                 const CampaignConfig& config,
+                                 const CampaignResult& failure,
+                                 std::size_t max_runs) {
+  ShrinkReport report;
+  report.minimized = failure.plan;
+  report.result = failure;
+
+  // ddmin-style greedy pass over the *schedule*: drop chunks (halves,
+  // then smaller) and keep any candidate that still fails. The seed is
+  // untouched, and surviving events are byte-identical under subsetting,
+  // so every candidate run replays exactly.
+  bool progress = true;
+  while (progress && report.minimized.events.size() > 1 &&
+         report.runs < max_runs) {
+    progress = false;
+    const std::size_t n = report.minimized.events.size();
+    for (std::size_t chunk = n / 2; chunk >= 1 && !progress; chunk /= 2) {
+      for (std::size_t begin = 0;
+           begin + chunk <= report.minimized.events.size() && !progress;
+           begin += chunk) {
+        std::vector<std::size_t> keep;
+        keep.reserve(report.minimized.events.size() - chunk);
+        for (std::size_t i = 0; i < report.minimized.events.size(); ++i) {
+          if (i < begin || i >= begin + chunk) keep.push_back(i);
+        }
+        if (keep.empty()) continue;
+        const FaultPlan candidate = report.minimized.subset(keep);
+        const CampaignResult attempt =
+            run_campaign_with_plan(model, policy, config, candidate);
+        ++report.runs;
+        if (!attempt.passed()) {
+          report.minimized = candidate;
+          report.result = attempt;
+          progress = true;
+        }
+        if (report.runs >= max_runs) break;
+      }
+    }
+  }
+  return report;
+}
+
+SweepOutcome run_campaign_sweep(const reputation::IReputationModel& model,
+                                const policy::IPolicy& policy,
+                                const CampaignConfig& config,
+                                std::uint64_t seed0, std::size_t max_seeds,
+                                double budget_s) {
+  SweepOutcome outcome;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < max_seeds; ++i) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (outcome.campaigns > 0 && elapsed >= budget_s) break;
+    CampaignConfig cfg = config;
+    cfg.seed = seed0 + i;
+    const CampaignResult result = run_campaign(model, policy, cfg);
+    ++outcome.campaigns;
+    outcome.last_seed = cfg.seed;
+    if (!result.passed()) {
+      outcome.failing_seed = cfg.seed;
+      outcome.failure =
+          shrink_failing_plan(model, policy, cfg, result);
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace powai::sim

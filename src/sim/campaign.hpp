@@ -1,0 +1,207 @@
+#pragma once
+/// \file campaign.hpp
+/// Deterministic adversarial campaigns: execute a seed-derived FaultPlan
+/// against the full wire stack (netsim::Network + AsyncFrontEnd +
+/// PowServer) while a population of benign clients and scenario-shaped
+/// attackers runs the protocol, then check invariants that must survive
+/// *any* fault schedule:
+///
+///   conservation   — every sent request's fate is accounted: answered +
+///                    deserted + lost-on-send + hung, with hung bounded
+///                    by wire drops (and exactly zero without loss);
+///   ledger         — the server/front-end/queue counters balance
+///                    (requests in == outcomes out, accepted ==
+///                    completed, overflow NAKs == rejected_overload);
+///   single-redeem  — a replayed, already-redeemed proof is never served
+///                    again;
+///   rate budget    — no client is issued more challenges than its
+///                    token-bucket budget over the run;
+///   async == sync  — the asynchronous transport produces bit-identical
+///                    tallies to the synchronous shim under the same
+///                    fault plan (drain stalls may change batching, never
+///                    totals).
+///
+/// A campaign is a pure function of (model, policy, config, seed): two
+/// runs — on any machine, at any drain_shards / verify_threads setting —
+/// produce identical fault schedules and identical tallies. Failures
+/// therefore replay from one command line, and a failing schedule can be
+/// shrunk by bisecting its event list (see shrink_failing_plan).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "framework/async_front_end.hpp"
+#include "framework/server.hpp"
+#include "policy/policy.hpp"
+#include "reputation/model.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace powai::sim {
+
+/// Attack scenarios: who the attackers are and how they misbehave on top
+/// of the scheduled fault events.
+enum class Scenario : std::uint8_t {
+  kBotnetRampUp = 0,         ///< attackers join staggered, then flood
+  kReplayFlood = 1,          ///< attackers re-submit every redeemed proof
+  kReputationPoisoning = 2,  ///< attackers alternate benign-looking and
+                             ///< malicious traffic to poison the cache
+  kSolveFarm = 3,            ///< attackers outsource solving (cheap hashes)
+};
+
+inline constexpr std::array<Scenario, 4> kAllScenarios = {
+    Scenario::kBotnetRampUp, Scenario::kReplayFlood,
+    Scenario::kReputationPoisoning, Scenario::kSolveFarm};
+
+[[nodiscard]] std::string_view scenario_name(Scenario scenario);
+[[nodiscard]] std::optional<Scenario> scenario_from_name(
+    std::string_view name);
+
+struct CampaignConfig final {
+  Scenario scenario = Scenario::kBotnetRampUp;
+  std::uint64_t seed = 1;
+
+  std::size_t benign_clients = 5;
+  std::size_t attackers = 3;
+  std::size_t requests_per_client = 5;
+
+  /// Fault derivation knobs (the scenario may further shape behavior but
+  /// never the schedule — the schedule is (seed, plan) only).
+  FaultPlanConfig plan;
+
+  /// Transport shape. Campaign invariants hold at any setting; capacity
+  /// defaults are generous so backpressure NAKs stay a scheduled fault's
+  /// doing, not an artifact of a tiny queue.
+  framework::AsyncFrontEndConfig front_end{.queue_capacity = 1024,
+                                           .max_batch = 16,
+                                           .drain_shards = 2,
+                                           .start_paused = false};
+  std::size_t verify_threads = 2;
+
+  /// Per-IP issuance budget the rate-budget invariant checks against.
+  double rate_tokens_per_second = 40.0;
+  double rate_burst = 30.0;
+
+  /// Run the synchronous twin and require bit-identical tallies
+  /// (disable only for speed in wide sweeps; the acceptance tests keep
+  /// it on).
+  bool check_sync_equivalence = true;
+
+  /// Test hook for the minimizer: report a violation iff the *executed*
+  /// plan contains an event of this kind. Lets tests verify end to end
+  /// that shrinking converges to a minimal failing schedule without
+  /// planting a real bug.
+  std::optional<FaultKind> fail_on_kind;
+};
+
+/// One invariant breach. `invariant` is a stable identifier
+/// ("conservation", "ledger", "single_redeem", "rate_budget",
+/// "async_sync_divergence", "test_hook"); detail is human-readable.
+struct InvariantViolation final {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Per-client outcome row (index = campaign client index, benign first).
+struct ClientOutcome final {
+  std::uint64_t sent = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deserted = 0;
+  std::uint64_t challenges = 0;
+  std::uint64_t replays_served = 0;
+
+  bool operator==(const ClientOutcome&) const = default;
+};
+
+/// Everything that must be bit-identical across reruns, machines, and
+/// execution shapes (drain shards, verify threads, sync vs async).
+/// Wall-clock time and batching diagnostics are deliberately absent.
+struct CampaignTallies final {
+  framework::ServerStats server;
+  std::vector<ClientOutcome> clients;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t deserted = 0;
+  std::uint64_t hung = 0;  ///< no response by run end (lost in flight)
+  std::uint64_t replays_sent = 0;
+  std::uint64_t replays_served = 0;
+  std::uint64_t malformed_sent = 0;
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_dropped = 0;
+  std::uint64_t fault_dropped = 0;
+  common::Duration sim_elapsed{};
+
+  /// Canonical string form — the equality the bit-reproducibility and
+  /// async==sync checks compare, and the line a repro artifact records.
+  [[nodiscard]] std::string fingerprint() const;
+
+  bool operator==(const CampaignTallies&) const = default;
+};
+
+struct CampaignResult final {
+  FaultPlan plan;
+  CampaignTallies tallies;
+  std::vector<InvariantViolation> violations;
+  double wall_s = 0.0;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+/// Derives the fault plan for config.seed and executes the campaign
+/// (asynchronous transport, plus the synchronous twin when
+/// check_sync_equivalence is set). The model must be fitted.
+[[nodiscard]] CampaignResult run_campaign(
+    const reputation::IReputationModel& model, const policy::IPolicy& policy,
+    const CampaignConfig& config);
+
+/// Same, but executes an explicit (possibly shrunken) plan instead of
+/// deriving one from config.seed — the replay and minimization entry
+/// point.
+[[nodiscard]] CampaignResult run_campaign_with_plan(
+    const reputation::IReputationModel& model, const policy::IPolicy& policy,
+    const CampaignConfig& config, const FaultPlan& plan);
+
+/// Minimization outcome: the smallest failing sub-plan found by
+/// bisecting the *schedule* (the seed never changes, so every candidate
+/// replays exactly).
+struct ShrinkReport final {
+  FaultPlan minimized;
+  CampaignResult result;     ///< the failing run of `minimized`
+  std::size_t runs = 0;      ///< campaign executions spent shrinking
+
+  /// One-line replay invocation for the run_campaigns driver.
+  [[nodiscard]] std::string replay_command(Scenario scenario) const;
+};
+
+/// Delta-minimizes a failing plan: repeatedly drops event chunks
+/// (halves, then smaller) and keeps any candidate that still fails,
+/// until 1-minimal or \p max_runs campaign executions are spent. The
+/// result's event list is always a subset of the input's.
+[[nodiscard]] ShrinkReport shrink_failing_plan(
+    const reputation::IReputationModel& model, const policy::IPolicy& policy,
+    const CampaignConfig& config, const CampaignResult& failure,
+    std::size_t max_runs = 48);
+
+/// Seed-sweep outcome (CI entry point): campaigns executed, and the
+/// first failure (if any) already minimized.
+struct SweepOutcome final {
+  std::size_t campaigns = 0;
+  std::uint64_t last_seed = 0;        ///< last seed executed
+  std::optional<ShrinkReport> failure;
+  std::optional<std::uint64_t> failing_seed;
+};
+
+/// Runs campaigns for seeds [seed0, seed0 + max_seeds) until the
+/// wall-clock budget is exhausted or a campaign fails; a failure is
+/// shrunk before returning.
+[[nodiscard]] SweepOutcome run_campaign_sweep(
+    const reputation::IReputationModel& model, const policy::IPolicy& policy,
+    const CampaignConfig& config, std::uint64_t seed0, std::size_t max_seeds,
+    double budget_s);
+
+}  // namespace powai::sim

@@ -1,0 +1,203 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "crypto/drbg.hpp"
+
+namespace powai::sim {
+
+namespace {
+
+constexpr std::string_view kDerivationKey = "powai.fault-plan.v1";
+
+double millis_of(common::Duration d) { return common::to_millis_f(d); }
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkLossBurst: return "link_loss_burst";
+    case FaultKind::kJitterBurst: return "jitter_burst";
+    case FaultKind::kDrainStall: return "drain_stall";
+    case FaultKind::kClockSkew: return "clock_skew";
+    case FaultKind::kMalformedFlood: return "malformed_flood";
+    case FaultKind::kSolverDesertion: return "solver_desertion";
+    case FaultKind::kReplayFlood: return "replay_flood";
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> fault_kind_from_name(std::string_view name) {
+  for (const FaultKind kind : kAllFaultKinds) {
+    if (fault_kind_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string FaultEvent::describe() const {
+  std::string out = "t=+" + common::fmt_f(millis_of(at) / 1000.0, 2) + "s " +
+                    std::string(fault_kind_name(kind));
+  switch (kind) {
+    case FaultKind::kLinkLossBurst:
+      out += " p=" + common::fmt_f(magnitude, 2) + " for " +
+             common::fmt_f(millis_of(duration) / 1000.0, 2) + "s";
+      break;
+    case FaultKind::kJitterBurst:
+      out += " +" + common::fmt_f(magnitude, 1) + "ms for " +
+             common::fmt_f(millis_of(duration) / 1000.0, 2) + "s";
+      break;
+    case FaultKind::kDrainStall:
+      out += " shard=" + std::to_string(target) + " " +
+             common::fmt_f(magnitude, 1) + "ms x" + std::to_string(count) +
+             " batches";
+      break;
+    case FaultKind::kClockSkew:
+      out += " +" + common::fmt_f(magnitude / 1000.0, 1) + "s for " +
+             common::fmt_f(millis_of(duration) / 1000.0, 2) + "s";
+      break;
+    case FaultKind::kMalformedFlood:
+      out += " client=" + std::to_string(target) + " x" +
+             std::to_string(count);
+      break;
+    case FaultKind::kSolverDesertion:
+      out += " client=" + std::to_string(target) + " next " +
+             std::to_string(count);
+      break;
+    case FaultKind::kReplayFlood:
+      out += " client=" + std::to_string(target) + " x" +
+             std::to_string(count);
+      break;
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::derive(std::uint64_t seed, const FaultPlanConfig& cfg) {
+  if (cfg.kinds.empty()) {
+    throw std::invalid_argument("FaultPlan::derive: no fault kinds enabled");
+  }
+  if (cfg.min_events > cfg.max_events) {
+    throw std::invalid_argument("FaultPlan::derive: min_events > max_events");
+  }
+  if (cfg.horizon <= common::Duration::zero() ||
+      cfg.max_window <= common::Duration::zero()) {
+    throw std::invalid_argument(
+        "FaultPlan::derive: horizon and max_window must be positive");
+  }
+
+  // One DRBG family per seed; stream 0 sizes the schedule, stream 1+i is
+  // event i. Each event reads only its own stream, so events are
+  // independent functions of (seed, i) — shrinking keeps survivors
+  // byte-identical.
+  common::Bytes personalization(8);
+  common::store_u64be(personalization.data(), seed);
+  const crypto::DerivedDrbg family(common::bytes_of(kDerivationKey),
+                                   personalization);
+
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(cfg.max_events - cfg.min_events) + 1;
+  const std::size_t n_events =
+      cfg.min_events + static_cast<std::size_t>(family.next_u64(0) % span);
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.events.reserve(n_events);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    common::Rng r(family.next_u64(1 + i));
+    FaultEvent event;
+    event.kind = cfg.kinds[r.uniform_u64(0, cfg.kinds.size() - 1)];
+    event.at = common::Duration(r.uniform_u64(
+        0, static_cast<std::uint64_t>(cfg.horizon.count()) - 1));
+    event.duration = common::Duration(
+        1 + r.uniform_u64(
+                0, static_cast<std::uint64_t>(cfg.max_window.count()) - 1));
+    switch (event.kind) {
+      case FaultKind::kLinkLossBurst:
+        event.magnitude = r.uniform(0.05, cfg.max_loss);
+        break;
+      case FaultKind::kJitterBurst:
+        event.magnitude = r.uniform(0.5, millis_of(cfg.max_jitter));
+        break;
+      case FaultKind::kDrainStall:
+        event.magnitude = r.uniform(0.5, millis_of(cfg.max_stall));
+        event.count = static_cast<std::uint32_t>(
+            r.uniform_u64(1, cfg.max_count));
+        event.target = static_cast<std::uint32_t>(r.uniform_u64(0, 255));
+        break;
+      case FaultKind::kClockSkew:
+        // At least one second; often far past the verifier ttl so both
+        // "expired" and "issued in the future" paths get exercised.
+        event.magnitude = r.uniform(1000.0, millis_of(cfg.max_skew));
+        break;
+      case FaultKind::kMalformedFlood:
+      case FaultKind::kSolverDesertion:
+      case FaultKind::kReplayFlood:
+        event.count = static_cast<std::uint32_t>(
+            r.uniform_u64(1, cfg.max_count));
+        event.target = static_cast<std::uint32_t>(r.uniform_u64(0, 255));
+        break;
+    }
+    plan.events.push_back(event);
+  }
+
+  // Canonical order is activation time (stable, so equal times keep
+  // derivation order). `kept` indices refer to this sorted order.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  plan.kept.resize(plan.events.size());
+  for (std::size_t i = 0; i < plan.kept.size(); ++i) plan.kept[i] = i;
+  plan.derived_events = plan.events.size();
+  return plan;
+}
+
+FaultPlan FaultPlan::subset(const std::vector<std::size_t>& keep) const {
+  FaultPlan out;
+  out.seed = seed;
+  out.derived_events = derived_events;
+  out.events.reserve(keep.size());
+  out.kept.reserve(keep.size());
+  for (const std::size_t index : keep) {
+    if (index >= events.size()) {
+      throw std::out_of_range("FaultPlan::subset: index out of range");
+    }
+    out.events.push_back(events[index]);
+    out.kept.push_back(kept[index]);
+  }
+  return out;
+}
+
+bool FaultPlan::is_full() const {
+  if (kept.size() != derived_events) return false;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (kept[i] != i) return false;
+  }
+  return true;
+}
+
+std::string FaultPlan::summary() const {
+  std::string out = "fault plan seed=" + std::to_string(seed) + " (" +
+                    std::to_string(events.size()) + " events";
+  if (!is_full()) out += ", minimized keep=" + keep_spec();
+  out += ")\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out += "  [" + std::to_string(kept[i]) + "] " + events[i].describe() +
+           "\n";
+  }
+  return out;
+}
+
+std::string FaultPlan::keep_spec() const {
+  std::string out;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(kept[i]);
+  }
+  return out;
+}
+
+}  // namespace powai::sim

@@ -1,0 +1,129 @@
+#pragma once
+/// \file fault_plan.hpp
+/// Seed-derived fault schedules: the data half of the deterministic
+/// adversarial-simulation layer (FoundationDB-style). A FaultPlan is a
+/// small, sorted list of FaultEvents derived *purely* from one uint64
+/// seed through crypto::DerivedDrbg — event i is a function of (seed, i)
+/// and nothing else, so
+///
+///   - the same seed yields the same schedule on every machine, thread
+///     count, and transport mode;
+///   - removing events (shrinking a failing schedule) never changes the
+///     events that remain — the property delta-minimization relies on.
+///
+/// Campaigns (see campaign.hpp) execute plans against the full
+/// netsim + AsyncFrontEnd + PowServer stack and check invariants; the
+/// run_campaigns driver sweeps seeds and minimizes failures.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace powai::sim {
+
+/// The fault taxonomy. Every kind maps onto one injection seam:
+/// netsim (loss/jitter), the async front end (stall), the server's
+/// clock (skew), or client behavior (floods/desertion/replay).
+enum class FaultKind : std::uint8_t {
+  kLinkLossBurst = 0,   ///< window of extra loss on every link
+  kJitterBurst = 1,     ///< window of extra delivery jitter
+  kDrainStall = 2,      ///< wall-clock stall of a drain shard's batches
+  kClockSkew = 3,       ///< server clock jumps ahead for a window
+  kMalformedFlood = 4,  ///< burst of undecodable wire bytes at the server
+  kSolverDesertion = 5, ///< a client abandons its next challenges
+  kReplayFlood = 6,     ///< a client re-submits an already-redeemed proof
+};
+
+inline constexpr std::array<FaultKind, 7> kAllFaultKinds = {
+    FaultKind::kLinkLossBurst,   FaultKind::kJitterBurst,
+    FaultKind::kDrainStall,      FaultKind::kClockSkew,
+    FaultKind::kMalformedFlood,  FaultKind::kSolverDesertion,
+    FaultKind::kReplayFlood,
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_name(
+    std::string_view name);
+
+/// One scheduled fault. Field meaning varies by kind (see describe()):
+/// magnitude is a probability for loss bursts, milliseconds for
+/// jitter/skew/stall; count sizes floods, desertions, replays, and
+/// stalled-batch runs; target picks a client (mod population) or shard
+/// (mod shard count).
+struct FaultEvent final {
+  FaultKind kind = FaultKind::kLinkLossBurst;
+  common::Duration at{};        ///< activation offset from campaign start
+  common::Duration duration{};  ///< window length (bursts and skew)
+  double magnitude = 0.0;
+  std::uint32_t count = 0;
+  std::uint32_t target = 0;
+
+  /// One-line human-readable form ("t=+2.0s loss burst p=0.42 for 1.5s").
+  [[nodiscard]] std::string describe() const;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Derivation knobs. Defaults shape schedules that finish inside a
+/// CI-sized campaign while still crossing every defense path.
+struct FaultPlanConfig final {
+  std::size_t min_events = 3;
+  std::size_t max_events = 10;
+  /// Activation times are drawn from [0, horizon).
+  common::Duration horizon = std::chrono::seconds(20);
+  /// Burst/skew windows last (0, max_window].
+  common::Duration max_window = std::chrono::seconds(5);
+  double max_loss = 0.9;                                   ///< loss bursts
+  common::Duration max_jitter = std::chrono::milliseconds(40);
+  common::Duration max_skew = std::chrono::seconds(180);   ///< > verifier ttl
+  common::Duration max_stall = std::chrono::milliseconds(8);  ///< wall clock
+  std::uint32_t max_count = 16;
+  /// Kinds eligible for derivation (all by default). Scenarios narrow or
+  /// re-weight this, e.g. a replay-flood campaign guarantees replays.
+  std::vector<FaultKind> kinds{kAllFaultKinds.begin(), kAllFaultKinds.end()};
+};
+
+/// A derived (or shrunken) schedule. `kept` maps each event back to its
+/// index in the originally derived plan, so a minimized repro is
+/// expressible as "seed S, keep=i,j,k" — one replayable command line.
+struct FaultPlan final {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;  ///< sorted by activation time
+  std::vector<std::size_t> kept;   ///< parallel: original indices
+  /// Event count of the untouched derivation this plan descends from.
+  /// Distinguishes "keeps the prefix {0,1} of 5 events" from "is the
+  /// whole 2-event plan" — without it a prefix subset would replay as
+  /// the full schedule.
+  std::size_t derived_events = 0;
+
+  /// Derives the schedule for \p seed: event count and every event field
+  /// come from independent DerivedDrbg streams keyed by (seed, event
+  /// index). Throws std::invalid_argument on an empty cfg.kinds or
+  /// min_events > max_events.
+  [[nodiscard]] static FaultPlan derive(std::uint64_t seed,
+                                        const FaultPlanConfig& cfg = {});
+
+  /// The sub-plan keeping only \p keep (indices into this->events, must
+  /// be sorted and in range). Composes `kept` so the result still refers
+  /// to the originally derived indices.
+  [[nodiscard]] FaultPlan subset(const std::vector<std::size_t>& keep) const;
+
+  /// True when this plan is the untouched derivation (kept == identity).
+  [[nodiscard]] bool is_full() const;
+
+  /// Multi-line human-readable schedule.
+  [[nodiscard]] std::string summary() const;
+
+  /// The `keep=` argument value for the replay command line ("2,5,7";
+  /// empty string when the plan is full).
+  [[nodiscard]] std::string keep_spec() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace powai::sim

@@ -103,6 +103,41 @@ TEST_F(AdversaryTest, DeterministicGivenSeed) {
   }
 }
 
+TEST_F(AdversaryTest, GoldenTalliesPinEveryStrategy) {
+  // Exact pins under the fixture's fixed seeds. The whole pipeline —
+  // feature synthesis, DAbR scoring, puzzle derivation, solving — is
+  // deterministic and platform-independent, so these values must never
+  // drift; a change here means a behavioral change somewhere in the
+  // issuance or verification path, not noise.
+  struct Golden {
+    std::string_view strategy;
+    std::uint64_t served;
+    std::uint64_t hashes_spent;
+  };
+  constexpr Golden kGolden[] = {
+      {"replay", 0, 45378},    {"forge", 0, 12},
+      {"downgrade", 0, 20},    {"steal", 0, 387},
+      {"precompute", 0, 417722}, {"sybil", 12, 254500},
+  };
+  const auto reports = run_adversaries(config_, model_, policy_);
+  for (const Golden& golden : kGolden) {
+    const auto& report = find(reports, golden.strategy);
+    EXPECT_EQ(report.attempts, 12u) << golden.strategy;
+    EXPECT_EQ(report.served, golden.served) << golden.strategy;
+    EXPECT_EQ(report.hashes_spent, golden.hashes_spent) << golden.strategy;
+  }
+}
+
+TEST_F(AdversaryTest, BypassStrategiesHaveExactlyZeroSuccessRate) {
+  // success_rate() must be exactly 0.0 — not merely small — for every
+  // strategy the MAC defeats: a single served bypass would be a
+  // authentication break, so the assertions use exact equality.
+  const auto reports = run_adversaries(config_, model_, policy_);
+  for (const auto name : {"forge", "downgrade", "replay", "steal"}) {
+    EXPECT_EQ(find(reports, name).success_rate(), 0.0) << name;
+  }
+}
+
 TEST_F(AdversaryTest, TableHasRowPerStrategy) {
   const auto reports = run_adversaries(config_, model_, policy_);
   const common::Table table = adversary_table(reports);

@@ -1,0 +1,143 @@
+// Tests for deterministic fault-injection campaigns: bit-reproducibility
+// across reruns and execution shapes, invariants over a seed range, and
+// the shrink-to-minimal-repro loop (driven by the fail_on_kind test
+// hook). Exercises the async front end's drain threads and the server's
+// verify pool, so the suite also runs under the `concurrency` label.
+
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "policy/linear_policy.hpp"
+#include "reputation/dabr.hpp"
+#include "sim/workload.hpp"
+
+namespace powai::sim {
+namespace {
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    common::Rng rng(31);
+    WorkloadConfig wl;
+    model_.fit(make_training_set(wl, 300, 300, rng));
+
+    config_.benign_clients = 3;
+    config_.attackers = 2;
+    config_.requests_per_client = 3;
+    config_.plan.max_events = 6;
+  }
+
+  reputation::DabrModel model_;
+  policy::LinearPolicy policy_ = policy::LinearPolicy::policy1();
+  CampaignConfig config_;
+};
+
+TEST_F(CampaignTest, SameSeedIsBitReproducible) {
+  config_.seed = 9;
+  const CampaignResult a = run_campaign(model_, policy_, config_);
+  const CampaignResult b = run_campaign(model_, policy_, config_);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.tallies, b.tallies);
+  EXPECT_EQ(a.tallies.fingerprint(), b.tallies.fingerprint());
+}
+
+TEST_F(CampaignTest, TalliesAreIndependentOfExecutionShape) {
+  config_.seed = 14;
+  // The sync twin inside each run already pins async == sync; this pins
+  // async == async across sharding and verify-pool width.
+  config_.front_end.drain_shards = 1;
+  config_.verify_threads = 1;
+  const CampaignResult narrow = run_campaign(model_, policy_, config_);
+
+  config_.front_end.drain_shards = 4;
+  config_.verify_threads = 4;
+  const CampaignResult wide = run_campaign(model_, policy_, config_);
+
+  EXPECT_EQ(narrow.plan, wide.plan);
+  EXPECT_EQ(narrow.tallies.fingerprint(), wide.tallies.fingerprint());
+  EXPECT_TRUE(narrow.passed()) << narrow.violations.front().detail;
+  EXPECT_TRUE(wide.passed()) << wide.violations.front().detail;
+}
+
+TEST_F(CampaignTest, InvariantsHoldAcrossScenariosAndSeeds) {
+  for (const Scenario scenario : kAllScenarios) {
+    config_.scenario = scenario;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      config_.seed = seed;
+      const CampaignResult result = run_campaign(model_, policy_, config_);
+      EXPECT_TRUE(result.passed())
+          << scenario_name(scenario) << " seed " << seed << ": "
+          << result.violations.front().invariant << " — "
+          << result.violations.front().detail;
+      EXPECT_GT(result.tallies.requests_sent, 0u);
+    }
+  }
+}
+
+TEST_F(CampaignTest, TestHookFailureShrinksToMinimalPlanWithReplayCommand) {
+  // The hook fails any plan containing a replay-flood event, so the
+  // 1-minimal repro is exactly one event of that kind.
+  config_.fail_on_kind = FaultKind::kReplayFlood;
+  config_.check_sync_equivalence = false;  // speed: hook needs no twin
+
+  std::optional<CampaignResult> failure;
+  for (std::uint64_t seed = 1; seed <= 20 && !failure; ++seed) {
+    config_.seed = seed;
+    CampaignResult result = run_campaign(model_, policy_, config_);
+    if (!result.passed()) failure = std::move(result);
+  }
+  ASSERT_TRUE(failure.has_value()) << "no derived plan contained a replay "
+                                      "flood in 20 seeds";
+  config_.seed = failure->plan.seed;
+
+  const ShrinkReport report =
+      shrink_failing_plan(model_, policy_, config_, *failure);
+  EXPECT_LE(report.minimized.events.size(), failure->plan.events.size());
+  ASSERT_EQ(report.minimized.events.size(), 1u);
+  EXPECT_EQ(report.minimized.events[0].kind, FaultKind::kReplayFlood);
+  EXPECT_FALSE(report.result.passed());
+  EXPECT_GT(report.runs, 0u);
+
+  // The minimized plan must replay: executing it again fails the same way.
+  const CampaignResult replay =
+      run_campaign_with_plan(model_, policy_, config_, report.minimized);
+  EXPECT_FALSE(replay.passed());
+  EXPECT_EQ(replay.tallies.fingerprint(),
+            report.result.tallies.fingerprint());
+
+  const std::string command = report.replay_command(config_.scenario);
+  EXPECT_NE(command.find("seed=" + std::to_string(failure->plan.seed)),
+            std::string::npos);
+  if (!report.minimized.is_full()) {
+    EXPECT_NE(command.find("keep=" + report.minimized.keep_spec()),
+              std::string::npos);
+  }
+}
+
+TEST_F(CampaignTest, SweepStopsAtFirstFailureAndReturnsMinimizedRepro) {
+  config_.fail_on_kind = FaultKind::kMalformedFlood;
+  config_.check_sync_equivalence = false;
+  const SweepOutcome outcome =
+      run_campaign_sweep(model_, policy_, config_, 1, 20, 60.0);
+  ASSERT_TRUE(outcome.failure.has_value());
+  ASSERT_TRUE(outcome.failing_seed.has_value());
+  EXPECT_EQ(outcome.failure->minimized.seed, *outcome.failing_seed);
+  EXPECT_EQ(outcome.failure->minimized.events.size(), 1u);
+  EXPECT_EQ(outcome.failure->minimized.events[0].kind,
+            FaultKind::kMalformedFlood);
+  EXPECT_GE(outcome.campaigns, 1u);
+}
+
+TEST(CampaignScenarios, NamesRoundTrip) {
+  for (const Scenario scenario : kAllScenarios) {
+    const auto back = scenario_from_name(scenario_name(scenario));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, scenario);
+  }
+  EXPECT_FALSE(scenario_from_name("nope").has_value());
+}
+
+}  // namespace
+}  // namespace powai::sim

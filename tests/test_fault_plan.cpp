@@ -1,0 +1,137 @@
+// Tests for seed-derived fault schedules: pure derivation, canonical
+// ordering, and the subset/kept algebra the schedule minimizer relies on.
+
+#include "sim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powai::sim {
+namespace {
+
+TEST(FaultPlan, DerivationIsAPureFunctionOfTheSeed) {
+  const FaultPlan a = FaultPlan::derive(42);
+  const FaultPlan b = FaultPlan::derive(42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.seed, 42u);
+
+  const FaultPlan c = FaultPlan::derive(43);
+  EXPECT_NE(a.events, c.events);
+}
+
+TEST(FaultPlan, RespectsEventCountBoundsAndKindRestriction) {
+  FaultPlanConfig cfg;
+  cfg.min_events = 2;
+  cfg.max_events = 4;
+  cfg.kinds = {FaultKind::kClockSkew, FaultKind::kReplayFlood};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const FaultPlan plan = FaultPlan::derive(seed, cfg);
+    EXPECT_GE(plan.events.size(), 2u) << "seed " << seed;
+    EXPECT_LE(plan.events.size(), 4u) << "seed " << seed;
+    for (const FaultEvent& event : plan.events) {
+      EXPECT_TRUE(event.kind == FaultKind::kClockSkew ||
+                  event.kind == FaultKind::kReplayFlood)
+          << "seed " << seed;
+      EXPECT_GE(event.at, common::Duration::zero());
+      EXPECT_LT(event.at, cfg.horizon);
+      EXPECT_GT(event.duration, common::Duration::zero());
+      EXPECT_LE(event.duration, cfg.max_window);
+    }
+  }
+}
+
+TEST(FaultPlan, EventsAreSortedByActivationTime) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = FaultPlan::derive(seed);
+    EXPECT_TRUE(std::is_sorted(
+        plan.events.begin(), plan.events.end(),
+        [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; }))
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultPlan, SubsettingKeepsSurvivorsByteIdentical) {
+  FaultPlanConfig cfg;
+  cfg.min_events = 5;
+  cfg.max_events = 8;
+  const FaultPlan full = FaultPlan::derive(7, cfg);
+  ASSERT_GE(full.events.size(), 5u);
+  EXPECT_TRUE(full.is_full());
+
+  const FaultPlan sub = full.subset({1, 3, 4});
+  ASSERT_EQ(sub.events.size(), 3u);
+  EXPECT_EQ(sub.events[0], full.events[1]);
+  EXPECT_EQ(sub.events[1], full.events[3]);
+  EXPECT_EQ(sub.events[2], full.events[4]);
+  EXPECT_EQ(sub.kept, (std::vector<std::size_t>{1, 3, 4}));
+  EXPECT_EQ(sub.seed, full.seed);
+  EXPECT_FALSE(sub.is_full());
+}
+
+TEST(FaultPlan, NestedSubsetsComposeKeptIndices) {
+  FaultPlanConfig cfg;
+  cfg.min_events = 5;
+  cfg.max_events = 8;
+  const FaultPlan full = FaultPlan::derive(11, cfg);
+  const FaultPlan once = full.subset({0, 2, 4});
+  const FaultPlan twice = once.subset({1, 2});
+  // kept always refers to the *originally derived* indices, so a
+  // twice-shrunk plan still replays from "seed S keep=i,j".
+  EXPECT_EQ(twice.kept, (std::vector<std::size_t>{2, 4}));
+  EXPECT_EQ(twice.events[0], full.events[2]);
+  EXPECT_EQ(twice.events[1], full.events[4]);
+  EXPECT_EQ(twice.keep_spec(), "2,4");
+}
+
+TEST(FaultPlan, PrefixSubsetIsNotMistakenForTheFullPlan) {
+  // A minimized plan that happens to keep a prefix {0, 1} of the
+  // derivation must still say keep=0,1 — otherwise its replay command
+  // would re-derive and run the whole schedule.
+  FaultPlanConfig cfg;
+  cfg.min_events = 4;
+  cfg.max_events = 8;
+  const FaultPlan full = FaultPlan::derive(13, cfg);
+  ASSERT_GE(full.events.size(), 4u);
+  const FaultPlan prefix = full.subset({0, 1});
+  EXPECT_FALSE(prefix.is_full());
+  EXPECT_EQ(prefix.keep_spec(), "0,1");
+  EXPECT_EQ(prefix.derived_events, full.events.size());
+}
+
+TEST(FaultPlan, SubsetOutOfRangeThrows) {
+  const FaultPlan plan = FaultPlan::derive(3);
+  EXPECT_THROW((void)plan.subset({plan.events.size()}), std::out_of_range);
+}
+
+TEST(FaultPlan, InvalidConfigThrows) {
+  FaultPlanConfig no_kinds;
+  no_kinds.kinds.clear();
+  EXPECT_THROW((void)FaultPlan::derive(1, no_kinds), std::invalid_argument);
+
+  FaultPlanConfig inverted;
+  inverted.min_events = 5;
+  inverted.max_events = 2;
+  EXPECT_THROW((void)FaultPlan::derive(1, inverted), std::invalid_argument);
+}
+
+TEST(FaultPlan, SummaryListsEveryEventWithItsOriginalIndex) {
+  const FaultPlan full = FaultPlan::derive(5);
+  const std::string summary = full.subset({0, 1}).summary();
+  EXPECT_NE(summary.find("seed=5"), std::string::npos);
+  EXPECT_NE(summary.find("keep=0,1"), std::string::npos);
+  EXPECT_NE(summary.find("[1]"), std::string::npos);
+}
+
+TEST(FaultKindNames, RoundTrip) {
+  for (const FaultKind kind : kAllFaultKinds) {
+    const auto back = fault_kind_from_name(fault_kind_name(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(fault_kind_from_name("not_a_fault").has_value());
+}
+
+}  // namespace
+}  // namespace powai::sim

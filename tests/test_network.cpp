@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -14,20 +15,44 @@ namespace {
 
 using namespace std::chrono_literals;
 
-TEST(LinkModel, ValidatesParameters) {
-  common::Rng rng(1);
+TEST(LinkModel, ValidateRejectsMalformedModels) {
   LinkModel bad;
   bad.base_latency = -1ms;
-  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
   bad = {};
   bad.jitter = -1ms;
-  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
   bad = {};
   bad.loss_rate = 1.5;
-  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
   bad = {};
   bad.bandwidth_bytes_per_sec = -1.0;
-  EXPECT_THROW((void)bad.delay_for(0, rng), std::invalid_argument);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(LinkModel{}.validate());
+}
+
+TEST(LinkModel, DelayForIsNoexceptHotPath) {
+  // Validation moved to attach time (Network::set_link); the per-packet
+  // path must not re-validate — it is declared noexcept and callable on
+  // any already-validated model.
+  common::Rng rng(1);
+  LinkModel link;
+  static_assert(noexcept(link.delay_for(0, rng)));
+  EXPECT_TRUE(link.delay_for(0, rng).has_value());
+}
+
+TEST(Network, RejectsMalformedLinksAtAttachTime) {
+  EventLoop loop;
+  common::Rng rng(1);
+  Network net(loop, rng);
+  net.add_host("a", [](const std::string&, common::BytesView) {});
+  net.add_host("b", [](const std::string&, common::BytesView) {});
+  LinkModel bad;
+  bad.loss_rate = 2.0;
+  EXPECT_THROW(net.set_link("a", "b", bad), std::invalid_argument);
+  EXPECT_THROW(net.set_default_link(bad), std::invalid_argument);
+  // The rejected model must not have been installed.
+  EXPECT_TRUE(net.send("a", "b", common::bytes_of("x")));
 }
 
 TEST(LinkModel, BaseLatencyWithoutJitterIsExact) {
@@ -49,8 +74,28 @@ TEST(LinkModel, JitterStaysWithinBound) {
     const auto d = link.delay_for(0, rng);
     ASSERT_TRUE(d.has_value());
     EXPECT_GE(*d, 10ms);
-    EXPECT_LT(*d, 15ms);
+    EXPECT_LE(*d, 15ms);
   }
+}
+
+TEST(LinkModel, JitterBoundIsInclusiveAndReachable) {
+  // U[0, jitter] with both bounds attainable. With a 3-tick jitter the
+  // support is {0, 1, 2, 3} ns on top of the base; 200 draws must hit
+  // both endpoints (P(miss) < 1e-24 per endpoint).
+  common::Rng rng(12);
+  LinkModel link;
+  link.base_latency = common::Duration(10);
+  link.jitter = common::Duration(3);
+  common::Duration lo = common::Duration::max();
+  common::Duration hi = common::Duration::min();
+  for (int i = 0; i < 200; ++i) {
+    const auto d = link.delay_for(0, rng);
+    ASSERT_TRUE(d.has_value());
+    lo = std::min(lo, *d);
+    hi = std::max(hi, *d);
+  }
+  EXPECT_EQ(lo, common::Duration(10));
+  EXPECT_EQ(hi, common::Duration(13));  // base + jitter, inclusive
 }
 
 TEST(LinkModel, BandwidthAddsSerializationDelay) {
@@ -175,6 +220,98 @@ TEST(Network, DuplicateHostOrEmptyHandlerThrow) {
   EXPECT_THROW(net.add_host("b", nullptr), std::invalid_argument);
   EXPECT_TRUE(net.has_host("a"));
   EXPECT_FALSE(net.has_host("b"));
+}
+
+TEST(NetworkFault, OverlayDropIsCountedSeparately) {
+  EventLoop loop;
+  common::Rng rng(20);
+  Network net(loop, rng);
+  net.add_host("a", [](const std::string&, common::BytesView) {});
+  net.add_host("b", [](const std::string&, common::BytesView) {});
+  LinkModel lossless;
+  lossless.loss_rate = 0.0;
+  lossless.jitter = 0ms;
+  net.set_default_link(lossless);
+
+  LinkFault fault;
+  fault.extra_loss = 1.0;
+  net.set_fault(fault);
+  EXPECT_TRUE(net.fault().active());
+  EXPECT_FALSE(net.send("a", "b", common::bytes_of("x")));
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.fault_dropped(), 1u);
+
+  net.clear_fault();
+  EXPECT_FALSE(net.fault().active());
+  EXPECT_TRUE(net.send("a", "b", common::bytes_of("x")));
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.fault_dropped(), 1u);
+  loop.run();
+}
+
+TEST(NetworkFault, DropPatternIsAPureFunctionOfTheFaultSeed) {
+  // Overlay draws come from per-pair counter streams keyed by the fault
+  // seed, so two networks with the same seed agree message-for-message
+  // regardless of their shared-Rng state.
+  const auto pattern = [](std::uint64_t fault_seed, std::uint64_t rng_seed) {
+    EventLoop loop;
+    common::Rng rng(rng_seed);
+    Network net(loop, rng);
+    net.add_host("a", [](const std::string&, common::BytesView) {});
+    net.add_host("b", [](const std::string&, common::BytesView) {});
+    net.set_fault_stream_seed(fault_seed);
+    LinkFault fault;
+    fault.extra_loss = 0.5;
+    net.set_fault(fault);
+    std::vector<bool> delivered;
+    for (int i = 0; i < 64; ++i) {
+      delivered.push_back(net.send("a", "b", common::bytes_of("x")));
+    }
+    loop.run();
+    return delivered;
+  };
+  // Same fault seed, different shared-Rng seeds: identical pattern.
+  EXPECT_EQ(pattern(99, 1), pattern(99, 2));
+  // A different fault seed changes the pattern (64 coin flips).
+  EXPECT_NE(pattern(99, 1), pattern(100, 1));
+}
+
+TEST(NetworkFault, OverlayDoesNotPerturbBaseLinkDraws) {
+  // The base link's jittered delays must be byte-identical with and
+  // without an active overlay: the overlay draws from its own streams,
+  // never the shared Rng. extra_latency shifts every delivery by a
+  // constant, so faulted[i] - plain[i] == extra_latency exactly.
+  const auto delivery_times = [](bool with_fault) {
+    EventLoop loop;
+    common::Rng rng(21);
+    Network net(loop, rng);
+    std::vector<common::Duration> times;
+    net.add_host("a", [](const std::string&, common::BytesView) {});
+    net.add_host("b", [&](const std::string&, common::BytesView) {
+      times.push_back(loop.now().time_since_epoch());
+    });
+    LinkModel jittery;
+    jittery.base_latency = 10ms;
+    jittery.jitter = 5ms;
+    net.set_link("a", "b", jittery);
+    if (with_fault) {
+      LinkFault fault;
+      fault.extra_latency = 100ms;
+      net.set_fault(fault);
+    }
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_TRUE(net.send("a", "b", common::bytes_of("x")));
+    }
+    loop.run();
+    return times;
+  };
+  const auto plain = delivery_times(false);
+  const auto faulted = delivery_times(true);
+  ASSERT_EQ(plain.size(), 32u);
+  ASSERT_EQ(faulted.size(), 32u);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(faulted[i] - plain[i], 100ms) << "message " << i;
+  }
 }
 
 TEST(DefaultExperimentLink, IsLossless) {

@@ -161,5 +161,60 @@ TEST(RequestQueue, ManyProducersManyConsumersLoseNothing) {
   EXPECT_FALSE(q.busy());
 }
 
+TEST(RequestQueue, ShutdownMidFloodStrandsNothing) {
+  // close() races active producers AND in-flight consumer batches: every
+  // push attempt must still have exactly one fate (accepted or
+  // overflow), and every accepted message must reach complete() — a
+  // close racing a popped batch must not strand the batch's completion.
+  // Runs under TSan via the `concurrency` label.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::size_t kPerProducer = 2000;
+  RequestQueue q(32);
+
+  std::atomic<std::uint64_t> attempts{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        (void)q.try_push(request_from("10.0.0." + std::to_string(p + 1),
+                                      p * kPerProducer + i));
+        attempts.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<WireMessage> batch;
+      for (;;) {
+        batch.clear();
+        const std::size_t n = q.pop_up_to(8, batch);
+        if (n == 0) return;  // closed and drained
+        q.complete(n);
+      }
+    });
+  }
+
+  // Close while producers are still mid-flood: late try_push calls must
+  // count as overflows, not vanish. Gate on attempts (which always
+  // advances) rather than accepted (which may stall once the queue
+  // saturates).
+  const std::uint64_t half = kProducers * kPerProducer / 2;
+  while (attempts.load() < half) std::this_thread::yield();
+  q.close();
+
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(attempts.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q.accepted() + q.overflows(), attempts.load());
+  EXPECT_EQ(q.completed(), q.accepted());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.in_flight(), 0u);
+  EXPECT_FALSE(q.busy());
+}
+
 }  // namespace
 }  // namespace powai::framework
