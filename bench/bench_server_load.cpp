@@ -68,7 +68,8 @@ int main(int argc, char** argv) {
   client_counts.push_back(max_clients);
 
   common::Table table({"clients", "round-trips", "served", "rate-limited",
-                       "issued/s", "served/s", "hashes/s", "mean-d"});
+                       "issued/s", "served/s", "hashes/s", "mean-d",
+                       "srv-B/cl"});
   std::vector<std::pair<std::size_t, sim::LoadReport>> rows;
   for (const std::size_t clients : client_counts) {
     framework::ServerConfig cfg;
@@ -93,7 +94,8 @@ int main(int argc, char** argv) {
                    common::fmt_f(report.issued_per_s(), 0),
                    common::fmt_f(report.served_per_s(), 0),
                    common::fmt_f(report.hashes_per_s(), 0),
-                   common::fmt_f(report.server_delta.mean_difficulty(), 2)});
+                   common::fmt_f(report.server_delta.mean_difficulty(), 2),
+                   common::fmt_f(report.server_bytes_per_client(), 1)});
     rows.emplace_back(clients, report);
   }
 
@@ -122,6 +124,8 @@ int main(int argc, char** argv) {
       w.field_f64("served_per_s", report.served_per_s());
       w.field_f64("hashes_per_s", report.hashes_per_s());
       w.field_f64("mean_difficulty", report.server_delta.mean_difficulty());
+      w.field_u64("server_memory_bytes", report.server_memory_bytes);
+      w.field_f64("server_bytes_per_client", report.server_bytes_per_client());
       w.end_object();
     }
     w.end_array();

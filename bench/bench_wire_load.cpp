@@ -10,8 +10,17 @@
 // with hardware threads because solving happens on the loop thread but
 // scoring/issuing/verifying fans out over the server pool.
 //
+// Scale mode (pace=1): the closed loop is paced by a heavy-tailed
+// ClientPopulation arrival process, the artifact is named
+// "wire_load_scale", and the bytes/client columns become the headline —
+// the per-layer memory the million-client refactor holds at O(1) per
+// client. This is what CI's scale-smoke job runs at clients=100000.
+//
 // Usage: ./build/bench/bench_wire_load [clients=8] [requests=16]
 //        [max_threads=4] [train=400] [seed=42] [json=path]
+//        [pace=0] [arrivals=poisson|diurnal|pareto|flash]
+//        [mean_gap_ms=1000] [weight_alpha=0] [pop_seed=1]
+//        [drain_shards=1] [queue_capacity=1024] [pin=0]
 //
 // json=path writes the rows as a JSON artifact (CI uploads one per run;
 // docs/ARCHITECTURE.md describes how to compare them across commits).
@@ -50,11 +59,27 @@ int main(int argc, char** argv) {
   const auto train = static_cast<std::size_t>(args.get_u64("train", 400));
   const std::uint64_t seed = args.get_u64("seed", 42);
   const std::string json_path = args.get_string("json", "");
+  const bool pace = args.get_bool("pace", false);
+  const std::string arrivals_name = args.get_string("arrivals", "poisson");
+  const double mean_gap_ms = args.get_f64("mean_gap_ms", 1000.0);
+  const double weight_alpha = args.get_f64("weight_alpha", 0.0);
+  const std::uint64_t pop_seed = args.get_u64("pop_seed", 1);
+  const auto drain_shards =
+      static_cast<std::size_t>(args.get_u64("drain_shards", 1));
+  const auto queue_capacity =
+      static_cast<std::size_t>(args.get_u64("queue_capacity", 1024));
+  const bool pin = args.get_bool("pin", false);
 
   if (clients == 0 || requests == 0 || max_threads == 0) {
     std::fprintf(stderr, "clients, requests, max_threads must be positive\n");
     return 1;
   }
+  sim::ArrivalConfig arrivals;
+  if (!sim::parse_arrival_process(arrivals_name, arrivals.process)) {
+    std::fprintf(stderr, "unknown arrivals '%s'\n", arrivals_name.c_str());
+    return 1;
+  }
+  arrivals.mean_interarrival_ms = mean_gap_ms;
 
   common::Rng rng(seed);
   const features::SyntheticTraceGenerator gen;
@@ -69,10 +94,18 @@ int main(int argc, char** argv) {
     framework::ServerConfig cfg;
     cfg.master_secret = common::bytes_of("wire-load-bench-secret");
     cfg.verify_threads = threads;
+    cfg.pin_verify_threads = pin;
     sim::WireLoadConfig wc;
     wc.clients = clients;
     wc.requests_per_client = requests;
     wc.async = async;
+    wc.front_end.drain_shards = drain_shards;
+    wc.front_end.queue_capacity = queue_capacity;
+    wc.front_end.pin_drains = pin;
+    wc.pace_arrivals = pace;
+    wc.arrivals = arrivals;
+    wc.weight_alpha = weight_alpha;
+    wc.population_seed = pop_seed;
     return sim::run_wire_load(model, policy, cfg, client_features, wc);
   };
 
@@ -84,7 +117,8 @@ int main(int argc, char** argv) {
   }
 
   common::Table table({"mode", "answered", "served", "wall-ms", "sim-ms",
-                       "ans/s", "batches", "max-batch"});
+                       "ans/s", "batches", "max-batch", "srv-B/cl",
+                       "sim-B/cl"});
   for (const Row& row : rows) {
     const auto& r = row.report;
     table.add_row({row.mode, std::to_string(r.answered),
@@ -93,12 +127,16 @@ int main(int argc, char** argv) {
                    common::fmt_f(common::to_millis_f(r.sim_elapsed), 1),
                    common::fmt_f(r.answered_per_wall_s(), 0),
                    std::to_string(r.front_end.batches),
-                   std::to_string(r.front_end.largest_batch)});
+                   std::to_string(r.front_end.largest_batch),
+                   common::fmt_f(r.server_bytes_per_client(), 1),
+                   common::fmt_f(r.sim_bytes_per_client(), 1)});
   }
 
-  std::printf("WIRE-LOAD: full protocol over netsim, %zu clients x %zu "
-              "requests\n\n%s\n",
-              clients, requests, table.to_text().c_str());
+  std::printf("WIRE-LOAD%s: full protocol over netsim, %zu clients x %zu "
+              "requests%s\n\n%s\n",
+              pace ? " (scale)" : "", clients, requests,
+              pace ? (", " + arrivals_name + " arrivals").c_str() : "",
+              table.to_text().c_str());
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
 
@@ -119,9 +157,17 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     common::JsonWriter w;
     w.begin_object();
-    w.field_str("bench", "wire_load");
+    // Scale runs are a different workload shape (paced arrivals, large
+    // populations); a distinct bench name keeps bench_diff.py from
+    // comparing them against small-N closed-loop baselines.
+    w.field_str("bench", pace ? "wire_load_scale" : "wire_load");
     w.field_u64("clients", clients);
     w.field_u64("requests_per_client", requests);
+    if (pace) {
+      w.field_str("arrivals", arrivals_name);
+      w.field_f64("mean_gap_ms", mean_gap_ms);
+      w.field_f64("weight_alpha", weight_alpha);
+    }
     w.field_u64("hardware_threads", std::thread::hardware_concurrency());
     w.begin_array("rows");
     for (const Row& row : rows) {
@@ -137,6 +183,9 @@ int main(int argc, char** argv) {
       w.field_u64("batches", r.front_end.batches);
       w.field_u64("largest_batch", r.front_end.largest_batch);
       w.field_u64("challenges_issued", r.server_delta.challenges_issued);
+      w.field_u64("server_memory_bytes", r.server_memory_bytes);
+      w.field_f64("server_bytes_per_client", r.server_bytes_per_client());
+      w.field_f64("sim_bytes_per_client", r.sim_bytes_per_client());
       w.end_object();
     }
     w.end_array();

@@ -39,6 +39,13 @@ import sys
 SPECS = {
     "server_load": {"row_key": "clients", "metric": "served_per_s"},
     "wire_load": {"row_key": "mode", "metric": "answered_per_wall_s"},
+    # Population-paced scale runs (bench_wire_load pace=1 json=...).
+    # Throughput only compares like scales: a run at a different client
+    # count / request count / arrival process skips with a note instead
+    # of flagging a bogus regression.
+    "wire_load_scale": {"row_key": "mode", "metric": "answered_per_wall_s",
+                        "match_fields": ["clients", "requests_per_client",
+                                         "arrivals"]},
     # Raw SHA-256 hot-path throughput (bench_crypto json=...): rows are
     # "<mode>/<backend>" cases, e.g. "solver_midstate/shani" — the
     # backend is part of the key, so rows only ever compare like with
@@ -53,9 +60,24 @@ SPECS = {
 }
 
 
+def warn(message):
+    """Non-fatal problem: visible in the log and, on GitHub Actions, as a
+    workflow annotation. Malformed inputs degrade the comparison, they
+    never crash it — a bench that failed to produce an artifact should
+    surface as its own CI failure, not as a KeyError here."""
+    print(f"warning: {message}")
+    print(f"::warning title=bench diff::{message}")
+
+
 def load_json(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
+    """Parses one JSON file; returns None (with a warning) when the file
+    is missing or not valid JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        warn(f"cannot read {path}: {err}")
+        return None
 
 
 def compare_artifact(artifact, baseline_artifact, threshold):
@@ -74,9 +96,22 @@ def compare_artifact(artifact, baseline_artifact, threshold):
                   f"skipping")
             return
     min_row_key = spec.get("min_row_key")
-    base_rows = {row[key]: row for row in baseline_artifact.get("rows", [])}
+    base_rows = {}
+    for row in baseline_artifact.get("rows", []):
+        if key not in row:
+            warn(f"{name} baseline row lacks key field {key!r}, skipping row")
+            continue
+        base_rows[row[key]] = row
     for row in artifact.get("rows", []):
-        if min_row_key is not None and row[key] < min_row_key:
+        if key not in row:
+            warn(f"{name} row lacks key field {key!r}, skipping row")
+            continue
+        try:
+            if min_row_key is not None and row[key] < min_row_key:
+                continue
+        except TypeError:
+            warn(f"{name} row key {row[key]!r} not comparable to "
+                 f"min_row_key {min_row_key!r}, skipping row")
             continue
         base = base_rows.get(row[key])
         if base is None:
@@ -103,14 +138,20 @@ def main():
     args = parser.parse_args()
 
     baseline = load_json(args.baseline)
+    if baseline is None or not isinstance(baseline, dict):
+        warn(f"baseline {args.baseline} unusable; nothing to compare against")
+        return 0
     regressions = []
 
     for path in args.artifacts:
         artifact = load_json(path)
+        if artifact is None or not isinstance(artifact, dict):
+            continue  # load_json already warned
         name = artifact.get("bench", "?")
         base = baseline.get(name)
         if base is None:
-            print(f"note: bench '{name}' has no baseline entry, skipping")
+            warn(f"bench '{name}' has no baseline entry, skipping "
+                 f"(refresh bench/baseline.json to start tracking it)")
             continue
         metric = SPECS.get(name, {}).get("metric", "?")
         print(f"\n{name} ({metric}), threshold {args.threshold:.0%}:")

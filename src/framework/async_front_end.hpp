@@ -86,6 +86,12 @@ struct AsyncFrontEndConfig final {
   /// run_until_idle()) — lets tests and staged harnesses build a
   /// deterministic backlog first.
   bool start_paused = false;
+
+  /// Pin drain thread s to CPU s mod hardware_concurrency (Linux only;
+  /// a silent no-op elsewhere). Affinity plus source-keyed sharding
+  /// keeps a client's messages on one warm core. Purely a performance
+  /// knob: totals and histories are identical either way. Default off.
+  bool pin_drains = false;
 };
 
 /// Fault-injection hooks for the deterministic campaign layer

@@ -10,7 +10,7 @@
 namespace powai::framework {
 
 namespace {
-constexpr double kTokenOne = 65536.0;  ///< fixed-point scale (16.16)
+constexpr double kTokenOne = 65536.0;  ///< fixed-point scale (16.16 / 48.16)
 
 std::uint64_t pack(double tokens, std::uint32_t ms) {
   const auto fp = static_cast<std::uint64_t>(std::llround(tokens * kTokenOne));
@@ -24,6 +24,32 @@ double unpack_tokens(std::uint64_t word) {
 std::uint32_t unpack_ms(std::uint64_t word) {
   return static_cast<std::uint32_t>(word);
 }
+
+std::uint64_t tokens_to_fp(double tokens) {
+  return static_cast<std::uint64_t>(std::llround(tokens * kTokenOne));
+}
+
+#if defined(POWAI_RATE_LIMITER_CAS128)
+unsigned __int128 pack_wide(std::uint64_t tokens_fp, std::uint64_t ms) {
+  return (static_cast<unsigned __int128>(tokens_fp) << 64) | ms;
+}
+
+std::uint64_t wide_tokens_fp(unsigned __int128 word) {
+  return static_cast<std::uint64_t>(word >> 64);
+}
+
+std::uint64_t wide_ms(unsigned __int128 word) {
+  return static_cast<std::uint64_t>(word);
+}
+#endif
+
+/// Per-entry heap cost estimate for a node-based hash map: the node
+/// (key+value+next pointer) plus its share of the bucket array.
+template <typename Map>
+std::size_t map_memory_bytes(const Map& map) {
+  return map.bucket_count() * sizeof(void*) +
+         map.size() * (sizeof(typename Map::value_type) + 2 * sizeof(void*));
+}
 }  // namespace
 
 RateLimiter::RateLimiter(const common::Clock& clock, RateLimiterConfig config)
@@ -31,10 +57,15 @@ RateLimiter::RateLimiter(const common::Clock& clock, RateLimiterConfig config)
   if (!(config_.tokens_per_second > 0.0) || !(config_.burst >= 1.0)) {
     throw std::invalid_argument("RateLimiter: need rate > 0 and burst >= 1");
   }
-  if (config_.burst > kMaxBurst) {
+  // Written as !(x <= cap) so NaN/Inf bursts are rejected too. Beyond the
+  // wide word's 48.16 range we refuse outright — truncating to what the
+  // word can hold would silently under-enforce the configured ceiling.
+  if (!(config_.burst <= kMaxWideBurst)) {
     throw std::invalid_argument(
-        "RateLimiter: burst exceeds the packed-word ceiling (kMaxBurst)");
+        "RateLimiter: burst exceeds kMaxWideBurst — not representable in the "
+        "wide bucket word, refusing to truncate");
   }
+  wide_ = config_.burst > kMaxBurst;
   if (config_.max_tracked_ips == 0) {
     throw std::invalid_argument("RateLimiter: max_tracked_ips == 0");
   }
@@ -61,11 +92,11 @@ RateLimiter::Shard& RateLimiter::shard_for(features::IpAddress ip) const {
   return shards_[common::mix32(ip.value()) & shard_mask_];
 }
 
-std::uint32_t RateLimiter::now_ms32() const {
-  return static_cast<std::uint32_t>(common::to_millis(clock_->now()));
+std::uint64_t RateLimiter::now_ms64() const {
+  return static_cast<std::uint64_t>(common::to_millis(clock_->now()));
 }
 
-void RateLimiter::evict_one(Shard& s, std::uint32_t now_ms) {
+void RateLimiter::evict_one(Shard& s, std::uint64_t now_ms) {
   // Clock-hand sweep over the hash-bucket array: look at a handful of
   // resident entries past the cursor and drop the stalest of them. The
   // map sits at its per-shard ceiling whenever this runs, so the load
@@ -74,31 +105,47 @@ void RateLimiter::evict_one(Shard& s, std::uint32_t now_ms) {
   // new IP once the ceiling is hit, which is exactly the issuer-side
   // hotspot this limiter exists to prevent.
   constexpr std::size_t kCandidates = 4;
-  auto& map = s.buckets;
-  const std::size_t hash_buckets = map.bucket_count();
-  std::size_t seen = 0;
-  bool have_victim = false;
-  std::uint32_t victim = 0;
-  std::uint32_t oldest_age_ms = 0;
-  for (std::size_t step = 0; step < hash_buckets && seen < kCandidates;
-       ++step) {
-    const std::size_t bi = s.hand++ % hash_buckets;
-    for (auto it = map.begin(bi); it != map.end(bi); ++it) {
-      // Staleness as modular distance from now, not an absolute stamp
-      // comparison — otherwise the ~49-day wrap of the ms32 clock would
-      // invert the order and evict the *freshest* buckets.
-      const std::uint32_t age_ms =
-          now_ms -
-          unpack_ms(it->second.packed.load(std::memory_order_relaxed));
-      if (!have_victim || age_ms > oldest_age_ms) {
-        have_victim = true;
-        victim = it->first;
-        oldest_age_ms = age_ms;
+  const auto sweep = [&](auto& map, auto age_of) {
+    const std::size_t hash_buckets = map.bucket_count();
+    std::size_t seen = 0;
+    bool have_victim = false;
+    std::uint32_t victim = 0;
+    std::uint64_t oldest_age_ms = 0;
+    for (std::size_t step = 0; step < hash_buckets && seen < kCandidates;
+         ++step) {
+      const std::size_t bi = s.hand++ % hash_buckets;
+      for (auto it = map.begin(bi); it != map.end(bi); ++it) {
+        const std::uint64_t age_ms = age_of(it->second);
+        if (!have_victim || age_ms > oldest_age_ms) {
+          have_victim = true;
+          victim = it->first;
+          oldest_age_ms = age_ms;
+        }
+        if (++seen >= kCandidates) break;
       }
-      if (++seen >= kCandidates) break;
     }
+    if (have_victim) map.erase(victim);
+  };
+  if (wide_) {
+    // 64-bit stamps never wrap, so age is a plain difference. The caller
+    // holds the shard lock exclusively — no shared-path consume can be
+    // mid-flight — so the bucket state is safe to read directly.
+    sweep(s.wide_buckets, [&](const WideBucket& b) -> std::uint64_t {
+#if defined(POWAI_RATE_LIMITER_CAS128)
+      return now_ms - wide_ms(__atomic_load_n(&b.word, __ATOMIC_RELAXED));
+#else
+      return now_ms - b.last_ms;
+#endif
+    });
+  } else {
+    // Staleness as modular distance from now, not an absolute stamp
+    // comparison — otherwise the ~49-day wrap of the ms32 clock would
+    // invert the order and evict the *freshest* buckets.
+    const auto now32 = static_cast<std::uint32_t>(now_ms);
+    sweep(s.buckets, [&](const Bucket& b) -> std::uint64_t {
+      return now32 - unpack_ms(b.packed.load(std::memory_order_relaxed));
+    });
   }
-  if (have_victim) map.erase(victim);
 }
 
 RateLimiter::Bucket& RateLimiter::bucket_for(Shard& s, features::IpAddress ip,
@@ -108,6 +155,23 @@ RateLimiter::Bucket& RateLimiter::bucket_for(Shard& s, features::IpAddress ip,
   if (s.buckets.size() >= s.max_ips) evict_one(s, now_ms);
   Bucket& b = s.buckets[ip.value()];
   b.packed.store(pack(config_.burst, now_ms), std::memory_order_relaxed);
+  return b;
+}
+
+RateLimiter::WideBucket& RateLimiter::wide_bucket_for(Shard& s,
+                                                      features::IpAddress ip,
+                                                      std::uint64_t now_ms) {
+  const auto it = s.wide_buckets.find(ip.value());
+  if (it != s.wide_buckets.end()) return it->second;
+  if (s.wide_buckets.size() >= s.max_ips) evict_one(s, now_ms);
+  WideBucket& b = s.wide_buckets[ip.value()];
+#if defined(POWAI_RATE_LIMITER_CAS128)
+  __atomic_store_n(&b.word, pack_wide(tokens_to_fp(config_.burst), now_ms),
+                   __ATOMIC_RELAXED);
+#else
+  b.tokens_fp = tokens_to_fp(config_.burst);
+  b.last_ms = now_ms;
+#endif
   return b;
 }
 
@@ -122,6 +186,18 @@ double RateLimiter::refreshed_tokens(std::uint64_t word,
   return std::min(config_.burst,
                   unpack_tokens(word) + (static_cast<double>(delta_ms) /
                                          1000.0) * config_.tokens_per_second);
+}
+
+double RateLimiter::refreshed_tokens_wide(std::uint64_t tokens_fp,
+                                          std::uint64_t last_ms,
+                                          std::uint64_t now_ms) const {
+  // 64-bit stamps are monotone-in-fact (no wrap); a stale `now` from a
+  // racing caller clamps to zero elapsed rather than refilling.
+  const double base = static_cast<double>(tokens_fp) / kTokenOne;
+  if (now_ms <= last_ms) return base;
+  return std::min(config_.burst,
+                  base + (static_cast<double>(now_ms - last_ms) / 1000.0) *
+                             config_.tokens_per_second);
 }
 
 bool RateLimiter::consume(Bucket& b, std::uint32_t now_ms) {
@@ -156,39 +232,110 @@ bool RateLimiter::consume(Bucket& b, std::uint32_t now_ms) {
   }
 }
 
+bool RateLimiter::consume_wide(WideBucket& b, std::uint64_t now_ms) {
+#if defined(POWAI_RATE_LIMITER_CAS128)
+  unsigned __int128 cur = __atomic_load_n(&b.word, __ATOMIC_RELAXED);
+  for (;;) {
+    const std::uint64_t last_ms = wide_ms(cur);
+    const std::uint64_t fresh_ms = now_ms > last_ms ? now_ms : last_ms;
+    const double have =
+        refreshed_tokens_wide(wide_tokens_fp(cur), last_ms, now_ms);
+    const bool granted = have >= 1.0;
+    const std::uint64_t next_fp = tokens_to_fp(granted ? have - 1.0 : have);
+    unsigned __int128 next;
+    if (!granted && next_fp == wide_tokens_fp(cur)) {
+      // Same deny-without-earned-quantum rule as the packed path: keep
+      // the old stamp so fractional credit is never rounded away.
+      next = cur;
+    } else {
+      next = pack_wide(next_fp, fresh_ms);
+    }
+    if (__atomic_compare_exchange_n(&b.word, &cur, next, /*weak=*/true,
+                                    __ATOMIC_ACQ_REL, __ATOMIC_RELAXED)) {
+      return granted;
+    }
+  }
+#else
+  // Per-bucket lock: callers racing distinct IPs never contend; callers
+  // racing one IP serialize on exactly this bucket's mutex, keeping the
+  // grant count exact.
+  std::lock_guard<std::mutex> lk(b.mu);
+  const double have = refreshed_tokens_wide(b.tokens_fp, b.last_ms, now_ms);
+  const bool granted = have >= 1.0;
+  const std::uint64_t next_fp = tokens_to_fp(granted ? have - 1.0 : have);
+  if (granted || next_fp != b.tokens_fp) {
+    b.tokens_fp = next_fp;
+    b.last_ms = std::max(b.last_ms, now_ms);
+  }
+  return granted;
+#endif
+}
+
 bool RateLimiter::allow(features::IpAddress ip) {
   Shard& s = shard_for(ip);
-  const std::uint32_t now_ms = now_ms32();
+  const std::uint64_t now64 = now_ms64();
+  const auto now32 = static_cast<std::uint32_t>(now64);
   {
-    // Fast path: bucket exists — CAS under the shared lock (held only
-    // so eviction cannot erase the bucket mid-CAS; allows never block
-    // each other here).
+    // Fast path: bucket exists — CAS (or bucket-local lock) under the
+    // shared lock (held only so eviction cannot erase the bucket
+    // mid-consume; allows never block each other here).
     std::shared_lock<std::shared_mutex> lock(s.mu);
-    const auto it = s.buckets.find(ip.value());
-    if (it != s.buckets.end()) return consume(it->second, now_ms);
+    if (wide_) {
+      const auto it = s.wide_buckets.find(ip.value());
+      if (it != s.wide_buckets.end()) return consume_wide(it->second, now64);
+    } else {
+      const auto it = s.buckets.find(ip.value());
+      if (it != s.buckets.end()) return consume(it->second, now32);
+    }
   }
   // Cold path: first sighting of this IP (or it was evicted) — take the
   // exclusive lock to create, then consume. Another thread may have
-  // created it between the two locks; bucket_for handles both cases.
+  // created it between the two locks; the *_bucket_for helpers handle
+  // both cases.
   std::unique_lock<std::shared_mutex> lock(s.mu);
-  return consume(bucket_for(s, ip, now_ms), now_ms);
+  if (wide_) return consume_wide(wide_bucket_for(s, ip, now64), now64);
+  return consume(bucket_for(s, ip, now32), now32);
 }
 
 double RateLimiter::tokens(features::IpAddress ip) const {
   const Shard& s = shard_for(ip);
+  const std::uint64_t now64 = now_ms64();
   std::shared_lock<std::shared_mutex> lock(s.mu);
+  if (wide_) {
+    const auto it = s.wide_buckets.find(ip.value());
+    if (it == s.wide_buckets.end()) return config_.burst;
+#if defined(POWAI_RATE_LIMITER_CAS128)
+    const unsigned __int128 word =
+        __atomic_load_n(&it->second.word, __ATOMIC_RELAXED);
+    return refreshed_tokens_wide(wide_tokens_fp(word), wide_ms(word), now64);
+#else
+    std::lock_guard<std::mutex> lk(it->second.mu);
+    return refreshed_tokens_wide(it->second.tokens_fp, it->second.last_ms,
+                                 now64);
+#endif
+  }
   const auto it = s.buckets.find(ip.value());
   if (it == s.buckets.end()) return config_.burst;
   // Pure read: share allow()'s arithmetic without writing the word.
   return refreshed_tokens(it->second.packed.load(std::memory_order_relaxed),
-                          now_ms32());
+                          static_cast<std::uint32_t>(now64));
 }
 
 std::size_t RateLimiter::tracked_ips() const {
   std::size_t total = 0;
   for (std::size_t i = 0; i <= shard_mask_; ++i) {
     std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    total += shards_[i].buckets.size();
+    total += wide_ ? shards_[i].wide_buckets.size() : shards_[i].buckets.size();
+  }
+  return total;
+}
+
+std::size_t RateLimiter::memory_bytes() const {
+  std::size_t total = shard_count() * sizeof(Shard);
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    total += map_memory_bytes(shards_[i].buckets);
+    total += map_memory_bytes(shards_[i].wide_buckets);
   }
   return total;
 }

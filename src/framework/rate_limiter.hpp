@@ -4,35 +4,74 @@
 /// but a server still wants a hard ceiling on challenge issuance per
 /// source (otherwise an attacker can make the *issuer* the hotspot).
 ///
-/// Fast path: each bucket is one atomic 64-bit word packing
-/// (tokens as 16.16 fixed point, last-refill in truncated ms), and
-/// allow() refills + consumes with a CAS loop — no exclusive lock is
-/// ever taken for an existing bucket. Per-key accounting stays exact
-/// under concurrent callers: N threads racing one IP each retire one
-/// CAS, and exactly floor(balance) of them win a token. The shard's
-/// shared_mutex is held *shared* on this path (readers never contend);
-/// the exclusive side exists only for the cold path — bucket creation
-/// and eviction — so the map cannot mutate under a racing CAS.
+/// Two bucket representations, chosen once per limiter by the configured
+/// burst:
+///
+/// - **Packed word** (burst <= kMaxBurst): each bucket is one atomic
+///   64-bit word packing (tokens as 16.16 fixed point, last-refill in
+///   truncated ms), and allow() refills + consumes with a CAS loop — no
+///   exclusive lock is ever taken for an existing bucket.
+/// - **Wide** (burst > kMaxBurst, up to kMaxWideBurst): the bucket state
+///   widens to (tokens as 48.16 fixed point, last-refill in full 64-bit
+///   ms). Where the platform provides a 128-bit compare-exchange the
+///   wide word is CAS'ed exactly like the packed one; otherwise each
+///   bucket carries its own lock (taken only for that one IP's state, so
+///   distinct IPs still never contend). ThreadSanitizer builds always
+///   use the per-bucket lock so every access stays instrumented.
+///
+/// Per-key accounting stays exact under concurrent callers in both
+/// representations: N threads racing one IP each retire one CAS (or one
+/// lock hand-off), and exactly floor(balance) of them win a token. The
+/// shard's shared_mutex is held *shared* on the existing-bucket path
+/// (readers never contend); the exclusive side exists only for the cold
+/// path — bucket creation and eviction — so the map cannot mutate under
+/// a racing consume.
 ///
 /// Precision notes: time is quantized to milliseconds and tokens to
-/// 1/65536, so burst is capped (kMaxBurst) and refill credit for
-/// sub-millisecond elapses within one millisecond quantum is deferred
-/// to the next quantum, never lost beyond it.
+/// 1/65536. Refill credit for sub-millisecond elapses within one
+/// millisecond quantum is deferred to the next quantum, never lost
+/// beyond it. Bursts beyond kMaxWideBurst are rejected at construction
+/// (std::invalid_argument) — the limiter never silently truncates a
+/// configured burst to what its word can represent.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 
 #include "common/clock.hpp"
 #include "features/ip_address.hpp"
 
+// Wide-bucket representation selection. POWAI_HAVE_ATOMIC128 comes from
+// the build system (a compile+link probe of __atomic_compare_exchange_n
+// on unsigned __int128); sanitizer builds force the per-bucket-lock
+// fallback so TSan instruments every access instead of trusting
+// uninstrumented libatomic internals.
+#if defined(__SANITIZE_THREAD__)
+#define POWAI_RL_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define POWAI_RL_TSAN 1
+#endif
+#endif
+
+#if defined(POWAI_HAVE_ATOMIC128) && defined(__SIZEOF_INT128__) && \
+    !defined(POWAI_RL_TSAN)
+#define POWAI_RATE_LIMITER_CAS128 1
+#endif
+
 namespace powai::framework {
 
 struct RateLimiterConfig final {
   double tokens_per_second = 10.0;  ///< refill rate per IP
-  double burst = 20.0;              ///< bucket capacity (<= kMaxBurst)
+
+  /// Bucket capacity. Values <= RateLimiter::kMaxBurst ride the packed
+  /// 64-bit fast path; larger values (up to kMaxWideBurst) select the
+  /// wide representation. Anything beyond kMaxWideBurst (or non-finite)
+  /// is rejected at construction — never truncated.
+  double burst = 20.0;
 
   /// Global tracked-bucket budget, distributed exactly across shards.
   std::size_t max_tracked_ips = 1 << 20;
@@ -48,8 +87,14 @@ struct RateLimiterConfig final {
 
 class RateLimiter final {
  public:
-  /// Largest representable bucket capacity (16.16 fixed point).
+  /// Largest bucket capacity the packed-word fast path represents
+  /// (16.16 fixed point).
   static constexpr double kMaxBurst = 65535.0;
+
+  /// Largest bucket capacity the wide representation represents (48.16
+  /// fixed point, kept comfortably inside what std::llround can produce).
+  static constexpr double kMaxWideBurst =
+      static_cast<double>(std::uint64_t{1} << 46);
 
   /// \p clock must outlive the limiter.
   RateLimiter(const common::Clock& clock, RateLimiterConfig config = {});
@@ -58,7 +103,8 @@ class RateLimiter final {
   RateLimiter& operator=(const RateLimiter&) = delete;
 
   /// Consumes one token for \p ip if available; false = rate limited.
-  /// Thread-safe; lock-free (CAS) for already-tracked IPs.
+  /// Thread-safe; lock-free (CAS) for already-tracked IPs on the packed
+  /// path, per-bucket synchronization on the wide path.
   [[nodiscard]] bool allow(features::IpAddress ip);
 
   /// Current token balance as of now (diagnostics). Strictly read-only:
@@ -70,12 +116,20 @@ class RateLimiter final {
   /// Total tracked buckets, summed over shards. Exact when quiescent.
   [[nodiscard]] std::size_t tracked_ips() const;
 
+  /// Approximate resident footprint of the tracked-bucket state, in
+  /// bytes (hash-table slots + per-entry nodes). Diagnostic — feeds the
+  /// load benches' bytes/client accounting. Thread-safe.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// True when the burst selected the wide representation.
+  [[nodiscard]] bool wide() const { return wide_; }
+
   [[nodiscard]] std::size_t shard_count() const {
     return static_cast<std::size_t>(shard_mask_) + 1;
   }
 
  private:
-  /// Bucket state packed into one CAS-able word:
+  /// Packed-path bucket: state in one CAS-able word:
   /// bits 63..32 — tokens in 1/65536 units; bits 31..0 — last-refill
   /// time in truncated milliseconds (wraps every ~49 days; elapsed time
   /// is the modular difference read as signed — correct across a single
@@ -85,9 +139,24 @@ class RateLimiter final {
     std::atomic<std::uint64_t> packed{0};
   };
 
+  /// Wide-path bucket: tokens in 1/65536 units (high 64 bits, 48.16) and
+  /// last-refill in full 64-bit milliseconds (low 64 bits). CAS'ed as one
+  /// 128-bit word where the platform provides it; otherwise the bucket's
+  /// own mutex guards a plain (tokens, ms) pair.
+  struct WideBucket {
+#if defined(POWAI_RATE_LIMITER_CAS128)
+    alignas(16) unsigned __int128 word{0};
+#else
+    mutable std::mutex mu;
+    std::uint64_t tokens_fp = 0;  ///< tokens in 1/65536 units
+    std::uint64_t last_ms = 0;
+#endif
+  };
+
   struct Shard {
-    mutable std::shared_mutex mu;  ///< shared: CAS path; exclusive: create/evict
+    mutable std::shared_mutex mu;  ///< shared: consume path; exclusive: create/evict
     std::unordered_map<std::uint32_t, Bucket> buckets;
+    std::unordered_map<std::uint32_t, WideBucket> wide_buckets;
     std::size_t max_ips = 0;  ///< this shard's slice of max_tracked_ips
     std::size_t hand = 0;     ///< clock-hand cursor for eviction
   };
@@ -96,23 +165,30 @@ class RateLimiter final {
 
   /// Finds or creates the bucket (caller holds s.mu exclusively).
   Bucket& bucket_for(Shard& s, features::IpAddress ip, std::uint32_t now_ms);
+  WideBucket& wide_bucket_for(Shard& s, features::IpAddress ip,
+                              std::uint64_t now_ms);
 
-  /// Drops one stale-ish bucket — the candidate with the largest
-  /// modular age relative to \p now_ms — amortized O(1) (caller holds
-  /// s.mu exclusively and guarantees the shard is non-empty).
-  void evict_one(Shard& s, std::uint32_t now_ms);
+  /// Drops one stale-ish bucket — the candidate with the largest age
+  /// relative to \p now_ms — amortized O(1) (caller holds s.mu
+  /// exclusively and guarantees the shard is non-empty).
+  void evict_one(Shard& s, std::uint64_t now_ms);
 
-  /// Refill-and-consume CAS loop (caller holds s.mu at least shared).
+  /// Refill-and-consume (caller holds s.mu at least shared).
   bool consume(Bucket& b, std::uint32_t now_ms);
+  bool consume_wide(WideBucket& b, std::uint64_t now_ms);
 
   /// The balance the packed state \p word represents at \p now_ms.
   [[nodiscard]] double refreshed_tokens(std::uint64_t word,
                                         std::uint32_t now_ms) const;
+  [[nodiscard]] double refreshed_tokens_wide(std::uint64_t tokens_fp,
+                                             std::uint64_t last_ms,
+                                             std::uint64_t now_ms) const;
 
-  [[nodiscard]] std::uint32_t now_ms32() const;
+  [[nodiscard]] std::uint64_t now_ms64() const;
 
   const common::Clock* clock_;
   RateLimiterConfig config_;
+  bool wide_ = false;
   std::uint32_t shard_mask_ = 0;
   std::unique_ptr<Shard[]> shards_;
 };

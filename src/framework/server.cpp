@@ -59,6 +59,11 @@ ServerStats ServerStats::operator-(const ServerStats& rhs) const {
 
 ServerStats PowServer::stats() const { return stats_.snapshot(); }
 
+std::size_t PowServer::memory_bytes() const {
+  return sizeof(PowServer) + rate_limiter_.memory_bytes() +
+         cache_.memory_bytes() + verifier_.replay_memory_bytes();
+}
+
 void PowServer::note_overload() {
   stats_.rejected_overload.fetch_add(1, kRelaxed);
 }
@@ -73,7 +78,8 @@ ScoringTrace PowServer::last_trace() const {
 
 common::ThreadPool& PowServer::ensure_pool() {
   std::call_once(pool_once_, [this] {
-    pool_ = std::make_unique<common::ThreadPool>(config_.verify_threads);
+    pool_ = std::make_unique<common::ThreadPool>(config_.verify_threads,
+                                                 config_.pin_verify_threads);
   });
   return *pool_;
 }

@@ -81,6 +81,11 @@ struct ServerConfig final {
   /// one message at a time never spawn threads.
   std::size_t verify_threads = 0;
 
+  /// Pin verify worker i to CPU i mod hardware_concurrency (Linux only;
+  /// silently a no-op elsewhere). A performance knob for dedicated
+  /// machines — determinism and totals never depend on it. Default off.
+  bool pin_verify_threads = false;
+
   /// Hard per-IP ceiling on challenge issuance.
   bool rate_limiter_enabled = false;
   RateLimiterConfig rate_limiter;
@@ -190,6 +195,12 @@ class PowServer final {
   /// once concurrent callers have returned; mid-flight snapshots are
   /// monotone per counter but not a consistent cut across counters.
   [[nodiscard]] ServerStats stats() const;
+
+  /// Estimated resident footprint of the per-client server structures —
+  /// rate-limiter buckets, reputation-cache entries, and the replay
+  /// cache. The numerator of the scale harnesses' bytes/client
+  /// accounting; exact when quiescent. Thread-safe.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   /// The most recent scoring decision. Convenient in single-threaded
   /// use; under concurrency the fields are updated atomically but not as

@@ -1,6 +1,7 @@
 #include "framework/transport.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "framework/async_front_end.hpp"
 
@@ -164,6 +165,124 @@ void WireClient::on_response(const Response& response) {
   PendingRequest pending = std::move(it->second);
   pending_.erase(it);
   pending.done(response, loop_->now() - pending.sent_at);
+}
+
+// ---------------------------------------------------------------------------
+// WireClientPool
+// ---------------------------------------------------------------------------
+
+WireClientPool::WireClientPool(netsim::EventLoop& loop,
+                               netsim::Network& network,
+                               const std::string& base_ip, std::size_t count,
+                               std::string server_host, double hash_cost_us)
+    : loop_(&loop),
+      network_(&network),
+      server_host_(std::move(server_host)),
+      hash_cost_us_(hash_cost_us) {
+  // add_host_group re-validates base/count/overlap; parse here only to
+  // cache the numeric base for index recovery.
+  const auto base = features::IpAddress::parse(base_ip);
+  if (!base) {
+    throw std::invalid_argument("WireClientPool: malformed base '" + base_ip +
+                                "'");
+  }
+  base_ = base->value();
+  network_->add_host_group(
+      base_ip, count,
+      [this](const std::string& member, const std::string& from,
+             common::BytesView payload) { on_message(member, from, payload); });
+  slots_.resize(count);
+}
+
+std::string WireClientPool::ip_of(std::size_t client) const {
+  if (client >= slots_.size()) {
+    throw std::out_of_range("WireClientPool: client index out of range");
+  }
+  return features::IpAddress(base_ + static_cast<std::uint32_t>(client))
+      .to_string();
+}
+
+std::uint64_t WireClientPool::send_request(
+    std::size_t client, const std::string& path,
+    const features::FeatureVector& features) {
+  Slot& slot = slots_.at(client);
+  if (slot.pending_id != 0) {
+    throw std::logic_error(
+        "WireClientPool: client already has a request in flight");
+  }
+  if (!done_) {
+    throw std::logic_error("WireClientPool: no response handler installed");
+  }
+  const std::string ip = ip_of(client);
+  Request request;
+  request.client_ip = ip;
+  request.path = path;
+  request.features = features;
+  request.request_id = slot.next_request_id++;
+  if (!network_->send(ip, server_host_, request.serialize())) {
+    return 0;  // dropped by the link
+  }
+  slot.pending_id = request.request_id;
+  slot.sent_at = loop_->now();
+  return request.request_id;
+}
+
+void WireClientPool::on_message(const std::string& member,
+                                const std::string& from,
+                                common::BytesView payload) {
+  (void)from;
+  // Recover the client index from the member address the group handler
+  // was invoked for — O(1), no per-client registration.
+  const auto ip = features::IpAddress::parse(member);
+  if (!ip || ip->value() < base_) return;
+  const std::uint64_t offset = ip->value() - base_;
+  if (offset >= slots_.size()) return;
+  const auto client = static_cast<std::size_t>(offset);
+
+  const auto message = decode(payload);
+  if (!message) return;  // noise on the wire
+  if (const auto* challenge = std::get_if<Challenge>(&*message)) {
+    on_challenge(client, *challenge);
+  } else if (const auto* response = std::get_if<Response>(&*message)) {
+    on_response(client, *response);
+  }
+}
+
+void WireClientPool::on_challenge(std::size_t client,
+                                  const Challenge& challenge) {
+  Slot& slot = slots_[client];
+  if (slot.pending_id != challenge.request_id) return;  // stale/unknown
+  if (challenge_observer_) challenge_observer_(client, challenge);
+
+  // Identical solve-cost model to WireClient: really solve, charge
+  // attempts × hash_cost to this client's one sequential solver core.
+  const pow::SolveResult solved = solver_.solve(challenge.puzzle);
+  ++solved_;
+  const auto solve_cost = std::chrono::duration_cast<common::Duration>(
+      std::chrono::duration<double, std::micro>(
+          static_cast<double>(solved.attempts) * hash_cost_us_));
+  const common::TimePoint start =
+      std::max(loop_->now(), slot.solver_busy_until);
+  slot.solver_busy_until = start + solve_cost;
+
+  Submission submission;
+  submission.request_id = challenge.request_id;
+  submission.puzzle = challenge.puzzle;
+  submission.solution = solved.solution;
+  const common::Duration delay = slot.solver_busy_until - loop_->now();
+  loop_->schedule_in(
+      delay, [this, client, submission = std::move(submission)] {
+        (void)network_->send(ip_of(client), server_host_,
+                             submission.serialize());
+      });
+}
+
+void WireClientPool::on_response(std::size_t client,
+                                 const Response& response) {
+  Slot& slot = slots_[client];
+  if (slot.pending_id != response.request_id) return;  // stale/unknown
+  slot.pending_id = 0;
+  done_(client, response, loop_->now() - slot.sent_at);
 }
 
 }  // namespace powai::framework

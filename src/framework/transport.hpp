@@ -11,11 +11,15 @@
 /// observed client IP for puzzle binding.
 
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "features/ip_address.hpp"
 #include "framework/client.hpp"
 #include "framework/protocol.hpp"
 #include "framework/request_queue.hpp"
@@ -141,6 +145,102 @@ class WireClient final {
   std::uint64_t solved_ = 0;
   common::TimePoint solver_busy_until_{};
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
+};
+
+/// Client side at population scale: one object drives N closed-loop
+/// clients through a single Network::add_host_group registration. Where
+/// a WireClient costs a host-map entry, its own std::function handler,
+/// a pending map, and a solver per client, the pool keeps one 32-byte
+/// slot per client (request counter, in-flight id, timestamps) plus one
+/// shared stateless solver — the structure that lets run_wire_load
+/// model 10^5–10^6 clients.
+///
+/// Semantics match WireClient exactly: per-client request ids count
+/// from 1, challenges are really solved but their *time* is modelled
+/// (attempts × hash_cost on one sequential solver core per client), and
+/// the client index is recovered from the transport-level member
+/// address (base + i), so a pooled run is bit-identical to a run over N
+/// individual WireClients. Restriction the closed loop satisfies by
+/// construction: at most one request in flight per client.
+class WireClientPool final {
+ public:
+  /// Invoked with the client index, final response, and request→response
+  /// latency.
+  using Callback = std::function<void(std::size_t client,
+                                      const Response& response,
+                                      common::Duration latency)>;
+
+  /// Invoked on the loop thread for every challenge a pool client
+  /// accepts (before solving) — the history/fingerprint capture hook.
+  using ChallengeObserver =
+      std::function<void(std::size_t client, const Challenge& challenge)>;
+
+  /// Registers one host group covering addresses base_ip .. base_ip +
+  /// count - 1 (client i lives at base_ip + i). \p loop and \p network
+  /// must outlive the pool. Throws std::invalid_argument on a malformed
+  /// or wrapping range (via Network::add_host_group) or count == 0.
+  WireClientPool(netsim::EventLoop& loop, netsim::Network& network,
+                 const std::string& base_ip, std::size_t count,
+                 std::string server_host, double hash_cost_us = 38.0);
+
+  WireClientPool(const WireClientPool&) = delete;
+  WireClientPool& operator=(const WireClientPool&) = delete;
+
+  /// Response sink shared by all clients; must be set before the first
+  /// send_request. Pass an empty function to clear.
+  void set_response_handler(Callback done) { done_ = std::move(done); }
+
+  void set_challenge_observer(ChallengeObserver observer) {
+    challenge_observer_ = std::move(observer);
+  }
+
+  /// Sends one request from client \p client. Returns the request id, or
+  /// 0 if the link dropped it (the response handler never fires for a
+  /// dropped request). Throws std::out_of_range on a bad index,
+  /// std::logic_error when the client already has a request in flight or
+  /// no response handler is installed.
+  std::uint64_t send_request(std::size_t client, const std::string& path,
+                             const features::FeatureVector& features);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Client i's transport address (base_ip + i, dotted quad).
+  [[nodiscard]] std::string ip_of(std::size_t client) const;
+
+  /// Challenges answered so far, across all clients (diagnostics).
+  [[nodiscard]] std::uint64_t challenges_solved() const { return solved_; }
+
+  /// Resident footprint: the slot table (the point: ~32 bytes/client
+  /// versus a full WireClient each).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(WireClientPool) + slots_.capacity() * sizeof(Slot);
+  }
+
+ private:
+  /// Compact per-client state — everything WireClient keeps in maps and
+  /// strings, reduced to what one closed-loop client actually needs.
+  struct Slot {
+    std::uint64_t next_request_id = 1;
+    std::uint64_t pending_id = 0;  ///< 0 = nothing in flight
+    common::TimePoint sent_at{};
+    common::TimePoint solver_busy_until{};
+  };
+
+  void on_message(const std::string& member, const std::string& from,
+                  common::BytesView payload);
+  void on_challenge(std::size_t client, const Challenge& challenge);
+  void on_response(std::size_t client, const Response& response);
+
+  netsim::EventLoop* loop_;
+  netsim::Network* network_;
+  std::uint32_t base_ = 0;  ///< parsed base_ip; client i at base_ + i
+  std::string server_host_;
+  double hash_cost_us_;
+  pow::Solver solver_;  ///< stateless — shared by every client
+  Callback done_;
+  ChallengeObserver challenge_observer_;
+  std::uint64_t solved_ = 0;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace powai::framework

@@ -41,14 +41,65 @@ void Network::add_host(const std::string& name, MessageHandler handler) {
   }
 }
 
+void Network::add_host_group(const std::string& base_ip, std::uint64_t count,
+                             GroupMessageHandler handler) {
+  if (!handler) {
+    throw std::invalid_argument("Network::add_host_group: empty handler");
+  }
+  if (count == 0) {
+    throw std::invalid_argument("Network::add_host_group: count == 0");
+  }
+  const auto base = features::IpAddress::parse(base_ip);
+  if (!base) {
+    throw std::invalid_argument("Network::add_host_group: malformed base '" +
+                                base_ip + "'");
+  }
+  const std::uint64_t room =
+      (std::uint64_t{1} << 32) - static_cast<std::uint64_t>(base->value());
+  if (count > room) {
+    throw std::invalid_argument(
+        "Network::add_host_group: range wraps past 255.255.255.255");
+  }
+  for (const HostGroup& g : groups_) {
+    // Overlap iff each range starts before the other ends.
+    if (base->value() < g.base + g.count &&
+        g.base < static_cast<std::uint64_t>(base->value()) + count) {
+      throw std::invalid_argument(
+          "Network::add_host_group: range overlaps an existing group");
+    }
+  }
+  groups_.push_back(
+      HostGroup{base->value(), count, std::move(handler)});
+}
+
+const Network::HostGroup* Network::group_for(const std::string& name) const {
+  if (groups_.empty()) return nullptr;
+  const auto ip = features::IpAddress::parse(name);
+  if (!ip) return nullptr;
+  for (const HostGroup& g : groups_) {
+    if (g.covers(*ip)) return &g;
+  }
+  return nullptr;
+}
+
 bool Network::has_host(const std::string& name) const {
-  return hosts_.contains(name);
+  return hosts_.contains(name) || group_for(name) != nullptr;
 }
 
 void Network::set_link(const std::string& from, const std::string& to,
                        LinkModel link) {
   link.validate();
   links_[{from, to}] = link;
+}
+
+std::size_t Network::add_link_class(LinkModel link) {
+  link.validate();
+  link_classes_.push_back(link);
+  return link_classes_.size() - 1;
+}
+
+void Network::set_link_class_resolver(LinkClassResolver resolver) {
+  link_resolver_ = std::move(resolver);
 }
 
 void Network::set_default_link(LinkModel link) {
@@ -58,24 +109,33 @@ void Network::set_default_link(LinkModel link) {
 
 bool Network::send(const std::string& from, const std::string& to,
                    common::Bytes payload) {
-  if (!hosts_.contains(from)) {
+  if (!has_host(from)) {
     throw std::invalid_argument("Network::send: unknown source '" + from + "'");
   }
+  // Destination: exact registrations shadow group members.
   const auto dest = hosts_.find(to);
-  if (dest == hosts_.end()) {
+  const HostGroup* dest_group =
+      dest != hosts_.end() ? nullptr : group_for(to);
+  if (dest == hosts_.end() && dest_group == nullptr) {
     throw std::invalid_argument("Network::send: unknown destination '" + to +
                                 "'");
   }
 
-  const auto link_it = links_.find({from, to});
-  const LinkModel& link =
-      link_it != links_.end() ? link_it->second : default_link_;
+  // Link resolution: explicit pair → class resolver → default.
+  const LinkModel* link = &default_link_;
+  if (const auto link_it = links_.find({from, to}); link_it != links_.end()) {
+    link = &link_it->second;
+  } else if (link_resolver_) {
+    if (const auto cls = link_resolver_(from, to)) {
+      link = &link_classes_.at(*cls);
+    }
+  }
 
   // Base link draws always happen (even when the fault overlay will drop
   // the message) so the shared Rng's draw sequence is identical with and
   // without an active fault window — removing a fault event from a plan
   // must not perturb unrelated deliveries.
-  auto delay = link.delay_for(payload.size(), *rng_);
+  auto delay = link->delay_for(payload.size(), *rng_);
   if (!delay) {
     ++dropped_;
     return false;
@@ -85,10 +145,13 @@ bool Network::send(const std::string& from, const std::string& to,
     // Per-pair, per-message derived stream: a pure function of
     // (fault seed, directed pair, pair message index). Cross-pair
     // interleaving — e.g. racy completion order across drain shards —
-    // cannot permute what any one pair's messages experience.
-    const std::uint64_t seq = pair_seq_[{from, to}]++;
-    common::Rng fault_rng =
-        common::stream_rng(fault_seed_ ^ pair_hash(from, to), seq);
+    // cannot permute what any one pair's messages experience. Counters
+    // are keyed by the pair's hash, so a fault window over a
+    // million-client population costs one integer per *active* pair,
+    // not a string-pair map over the cross product.
+    const std::uint64_t pair_key = pair_hash(from, to);
+    const std::uint64_t seq = pair_seq_[pair_key]++;
+    common::Rng fault_rng = common::stream_rng(fault_seed_ ^ pair_key, seq);
     if (fault_.extra_loss > 0.0 && fault_rng.bernoulli(fault_.extra_loss)) {
       ++dropped_;
       ++fault_dropped_;
@@ -105,15 +168,43 @@ bool Network::send(const std::string& from, const std::string& to,
   ++sent_;
   bytes_ += payload.size();
 
-  // The handler reference stays valid: hosts_ is never mutated after
-  // simulation start (add_host during run would be a design error we
-  // accept as UB-free but unordered delivery).
-  MessageHandler& handler = dest->second;
-  loop_->schedule_in(*delay,
-                     [&handler, from, payload = std::move(payload)]() {
-                       handler(from, payload);
-                     });
+  // The handler reference stays valid: hosts_/groups_ are never mutated
+  // after simulation start (registration during a run would be a design
+  // error we accept as UB-free but unordered delivery; groups_ is a
+  // deque precisely so in-flight pointers survive it).
+  if (dest != hosts_.end()) {
+    MessageHandler& handler = dest->second;
+    loop_->schedule_in(*delay,
+                       [&handler, from, payload = std::move(payload)]() {
+                         handler(from, payload);
+                       });
+  } else {
+    const GroupMessageHandler& handler = dest_group->handler;
+    loop_->schedule_in(
+        *delay, [&handler, member = to, from,
+                 payload = std::move(payload)]() {
+          handler(member, from, payload);
+        });
+  }
   return true;
+}
+
+std::size_t Network::memory_bytes() const {
+  std::size_t total = sizeof(Network);
+  for (const auto& [name, handler] : hosts_) {
+    total += sizeof(void*) * 4 + name.capacity() + sizeof(MessageHandler);
+    (void)handler;
+  }
+  total += groups_.size() * sizeof(HostGroup);
+  for (const auto& [pair, link] : links_) {
+    total += sizeof(void*) * 4 + pair.first.capacity() +
+             pair.second.capacity() + sizeof(LinkModel);
+    (void)link;
+  }
+  total += link_classes_.capacity() * sizeof(LinkModel);
+  total += pair_seq_.bucket_count() * sizeof(void*) +
+           pair_seq_.size() * (2 * sizeof(std::uint64_t) + 2 * sizeof(void*));
+  return total;
 }
 
 }  // namespace powai::netsim

@@ -4,15 +4,30 @@
 /// over per-pair links, with delivery scheduled on the EventLoop. This is
 /// the substrate the throttling experiment runs the full client/server
 /// protocol over.
+///
+/// Scale model: per-host and per-pair state is opt-in, not mandatory.
+/// A simulation can register a *host group* — one handler covering a
+/// contiguous IPv4 range — so a million simulated clients cost one
+/// registration, and express topology through *link classes* — shared
+/// LinkModel profiles picked by a resolver function — so link state is
+/// O(classes), not O(clients²). Explicit per-host / per-pair
+/// registrations still work and take precedence; the resolution order is
+/// exact host → group, and explicit pair link → class resolver →
+/// default link.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "features/ip_address.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/link.hpp"
 
@@ -21,6 +36,18 @@ namespace powai::netsim {
 /// Invoked on delivery: (source host, payload).
 using MessageHandler =
     std::function<void(const std::string& from, common::BytesView payload)>;
+
+/// Invoked on delivery to a host-group member: (member host — the
+/// concrete dotted-quad name, source host, payload).
+using GroupMessageHandler = std::function<void(
+    const std::string& member, const std::string& from,
+    common::BytesView payload)>;
+
+/// Picks a link class for a directed (from, to) pair, or std::nullopt to
+/// fall through to the default link. Must be a pure function of its
+/// arguments (it runs on every send of an unconfigured pair).
+using LinkClassResolver = std::function<std::optional<std::size_t>(
+    const std::string& from, const std::string& to)>;
 
 /// Transient fault overlay applied on top of the static link models while
 /// active (sim::FaultPlan events toggle it). Draws for the overlay come
@@ -63,13 +90,35 @@ class Network final {
   /// empty handler.
   void add_host(const std::string& name, MessageHandler handler);
 
+  /// Registers \p count hosts in one shot: every dotted-quad name in
+  /// [base_ip, base_ip + count) resolves to \p handler, which receives
+  /// the concrete member name alongside the sender. One registration —
+  /// O(1) network-side state — regardless of count; this is how a
+  /// million-client population attaches. Throws std::invalid_argument on
+  /// a malformed base, an empty handler, a range wrapping past
+  /// 255.255.255.255, or a range overlapping an existing group.
+  /// Individually-registered hosts shadow group members.
+  void add_host_group(const std::string& base_ip, std::uint64_t count,
+                      GroupMessageHandler handler);
+
   [[nodiscard]] bool has_host(const std::string& name) const;
 
   /// Sets the (directed) link model used from \p from to \p to.
-  /// Unconfigured pairs use the default link. Validates \p link —
-  /// malformed models are rejected here, at attach time, not per packet.
+  /// Unconfigured pairs use the class resolver, then the default link.
+  /// Validates \p link — malformed models are rejected here, at attach
+  /// time, not per packet.
   void set_link(const std::string& from, const std::string& to,
                 LinkModel link);
+
+  /// Registers a shared link profile and returns its class id (dense,
+  /// starting at 0). Validates \p link.
+  std::size_t add_link_class(LinkModel link);
+
+  /// Installs the resolver mapping unconfigured (from, to) pairs to a
+  /// link class (see LinkClassResolver). Pass an empty function to
+  /// remove. Throws std::out_of_range at send time if the resolver
+  /// returns an id no add_link_class call produced.
+  void set_link_class_resolver(LinkClassResolver resolver);
 
   /// Default model for unconfigured pairs. Validates \p link.
   void set_default_link(LinkModel link);
@@ -98,16 +147,43 @@ class Network final {
   [[nodiscard]] std::uint64_t fault_dropped() const { return fault_dropped_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
+  /// Approximate resident footprint of the topology state, in bytes:
+  /// host map + groups + links + classes + live fault counters.
+  /// Diagnostic — feeds the load benches' bytes/client accounting. Note
+  /// what is *absent*: nothing here scales with group member count.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
+  /// One handler covering the contiguous range [base, base + count).
+  struct HostGroup {
+    std::uint32_t base = 0;
+    std::uint64_t count = 0;
+    GroupMessageHandler handler;
+
+    [[nodiscard]] bool covers(features::IpAddress ip) const {
+      return ip.value() >= base && ip.value() - base < count;
+    }
+  };
+
+  /// Group lookup for \p name (nullptr when no group covers it).
+  [[nodiscard]] const HostGroup* group_for(const std::string& name) const;
+
   EventLoop* loop_;
   common::Rng* rng_;
   std::map<std::string, MessageHandler> hosts_;
+  /// deque: scheduled deliveries hold pointers into elements, which a
+  /// vector would invalidate if a group were added while in flight.
+  std::deque<HostGroup> groups_;
   std::map<std::pair<std::string, std::string>, LinkModel> links_;
+  std::vector<LinkModel> link_classes_;
+  LinkClassResolver link_resolver_;
   LinkModel default_link_ = default_experiment_link();
   LinkFault fault_;
   std::uint64_t fault_seed_ = 0;
-  /// Per directed pair: messages attempted so far (the fault stream id).
-  std::map<std::pair<std::string, std::string>, std::uint64_t> pair_seq_;
+  /// Per directed pair: messages attempted so far (the fault stream id),
+  /// keyed by the pair's stable 64-bit hash — O(pairs active during a
+  /// fault window), with no string storage per pair.
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_seq_;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t fault_dropped_ = 0;

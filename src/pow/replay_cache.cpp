@@ -17,11 +17,6 @@ ShardedReplayCache::ShardedReplayCache(std::size_t capacity,
   while (n > 1 && n > capacity) n >>= 1;
   shard_mask_ = n - 1;
   shards_ = std::make_unique<Shard[]>(n);
-  // Distribute the budget exactly: rounding the per-shard slice up would
-  // let the resident total exceed `capacity` by up to n-1 entries.
-  for (std::size_t i = 0; i < n; ++i) {
-    shards_[i].capacity = common::split_slice(capacity, n, i);
-  }
 }
 
 ShardedReplayCache::Shard& ShardedReplayCache::shard_for(
@@ -36,9 +31,17 @@ bool ShardedReplayCache::try_redeem(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.set.insert(id).second) return false;
   s.fifo.push_back(id);
-  if (s.fifo.size() > s.capacity) {
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  // Capacity borrowing: evict from *this* shard's FIFO while the global
+  // budget is exceeded — but never the entry just admitted (fifo > 1),
+  // or a replayed id would be re-admitted on the very next call. The
+  // loop (rather than a single evict) drains any transient overshoot
+  // left behind by inserts that found their shard empty.
+  while (resident_.load(std::memory_order_relaxed) > capacity_ &&
+         s.fifo.size() > 1) {
     s.set.erase(s.fifo.front());
     s.fifo.pop_front();
+    resident_.fetch_sub(1, std::memory_order_relaxed);
   }
   return true;
 }
@@ -54,6 +57,20 @@ std::size_t ShardedReplayCache::size() const {
   for (std::size_t i = 0; i <= shard_mask_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
     total += shards_[i].set.size();
+  }
+  return total;
+}
+
+std::size_t ShardedReplayCache::memory_bytes() const {
+  std::size_t total = shard_count() * sizeof(Shard);
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    const Shard& s = shards_[i];
+    // Hash-set node (id + next pointer + allocator overhead) plus its
+    // share of the bucket array, plus the FIFO's flat storage.
+    total += s.set.bucket_count() * sizeof(void*) +
+             s.set.size() * (sizeof(std::uint64_t) + 2 * sizeof(void*)) +
+             s.fifo.size() * sizeof(std::uint64_t);
   }
   return total;
 }

@@ -6,7 +6,28 @@
 /// with contention only on puzzle-id hash collisions into the same
 /// shard. Each shard keeps its own FIFO so eviction stays O(1) and never
 /// takes more than one lock.
+///
+/// Capacity is a *global* budget the shards borrow from, not a set of
+/// fixed per-shard slices. Eviction triggers on the global resident
+/// count: an insert that pushes the total past `capacity` evicts the
+/// oldest entry of the *inserting* shard (never touching another
+/// shard's lock). Under uniform ids this behaves exactly like the old
+/// exact per-shard split; under shard skew the hot shard borrows the
+/// budget the cold shards aren't using instead of thrashing its small
+/// slice while the global budget sits idle.
+///
+/// Consequence — the re-redemption window: a redeemed id is forgotten
+/// (and thus redeemable again) only after enough *same-shard* inserts
+/// push it off the FIFO. With borrowing that window stretches from
+/// capacity/shards up to the full global capacity under a fully skewed
+/// insert stream (tests/test_replay_cache.cpp pins both ends). A shard
+/// never evicts the entry it just admitted, so each non-empty shard
+/// retains at least one id; the resident total can therefore overshoot
+/// `capacity` by at most shards-1 transiently (inserts that found their
+/// shard empty while the budget was full), and drains back as soon as
+/// inserts land on shards with an older entry to give up.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -18,11 +39,10 @@ namespace powai::pow {
 
 class ShardedReplayCache final {
  public:
-  /// \p capacity is the total redeemed-id budget, distributed *exactly*
-  /// across \p shards: the per-shard budgets always sum to \p capacity.
-  /// The shard count is rounded up to a power of two, then halved until
-  /// every shard keeps a budget of at least one entry (a zero-budget
-  /// shard would evict its own insertion and re-admit a replayed id).
+  /// \p capacity is the total redeemed-id budget (borrowed across
+  /// shards, see file comment). The shard count is rounded up to a
+  /// power of two, then halved until it does not exceed the capacity
+  /// (more stripes than budget would guarantee permanent overshoot).
   /// Throws std::invalid_argument if capacity == 0.
   explicit ShardedReplayCache(std::size_t capacity, std::size_t shards = 16);
 
@@ -40,13 +60,17 @@ class ShardedReplayCache final {
   /// Total remembered ids, summed over shards. Exact when quiescent.
   [[nodiscard]] std::size_t size() const;
 
+  /// Approximate resident footprint in bytes (hash sets + FIFOs).
+  /// Diagnostic — feeds the load benches' bytes/client accounting.
+  /// Thread-safe.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   [[nodiscard]] std::size_t shard_count() const { return shard_mask_ + 1; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::size_t capacity = 0;  // this shard's slice of the global budget
     std::unordered_set<std::uint64_t> set;
     std::deque<std::uint64_t> fifo;  // insertion order, for eviction
   };
@@ -56,6 +80,11 @@ class ShardedReplayCache final {
   std::size_t capacity_;
   std::uint64_t shard_mask_;
   std::unique_ptr<Shard[]> shards_;
+
+  /// Global resident count — the budget the shards borrow from. Updated
+  /// under the inserting shard's lock but read cross-shard, hence
+  /// atomic.
+  std::atomic<std::size_t> resident_{0};
 };
 
 }  // namespace powai::pow

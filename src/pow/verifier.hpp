@@ -99,6 +99,12 @@ class Verifier final {
   /// Number of puzzles currently remembered as redeemed.
   [[nodiscard]] std::size_t replay_entries() const { return redeemed_.size(); }
 
+  /// Approximate resident footprint of the replay memory, in bytes
+  /// (diagnostic — feeds the load benches' bytes/client accounting).
+  [[nodiscard]] std::size_t replay_memory_bytes() const {
+    return redeemed_.memory_bytes();
+  }
+
   [[nodiscard]] const VerifierConfig& config() const { return config_; }
 
  private:

@@ -49,6 +49,16 @@ class ReputationCache final {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Estimated resident footprint (object + hash buckets + entry nodes)
+  /// for the scale harness's bytes/client accounting.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(ReputationCache) +
+           entries_.bucket_count() * sizeof(void*) +
+           entries_.size() *
+               (sizeof(std::pair<const std::uint32_t, Entry>) +
+                2 * sizeof(void*));
+  }
+
  private:
   struct Entry {
     double score;

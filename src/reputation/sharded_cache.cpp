@@ -69,4 +69,13 @@ std::size_t ShardedReputationCache::size() const {
   return total;
 }
 
+std::size_t ShardedReputationCache::memory_bytes() const {
+  std::size_t total = sizeof(ShardedReputationCache);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += sizeof(Shard) + shard->cache.memory_bytes();
+  }
+  return total;
+}
+
 }  // namespace powai::reputation

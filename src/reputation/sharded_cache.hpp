@@ -50,6 +50,11 @@ class ShardedReputationCache final {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  /// Estimated resident footprint summed over shards (takes one shard
+  /// lock at a time; exact when quiescent). Feeds the bytes/client
+  /// accounting of the scale harnesses.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;

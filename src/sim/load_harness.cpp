@@ -27,6 +27,45 @@ double LoadReport::hashes_per_s() const {
   return wall_s > 0.0 ? static_cast<double>(solve_attempts) / wall_s : 0.0;
 }
 
+double LoadReport::server_bytes_per_client() const {
+  return clients > 0 ? static_cast<double>(server_memory_bytes) /
+                           static_cast<double>(clients)
+                     : 0.0;
+}
+
+namespace {
+/// FNV-1a over a little-endian integer widened to 8 bytes.
+std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t fold_issue_record(std::uint64_t fingerprint,
+                                const IssueRecord& record) {
+  std::uint64_t h = fold_u64(fingerprint, record.request_id);
+  h = fold_u64(h, record.challenged ? 1 : 0);
+  h = fold_u64(h, record.puzzle_id);
+  h = fold_u64(h, record.difficulty);
+  h = fold_u64(h, static_cast<std::uint64_t>(record.issued_at_ms));
+  h = fold_u64(h, static_cast<std::uint64_t>(record.outcome));
+  h = fold_u64(h, record.seed.size());
+  for (const std::uint8_t byte : record.seed) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t history_fingerprint(const ClientHistory& history) {
+  std::uint64_t h = kFingerprintSeed;
+  for (const IssueRecord& record : history) h = fold_issue_record(h, record);
+  return h;
+}
+
 LoadHarness::LoadHarness(framework::PowServer& server, LoadHarnessConfig config)
     : server_(&server), config_(std::move(config)) {
   if (config_.client_threads == 0 || config_.requests_per_client == 0) {
@@ -140,6 +179,8 @@ LoadReport LoadHarness::run(
     report.rejected_other += tally.other;
     report.solve_attempts += tally.attempts;
   }
+  report.clients = config_.client_threads;
+  report.server_memory_bytes = server_->memory_bytes();
   report.server_delta = server_->stats() - before;
   report.histories = std::move(histories);
   return report;
@@ -185,68 +226,142 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
   }
 
   WireLoadReport report;
+  report.clients = cfg.clients;
   if (cfg.capture_history) report.histories.resize(cfg.clients);
+  if (cfg.capture_fingerprints) {
+    report.history_fingerprints.assign(cfg.clients, kFingerprintSeed);
+  }
 
+  // All clients ride one host-group registration + one slot table —
+  // O(1) simulation state per client (the WireClient-per-client shape
+  // tops out long before 10^5). Addresses are identical to the old
+  // shape: load_client_ip(i) == 10.0.0.0 + i, so goldens carry over.
+  framework::WireClientPool pool(loop, network, load_client_ip(0),
+                                 cfg.clients, cfg.server_host,
+                                 cfg.client_hash_cost_us);
+
+  // Optional heavy-tailed think time between one client's exchanges.
+  std::unique_ptr<ClientPopulation> population;
+  if (cfg.pace_arrivals) {
+    PopulationConfig pc;
+    pc.clients = cfg.clients;
+    pc.base_ip = load_client_ip(0);
+    pc.seed = cfg.population_seed;
+    pc.arrivals = cfg.arrivals;
+    pc.weight_alpha = cfg.weight_alpha;
+    population = std::make_unique<ClientPopulation>(std::move(pc));
+  }
+
+  // Per-client driver state. The pending record mirrors what
+  // capture_history keeps in the history tail, so fingerprints fold the
+  // exact records a history run would store — including a challenged
+  // record left unanswered by a lossy link (folded at the end with its
+  // default outcome, as the history path would record it).
   struct ClientState {
-    std::unique_ptr<framework::WireClient> wire;
     std::size_t sent = 0;
+    IssueRecord pending;
+    bool has_pending = false;
   };
   std::vector<ClientState> clients(cfg.clients);
-  for (std::size_t i = 0; i < cfg.clients; ++i) {
-    clients[i].wire = std::make_unique<framework::WireClient>(
-        loop, network, load_client_ip(i), cfg.server_host,
-        cfg.client_hash_cost_us);
-    if (cfg.capture_history) {
-      // Challenge and response handlers both run on the loop thread, so
-      // the per-client vector needs no synchronization. In the closed
-      // loop a request's response always follows its own challenge, so
-      // "does the last record carry my id" decides append vs finalize.
-      clients[i].wire->set_challenge_observer(
-          [&report, i](const framework::Challenge& challenge) {
-            report.histories[i].push_back(make_issue_record(challenge));
-          });
-    }
+
+  if (cfg.capture_history || cfg.capture_fingerprints) {
+    // Challenge and response handlers both run on the loop thread, so
+    // the per-client state needs no synchronization. In the closed
+    // loop a request's response always follows its own challenge, so
+    // "does the last record carry my id" decides append vs finalize.
+    pool.set_challenge_observer(
+        [&report, &clients, &cfg](std::size_t ci,
+                                  const framework::Challenge& challenge) {
+          if (cfg.capture_history) {
+            report.histories[ci].push_back(make_issue_record(challenge));
+          }
+          if (cfg.capture_fingerprints) {
+            ClientState& state = clients[ci];
+            if (state.has_pending) {
+              report.history_fingerprints[ci] = fold_issue_record(
+                  report.history_fingerprints[ci], state.pending);
+            }
+            state.pending = make_issue_record(challenge);
+            state.has_pending = true;
+          }
+        });
   }
+
   const framework::ServerStats before = server.stats();
   const common::TimePoint sim_start = loop.now();
 
-  // Closed loop: each response triggers the client's next request. A
+  // Closed loop: each response triggers the client's next request —
+  // immediately, or after the population's think-time gap when paced. A
   // request dropped by a lossy link also moves on — otherwise one lost
   // message would stall that client forever.
   std::function<void(std::size_t)> kick = [&](std::size_t ci) {
     ClientState& state = clients[ci];
     while (state.sent < cfg.requests_per_client) {
-      ++state.sent;
-      ++report.sent;
-      const std::uint64_t id = state.wire->send_request(
-          cfg.path, features[ci % features.size()],
-          [&report, &kick, &cfg, ci](const framework::Response& response,
-                                     common::Duration) {
-            ++report.answered;
-            if (response.status == common::ErrorCode::kOk) {
-              ++report.served;
-            } else if (response.status == common::ErrorCode::kUnavailable) {
-              ++report.overloaded;
-            } else {
-              ++report.rejected;
-            }
-            if (cfg.capture_history) {
-              ClientHistory& history = report.histories[ci];
-              if (!history.empty() && history.back().challenged &&
-                  history.back().request_id == response.request_id) {
-                history.back().outcome = response.status;
-              } else {
-                IssueRecord record;
-                record.request_id = response.request_id;
-                record.outcome = response.status;
-                history.push_back(std::move(record));
+      const std::uint64_t ordinal = state.sent++;
+      if (population) {
+        const double now_ms =
+            common::to_millis_f(loop.now().time_since_epoch());
+        loop.schedule_in(
+            population->gap_before(ci, ordinal, now_ms), [&, ci] {
+              ++report.sent;
+              if (pool.send_request(ci, cfg.path,
+                                    features[ci % features.size()]) == 0) {
+                kick(ci);  // dropped by the link; move on
               }
-            }
-            kick(ci);
-          });
+            });
+        return;  // the response (or drop) continues the loop
+      }
+      ++report.sent;
+      const std::uint64_t id =
+          pool.send_request(ci, cfg.path, features[ci % features.size()]);
       if (id != 0) return;  // in flight; the callback continues the loop
     }
   };
+
+  pool.set_response_handler([&](std::size_t ci,
+                                const framework::Response& response,
+                                common::Duration) {
+    ++report.answered;
+    if (response.status == common::ErrorCode::kOk) {
+      ++report.served;
+    } else if (response.status == common::ErrorCode::kUnavailable) {
+      ++report.overloaded;
+    } else {
+      ++report.rejected;
+    }
+    if (cfg.capture_history) {
+      ClientHistory& history = report.histories[ci];
+      if (!history.empty() && history.back().challenged &&
+          history.back().request_id == response.request_id) {
+        history.back().outcome = response.status;
+      } else {
+        IssueRecord record;
+        record.request_id = response.request_id;
+        record.outcome = response.status;
+        history.push_back(std::move(record));
+      }
+    }
+    if (cfg.capture_fingerprints) {
+      ClientState& state = clients[ci];
+      if (state.has_pending && state.pending.challenged &&
+          state.pending.request_id == response.request_id) {
+        state.pending.outcome = response.status;
+      } else {
+        if (state.has_pending) {
+          report.history_fingerprints[ci] = fold_issue_record(
+              report.history_fingerprints[ci], state.pending);
+        }
+        state.pending = IssueRecord{};
+        state.pending.request_id = response.request_id;
+        state.pending.outcome = response.status;
+      }
+      report.history_fingerprints[ci] =
+          fold_issue_record(report.history_fingerprints[ci], state.pending);
+      state.has_pending = false;
+    }
+    kick(ci);
+  });
+
   for (std::size_t i = 0; i < cfg.clients; ++i) kick(i);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -265,6 +380,23 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
   report.messages_sent = network.messages_sent();
   report.server_delta = server.stats() - before;
   if (front_end) report.front_end = front_end->stats();
+
+  if (cfg.capture_fingerprints) {
+    // Challenges whose response was lost stay pending; fold them with
+    // their default outcome, exactly as the history path records them.
+    for (std::size_t i = 0; i < cfg.clients; ++i) {
+      if (clients[i].has_pending) {
+        report.history_fingerprints[i] = fold_issue_record(
+            report.history_fingerprints[i], clients[i].pending);
+      }
+    }
+  }
+
+  report.server_memory_bytes = server.memory_bytes();
+  report.network_memory_bytes = network.memory_bytes();
+  report.client_memory_bytes =
+      pool.memory_bytes() +
+      (population ? population->memory_bytes() : 0);
   return report;
 }
 

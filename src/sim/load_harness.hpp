@@ -25,6 +25,7 @@
 #include "netsim/link.hpp"
 #include "policy/policy.hpp"
 #include "reputation/model.hpp"
+#include "sim/population.hpp"
 
 namespace powai::sim {
 
@@ -47,6 +48,24 @@ struct IssueRecord final {
 
 /// A client's full request history, in that client's send order.
 using ClientHistory = std::vector<IssueRecord>;
+
+/// Starting value for the history-fingerprint fold (FNV-1a offset
+/// basis; an empty history fingerprints to exactly this).
+inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ULL;
+
+/// Folds one finalized IssueRecord into a running 64-bit fingerprint
+/// (FNV-1a over every field, seed bytes included). Fingerprints are the
+/// scale-friendly form of the determinism contract: a 10^5-client
+/// golden stores one u64 per client instead of full histories, yet any
+/// field drift — ids, seeds, difficulties, outcomes, order — changes
+/// the value.
+[[nodiscard]] std::uint64_t fold_issue_record(std::uint64_t fingerprint,
+                                              const IssueRecord& record);
+
+/// Fingerprint of a whole history: fold_issue_record over each record
+/// in order, from kFingerprintSeed. Matches WireLoadReport::
+/// history_fingerprints for the same client by construction.
+[[nodiscard]] std::uint64_t history_fingerprint(const ClientHistory& history);
 
 /// Builds the IssueRecord for one completed in-process round trip —
 /// the single definition both the harness and hand-rolled serial
@@ -89,6 +108,12 @@ struct LoadReport final {
   std::uint64_t rate_limited = 0;
   std::uint64_t rejected_other = 0;  ///< any other terminal error
   std::uint64_t solve_attempts = 0;  ///< total hashes clients spent
+  std::uint64_t clients = 0;         ///< client threads in this run
+
+  /// PowServer::memory_bytes() sampled after the run — what the
+  /// per-client server structures (rate limiter, reputation cache,
+  /// replay cache) actually cost for this population.
+  std::uint64_t server_memory_bytes = 0;
 
   /// Server counters accumulated during this run only.
   framework::ServerStats server_delta;
@@ -103,6 +128,8 @@ struct LoadReport final {
   /// end-to-end view of the SHA-256 hot path — midstate + dispatch wins
   /// in the solver show up here directly.
   [[nodiscard]] double hashes_per_s() const;
+  /// Server-side resident bytes per client (0 when clients == 0).
+  [[nodiscard]] double server_bytes_per_client() const;
 };
 
 class LoadHarness final {
@@ -155,6 +182,27 @@ struct WireLoadConfig final {
   /// WireLoadReport::histories (off by default).
   bool capture_history = false;
 
+  /// Fold each client's finalized records into a 64-bit fingerprint
+  /// (WireLoadReport::history_fingerprints) — O(1) memory per client,
+  /// the form the 10^5-client determinism goldens use. Independent of
+  /// capture_history; when both are set, history_fingerprint(
+  /// histories[i]) == history_fingerprints[i].
+  bool capture_fingerprints = false;
+
+  /// Arrival pacing: when true, client i's n-th request is scheduled
+  /// ClientPopulation::gap_before(i, n, now) after its previous exchange
+  /// finished (think time) instead of firing back-to-back — the knob
+  /// that turns the closed loop into a heavy-tailed open-ish load.
+  /// Gaps and weights derive from population_seed, so paced runs keep
+  /// the same determinism contract as unpaced ones.
+  bool pace_arrivals = false;
+  ArrivalConfig arrivals;
+
+  /// Heavy-tailed per-client activity (see PopulationConfig);
+  /// 0 = uniform. Only meaningful with pace_arrivals.
+  double weight_alpha = 0.0;
+  std::uint64_t population_seed = 1;
+
   /// Modelled per-hash client solve cost (see WireClient).
   double client_hash_cost_us = 38.0;
 
@@ -181,6 +229,14 @@ struct WireLoadReport final {
   common::Duration sim_elapsed{};  ///< simulated duration of the run
   double wall_s = 0.0;             ///< real time the run took
   std::uint64_t messages_sent = 0;  ///< wire messages (all four legs)
+  std::uint64_t clients = 0;        ///< population size of this run
+
+  /// Resident-memory accounting, sampled after the run: what each layer
+  /// costs for this population (see docs/ARCHITECTURE.md, "Scale model
+  /// & memory accounting").
+  std::uint64_t server_memory_bytes = 0;   ///< PowServer::memory_bytes()
+  std::uint64_t network_memory_bytes = 0;  ///< netsim::Network::memory_bytes()
+  std::uint64_t client_memory_bytes = 0;   ///< pool slots + population keys
 
   framework::ServerStats server_delta;
   framework::FrontEndStats front_end;  ///< zeros in synchronous mode
@@ -191,8 +247,27 @@ struct WireLoadReport final {
   /// determinism contract.
   std::vector<ClientHistory> histories;
 
+  /// Per-client 64-bit history fingerprints (index = client), populated
+  /// only when WireLoadConfig::capture_fingerprints is set. Same
+  /// determinism contract as histories at a millionth the memory.
+  std::vector<std::uint64_t> history_fingerprints;
+
   [[nodiscard]] double answered_per_wall_s() const {
     return wall_s > 0.0 ? static_cast<double>(answered) / wall_s : 0.0;
+  }
+  /// Server-side resident bytes per client (0 when clients == 0).
+  [[nodiscard]] double server_bytes_per_client() const {
+    return clients > 0 ? static_cast<double>(server_memory_bytes) /
+                             static_cast<double>(clients)
+                       : 0.0;
+  }
+  /// Client+network simulation bytes per client — the number that must
+  /// stay O(1) for the harness itself to reach 10^6 clients.
+  [[nodiscard]] double sim_bytes_per_client() const {
+    return clients > 0 ? static_cast<double>(network_memory_bytes +
+                                             client_memory_bytes) /
+                             static_cast<double>(clients)
+                       : 0.0;
   }
 };
 

@@ -1,0 +1,139 @@
+#pragma once
+/// \file population.hpp
+/// Million-client populations for the load harnesses. Where
+/// workload.hpp's SimClient carries a full feature vector per client
+/// (right for the 10^2-client attack experiments), a ClientPopulation
+/// keeps exactly one 64-bit derived key per client — 8 bytes — and
+/// computes everything else (address, activity weight, every
+/// inter-arrival gap) as a pure function of that key on demand. That is
+/// what lets `run_wire_load` model 10^5–10^6 clients without the
+/// per-client-object footprint dominating the simulation.
+///
+/// Derivation tree (all deterministic in `seed`, order-independent):
+///
+///   DerivedDrbg(seed bytes, "powai-population")
+///     └── stream(i).next_u64()            = client key k_i   (cached, 8 B)
+///           ├── stream_rng(k_i, 0)        → activity weight draw
+///           └── stream_rng(k_i, 1 + n)    → n-th inter-arrival draw
+///
+/// Because gap(i, n) depends only on (seed, i, n) — never on call order
+/// or thread interleaving — histories derived from a population are
+/// bit-identical across serial, pooled, and sharded runs, the same
+/// contract the issuance path keeps (see framework/server.hpp).
+///
+/// Arrival processes (per client, rate scaled by its weight):
+///   kPoisson     exponential gaps — the memoryless baseline
+///   kDiurnal     exponential gaps with a sinusoidal rate curve
+///   kPareto      Pareto(alpha) gaps — heavy-tailed bursts and lulls
+///   kFlashCrowd  exponential gaps; rate steps up by flash_factor at
+///                flash_at_ms (the stampede the PoW defense must absorb)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "features/ip_address.hpp"
+
+namespace powai::sim {
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,
+  kDiurnal,
+  kPareto,
+  kFlashCrowd,
+};
+
+/// Names usable in configs/CLI (poisson, diurnal, pareto, flash);
+/// returns false on an unknown name.
+[[nodiscard]] bool parse_arrival_process(const std::string& name,
+                                         ArrivalProcess& out);
+[[nodiscard]] const char* arrival_process_name(ArrivalProcess p);
+
+struct ArrivalConfig final {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+
+  /// Mean gap between one client's requests at weight 1.0 (the
+  /// population mean when weights are uniform).
+  double mean_interarrival_ms = 1000.0;
+
+  /// kDiurnal: rate multiplied by 1 + depth * sin(2*pi * t / period).
+  /// depth in [0, 1); period > 0.
+  double diurnal_period_ms = 60'000.0;
+  double diurnal_depth = 0.5;
+
+  /// kPareto: shape of the gap distribution; > 1 so the mean exists
+  /// (the scale is chosen to preserve mean_interarrival_ms).
+  double pareto_alpha = 1.5;
+
+  /// kFlashCrowd: at flash_at_ms the whole population's rate steps up
+  /// by flash_factor (>= 1).
+  double flash_at_ms = 10'000.0;
+  double flash_factor = 10.0;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+struct PopulationConfig final {
+  std::size_t clients = 100'000;
+
+  /// First client address; client i lives at base_ip + i (must leave
+  /// room for `clients` addresses — Network::add_host_group enforces
+  /// the same bound at attach time).
+  std::string base_ip = "10.0.0.0";
+
+  /// Root of the derivation tree (see file comment).
+  std::uint64_t seed = 1;
+
+  ArrivalConfig arrivals;
+
+  /// Heavy-tailed per-client activity: weight_i ~ Pareto(weight_alpha)
+  /// normalized to mean 1 when > 0 (a few hot clients, a long tail of
+  /// quiet ones); 0 = every client at weight 1.0. Must be 0 or > 1.
+  double weight_alpha = 0.0;
+};
+
+class ClientPopulation final {
+ public:
+  /// Materializes the per-client keys (8 bytes each — the only O(n)
+  /// state). Throws std::invalid_argument on a malformed config.
+  explicit ClientPopulation(PopulationConfig config);
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] const PopulationConfig& config() const { return config_; }
+
+  /// Client i's address: base_ip + i (dotted quad).
+  [[nodiscard]] std::string ip_of(std::size_t i) const;
+  [[nodiscard]] features::IpAddress address_of(std::size_t i) const;
+
+  /// Inverse of ip_of: the index owning \p ip, or npos when outside the
+  /// population's range. O(1) — how a shared wire handler recovers the
+  /// client from a transport-level source address.
+  [[nodiscard]] std::size_t index_of(features::IpAddress ip) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Client i's activity weight (>= 0, mean ~1). Pure function of
+  /// (seed, i); O(1), no per-call state.
+  [[nodiscard]] double weight_of(std::size_t i) const;
+
+  /// Gap before client i's n-th request (n counts from 0), with the
+  /// process evaluated at simulated time \p now_ms. Pure function of
+  /// (seed, i, n, now_ms for the time-varying processes) — call-order
+  /// and thread independent.
+  [[nodiscard]] common::Duration gap_before(std::size_t i, std::uint64_t n,
+                                            double now_ms) const;
+
+  /// Resident footprint: the key table (the point: ~8 bytes/client).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return sizeof(ClientPopulation) + keys_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  PopulationConfig config_;
+  std::uint32_t base_ = 0;          ///< parsed base_ip
+  std::vector<std::uint64_t> keys_;  ///< per-client derived keys
+};
+
+}  // namespace powai::sim

@@ -302,6 +302,40 @@ TEST_F(AsyncFrontEndTest, ShardedDrainMatchesSingleDrainExactly) {
   EXPECT_EQ(four.server_delta.difficulty_sum, one.server_delta.difficulty_sum);
 }
 
+TEST_F(AsyncFrontEndTest, PinnedDrainsAndWorkersChangeNothing) {
+  // Affinity is a pure performance knob: a run with drains and verify
+  // workers pinned must be indistinguishable — totals, conversation,
+  // simulated duration, per-client fingerprints — from an unpinned one.
+  const features::SyntheticTraceGenerator gen;
+  common::Rng frng(47);
+  std::vector<features::FeatureVector> features;
+  for (int i = 0; i < 4; ++i) features.push_back(gen.sample(i % 2 == 1, frng));
+
+  const auto run = [&](bool pin) {
+    ServerConfig cfg;
+    cfg.master_secret = common::bytes_of("pin-match-secret");
+    cfg.verify_threads = 2;
+    cfg.pin_verify_threads = pin;
+    sim::WireLoadConfig wc;
+    wc.clients = 5;
+    wc.requests_per_client = 4;
+    wc.async = true;
+    wc.front_end.max_batch = 3;
+    wc.front_end.drain_shards = 2;
+    wc.front_end.pin_drains = pin;
+    wc.capture_fingerprints = true;
+    return sim::run_wire_load(model_, policy_, cfg, features, wc);
+  };
+
+  const sim::WireLoadReport floating = run(false);
+  const sim::WireLoadReport pinned = run(true);
+  EXPECT_EQ(pinned.answered, floating.answered);
+  EXPECT_EQ(pinned.served, floating.served);
+  EXPECT_EQ(pinned.messages_sent, floating.messages_sent);
+  EXPECT_EQ(pinned.sim_elapsed, floating.sim_elapsed);
+  EXPECT_EQ(pinned.history_fingerprints, floating.history_fingerprints);
+}
+
 TEST_F(AsyncFrontEndTest, ShardConfigValidated) {
   // Raw front ends (no endpoint — the network host can register once).
   AsyncFrontEndConfig cfg;

@@ -175,6 +175,41 @@ TEST(ConcurrentRateLimiter, AllowGrantsExactlyBurstUnderRaces) {
   EXPECT_LT(limiter.tokens(features::IpAddress(10, 1, 2, 3)), 1.0);
 }
 
+TEST(ConcurrentRateLimiter, WideBurstGrantsExactlyBurstUnderRaces) {
+  // Same exact-accounting contract as the packed path, on the wide
+  // representation (burst > 65535): racing threads must collectively win
+  // exactly `burst` tokens — via 128-bit CAS where the platform has it,
+  // via the per-bucket lock otherwise (and always under TSan).
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.tokens_per_second = 1.0;
+  cfg.burst = 65537.0;  // one past the packed-word ceiling
+  RateLimiter limiter(clock, cfg);
+  ASSERT_TRUE(limiter.wide());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8200;  // 8 * 8200 = 65600 attempts > burst
+  std::atomic<int> granted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int j = 0; j < kPerThread; ++j) {
+        if (limiter.allow(features::IpAddress(10, 1, 2, 3))) {
+          granted.fetch_add(1);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(granted.load(), 65537);
+  EXPECT_EQ(limiter.tracked_ips(), 1u);
+  EXPECT_LT(limiter.tokens(features::IpAddress(10, 1, 2, 3)), 1.0);
+}
+
 TEST_F(ConcurrentServerTest, ConcurrentSubmissionsCountedExactlyOnce) {
   // Every solved challenge is submitted by kSubmitters racing threads;
   // the replay cache must let exactly one win per puzzle.

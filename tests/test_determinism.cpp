@@ -152,6 +152,58 @@ TEST_F(DeterminismTest, WireHistoriesIdenticalAcrossTransportAndShards) {
   EXPECT_EQ(sharded.sim_elapsed, serial.sim_elapsed);
 }
 
+TEST_F(DeterminismTest, FingerprintsFoldExactlyWhatHistoriesRecord) {
+  // The scale-friendly form of the golden contract: per-client 64-bit
+  // fingerprints must (a) equal history_fingerprint() over the captured
+  // histories, and (b) be bit-identical across serial, pooled, and
+  // sharded shapes — with and without heavy-tailed arrival pacing.
+  const auto run = [&](bool async, std::size_t verify_threads,
+                       std::size_t drain_shards, bool paced) {
+    framework::ServerConfig cfg = server_config();
+    cfg.verify_threads = verify_threads;
+    WireLoadConfig wc;
+    wc.clients = 6;
+    wc.requests_per_client = 5;
+    wc.async = async;
+    wc.front_end.max_batch = 3;
+    wc.front_end.drain_shards = drain_shards;
+    wc.capture_history = true;
+    wc.capture_fingerprints = true;
+    wc.pace_arrivals = paced;
+    wc.arrivals.process = ArrivalProcess::kPareto;
+    wc.arrivals.mean_interarrival_ms = 40.0;
+    wc.weight_alpha = 1.3;
+    return run_wire_load(model_, policy_, cfg, features_, wc);
+  };
+
+  for (const bool paced : {false, true}) {
+    const WireLoadReport serial = run(false, 1, 1, paced);
+    const WireLoadReport pooled = run(true, 3, 1, paced);
+    const WireLoadReport sharded = run(true, 2, 3, paced);
+
+    ASSERT_EQ(serial.history_fingerprints.size(), 6u);
+    for (std::size_t c = 0; c < serial.histories.size(); ++c) {
+      EXPECT_EQ(serial.history_fingerprints[c],
+                history_fingerprint(serial.histories[c]))
+          << "paced=" << paced << " client " << c;
+    }
+    EXPECT_EQ(pooled.history_fingerprints, serial.history_fingerprints)
+        << "paced=" << paced;
+    EXPECT_EQ(sharded.history_fingerprints, serial.history_fingerprints)
+        << "paced=" << paced;
+    EXPECT_EQ(pooled.sim_elapsed, serial.sim_elapsed) << "paced=" << paced;
+    EXPECT_EQ(sharded.sim_elapsed, serial.sim_elapsed) << "paced=" << paced;
+  }
+
+  // An empty history folds to the seed, and folding is order-sensitive.
+  EXPECT_EQ(history_fingerprint({}), kFingerprintSeed);
+  IssueRecord a;
+  a.request_id = 1;
+  IssueRecord b;
+  b.request_id = 2;
+  EXPECT_NE(history_fingerprint({a, b}), history_fingerprint({b, a}));
+}
+
 TEST_F(DeterminismTest, PolicySeedSelectsADifferentButEqualRandomHistory) {
   // The randomized policy draw is keyed by (policy_seed, puzzle_id):
   // changing the seed changes difficulties (it is really random), while

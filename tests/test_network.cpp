@@ -314,6 +314,171 @@ TEST(NetworkFault, OverlayDoesNotPerturbBaseLinkDraws) {
   }
 }
 
+TEST(NetworkGroup, OneRegistrationCoversTheWholeRange) {
+  EventLoop loop;
+  common::Rng rng(3);
+  Network net(loop, rng);
+  net.add_host("server", [](const std::string&, common::BytesView) {});
+
+  std::vector<std::pair<std::string, std::string>> delivered;
+  net.add_host_group("10.0.0.0", 1'000'000,
+                     [&](const std::string& member, const std::string& from,
+                         common::BytesView) {
+                       delivered.emplace_back(member, from);
+                     });
+
+  EXPECT_TRUE(net.has_host("10.0.0.0"));
+  EXPECT_TRUE(net.has_host("10.0.0.255"));
+  EXPECT_TRUE(net.has_host("10.15.66.63"));  // base + 999'999
+  EXPECT_FALSE(net.has_host("10.15.66.64"));  // base + 1'000'000
+  EXPECT_FALSE(net.has_host("9.255.255.255"));
+
+  // Group members both receive and send.
+  ASSERT_TRUE(net.send("server", "10.3.1.4", common::bytes_of("hi")));
+  ASSERT_TRUE(net.send("10.3.1.4", "server", common::bytes_of("yo")));
+  loop.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].first, "10.3.1.4");
+  EXPECT_EQ(delivered[0].second, "server");
+}
+
+TEST(NetworkGroup, ExplicitHostShadowsGroupMember) {
+  EventLoop loop;
+  common::Rng rng(4);
+  Network net(loop, rng);
+  net.add_host("server", [](const std::string&, common::BytesView) {});
+  int direct = 0;
+  int grouped = 0;
+  net.add_host("10.0.0.7",
+               [&](const std::string&, common::BytesView) { ++direct; });
+  net.add_host_group("10.0.0.0", 256,
+                     [&](const std::string&, const std::string&,
+                         common::BytesView) { ++grouped; });
+  ASSERT_TRUE(net.send("server", "10.0.0.7", common::bytes_of("x")));
+  loop.run();
+  EXPECT_EQ(direct, 1);
+  EXPECT_EQ(grouped, 0);
+}
+
+TEST(NetworkGroup, RejectsMalformedAndOverlappingRanges) {
+  EventLoop loop;
+  common::Rng rng(5);
+  Network net(loop, rng);
+  const auto handler = [](const std::string&, const std::string&,
+                          common::BytesView) {};
+  EXPECT_THROW(net.add_host_group("not-an-ip", 4, handler),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_host_group("10.0.0.0", 0, handler),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_host_group("255.255.255.250", 100, handler),
+               std::invalid_argument);  // wraps
+  net.add_host_group("10.0.0.0", 256, handler);
+  EXPECT_THROW(net.add_host_group("10.0.0.128", 256, handler),
+               std::invalid_argument);  // overlaps
+  net.add_host_group("10.0.1.0", 256, handler);  // adjacent is fine
+}
+
+TEST(NetworkLinkClass, ResolverPicksSharedProfiles) {
+  EventLoop loop;
+  common::Rng rng(6);
+  Network net(loop, rng);
+  net.add_host("server", [](const std::string&, common::BytesView) {});
+  net.add_host_group("10.0.0.0", 1 << 16,
+                     [](const std::string&, const std::string&,
+                        common::BytesView) {});
+
+  // Class 0: fast LAN; class 1: lossy uplink. Even-octet clients are
+  // "near", odd are "far" — one resolver, zero per-pair state.
+  LinkModel fast;
+  fast.base_latency = 1ms;
+  fast.jitter = 0ms;
+  const std::size_t fast_class = net.add_link_class(fast);
+  LinkModel lossy;
+  lossy.loss_rate = 1.0;  // always drops: observable without stats
+  const std::size_t lossy_class = net.add_link_class(lossy);
+  net.set_link_class_resolver(
+      [fast_class, lossy_class](const std::string& from, const std::string&)
+          -> std::optional<std::size_t> {
+        const auto ip = features::IpAddress::parse(from);
+        if (!ip) return std::nullopt;  // server → clients: default link
+        return ip->value() % 2 == 0 ? fast_class : lossy_class;
+      });
+
+  EXPECT_TRUE(net.send("10.0.0.2", "server", common::bytes_of("a")));
+  EXPECT_FALSE(net.send("10.0.0.3", "server", common::bytes_of("b")));
+
+  // An explicit pair link overrides the resolver.
+  LinkModel clean;
+  net.set_link("10.0.0.3", "server", clean);
+  EXPECT_TRUE(net.send("10.0.0.3", "server", common::bytes_of("c")));
+  loop.run();
+}
+
+TEST(NetworkLinkClass, ResolverReturningUnknownClassThrows) {
+  EventLoop loop;
+  common::Rng rng(7);
+  Network net(loop, rng);
+  net.add_host("a", [](const std::string&, common::BytesView) {});
+  net.add_host("b", [](const std::string&, common::BytesView) {});
+  net.set_link_class_resolver(
+      [](const std::string&, const std::string&) -> std::optional<std::size_t> {
+        return 42;  // no such class
+      });
+  EXPECT_THROW((void)net.send("a", "b", common::bytes_of("x")),
+               std::out_of_range);
+}
+
+TEST(NetworkGroup, MemoryStaysFlatAcrossGroupSize) {
+  // The point of groups: network-side state must not scale with member
+  // count. A million-member group costs the same bytes as a 256-member
+  // one.
+  EventLoop loop;
+  common::Rng rng(8);
+  Network small_net(loop, rng);
+  small_net.add_host_group("10.0.0.0", 256,
+                           [](const std::string&, const std::string&,
+                              common::BytesView) {});
+  Network big_net(loop, rng);
+  big_net.add_host_group("10.0.0.0", 1'000'000,
+                         [](const std::string&, const std::string&,
+                            common::BytesView) {});
+  EXPECT_EQ(small_net.memory_bytes(), big_net.memory_bytes());
+}
+
+TEST(NetworkFault, GroupPairsKeepPureFaultStreams) {
+  // The hashed per-pair counters must preserve the LinkFault contract
+  // for group members: the drop pattern for a given (member, server)
+  // pair is a pure function of the fault seed — identical across two
+  // independent runs even when other pairs' sends interleave
+  // differently.
+  const auto run = [](bool interleave) {
+    EventLoop loop;
+    common::Rng rng(9);
+    Network net(loop, rng);
+    net.add_host("server", [](const std::string&, common::BytesView) {});
+    net.add_host_group("10.0.0.0", 1024,
+                       [](const std::string&, const std::string&,
+                          common::BytesView) {});
+    LinkModel lossless;
+    lossless.jitter = 0ms;
+    net.set_default_link(lossless);
+    net.set_fault_stream_seed(0xfa417);
+    LinkFault fault;
+    fault.extra_loss = 0.5;
+    net.set_fault(fault);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      if (interleave) {
+        (void)net.send("10.0.3.7", "server", common::bytes_of("noise"));
+      }
+      pattern.push_back(net.send("10.0.0.1", "server", common::bytes_of("m")));
+    }
+    loop.run();
+    return pattern;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(DefaultExperimentLink, IsLossless) {
   const LinkModel link = default_experiment_link();
   EXPECT_DOUBLE_EQ(link.loss_rate, 0.0);

@@ -1,0 +1,219 @@
+// Tests for the compact million-client population: key derivation
+// determinism, arrival-process shapes, heavy-tailed weights, and the
+// O(1)-per-client memory contract.
+
+#include "sim/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace powai::sim {
+namespace {
+
+PopulationConfig small_config() {
+  PopulationConfig cfg;
+  cfg.clients = 1024;
+  cfg.base_ip = "10.0.0.0";
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(ClientPopulation, AddressesAreContiguousAndInvertible) {
+  ClientPopulation pop(small_config());
+  EXPECT_EQ(pop.size(), 1024u);
+  EXPECT_EQ(pop.ip_of(0), "10.0.0.0");
+  EXPECT_EQ(pop.ip_of(255), "10.0.0.255");
+  EXPECT_EQ(pop.ip_of(256), "10.0.1.0");
+  for (const std::size_t i : {0u, 1u, 255u, 256u, 1023u}) {
+    EXPECT_EQ(pop.index_of(pop.address_of(i)), i);
+  }
+  EXPECT_EQ(pop.index_of(features::IpAddress(10, 0, 4, 0)), // base + 1024
+            ClientPopulation::npos);
+  EXPECT_EQ(pop.index_of(features::IpAddress(9, 255, 255, 255)),
+            ClientPopulation::npos);
+  EXPECT_THROW((void)pop.ip_of(1024), std::out_of_range);
+}
+
+TEST(ClientPopulation, SameSeedSamePopulationDifferentSeedDifferent) {
+  ClientPopulation a(small_config());
+  ClientPopulation b(small_config());
+  auto other = small_config();
+  other.seed = 43;
+  ClientPopulation c(other);
+  int differs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.gap_before(i, 0, 0.0), b.gap_before(i, 0, 0.0));
+    EXPECT_DOUBLE_EQ(a.weight_of(i), b.weight_of(i));
+    if (a.gap_before(i, 0, 0.0) != c.gap_before(i, 0, 0.0)) ++differs;
+  }
+  EXPECT_GT(differs, 1000);  // nearly every client re-keyed by the seed
+}
+
+TEST(ClientPopulation, GapsArePureFunctionsOfClientAndOrdinal) {
+  // Call-order independence: asking out of order, repeatedly, from a
+  // fresh object — always the same answer. This is what makes histories
+  // bit-identical across serial/pooled/sharded harness shapes.
+  ClientPopulation pop(small_config());
+  const auto g_5_7 = pop.gap_before(5, 7, 0.0);
+  const auto g_5_0 = pop.gap_before(5, 0, 0.0);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(pop.gap_before(5, 7, 0.0), g_5_7);
+    EXPECT_EQ(pop.gap_before(5, 0, 0.0), g_5_0);
+  }
+  EXPECT_NE(pop.gap_before(5, 7, 0.0), pop.gap_before(6, 7, 0.0));
+}
+
+TEST(ClientPopulation, PoissonGapsMatchTheConfiguredMean) {
+  auto cfg = small_config();
+  cfg.clients = 4096;
+  cfg.arrivals.mean_interarrival_ms = 250.0;
+  ClientPopulation pop(cfg);
+  double sum_ms = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    sum_ms += common::to_millis_f(pop.gap_before(i, 0, 0.0));
+  }
+  // Mean of 4096 Exp(1/250) draws: SE ~ 250/64 ≈ 4 ms.
+  EXPECT_NEAR(sum_ms / static_cast<double>(pop.size()), 250.0, 20.0);
+}
+
+TEST(ClientPopulation, ParetoGapsAreHeavyTailed) {
+  auto cfg = small_config();
+  cfg.clients = 8192;
+  cfg.arrivals.process = ArrivalProcess::kPareto;
+  cfg.arrivals.mean_interarrival_ms = 100.0;
+  cfg.arrivals.pareto_alpha = 1.5;
+  ClientPopulation pop(cfg);
+  std::vector<double> gaps;
+  gaps.reserve(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    gaps.push_back(common::to_millis_f(pop.gap_before(i, 0, 0.0)));
+  }
+  // Every draw sits at or above the scale xm = mean*(a-1)/a = 100/3.
+  const double xm = 100.0 * (1.5 - 1.0) / 1.5;
+  for (const double g : gaps) ASSERT_GE(g, xm * 0.999);
+  // Heavy tail: the max dwarfs the median by far more than an
+  // exponential's ~10x would allow at this sample size.
+  std::sort(gaps.begin(), gaps.end());
+  const double median = gaps[gaps.size() / 2];
+  EXPECT_GT(gaps.back() / median, 50.0);
+}
+
+TEST(ClientPopulation, DiurnalRateRisesAtThePeak) {
+  auto cfg = small_config();
+  cfg.clients = 4096;
+  cfg.arrivals.process = ArrivalProcess::kDiurnal;
+  cfg.arrivals.mean_interarrival_ms = 100.0;
+  cfg.arrivals.diurnal_period_ms = 1000.0;
+  cfg.arrivals.diurnal_depth = 0.9;
+  ClientPopulation pop(cfg);
+  // Peak of sin at t = period/4; trough at 3*period/4. The same (i, n)
+  // draws, re-timed, must yield gaps ~19x apart ((1+.9)/(1-.9)).
+  double peak_sum = 0.0;
+  double trough_sum = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    peak_sum += common::to_millis_f(pop.gap_before(i, 0, 250.0));
+    trough_sum += common::to_millis_f(pop.gap_before(i, 0, 750.0));
+  }
+  EXPECT_NEAR(trough_sum / peak_sum, 19.0, 1.0);
+}
+
+TEST(ClientPopulation, FlashCrowdStepsTheRateUp) {
+  auto cfg = small_config();
+  cfg.clients = 4096;
+  cfg.arrivals.process = ArrivalProcess::kFlashCrowd;
+  cfg.arrivals.mean_interarrival_ms = 100.0;
+  cfg.arrivals.flash_at_ms = 5000.0;
+  cfg.arrivals.flash_factor = 10.0;
+  ClientPopulation pop(cfg);
+  double before_sum = 0.0;
+  double after_sum = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    before_sum += common::to_millis_f(pop.gap_before(i, 0, 4999.0));
+    after_sum += common::to_millis_f(pop.gap_before(i, 0, 5000.0));
+  }
+  EXPECT_NEAR(before_sum / after_sum, 10.0, 0.5);
+}
+
+TEST(ClientPopulation, HeavyTailedWeightsSkewActivity) {
+  auto cfg = small_config();
+  cfg.clients = 8192;
+  cfg.weight_alpha = 1.2;
+  ClientPopulation pop(cfg);
+  std::vector<double> weights;
+  weights.reserve(pop.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    weights.push_back(pop.weight_of(i));
+    total += weights.back();
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  // Top 1% of clients carries a disproportionate share of the activity.
+  double top_share = 0.0;
+  for (std::size_t i = 0; i < weights.size() / 100; ++i) {
+    top_share += weights[i];
+  }
+  EXPECT_GT(top_share / total, 0.10);
+  // Uniform mode: exactly 1.0 everywhere.
+  auto uniform_cfg = small_config();
+  ClientPopulation uniform(uniform_cfg);
+  EXPECT_DOUBLE_EQ(uniform.weight_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(uniform.weight_of(uniform.size() - 1), 1.0);
+}
+
+TEST(ClientPopulation, MemoryIsEightBytesPerClient) {
+  auto cfg = small_config();
+  cfg.clients = 100'000;
+  ClientPopulation pop(cfg);
+  const double per_client = static_cast<double>(pop.memory_bytes()) /
+                            static_cast<double>(pop.size());
+  EXPECT_LT(per_client, 9.0);  // 8 B key + amortized object header
+}
+
+TEST(ClientPopulation, RejectsMalformedConfigs) {
+  auto cfg = small_config();
+  cfg.clients = 0;
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.base_ip = "bogus";
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.base_ip = "255.255.255.0";
+  cfg.clients = 1024;  // wraps
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.weight_alpha = 0.5;  // infinite-mean weights
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.arrivals.mean_interarrival_ms = 0.0;
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.arrivals.process = ArrivalProcess::kPareto;
+  cfg.arrivals.pareto_alpha = 1.0;
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.arrivals.process = ArrivalProcess::kDiurnal;
+  cfg.arrivals.diurnal_depth = 1.0;
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.arrivals.process = ArrivalProcess::kFlashCrowd;
+  cfg.arrivals.flash_factor = 0.5;
+  EXPECT_THROW(ClientPopulation{cfg}, std::invalid_argument);
+}
+
+TEST(ClientPopulation, ArrivalProcessNamesRoundTrip) {
+  for (const auto p :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kDiurnal,
+        ArrivalProcess::kPareto, ArrivalProcess::kFlashCrowd}) {
+    ArrivalProcess parsed{};
+    ASSERT_TRUE(parse_arrival_process(arrival_process_name(p), parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  ArrivalProcess out{};
+  EXPECT_FALSE(parse_arrival_process("constant", out));
+}
+
+}  // namespace
+}  // namespace powai::sim

@@ -7,12 +7,29 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/hashing.hpp"
+
 namespace powai::pow {
 namespace {
+
+/// First \p count ids that the cache's own hash routes to \p shard (of
+/// \p shards) — the tool for constructing shard-skewed insert streams.
+std::vector<std::uint64_t> ids_for_shard(std::uint64_t shard,
+                                         std::uint64_t shards,
+                                         std::size_t count,
+                                         std::uint64_t start = 0) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count);
+  for (std::uint64_t id = start; ids.size() < count; ++id) {
+    if ((common::mix64(id) & (shards - 1)) == shard) ids.push_back(id);
+  }
+  return ids;
+}
 
 TEST(ShardedReplayCache, RedeemsEachIdExactlyOnce) {
   ShardedReplayCache cache(1024, 8);
@@ -121,6 +138,115 @@ TEST(ShardedReplayCache, ConcurrentDistinctIdsAllSucceed) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(accepted.load(), kThreads * kPerThread);
   EXPECT_EQ(cache.size(), kThreads * kPerThread);
+}
+
+TEST(ShardedReplayCache, SkewedShardBorrowsTheFullGlobalBudget) {
+  // All keys route to one shard of eight. Under the old exact per-shard
+  // split the hot shard would cap at capacity/8 = 8 entries; with
+  // borrowing it absorbs the whole idle budget.
+  constexpr std::size_t kCapacity = 64;
+  ShardedReplayCache cache(kCapacity, 8);
+  ASSERT_EQ(cache.shard_count(), 8u);
+  const auto skewed = ids_for_shard(0, 8, kCapacity);
+  for (const auto id : skewed) ASSERT_TRUE(cache.try_redeem(id));
+  EXPECT_EQ(cache.size(), kCapacity);
+  for (const auto id : skewed) {
+    EXPECT_TRUE(cache.contains(id)) << "id " << id;
+    EXPECT_FALSE(cache.try_redeem(id)) << "id " << id;
+  }
+}
+
+TEST(ShardedReplayCache, BorrowedCapacityStretchesTheReRedemptionWindow) {
+  // Pins the documented cost of borrowing: under a fully skewed stream
+  // an id is forgotten — and becomes redeemable again — only after
+  // `capacity` same-shard inserts, not capacity/shards. The window IS
+  // the global budget.
+  constexpr std::size_t kCapacity = 32;
+  ShardedReplayCache cache(kCapacity, 4);
+  ASSERT_EQ(cache.shard_count(), 4u);
+  const auto skewed = ids_for_shard(0, 4, kCapacity + 1);
+
+  ASSERT_TRUE(cache.try_redeem(skewed[0]));
+  // capacity-1 further same-shard inserts: the victim-to-be survives all
+  // of them (window not yet exhausted)...
+  for (std::size_t i = 1; i < kCapacity; ++i) {
+    ASSERT_TRUE(cache.try_redeem(skewed[i]));
+    ASSERT_TRUE(cache.contains(skewed[0])) << "evicted after only " << i
+                                           << " same-shard inserts";
+  }
+  // ...and exactly the capacity-th insert pushes it out.
+  ASSERT_TRUE(cache.try_redeem(skewed[kCapacity]));
+  EXPECT_FALSE(cache.contains(skewed[0]));
+  EXPECT_TRUE(cache.try_redeem(skewed[0]));  // re-redeemable: window passed
+  EXPECT_EQ(cache.size(), kCapacity);
+}
+
+TEST(ShardedReplayCache, ExactCapacityBoundaryAdmitsAllWithoutEviction) {
+  // Filling to exactly the budget — concurrently, with shard-skewed
+  // keys — must evict nothing: eviction triggers strictly beyond
+  // capacity, not at it.
+  constexpr std::size_t kCapacity = 4096;
+  constexpr int kThreads = 8;
+  ShardedReplayCache cache(kCapacity, 8);
+  // Every thread hammers one of two shards (4 threads each).
+  const auto shard0 = ids_for_shard(0, 8, kCapacity / 2);
+  const auto shard1 = ids_for_shard(1, 8, kCapacity / 2);
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto& ids = (t % 2 == 0) ? shard0 : shard1;
+      const std::size_t chunk = ids.size() / (kThreads / 2);
+      const std::size_t begin = static_cast<std::size_t>(t / 2) * chunk;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = begin; i < begin + chunk; ++i) {
+        if (cache.try_redeem(ids[i])) accepted.fetch_add(1);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(accepted.load(), kCapacity);
+  EXPECT_EQ(cache.size(), kCapacity);
+  for (const auto id : shard0) EXPECT_TRUE(cache.contains(id));
+  for (const auto id : shard1) EXPECT_TRUE(cache.contains(id));
+}
+
+TEST(ShardedReplayCache, ConcurrentSkewedOverflowHoldsTheGlobalBound) {
+  // Past the budget, concurrent skewed inserts must keep the resident
+  // total at capacity — with at most shards-1 transient overshoot from
+  // inserts that found their shard empty while the budget was full
+  // (each non-empty shard retains at least one entry by design).
+  constexpr std::size_t kCapacity = 1024;
+  constexpr int kThreads = 8;
+  constexpr std::size_t kPerThread = 2048;
+  ShardedReplayCache cache(kCapacity, 8);
+  std::vector<std::vector<std::uint64_t>> streams;
+  streams.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    // Threads pair up on shards 0-3: skew plus same-shard contention.
+    streams.push_back(ids_for_shard(static_cast<std::uint64_t>(t % 4), 8,
+                                    kPerThread,
+                                    static_cast<std::uint64_t>(t) << 40));
+  }
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (const auto id : streams[static_cast<std::size_t>(t)]) {
+        (void)cache.try_redeem(id);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), kCapacity + cache.shard_count() - 1);
+  EXPECT_GE(cache.size(), kCapacity / 2);  // borrowing keeps it well fed
+  EXPECT_GT(cache.memory_bytes(), cache.size() * sizeof(std::uint64_t));
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/clock.hpp"
 #include "features/synthetic.hpp"
 #include "framework/client.hpp"
@@ -404,6 +406,72 @@ TEST(RateLimiterUnit, RejectsBadConfig) {
   bad = {};
   bad.max_tracked_ips = 0;
   EXPECT_THROW(RateLimiter(clock, bad), std::invalid_argument);
+}
+
+TEST(RateLimiterUnit, RejectsUnrepresentableBurstInsteadOfTruncating) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  // Beyond the wide word's range the limiter must refuse, never clamp:
+  // a silently truncated burst under-enforces the configured ceiling.
+  cfg.burst = RateLimiter::kMaxWideBurst * 2.0;
+  EXPECT_THROW(RateLimiter(clock, cfg), std::invalid_argument);
+  cfg.burst = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(RateLimiter(clock, cfg), std::invalid_argument);
+  cfg.burst = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(RateLimiter(clock, cfg), std::invalid_argument);
+  // The boundary itself is representable and accepted.
+  cfg.burst = RateLimiter::kMaxWideBurst;
+  EXPECT_NO_THROW(RateLimiter(clock, cfg));
+}
+
+TEST(RateLimiterUnit, WideBurstBeyondPackedCapIsExact) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.tokens_per_second = 1000.0;
+  cfg.burst = 70000.0;  // > kMaxBurst: selects the wide representation
+  RateLimiter limiter(clock, cfg);
+  EXPECT_TRUE(limiter.wide());
+  const features::IpAddress ip(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(limiter.tokens(ip), 70000.0);
+  for (int i = 0; i < 70000; ++i) ASSERT_TRUE(limiter.allow(ip));
+  EXPECT_FALSE(limiter.allow(ip));
+  EXPECT_LT(limiter.tokens(ip), 1.0);
+  clock.advance(2ms);  // +2 tokens
+  EXPECT_TRUE(limiter.allow(ip));
+  EXPECT_TRUE(limiter.allow(ip));
+  EXPECT_FALSE(limiter.allow(ip));
+}
+
+TEST(RateLimiterUnit, WideBucketsRefillAndCapAtBurst) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.tokens_per_second = 100000.0;
+  cfg.burst = 1 << 20;
+  RateLimiter limiter(clock, cfg);
+  const features::IpAddress ip(5, 6, 7, 8);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(limiter.allow(ip));
+  // Long idle refills back to exactly the burst, never beyond.
+  clock.advance(std::chrono::hours(1));
+  EXPECT_DOUBLE_EQ(limiter.tokens(ip), static_cast<double>(1 << 20));
+}
+
+TEST(RateLimiterUnit, WideFractionalCreditIsNeverRoundedAway) {
+  common::ManualClock clock;
+  RateLimiterConfig cfg;
+  cfg.tokens_per_second = 1.0;
+  cfg.burst = 100000.0;
+  RateLimiter limiter(clock, cfg);
+  const features::IpAddress ip(9, 9, 9, 9);
+  for (int i = 0; i < 100000; ++i) ASSERT_TRUE(limiter.allow(ip));
+  // Poll every 100ms: each denial earns 0.1 tokens of credit that must
+  // accrue across denials (the deny-without-earned-quantum rule), so the
+  // 10th poll wins a token.
+  int granted = 0;
+  for (int i = 0; i < 10; ++i) {
+    clock.advance(100ms);
+    if (limiter.allow(ip)) ++granted;
+  }
+  EXPECT_EQ(granted, 1);
 }
 
 }  // namespace
