@@ -10,11 +10,14 @@
 // every supported dispatch backend and writes a bench_diff.py-ready
 // artifact: rows keyed by "case" ("<mode>/<backend>") with a
 // "hashes_per_s" metric. "solver_scalar/generic" is the pre-midstate
-// per-attempt cost; "solver_midstate/<best>" is what the solver now
-// pays — the ratio is this PR's headline.
+// per-attempt cost; "solver_midstate/<backend>" is the single-probe
+// midstate finish; "solver_sweep/<backend>" is the lane-parallel
+// finish_many_with_suffix sweep the solver runs on multi-buffer
+// backends — sweep/midstate on avx2/avx512 is the lane speedup.
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -104,6 +107,32 @@ void BM_Sha256HashMany(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256HashMany)->Arg(8)->Arg(64)->Arg(256);
 
+void BM_Sha256FinishManySolverShape(benchmark::State& state) {
+  // The lane-sweep solver's shape: one shared midstate, a batch of
+  // 8-byte nonce suffixes finished lane_width() at a time.
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const common::Bytes prefix = make_input(100);
+  const crypto::Sha256Midstate midstate = crypto::Sha256::precompute(prefix);
+  const common::BytesView tail(
+      prefix.data() + midstate.absorbed,
+      prefix.size() - static_cast<std::size_t>(midstate.absorbed));
+  std::vector<std::array<std::uint8_t, 8>> nonces(batch);
+  std::vector<common::BytesView> suffixes;
+  suffixes.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    common::store_u64be(nonces[i].data(), i);
+    suffixes.emplace_back(nonces[i].data(), nonces[i].size());
+  }
+  std::vector<crypto::Digest> out(batch);
+  for (auto _ : state) {
+    crypto::Sha256::finish_many_with_suffix(midstate, tail, suffixes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Sha256FinishManySolverShape)->Arg(16)->Arg(256);
+
 void BM_HmacSha256(benchmark::State& state) {
   const common::Bytes key = common::bytes_of("bench-key");
   const common::Bytes data = make_input(static_cast<std::size_t>(state.range(0)));
@@ -180,6 +209,14 @@ int write_hashrate_json(const std::string& json_path) {
   std::vector<common::BytesView> views(messages.begin(), messages.end());
   std::vector<crypto::Digest> digests(kBatch);
 
+  std::vector<std::array<std::uint8_t, 8>> nonces(kBatch);
+  std::vector<common::BytesView> suffixes;
+  suffixes.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    common::store_u64be(nonces[i].data(), i);
+    suffixes.emplace_back(nonces[i].data(), nonces[i].size());
+  }
+
   const crypto::Sha256Backend previous = crypto::Sha256::backend();
   std::vector<HashrateRow> rows;
   for (crypto::Sha256Backend b : crypto::Sha256::supported_backends()) {
@@ -205,6 +242,13 @@ int write_hashrate_json(const std::string& json_path) {
     });
     rows.push_back(
         {"hash_many_256/" + backend, sweeps * static_cast<double>(kBatch)});
+    const double finish_sweeps = hashes_per_second([&](std::uint64_t) {
+      crypto::Sha256::finish_many_with_suffix(midstate, tail, suffixes,
+                                              digests);
+      benchmark::DoNotOptimize(digests.data());
+    });
+    rows.push_back({"solver_sweep/" + backend,
+                    finish_sweeps * static_cast<double>(kBatch)});
   }
   crypto::Sha256::set_backend(previous);
 

@@ -15,8 +15,16 @@
 // hashes_per_s). POWAI_SHA256_BACKEND=generic re-runs the same sweep on
 // the scalar reference for before/after comparisons on one machine.
 //
-// Usage:   ./build/bench/bench_solve_time [trials=30] [max_d=16] [json=path]
+// `sweep_json=path` writes a second artifact ("solver_sweep"): for every
+// supported backend, single-probe (PuzzleContext::check) vs lane-sweep
+// (PuzzleContext::check_many) solver throughput on an unsolvable
+// context — "sweep/avx2 over single/avx2" is the lane-parallelism
+// speedup, isolated from dispatch and midstate effects.
+//
+// Usage:   ./build/bench/bench_solve_time [trials=30] [max_d=16]
+//              [json=path] [sweep_json=path]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -123,6 +131,87 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("json written: %s\n", json_path.c_str());
+  }
+
+  const std::string sweep_json_path = args.get_string("sweep_json", "");
+  if (!sweep_json_path.empty()) {
+    // Difficulty 40 is unsolvable within any benchmark run, so every
+    // probe costs exactly one finish and the scan never terminates
+    // early — pure throughput, no luck.
+    const pow::Puzzle hard = generator.issue("198.51.100.1", 40);
+    const pow::PuzzleContext context(hard);
+
+    // Calibrate each case to a ~100 ms run, then report probes/sec.
+    const auto rate = [](auto&& block, std::uint64_t probes_per_block) {
+      std::uint64_t blocks = 1024;
+      for (;;) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < blocks; ++i) block(i);
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        if (s >= 0.1 || blocks >= (1ULL << 24)) {
+          return static_cast<double>(blocks * probes_per_block) / s;
+        }
+        blocks *= 4;
+      }
+    };
+
+    struct SweepRow {
+      std::string case_name;  // "single/<backend>" or "sweep/<backend>"
+      double hashes_per_s = 0.0;
+    };
+    std::vector<SweepRow> sweep_rows;
+    bool sink = false;  // keeps the probe results observable
+    const crypto::Sha256Backend previous = crypto::Sha256::backend();
+    for (crypto::Sha256Backend b : crypto::Sha256::supported_backends()) {
+      if (!crypto::Sha256::set_backend(b)) continue;
+      const std::string backend(crypto::Sha256::backend_name(b));
+      sweep_rows.push_back({"single/" + backend,
+                            rate([&](std::uint64_t i) { sink ^= context.check(i); },
+                                 1)});
+      // A few lane groups per call so per-call overhead is amortized the
+      // way the solver amortizes it; single-stream backends still go
+      // through check_many's sequential path.
+      const std::uint64_t batch =
+          std::max<std::uint64_t>(crypto::Sha256::lane_width(b) * 4, 16);
+      sweep_rows.push_back(
+          {"sweep/" + backend, rate(
+                                   [&](std::uint64_t i) {
+                                     sink ^= context.check_many(
+                                                 i * batch, 1,
+                                                 static_cast<std::size_t>(
+                                                     batch)) != batch;
+                                   },
+                                   batch)});
+    }
+    crypto::Sha256::set_backend(previous);
+
+    std::printf("\nsolver probes/sec, single vs lane sweep (sink=%d):\n",
+                static_cast<int>(sink));
+    for (const SweepRow& row : sweep_rows) {
+      std::printf("  %-18s %14.0f\n", row.case_name.c_str(), row.hashes_per_s);
+    }
+
+    common::JsonWriter w;
+    w.begin_object();
+    w.field_str("bench", "solver_sweep");
+    w.field_str("default_backend", std::string(crypto::Sha256::backend_name(
+                                       crypto::Sha256::backend())));
+    w.begin_array("rows");
+    for (const SweepRow& row : sweep_rows) {
+      w.begin_object();
+      w.field_str("case", row.case_name);
+      w.field_f64("hashes_per_s", row.hashes_per_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!common::write_json_file(sweep_json_path, w)) {
+      std::fprintf(stderr, "could not write %s\n", sweep_json_path.c_str());
+      return 1;
+    }
+    std::printf("json written: %s\n", sweep_json_path.c_str());
   }
   return 0;
 }

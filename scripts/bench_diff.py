@@ -24,9 +24,11 @@ Refresh it by re-running the benches and committing the new numbers:
   ./build/bench/bench_server_load max_clients=4 requests=32 json=sl.json
   ./build/bench/bench_wire_load clients=6 requests=8 max_threads=4 json=wl.json
   ./build/bench/bench_crypto --benchmark_filter=NONE json=cr.json
-  ./build/bench/bench_solve_time trials=10 max_d=14 json=st.json
+  ./build/bench/bench_solve_time trials=10 max_d=14 json=st.json \
+      sweep_json=ss.json
   python3 -c "import json,sys; print(json.dumps({a['bench']: a for a in \
-      (json.load(open(p)) for p in ['sl.json','wl.json','cr.json','st.json'])}, \
+      (json.load(open(p)) for p in \
+      ['sl.json','wl.json','cr.json','st.json','ss.json'])}, \
       indent=2))" > bench/baseline.json
 """
 
@@ -57,6 +59,12 @@ SPECS = {
     # (min_row_key drops them): the higher difficulties are the signal.
     "solve_time": {"row_key": "difficulty", "metric": "hashes_per_s",
                    "match_fields": ["sha256_backend"], "min_row_key": 8},
+    # Single-probe vs lane-sweep solver throughput per backend
+    # (bench_solve_time sweep_json=...): rows are "single/<backend>" and
+    # "sweep/<backend>" cases, so like compares with like — the
+    # sweep/single ratio within one backend is the lane-parallelism
+    # speedup this tracks.
+    "solver_sweep": {"row_key": "case", "metric": "hashes_per_s"},
 }
 
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Append a CI run's bench artifacts to an aggregated history file.
+
+bench_diff.py answers "did this run regress against the committed
+baseline?"; this script answers "what has throughput done over time?".
+Each invocation appends ONE line of JSON (JSONL) per run to the history
+file, carrying the run's identity (commit, toolchain label, timestamp)
+and every artifact's rows verbatim. CI keeps the file in a cache keyed
+per branch and uploads it as an artifact, so the full series survives
+individual runs and can be plotted or tabulated offline:
+
+  python3 -c "import json,sys; [print(r['commit'][:9], a['bench'], row) \
+      for r in map(json.loads, open('bench-history.jsonl')) \
+      for a in r['artifacts'] for row in a.get('rows', [])]"
+
+Usage:
+  scripts/bench_history.py --history bench-history.jsonl \
+      --commit "$GITHUB_SHA" --label gcc-Release \
+      cr.json st.json ss.json [sl.json ...]
+
+Missing or malformed artifacts are skipped with a note — a bench that
+failed should fail its own CI step, not the bookkeeping. The history
+file is created on first use.
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="+", help="bench JSON artifacts")
+    parser.add_argument("--history", required=True,
+                        help="JSONL file to append this run's record to")
+    parser.add_argument("--commit", default="unknown",
+                        help="commit SHA the artifacts were built from")
+    parser.add_argument("--label", default="",
+                        help="free-form run label, e.g. 'gcc-Release'")
+    args = parser.parse_args()
+
+    loaded = []
+    for path in args.artifacts:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                artifact = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"note: skipping {path}: {err}")
+            continue
+        if not isinstance(artifact, dict) or "bench" not in artifact:
+            print(f"note: skipping {path}: not a bench artifact")
+            continue
+        loaded.append(artifact)
+
+    if not loaded:
+        print("no usable artifacts; nothing appended")
+        return 0
+
+    record = {
+        "commit": args.commit,
+        "label": args.label,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "artifacts": loaded,
+    }
+    with open(args.history, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, separators=(",", ":")) + "\n")
+    print(f"appended {len(loaded)} artifact(s) for {args.commit[:12]} "
+          f"to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "crypto/sha256_dispatch.hpp"
 
@@ -50,6 +51,10 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) {
 /// the scalar path here).
 using CompressFn = void (*)(std::uint32_t*, const std::uint8_t*, std::size_t);
 
+constexpr Sha256Backend kAllBackends[] = {
+    Sha256Backend::kGeneric, Sha256Backend::kShaNi, Sha256Backend::kAvx2,
+    Sha256Backend::kAvx512, Sha256Backend::kArmv8};
+
 bool backend_supported(Sha256Backend b) {
   switch (b) {
     case Sha256Backend::kGeneric:
@@ -59,39 +64,38 @@ bool backend_supported(Sha256Backend b) {
       return detail::cpu_supports_shani();
     case Sha256Backend::kAvx2:
       return detail::cpu_supports_avx2();
+    case Sha256Backend::kAvx512:
+      return detail::cpu_supports_avx512();
+#endif
+#ifdef POWAI_SHA256_ARM_DISPATCH
+    case Sha256Backend::kArmv8:
+      return detail::cpu_supports_armv8_sha2();
 #endif
     default:
       return false;
   }
 }
 
+/// Auto order: the single-stream crypto extensions first (SHA-NI /
+/// ARMv8-CE win every one-at-a-time hash and stay competitive in
+/// sweeps), then the multi-lane backends widest first (they pay on
+/// hash_many / finish_many_with_suffix and fall back to the scalar
+/// reference for single streams).
 Sha256Backend best_backend() {
   if (backend_supported(Sha256Backend::kShaNi)) return Sha256Backend::kShaNi;
+  if (backend_supported(Sha256Backend::kArmv8)) return Sha256Backend::kArmv8;
+  if (backend_supported(Sha256Backend::kAvx512)) return Sha256Backend::kAvx512;
   if (backend_supported(Sha256Backend::kAvx2)) return Sha256Backend::kAvx2;
   return Sha256Backend::kGeneric;
 }
 
-/// Startup choice: POWAI_SHA256_BACKEND=auto|generic|shani|avx2, where
-/// anything unset, unknown, or unsupported on this CPU means auto (the
-/// best available) — a forced backend must never crash a lesser machine.
+/// Startup choice: POWAI_SHA256_BACKEND, resolved by backend_from_name.
+/// Unset behaves like "auto"; unknown or unsupported values throw from
+/// the first hashing call so a mis-typed or mis-targeted override is a
+/// loud failure instead of a silently slower (or faster) run.
 Sha256Backend initial_backend() {
   const char* env = std::getenv("POWAI_SHA256_BACKEND");
-  if (env != nullptr) {
-    const std::string_view v(env);
-    Sha256Backend forced = Sha256Backend::kGeneric;
-    bool known = true;
-    if (v == "generic") {
-      forced = Sha256Backend::kGeneric;
-    } else if (v == "shani") {
-      forced = Sha256Backend::kShaNi;
-    } else if (v == "avx2") {
-      forced = Sha256Backend::kAvx2;
-    } else {
-      known = false;  // includes "auto"
-    }
-    if (known && backend_supported(forced)) return forced;
-  }
-  return best_backend();
+  return Sha256::backend_from_name(env == nullptr ? std::string_view() : env);
 }
 
 std::atomic<std::uint8_t>& backend_slot() {
@@ -101,14 +105,66 @@ std::atomic<std::uint8_t>& backend_slot() {
 }
 
 CompressFn active_compress() {
+  switch (static_cast<Sha256Backend>(
+      backend_slot().load(std::memory_order_relaxed))) {
 #ifdef POWAI_SHA256_X86_DISPATCH
-  if (static_cast<Sha256Backend>(
-          backend_slot().load(std::memory_order_relaxed)) ==
-      Sha256Backend::kShaNi) {
-    return &detail::compress_shani;
+    case Sha256Backend::kShaNi:
+      return &detail::compress_shani;
+#endif
+#ifdef POWAI_SHA256_ARM_DISPATCH
+    case Sha256Backend::kArmv8:
+      return &detail::compress_armv8;
+#endif
+    default:
+      return &detail::compress_generic;
+  }
+}
+
+/// A multi-buffer lane kernel pair: W whole equal-length messages per
+/// sweep (hash_many) or W shared-midstate finishes per sweep
+/// (finish_many_with_suffix). Null for single-stream backends.
+struct LaneKernel {
+  std::size_t width = 0;
+  void (*hash_lanes)(const std::uint8_t* const*, std::size_t,
+                     std::uint8_t (*)[32]) = nullptr;
+  void (*finish_lanes)(const std::uint32_t*, const std::uint8_t* const*,
+                       std::size_t, std::uint8_t (*)[32]) = nullptr;
+};
+
+/// Widest lane width any backend offers — sizes stack batches.
+constexpr std::size_t kMaxLanes = 16;
+
+const LaneKernel* active_lane_kernel() {
+#ifdef POWAI_SHA256_X86_DISPATCH
+  switch (static_cast<Sha256Backend>(
+      backend_slot().load(std::memory_order_relaxed))) {
+    case Sha256Backend::kAvx2: {
+      static constexpr LaneKernel kAvx2Kernel{
+          8,
+          [](const std::uint8_t* const* msgs, std::size_t len,
+             std::uint8_t (*out)[32]) { detail::hash8_avx2(msgs, len, out); },
+          [](const std::uint32_t* state, const std::uint8_t* const* blocks,
+             std::size_t n, std::uint8_t (*out)[32]) {
+            detail::finish8_avx2(state, blocks, n, out);
+          }};
+      return &kAvx2Kernel;
+    }
+    case Sha256Backend::kAvx512: {
+      static constexpr LaneKernel kAvx512Kernel{
+          16,
+          [](const std::uint8_t* const* msgs, std::size_t len,
+             std::uint8_t (*out)[32]) { detail::hash16_avx512(msgs, len, out); },
+          [](const std::uint32_t* state, const std::uint8_t* const* blocks,
+             std::size_t n, std::uint8_t (*out)[32]) {
+            detail::finish16_avx512(state, blocks, n, out);
+          }};
+      return &kAvx512Kernel;
+    }
+    default:
+      break;
   }
 #endif
-  return &detail::compress_generic;
+  return nullptr;
 }
 
 }  // namespace
@@ -177,8 +233,7 @@ bool Sha256::set_backend(Sha256Backend b) {
 
 std::vector<Sha256Backend> Sha256::supported_backends() {
   std::vector<Sha256Backend> out;
-  for (Sha256Backend b : {Sha256Backend::kGeneric, Sha256Backend::kShaNi,
-                          Sha256Backend::kAvx2}) {
+  for (Sha256Backend b : kAllBackends) {
     if (backend_supported(b)) out.push_back(b);
   }
   return out;
@@ -192,8 +247,45 @@ std::string_view Sha256::backend_name(Sha256Backend b) {
       return "shani";
     case Sha256Backend::kAvx2:
       return "avx2";
+    case Sha256Backend::kAvx512:
+      return "avx512";
+    case Sha256Backend::kArmv8:
+      return "armv8";
   }
   return "unknown";
+}
+
+Sha256Backend Sha256::backend_from_name(std::string_view name) {
+  if (name.empty() || name == "auto") return best_backend();
+  for (Sha256Backend b : kAllBackends) {
+    if (name != backend_name(b)) continue;
+    if (!backend_supported(b)) {
+      std::string supported = "auto";
+      for (Sha256Backend s : supported_backends()) {
+        supported += ", ";
+        supported += backend_name(s);
+      }
+      throw std::runtime_error(
+          "POWAI_SHA256_BACKEND=" + std::string(name) +
+          " is not supported on this CPU (supported here: " + supported + ")");
+    }
+    return b;
+  }
+  throw std::runtime_error(
+      "POWAI_SHA256_BACKEND=" + std::string(name) +
+      " is not a known backend (accepted values: auto, generic, shani, "
+      "avx2, avx512, armv8)");
+}
+
+std::size_t Sha256::lane_width(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kAvx2:
+      return 8;
+    case Sha256Backend::kAvx512:
+      return 16;
+    default:
+      return 1;
+  }
 }
 
 void Sha256::reset() {
@@ -346,10 +438,12 @@ void Sha256::hash_many(std::span<const common::BytesView> messages,
   const std::size_t n = messages.size();
   if (n == 0) return;
 
-#ifdef POWAI_SHA256_X86_DISPATCH
-  if (backend() == Sha256Backend::kAvx2 && n >= 4) {
-    // Group equal-length messages into 8-wide lanes. Order by length
-    // (stable, so equal-length runs keep batch order), then sweep runs.
+  const LaneKernel* kernel = active_lane_kernel();
+  if (kernel != nullptr && n >= 4) {
+    const std::size_t width = kernel->width;
+    // Group equal-length messages into width-wide lanes. Order by
+    // length (stable, so equal-length runs keep batch order), then
+    // sweep runs.
     std::vector<std::uint32_t> idx(n);
     std::iota(idx.begin(), idx.end(), 0u);
     std::stable_sort(idx.begin(), idx.end(),
@@ -361,17 +455,17 @@ void Sha256::hash_many(std::span<const common::BytesView> messages,
       const std::size_t len = messages[idx[run_start]].size();
       std::size_t run_end = run_start + 1;
       while (run_end < n && messages[idx[run_end]].size() == len) ++run_end;
-      for (std::size_t base = run_start; base < run_end; base += 8) {
-        const std::size_t lanes = std::min<std::size_t>(8, run_end - base);
-        if (lanes >= 4) {
+      for (std::size_t base = run_start; base < run_end; base += width) {
+        const std::size_t lanes = std::min(width, run_end - base);
+        if (lanes >= width / 2) {
           // Fill idle lanes by repeating the first message; their
           // outputs are discarded.
-          const std::uint8_t* ptrs[8];
-          std::uint8_t digests[8][32];
-          for (std::size_t l = 0; l < 8; ++l) {
+          const std::uint8_t* ptrs[kMaxLanes];
+          std::uint8_t digests[kMaxLanes][32];
+          for (std::size_t l = 0; l < width; ++l) {
             ptrs[l] = messages[idx[base + std::min(l, lanes - 1)]].data();
           }
-          detail::hash8_avx2(ptrs, len, digests);
+          kernel->hash_lanes(ptrs, len, digests);
           for (std::size_t l = 0; l < lanes; ++l) {
             std::memcpy(out[idx[base + l]].data(), digests[l], 32);
           }
@@ -385,10 +479,79 @@ void Sha256::hash_many(std::span<const common::BytesView> messages,
     }
     return;
   }
-#endif
 
-  // Single-stream backends (SHA-NI is fastest one message at a time).
+  // Single-stream backends (SHA-NI / ARMv8-CE are fastest one message
+  // at a time).
   for (std::size_t i = 0; i < n; ++i) out[i] = hash(messages[i]);
+}
+
+void Sha256::finish_many_with_suffix(const Sha256Midstate& midstate,
+                                     common::BytesView tail,
+                                     std::span<const common::BytesView> suffixes,
+                                     std::span<Digest> out) {
+  if (suffixes.size() != out.size()) {
+    throw std::invalid_argument(
+        "Sha256::finish_many_with_suffix: span size mismatch");
+  }
+  const std::size_t n = suffixes.size();
+  if (n == 0) return;
+  const std::size_t slen = suffixes[0].size();
+  for (const common::BytesView& s : suffixes) {
+    if (s.size() != slen) {
+      throw std::invalid_argument(
+          "Sha256::finish_many_with_suffix: suffixes must be equal length");
+    }
+  }
+
+  const std::size_t mlen = tail.size() + slen;
+  const LaneKernel* kernel = active_lane_kernel();
+  if (kernel == nullptr || mlen + 9 > 2 * kBlockSize || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = finish_with_suffix(midstate, tail, suffixes[i]);
+    }
+    return;
+  }
+
+  // Shared final-block template: tail, a hole for the suffix, then the
+  // padding and bit-length trailer — identical across lanes because the
+  // suffix lengths are equal. Each sweep only rewrites the suffix hole.
+  const std::size_t blocks = (mlen + 9 <= kBlockSize) ? 1 : 2;
+  const std::size_t padded = blocks * kBlockSize;
+  const std::uint64_t bit_len = (midstate.absorbed + mlen) * 8;
+  std::uint8_t lane_blocks[kMaxLanes][2 * kBlockSize];
+  const std::uint8_t* ptrs[kMaxLanes];
+  std::uint8_t digests[kMaxLanes][32];
+  const std::size_t width = kernel->width;
+  for (std::size_t l = 0; l < width; ++l) {
+    std::uint8_t* block = lane_blocks[l];
+    if (!tail.empty()) std::memcpy(block, tail.data(), tail.size());
+    block[mlen] = 0x80;
+    std::memset(block + mlen + 1, 0, padded - 8 - (mlen + 1));
+    for (int i = 0; i < 8; ++i) {
+      block[padded - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    }
+    ptrs[l] = block;
+  }
+
+  std::size_t base = 0;
+  for (; base + width <= n; base += width) {
+    if (slen > 0) {
+      for (std::size_t l = 0; l < width; ++l) {
+        std::memcpy(lane_blocks[l] + tail.size(), suffixes[base + l].data(),
+                    slen);
+      }
+    }
+    kernel->finish_lanes(midstate.state.data(), ptrs, blocks, digests);
+    for (std::size_t l = 0; l < width; ++l) {
+      std::memcpy(out[base + l].data(), digests[l], 32);
+    }
+  }
+  // Trailing partial group: scalar finishes (same result, no idle-lane
+  // work).
+  for (; base < n; ++base) {
+    out[base] = finish_with_suffix(midstate, tail, suffixes[base]);
+  }
 }
 
 unsigned leading_zero_bits(const Digest& digest) {

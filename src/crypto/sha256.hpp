@@ -13,11 +13,16 @@
 ///    lanes when the hardware has them.
 ///
 /// The compression function is runtime-dispatched: a generic scalar
-/// backend (the reference all others are tested against), an x86 SHA-NI
-/// backend, and an 8-way AVX2 multi-buffer backend for hash_many. The
-/// best supported backend is selected once at startup; the environment
-/// variable POWAI_SHA256_BACKEND (auto|generic|shani|avx2) overrides the
-/// choice, and tests can force one programmatically via set_backend().
+/// backend (the reference all others are tested against), single-stream
+/// hardware backends (x86 SHA-NI, ARMv8 crypto extensions), and
+/// multi-buffer lane backends (8-way AVX2, 16-way AVX-512) for
+/// hash_many and the solver's shared-midstate nonce sweeps
+/// (finish_many_with_suffix). The best supported backend is selected
+/// once at startup; the environment variable POWAI_SHA256_BACKEND
+/// (auto|generic|shani|avx2|avx512|armv8) overrides the choice — an
+/// unknown or unsupported-on-this-CPU value fails loudly with
+/// std::runtime_error — and tests can force one programmatically via
+/// set_backend().
 
 #include <array>
 #include <cstdint>
@@ -36,7 +41,9 @@ using Digest = std::array<std::uint8_t, 32>;
 enum class Sha256Backend : std::uint8_t {
   kGeneric = 0,  ///< portable scalar (always available; the reference)
   kShaNi = 1,    ///< x86 SHA extensions, one message at a time
-  kAvx2 = 2,     ///< 8-lane AVX2 multi-buffer for hash_many; scalar otherwise
+  kAvx2 = 2,     ///< 8-lane AVX2 multi-buffer for lane sweeps; scalar otherwise
+  kAvx512 = 3,   ///< 16-lane AVX-512 multi-buffer for lane sweeps; scalar otherwise
+  kArmv8 = 4,    ///< ARMv8 crypto extensions, one message at a time
 };
 
 /// Chaining state captured after absorbing the full 64-byte blocks of a
@@ -97,6 +104,27 @@ class Sha256 final {
   static void hash_many(std::span<const common::BytesView> messages,
                         std::span<Digest> out);
 
+  /// Completes SHA-256(prefix || suffixes[i]) for N equal-length
+  /// suffixes from one shared midstate: out[i] =
+  /// finish_with_suffix(midstate, tail, suffixes[i]), bit-identical on
+  /// every backend. On a multi-lane backend, suffixes whose final
+  /// block(s) fit the hot path (tail + suffix + 9 <= 128 bytes) are
+  /// compressed lane_width() at a time from one shared pre-padded
+  /// template — the solver's nonce sweep: N nonces differing only in
+  /// the 8 suffix bytes cost one lane-group compression per
+  /// lane_width() nonces. Allocation-free. Throws std::invalid_argument
+  /// when the spans' sizes differ or the suffix lengths are unequal.
+  static void finish_many_with_suffix(
+      const Sha256Midstate& midstate, common::BytesView tail,
+      std::span<const common::BytesView> suffixes, std::span<Digest> out);
+
+  /// Messages advanced per multi-buffer sweep under backend \p b: 16
+  /// for AVX-512, 8 for AVX2, 1 for the single-stream backends
+  /// (generic, SHA-NI, ARMv8-CE). The solver sizes its nonce batches
+  /// with this; callers batching work for hash_many /
+  /// finish_many_with_suffix should hand over multiples of it.
+  [[nodiscard]] static std::size_t lane_width(Sha256Backend b);
+
   /// The backend servicing calls right now.
   [[nodiscard]] static Sha256Backend backend();
 
@@ -108,8 +136,17 @@ class Sha256 final {
   /// Backends this CPU can run, kGeneric always included.
   [[nodiscard]] static std::vector<Sha256Backend> supported_backends();
 
-  /// Stable lowercase name ("generic", "shani", "avx2").
+  /// Stable lowercase name ("generic", "shani", "avx2", "avx512",
+  /// "armv8").
   [[nodiscard]] static std::string_view backend_name(Sha256Backend b);
+
+  /// Resolves a POWAI_SHA256_BACKEND-style value: "auto" (or empty)
+  /// picks the best supported backend; a known name picks that backend,
+  /// throwing std::runtime_error when this CPU cannot run it; anything
+  /// else throws std::runtime_error naming the accepted values. This is
+  /// exactly the startup environment-variable path, exposed so tests
+  /// and tools share its behavior.
+  [[nodiscard]] static Sha256Backend backend_from_name(std::string_view name);
 
  private:
   std::array<std::uint32_t, 8> state_{};

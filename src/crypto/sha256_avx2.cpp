@@ -5,10 +5,15 @@
 /// across lanes because the lengths are equal, so whole messages —
 /// padding included — run through one vectorized round function.
 ///
+/// Two entry points share the round function: hash8_avx2 (eight whole
+/// messages from the initial state) and finish8_avx2 (eight pre-padded
+/// final blocks from one shared midstate — the solver's nonce sweep).
+///
 /// Compiled into every build (per-function target attribute); only
-/// reached through Sha256::hash_many after the cpu_supports_avx2()
-/// check. Bit-exactness against the scalar reference is pinned by the
-/// hash_many cross-check tests run with each backend forced.
+/// reached through Sha256::hash_many / finish_many_with_suffix after
+/// the cpu_supports_avx2() check. Bit-exactness against the scalar
+/// reference is pinned by the cross-check tests run with each backend
+/// forced.
 
 #include "crypto/sha256_dispatch.hpp"
 
@@ -109,6 +114,24 @@ __attribute__((target("avx2"))) void compress8_block(
   st[7] = _mm256_add_epi32(st[7], h);
 }
 
+/// Un-transpose: lane l's words st[0..7][l], stored big-endian.
+__attribute__((target("avx2"))) void store_digests8(const __m256i st[8],
+                                                    std::uint8_t (*out)[32]) {
+  alignas(32) std::uint32_t words[8][8];  // words[word][lane]
+  for (int wrd = 0; wrd < 8; ++wrd) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(words[wrd]), st[wrd]);
+  }
+  for (int l = 0; l < 8; ++l) {
+    for (int wrd = 0; wrd < 8; ++wrd) {
+      const std::uint32_t v = words[wrd][l];
+      out[l][4 * wrd + 0] = static_cast<std::uint8_t>(v >> 24);
+      out[l][4 * wrd + 1] = static_cast<std::uint8_t>(v >> 16);
+      out[l][4 * wrd + 2] = static_cast<std::uint8_t>(v >> 8);
+      out[l][4 * wrd + 3] = static_cast<std::uint8_t>(v);
+    }
+  }
+}
+
 }  // namespace
 
 __attribute__((target("avx2"))) void hash8_avx2(
@@ -154,20 +177,24 @@ __attribute__((target("avx2"))) void hash8_avx2(
     compress8_block(st, ptrs);
   }
 
-  // Un-transpose: lane l's words st[0..7][l], stored big-endian.
-  alignas(32) std::uint32_t words[8][8];  // words[word][lane]
-  for (int wrd = 0; wrd < 8; ++wrd) {
-    _mm256_store_si256(reinterpret_cast<__m256i*>(words[wrd]), st[wrd]);
+  store_digests8(st, out);
+}
+
+__attribute__((target("avx2"))) void finish8_avx2(
+    const std::uint32_t state[8], const std::uint8_t* const blocks[8],
+    std::size_t blocks_per_lane, std::uint8_t (*out)[32]) {
+  // Every lane starts from the same chaining state (the shared
+  // midstate) and compresses its own pre-padded final block(s).
+  __m256i st[8];
+  for (int i = 0; i < 8; ++i) {
+    st[i] = _mm256_set1_epi32(static_cast<int>(state[i]));
   }
-  for (int l = 0; l < 8; ++l) {
-    for (int wrd = 0; wrd < 8; ++wrd) {
-      const std::uint32_t v = words[wrd][l];
-      out[l][4 * wrd + 0] = static_cast<std::uint8_t>(v >> 24);
-      out[l][4 * wrd + 1] = static_cast<std::uint8_t>(v >> 16);
-      out[l][4 * wrd + 2] = static_cast<std::uint8_t>(v >> 8);
-      out[l][4 * wrd + 3] = static_cast<std::uint8_t>(v);
-    }
+  const std::uint8_t* ptrs[8];
+  for (std::size_t blk = 0; blk < blocks_per_lane; ++blk) {
+    for (int l = 0; l < 8; ++l) ptrs[l] = blocks[l] + blk * 64;
+    compress8_block(st, ptrs);
   }
+  store_digests8(st, out);
 }
 
 }  // namespace powai::crypto::detail

@@ -2,12 +2,20 @@
 /// \file sha256_dispatch.hpp
 /// Internal seam between the portable SHA-256 front end (sha256.cpp) and
 /// the CPU-specific compression backends (sha256_shani.cpp,
-/// sha256_avx2.cpp). Not part of the public API — include sha256.hpp.
+/// sha256_avx2.cpp, sha256_avx512.cpp, sha256_armv8.cpp). Not part of
+/// the public API — include sha256.hpp.
 ///
-/// Every backend implements the same contract as compress_generic: fold
-/// \p blocks (n contiguous 64-byte blocks, big-endian words) into
-/// \p state. The multi-lane AVX2 entry point instead hashes eight whole
-/// equal-length messages, padding included, producing eight digests.
+/// Two kernel shapes:
+///  - single-stream: fold \p n contiguous 64-byte blocks (big-endian
+///    words) into \p state — the compress_generic contract, implemented
+///    by the scalar reference, x86 SHA-NI, and ARMv8-CE kernels;
+///  - multi-lane: W independent messages advanced together, one message
+///    per 32-bit SIMD lane (AVX2: W=8, AVX-512: W=16). Each multi-lane
+///    backend provides a whole-message form (hashW: equal-length
+///    messages, padding included) and a finish form (finishW: every
+///    lane starts from the same already-absorbed chaining state and
+///    compresses its own pre-padded final block(s) — the solver's
+///    shared-midstate nonce sweep).
 
 #include <cstddef>
 #include <cstdint>
@@ -31,6 +39,9 @@ void compress_generic(std::uint32_t* state, const std::uint8_t* blocks,
 /// CPUID + XGETBV: AVX2 with OS-enabled YMM state.
 [[nodiscard]] bool cpu_supports_avx2();
 
+/// CPUID + XGETBV: AVX-512 F+BW with OS-enabled ZMM/opmask state.
+[[nodiscard]] bool cpu_supports_avx512();
+
 /// SHA-NI compression (same contract as compress_generic). Only call
 /// when cpu_supports_shani() is true.
 void compress_shani(std::uint32_t* state, const std::uint8_t* blocks,
@@ -41,6 +52,42 @@ void compress_shani(std::uint32_t* state, const std::uint8_t* blocks,
 /// internally. Only call when cpu_supports_avx2() is true.
 void hash8_avx2(const std::uint8_t* const msgs[8], std::size_t len,
                 std::uint8_t (*out)[32]);
+
+/// Finishes eight messages sharing one chaining state: every lane
+/// starts from \p state (8 words, the midstate of a common prefix) and
+/// compresses its own \p blocks_per_lane pre-padded 64-byte blocks
+/// (blocks[l] points at lane l's contiguous final blocks), producing
+/// out[l] = the lane's big-endian digest. Padding and the bit-length
+/// trailer must already be laid out in the blocks — this kernel only
+/// compresses. Only call when cpu_supports_avx2() is true.
+void finish8_avx2(const std::uint32_t state[8],
+                  const std::uint8_t* const blocks[8],
+                  std::size_t blocks_per_lane, std::uint8_t (*out)[32]);
+
+/// 16-lane AVX-512 analogues of hash8_avx2 / finish8_avx2. Only call
+/// when cpu_supports_avx512() is true.
+void hash16_avx512(const std::uint8_t* const msgs[16], std::size_t len,
+                   std::uint8_t (*out)[32]);
+void finish16_avx512(const std::uint32_t state[8],
+                     const std::uint8_t* const blocks[16],
+                     std::size_t blocks_per_lane, std::uint8_t (*out)[32]);
 #endif  // x86 dispatch
+
+// ARMv8 runtime dispatch (AArch64 crypto extensions). The kernel is
+// fenced behind a per-file feature pragma in sha256_armv8.cpp; the
+// probe consults HWCAP so a build run on a CPU without the SHA-2
+// extension never reaches it.
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define POWAI_SHA256_ARM_DISPATCH 1
+
+/// getauxval(AT_HWCAP) & HWCAP_SHA2 on Linux; Apple arm64 always has
+/// the SHA-2 extension.
+[[nodiscard]] bool cpu_supports_armv8_sha2();
+
+/// ARMv8-CE compression (vsha256hq / vsha256h2q; same contract as
+/// compress_generic). Only call when cpu_supports_armv8_sha2() is true.
+void compress_armv8(std::uint32_t* state, const std::uint8_t* blocks,
+                    std::size_t n);
+#endif  // arm dispatch
 
 }  // namespace powai::crypto::detail

@@ -19,15 +19,21 @@ namespace powai::crypto::detail {
 
 namespace {
 
-/// XCR0 via xgetbv: are YMM (bit 2) and XMM (bit 1) state OS-enabled?
-bool os_enables_ymm() {
+/// XCR0 via xgetbv, or 0 when the OS does not expose it (no OSXSAVE).
+std::uint32_t xcr0_low() {
   unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
-  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
-  if (((ecx >> 27) & 1u) == 0) return false;  // OSXSAVE
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return 0;
+  if (((ecx >> 27) & 1u) == 0) return 0;  // OSXSAVE
   std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
   __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
-  return (xcr0_lo & 0x6u) == 0x6u;
+  return xcr0_lo;
 }
+
+/// Are YMM (bit 2) and XMM (bit 1) state OS-enabled?
+bool os_enables_ymm() { return (xcr0_low() & 0x6u) == 0x6u; }
+
+/// Are opmask/ZMM (bits 5-7) on top of XMM/YMM state OS-enabled?
+bool os_enables_zmm() { return (xcr0_low() & 0xE6u) == 0xE6u; }
 
 }  // namespace
 
@@ -47,6 +53,14 @@ bool cpu_supports_avx2() {
   if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
   if (((ebx >> 5) & 1u) == 0) return false;  // AVX2
   return os_enables_ymm();
+}
+
+bool cpu_supports_avx512() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  const bool levels = ((ebx >> 16) & 1u) != 0 &&  // AVX512F
+                      ((ebx >> 30) & 1u) != 0;    // AVX512BW
+  return levels && os_enables_zmm();
 }
 
 __attribute__((target("sha,sse4.1,ssse3"))) void compress_shani(

@@ -1,5 +1,8 @@
 #include "pow/puzzle.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "common/strings.hpp"
 
 namespace powai::pow {
@@ -115,6 +118,38 @@ crypto::Digest PuzzleContext::digest_for(std::uint64_t nonce) const {
 
 bool PuzzleContext::check(std::uint64_t nonce) const {
   return crypto::meets_difficulty(digest_for(nonce), difficulty_);
+}
+
+std::size_t PuzzleContext::check_many(std::uint64_t start, std::uint64_t stride,
+                                      std::size_t count) const {
+  // Widest lane group any backend sweeps (AVX-512); wider requests are
+  // chunked so the buffers stay on the stack.
+  constexpr std::size_t kMaxSweep = 16;
+  const std::size_t tail_offset = static_cast<std::size_t>(midstate_.absorbed);
+  const common::BytesView tail(prefix_.data() + tail_offset,
+                               prefix_.size() - tail_offset);
+
+  std::uint8_t nonce_be[kMaxSweep][8];
+  common::BytesView suffixes[kMaxSweep];
+  crypto::Digest digests[kMaxSweep];
+
+  std::uint64_t nonce = start;
+  for (std::size_t done = 0; done < count;) {
+    const std::size_t n = std::min(kMaxSweep, count - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      common::store_u64be(nonce_be[i], nonce);
+      suffixes[i] = common::BytesView(nonce_be[i], 8);
+      nonce += stride;
+    }
+    crypto::Sha256::finish_many_with_suffix(
+        midstate_, tail, std::span<const common::BytesView>(suffixes, n),
+        std::span<crypto::Digest>(digests, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (crypto::meets_difficulty(digests[i], difficulty_)) return done + i;
+    }
+    done += n;
+  }
+  return count;
 }
 
 crypto::Digest solution_digest(const Puzzle& puzzle, std::uint64_t nonce) {

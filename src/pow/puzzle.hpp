@@ -82,6 +82,18 @@ class PuzzleContext final {
   /// True iff \p nonce solves the puzzle this context was built from.
   [[nodiscard]] bool check(std::uint64_t nonce) const;
 
+  /// Checks \p count strided nonces (start, start + stride, ...) in one
+  /// call, sweeping them through the active SHA-256 backend's SIMD
+  /// lanes (16 nonces per AVX-512 group, 8 per AVX2; single-stream
+  /// backends fall back to sequential finishes) over the shared
+  /// midstate. Returns the index of the FIRST qualifying nonce in probe
+  /// order, or \p count when none qualifies — the observable result is
+  /// bit-identical to calling check() on each nonce in sequence.
+  /// Allocation-free.
+  [[nodiscard]] std::size_t check_many(std::uint64_t start,
+                                       std::uint64_t stride,
+                                       std::size_t count) const;
+
  private:
   common::Bytes prefix_;
   crypto::Sha256Midstate midstate_;  ///< over prefix_'s full blocks

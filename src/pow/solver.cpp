@@ -1,5 +1,6 @@
 #include "pow/solver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -8,50 +9,77 @@ namespace powai::pow {
 
 namespace {
 
-/// Check the cancel flag / shared found flag only every N attempts: an
-/// atomic load per hash would dominate at low difficulties. Power of
-/// two so the hot loop tests `attempts & (N - 1)` instead of dividing.
+/// Poll the cancel / stop flags only every ~N attempts: an atomic load
+/// per hash would dominate at low difficulties. Power of two by
+/// convention; lane sweeps advance the counter by a full batch, so the
+/// poll happens on the first sweep boundary at or past the interval.
 constexpr std::uint64_t kCheckInterval = 256;
 static_assert((kCheckInterval & (kCheckInterval - 1)) == 0,
               "kCheckInterval must be a power of two");
 
-struct WorkerResult {
-  std::uint64_t nonce = 0;
-  std::uint64_t attempts = 0;
-  bool found = false;
-};
+}  // namespace
 
-/// Strided scan: worker w tries start + w, start + w + stride, ...
-/// The shared context carries the serialized prefix and its SHA-256
-/// midstate, so each attempt is one final-block compression with an
-/// in-place big-endian nonce store — nothing is allocated or
-/// re-serialized inside the loop.
-WorkerResult scan(const PuzzleContext& context, std::uint64_t start,
-                  std::uint64_t stride, std::uint64_t max_attempts,
-                  const std::atomic<bool>* cancel,
-                  std::atomic<bool>& someone_found) {
-  WorkerResult result;
+ScanResult Solver::scan(const PuzzleContext& context, std::uint64_t start,
+                        std::uint64_t stride, std::uint64_t max_attempts,
+                        const std::atomic<bool>* cancel,
+                        const std::atomic<bool>* stop) {
+  ScanResult result;
+  // Sweep width of the active backend: 16 (AVX-512), 8 (AVX2), or 1
+  // (single-stream backends probe one nonce at a time).
+  const std::uint64_t width =
+      crypto::Sha256::lane_width(crypto::Sha256::backend());
+
   std::uint64_t nonce = start;
+  // Start at the interval so the flags are consulted before the first
+  // probe (a scan launched after a sibling already won does no work).
+  std::uint64_t since_poll = kCheckInterval;
+
   while (max_attempts == 0 || result.attempts < max_attempts) {
-    if ((result.attempts & (kCheckInterval - 1)) == 0) {
-      if (someone_found.load(std::memory_order_relaxed)) return result;
+    if (since_poll >= kCheckInterval) {
+      since_poll = 0;
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        return result;
+      }
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
         return result;
       }
     }
-    ++result.attempts;
-    if (context.check(nonce)) {
-      result.nonce = nonce;
-      result.found = true;
-      someone_found.store(true, std::memory_order_relaxed);
-      return result;
+
+    // Batch = lane width, clipped to the remaining budget so a bounded
+    // scan never probes past max_attempts.
+    std::uint64_t batch = width;
+    if (max_attempts != 0) {
+      batch = std::min<std::uint64_t>(batch, max_attempts - result.attempts);
     }
-    nonce += stride;
+
+    if (batch <= 1) {
+      ++result.attempts;
+      ++since_poll;
+      if (context.check(nonce)) {
+        result.nonce = nonce;
+        result.found = true;
+        return result;
+      }
+      nonce += stride;
+    } else {
+      const std::size_t hit =
+          context.check_many(nonce, stride, static_cast<std::size_t>(batch));
+      if (hit < batch) {
+        // First qualifying nonce in probe order; the probes after it in
+        // the same sweep are not counted — identical to a scalar scan
+        // that would have stopped there.
+        result.attempts += hit + 1;
+        result.nonce = nonce + stride * hit;
+        result.found = true;
+        return result;
+      }
+      result.attempts += batch;
+      since_poll += batch;
+      nonce += stride * batch;
+    }
   }
   return result;
 }
-
-}  // namespace
 
 SolveResult Solver::solve(const Puzzle& puzzle,
                           const SolveOptions& options) const {
@@ -59,7 +87,6 @@ SolveResult Solver::solve(const Puzzle& puzzle,
     throw std::invalid_argument("Solver::solve: threads must be >= 1");
   }
 
-  std::atomic<bool> someone_found{false};
   SolveResult result;
 
   // One context for the whole solve: serialized prefix + midstate are
@@ -67,33 +94,41 @@ SolveResult Solver::solve(const Puzzle& puzzle,
   const PuzzleContext context(puzzle);
 
   if (options.threads == 1) {
-    const WorkerResult w =
-        scan(context, options.start_nonce, 1, options.max_attempts,
-             options.cancel, someone_found);
+    const ScanResult w = scan(context, options.start_nonce, 1,
+                              options.max_attempts, options.cancel, nullptr);
     result.attempts = w.attempts;
     result.found = w.found;
     if (w.found) result.solution = Solution{puzzle.puzzle_id, w.nonce};
     return result;
   }
 
-  const unsigned n = options.threads;
-  // Per-worker budget: split the total so max_attempts bounds the sum.
-  const std::uint64_t per_worker =
-      options.max_attempts == 0 ? 0 : (options.max_attempts + n - 1) / n;
+  const std::uint64_t n = options.threads;
+  // Exact budget split: the first (max % n) workers get one extra
+  // attempt, so the per-worker budgets sum to exactly max_attempts.
+  // Workers whose share is zero are not spawned at all — a zero budget
+  // means "unbounded" to scan().
+  const std::uint64_t base = options.max_attempts / n;
+  const std::uint64_t extra = options.max_attempts % n;
 
-  std::vector<WorkerResult> results(n);
+  std::atomic<bool> someone_found{false};
+  std::vector<ScanResult> results(options.threads);
   {
     std::vector<std::jthread> workers;
-    workers.reserve(n);
-    for (unsigned w = 0; w < n; ++w) {
-      workers.emplace_back([&, w] {
-        results[w] = scan(context, options.start_nonce + w, n, per_worker,
-                          options.cancel, someone_found);
+    workers.reserve(options.threads);
+    for (std::uint64_t w = 0; w < n; ++w) {
+      const std::uint64_t budget =
+          options.max_attempts == 0 ? 0 : base + (w < extra ? 1 : 0);
+      if (options.max_attempts != 0 && budget == 0) break;
+      workers.emplace_back([&, w, budget] {
+        ScanResult r = scan(context, options.start_nonce + w, n, budget,
+                            options.cancel, &someone_found);
+        if (r.found) someone_found.store(true, std::memory_order_relaxed);
+        results[w] = r;
       });
     }
   }  // join
 
-  for (const WorkerResult& w : results) {
+  for (const ScanResult& w : results) {
     result.attempts += w.attempts;
     if (w.found && !result.found) {
       result.found = true;

@@ -4,6 +4,15 @@
 /// repeatedly hash (prefix || nonce) until the digest has the required
 /// number of leading zero bits. Supports bounded searches, cancellation,
 /// and multi-threaded strided search.
+///
+/// The inner loop is lane-parallel: on a multi-buffer SHA-256 backend
+/// (AVX2: 8 lanes, AVX-512: 16) each sweep finishes lane_width() nonces
+/// from the shared midstate in one vectorized pass
+/// (PuzzleContext::check_many); single-stream backends (generic,
+/// SHA-NI, ARMv8-CE) probe one nonce at a time. The observable result —
+/// (found, nonce, attempts) — is bit-identical across all backends:
+/// the first qualifying nonce in probe order always wins and attempts
+/// counts probes up to and including it.
 
 #include <atomic>
 #include <cstdint>
@@ -41,6 +50,13 @@ struct SolveResult final {
   bool found = false;
 };
 
+/// Outcome of one strided scan (a single worker's share of a solve).
+struct ScanResult final {
+  std::uint64_t nonce = 0;      ///< valid iff `found`
+  std::uint64_t attempts = 0;   ///< probes made, including the hit
+  bool found = false;
+};
+
 /// Stateless solver (safe to share across threads; each call is
 /// independent).
 class Solver final {
@@ -49,6 +65,22 @@ class Solver final {
   /// when max_attempts is exhausted or `cancel` fires first.
   [[nodiscard]] SolveResult solve(const Puzzle& puzzle,
                                   const SolveOptions& options = {}) const;
+
+  /// One strided scan: probes start, start + stride, ... until a nonce
+  /// qualifies, \p max_attempts probes are spent (0 = unbounded), or
+  /// \p cancel / \p stop (both optional, read-only, polled every few
+  /// hundred probes) becomes true. Probes are swept lane_width() at a
+  /// time on a multi-lane backend; the result is deterministic and
+  /// backend-independent — the first qualifying nonce in probe order,
+  /// with attempts counting every probe up to and including it. This is
+  /// the primitive solve() runs per worker, exposed for tests and
+  /// callers that manage their own threads.
+  [[nodiscard]] static ScanResult scan(const PuzzleContext& context,
+                                       std::uint64_t start,
+                                       std::uint64_t stride,
+                                       std::uint64_t max_attempts,
+                                       const std::atomic<bool>* cancel = nullptr,
+                                       const std::atomic<bool>* stop = nullptr);
 };
 
 }  // namespace powai::pow

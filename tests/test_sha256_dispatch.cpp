@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -180,12 +183,158 @@ TEST_P(Sha256Dispatch, HashManySizeMismatchThrows) {
   EXPECT_THROW(Sha256::hash_many(views, out), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// finish_many_with_suffix
+// ---------------------------------------------------------------------------
+
+TEST_P(Sha256Dispatch, FinishManyMatchesScalarFinishOnSolverShapes) {
+  // The solver's exact shape — short tail, 8-byte suffixes — at batch
+  // sizes below, at, and straddling every lane width (8 and 16),
+  // including partial trailing groups.
+  common::Rng rng(29);
+  const common::Bytes prefix = random_bytes(rng, 70);  // one block + tail
+  const Sha256Midstate midstate = Sha256::precompute(prefix);
+  const common::BytesView tail(
+      prefix.data() + midstate.absorbed,
+      prefix.size() - static_cast<std::size_t>(midstate.absorbed));
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                        std::size_t{8}, std::size_t{9}, std::size_t{15},
+                        std::size_t{16}, std::size_t{17}, std::size_t{33}}) {
+    std::vector<std::array<std::uint8_t, 8>> nonces(n);
+    std::vector<common::BytesView> suffixes;
+    suffixes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      common::store_u64be(nonces[i].data(), rng.uniform_u64(0, ~0ull));
+      suffixes.emplace_back(nonces[i].data(), nonces[i].size());
+    }
+    std::vector<Digest> out(n);
+    Sha256::finish_many_with_suffix(midstate, tail, suffixes, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], Sha256::finish_with_suffix(midstate, tail, suffixes[i]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(Sha256Dispatch, FinishManyMatchesScalarFinishOnRandomShapes) {
+  // Random prefix/suffix lengths, including tails near block boundaries
+  // (two pre-padded final blocks per lane) and suffixes long enough to
+  // force the scalar fallback (tail + suffix + 9 > 128).
+  common::Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    const common::Bytes prefix = random_bytes(rng, rng.uniform_u64(0, 200));
+    const Sha256Midstate midstate = Sha256::precompute(prefix);
+    const common::BytesView tail(
+        prefix.data() + midstate.absorbed,
+        prefix.size() - static_cast<std::size_t>(midstate.absorbed));
+    const std::size_t slen = rng.uniform_u64(0, 140);
+    const std::size_t n = rng.uniform_u64(1, 40);
+    std::vector<common::Bytes> suffix_store;
+    suffix_store.reserve(n);
+    std::vector<common::BytesView> suffixes;
+    suffixes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      suffix_store.push_back(random_bytes(rng, slen));
+      suffixes.emplace_back(suffix_store.back());
+    }
+    std::vector<Digest> out(n);
+    Sha256::finish_many_with_suffix(midstate, tail, suffixes, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], Sha256::finish_with_suffix(midstate, tail, suffixes[i]))
+          << "trial " << trial << " slen=" << slen << " i=" << i;
+    }
+  }
+}
+
+TEST_P(Sha256Dispatch, FinishManyEmptyBatchIsANoOp) {
+  const Sha256Midstate midstate = Sha256::precompute({});
+  Sha256::finish_many_with_suffix(midstate, {}, {}, {});
+}
+
+TEST_P(Sha256Dispatch, FinishManyRejectsMalformedBatches) {
+  const common::Bytes prefix = common::bytes_of("prefix|");
+  const Sha256Midstate midstate = Sha256::precompute(prefix);
+  const common::Bytes a = common::bytes_of("12345678");
+  const common::Bytes b = common::bytes_of("1234");  // different length
+
+  const common::BytesView mismatched[2] = {common::BytesView(a),
+                                           common::BytesView(b)};
+  std::vector<Digest> out2(2);
+  EXPECT_THROW(
+      Sha256::finish_many_with_suffix(midstate, prefix, mismatched, out2),
+      std::invalid_argument);
+
+  const common::BytesView equal[2] = {common::BytesView(a),
+                                      common::BytesView(a)};
+  std::vector<Digest> out3(3);
+  EXPECT_THROW(Sha256::finish_many_with_suffix(midstate, prefix, equal, out3),
+               std::invalid_argument);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, Sha256Dispatch,
     ::testing::ValuesIn(Sha256::supported_backends()),
     [](const ::testing::TestParamInfo<Sha256Backend>& info) {
       return std::string(Sha256::backend_name(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// lane_width
+// ---------------------------------------------------------------------------
+
+TEST(Sha256LaneWidth, MultiLaneBackendsReportTheirSweepWidth) {
+  EXPECT_EQ(Sha256::lane_width(Sha256Backend::kGeneric), 1u);
+  EXPECT_EQ(Sha256::lane_width(Sha256Backend::kShaNi), 1u);
+  EXPECT_EQ(Sha256::lane_width(Sha256Backend::kArmv8), 1u);
+  EXPECT_EQ(Sha256::lane_width(Sha256Backend::kAvx2), 8u);
+  EXPECT_EQ(Sha256::lane_width(Sha256Backend::kAvx512), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// backend_from_name — the POWAI_SHA256_BACKEND resolution path
+// ---------------------------------------------------------------------------
+
+TEST(Sha256BackendFromName, AutoAndEmptyPickASupportedBackend) {
+  const auto supported = Sha256::supported_backends();
+  for (std::string_view name : {std::string_view{"auto"}, std::string_view{}}) {
+    const Sha256Backend b = Sha256::backend_from_name(name);
+    EXPECT_NE(std::find(supported.begin(), supported.end(), b),
+              supported.end());
+  }
+}
+
+TEST(Sha256BackendFromName, KnownNamesResolveOrThrowWhenUnsupported) {
+  // Every stable name round-trips when this CPU supports the backend;
+  // a known-but-unsupported name must fail loudly, not fall back.
+  const auto supported = Sha256::supported_backends();
+  for (Sha256Backend b :
+       {Sha256Backend::kGeneric, Sha256Backend::kShaNi, Sha256Backend::kAvx2,
+        Sha256Backend::kAvx512, Sha256Backend::kArmv8}) {
+    const std::string_view name = Sha256::backend_name(b);
+    const bool is_supported =
+        std::find(supported.begin(), supported.end(), b) != supported.end();
+    if (is_supported) {
+      EXPECT_EQ(Sha256::backend_from_name(name), b) << name;
+    } else {
+      EXPECT_THROW((void)Sha256::backend_from_name(name), std::runtime_error)
+          << name;
+    }
+  }
+}
+
+TEST(Sha256BackendFromName, UnknownNameThrowsNamingAcceptedValues) {
+  for (std::string_view bogus : {"sse2", "AVX2", "fastest", "generic "}) {
+    try {
+      (void)Sha256::backend_from_name(bogus);
+      FAIL() << "expected std::runtime_error for '" << bogus << "'";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("POWAI_SHA256_BACKEND"), std::string::npos) << what;
+      EXPECT_NE(what.find("generic"), std::string::npos) << what;
+      EXPECT_NE(what.find("armv8"), std::string::npos) << what;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Cross-backend agreement (not parameterized: compares backends pairwise)

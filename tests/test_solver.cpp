@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 #include <thread>
+#include <utility>
 
 #include "common/clock.hpp"
 #include "pow/difficulty.hpp"
@@ -83,15 +85,22 @@ TEST(Solver, MultithreadedFindsValidSolution) {
   }
 }
 
-TEST(Solver, MultithreadedRespectsTotalBudget) {
+TEST(Solver, MultithreadedExhaustsExactBudget) {
+  // The per-worker split must sum to exactly max_attempts — no ceil
+  // overshoot — including totals that don't divide evenly and totals
+  // smaller than the thread count (surplus workers simply don't run).
   const Puzzle p = make_puzzle(40);
-  SolveOptions opts;
-  opts.threads = 4;
-  opts.max_attempts = 10'000;
-  const SolveResult r = Solver{}.solve(p, opts);
-  EXPECT_FALSE(r.found);
-  // Budget is split per worker with rounding; allow the ceil slack.
-  EXPECT_LE(r.attempts, 10'000u + 4u);
+  const std::pair<unsigned, std::uint64_t> cases[] = {
+      {4u, 10'000}, {4u, 10'001}, {4u, 10'003}, {3u, 1}, {8u, 5}};
+  for (const auto& [threads, budget] : cases) {
+    SolveOptions opts;
+    opts.threads = threads;
+    opts.max_attempts = budget;
+    const SolveResult r = Solver{}.solve(p, opts);
+    EXPECT_FALSE(r.found) << "threads=" << threads << " budget=" << budget;
+    EXPECT_EQ(r.attempts, budget)
+        << "threads=" << threads << " budget=" << budget;
+  }
 }
 
 TEST(Solver, ZeroThreadsThrows) {
