@@ -16,11 +16,18 @@
 // the per-layer memory the million-client refactor holds at O(1) per
 // client. This is what CI's scale-smoke job runs at clients=100000.
 //
+// Overload mode (overload=1): arms the full overload-control loop —
+// request deadlines, the degradation ladder, client retry/timeout/
+// backoff, and the drain watchdog — and the artifact is named
+// "wire_load_overload". The sojourn p50/p99 columns and the per-stage
+// shed counters (deadline / queue-pop / degraded) become the headline:
+// what admission control costs and what it refuses under pressure.
+//
 // Usage: ./build/bench/bench_wire_load [clients=8] [requests=16]
 //        [max_threads=4] [train=400] [seed=42] [json=path]
 //        [pace=0] [arrivals=poisson|diurnal|pareto|flash]
 //        [mean_gap_ms=1000] [weight_alpha=0] [pop_seed=1]
-//        [drain_shards=1] [queue_capacity=1024] [pin=0]
+//        [drain_shards=1] [queue_capacity=1024] [pin=0] [overload=0]
 //
 // json=path writes the rows as a JSON artifact (CI uploads one per run;
 // docs/ARCHITECTURE.md describes how to compare them across commits).
@@ -69,6 +76,7 @@ int main(int argc, char** argv) {
   const auto queue_capacity =
       static_cast<std::size_t>(args.get_u64("queue_capacity", 1024));
   const bool pin = args.get_bool("pin", false);
+  const bool overload = args.get_bool("overload", false);
 
   if (clients == 0 || requests == 0 || max_threads == 0) {
     std::fprintf(stderr, "clients, requests, max_threads must be positive\n");
@@ -106,6 +114,25 @@ int main(int argc, char** argv) {
     wc.arrivals = arrivals;
     wc.weight_alpha = weight_alpha;
     wc.population_seed = pop_seed;
+    if (overload) {
+      // Full overload-control loop. The arrival reference sits below the
+      // closed loop's natural rate so the ladder actually rides and the
+      // shed columns are non-trivial.
+      cfg.default_deadline = std::chrono::seconds(2);
+      cfg.degrade.enabled = true;
+      cfg.degrade.arrival_ref_per_s = 25.0;
+      cfg.degrade.sojourn_ref_ms = 5.0;
+      cfg.degrade.l1_difficulty_floor = 12;
+      cfg.degrade.l1_ttl = std::chrono::seconds(5);
+      wc.front_end.watchdog_stall = std::chrono::milliseconds(250);
+      wc.retry.enabled = true;
+      wc.retry.timeout = std::chrono::seconds(2);
+      wc.retry.max_attempts = 3;
+      wc.retry.backoff_base = std::chrono::milliseconds(50);
+      wc.retry.backoff_cap = std::chrono::seconds(1);
+      wc.retry.jitter_seed = seed;
+      wc.retry.request_deadline = std::chrono::seconds(2);
+    }
     return sim::run_wire_load(model, policy, cfg, client_features, wc);
   };
 
@@ -117,10 +144,11 @@ int main(int argc, char** argv) {
   }
 
   common::Table table({"mode", "answered", "served", "wall-ms", "sim-ms",
-                       "ans/s", "batches", "max-batch", "srv-B/cl",
-                       "sim-B/cl"});
+                       "ans/s", "batches", "max-batch", "soj-p50", "soj-p99",
+                       "shed d/q/g", "srv-B/cl", "sim-B/cl"});
   for (const Row& row : rows) {
     const auto& r = row.report;
+    const auto& s = r.server_delta;
     table.add_row({row.mode, std::to_string(r.answered),
                    std::to_string(r.served),
                    common::fmt_f(r.wall_s * 1e3, 1),
@@ -128,13 +156,24 @@ int main(int argc, char** argv) {
                    common::fmt_f(r.answered_per_wall_s(), 0),
                    std::to_string(r.front_end.batches),
                    std::to_string(r.front_end.largest_batch),
+                   common::fmt_f(r.front_end.sojourn.percentile_ms(0.5), 3),
+                   common::fmt_f(r.front_end.sojourn.percentile_ms(0.99), 3),
+                   std::to_string(s.shed_deadline_requests +
+                                  s.shed_deadline_submissions) +
+                       "/" +
+                       std::to_string(s.shed_queue_requests +
+                                      s.shed_queue_submissions) +
+                       "/" +
+                       std::to_string(s.shed_degraded_requests +
+                                      s.shed_degraded_submissions),
                    common::fmt_f(r.server_bytes_per_client(), 1),
                    common::fmt_f(r.sim_bytes_per_client(), 1)});
   }
 
   std::printf("WIRE-LOAD%s: full protocol over netsim, %zu clients x %zu "
               "requests%s\n\n%s\n",
-              pace ? " (scale)" : "", clients, requests,
+              pace ? " (scale)" : (overload ? " (overload)" : ""), clients,
+              requests,
               pace ? (", " + arrivals_name + " arrivals").c_str() : "",
               table.to_text().c_str());
   std::printf("hardware threads available: %u\n",
@@ -157,10 +196,13 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     common::JsonWriter w;
     w.begin_object();
-    // Scale runs are a different workload shape (paced arrivals, large
-    // populations); a distinct bench name keeps bench_diff.py from
-    // comparing them against small-N closed-loop baselines.
-    w.field_str("bench", pace ? "wire_load_scale" : "wire_load");
+    // Scale and overload runs are different workload shapes (paced
+    // arrivals / admission control armed); distinct bench names keep
+    // bench_diff.py from comparing them against the plain closed-loop
+    // baselines.
+    w.field_str("bench", pace ? "wire_load_scale"
+                              : (overload ? "wire_load_overload"
+                                          : "wire_load"));
     w.field_u64("clients", clients);
     w.field_u64("requests_per_client", requests);
     if (pace) {
@@ -182,6 +224,17 @@ int main(int argc, char** argv) {
       w.field_f64("answered_per_wall_s", r.answered_per_wall_s());
       w.field_u64("batches", r.front_end.batches);
       w.field_u64("largest_batch", r.front_end.largest_batch);
+      w.field_f64("sojourn_p50_ms", r.front_end.sojourn.percentile_ms(0.5));
+      w.field_f64("sojourn_p99_ms", r.front_end.sojourn.percentile_ms(0.99));
+      w.field_u64("expired_dropped", r.front_end.expired_dropped);
+      w.field_u64("shed_deadline", r.server_delta.shed_deadline_requests +
+                                       r.server_delta.shed_deadline_submissions);
+      w.field_u64("shed_queue", r.server_delta.shed_queue_requests +
+                                    r.server_delta.shed_queue_submissions);
+      w.field_u64("shed_degraded",
+                  r.server_delta.shed_degraded_requests +
+                      r.server_delta.shed_degraded_submissions);
+      w.field_u64("watchdog_stalls", r.watchdog_stalls);
       w.field_u64("challenges_issued", r.server_delta.challenges_issued);
       w.field_u64("server_memory_bytes", r.server_memory_bytes);
       w.field_f64("server_bytes_per_client", r.server_bytes_per_client());

@@ -155,6 +155,21 @@ int main(int argc, char** argv) {
     const sim::CampaignResult result =
         sim::run_campaign_with_plan(model, policy, cfg, plan);
     std::printf("fingerprint: %s\n", result.tallies.fingerprint().c_str());
+    const framework::ServerStats& s = result.tallies.server;
+    std::printf(
+        "overload: shed deadline=%llu queue=%llu degraded=%llu "
+        "timed_out=%llu ladder_max=L%llu recovery=%llu win "
+        "watchdog_stalls=%llu\n",
+        static_cast<unsigned long long>(s.shed_deadline_requests +
+                                        s.shed_deadline_submissions),
+        static_cast<unsigned long long>(s.shed_queue_requests +
+                                        s.shed_queue_submissions),
+        static_cast<unsigned long long>(s.shed_degraded_requests +
+                                        s.shed_degraded_submissions),
+        static_cast<unsigned long long>(result.tallies.timed_out),
+        static_cast<unsigned long long>(result.tallies.degrade_max_level),
+        static_cast<unsigned long long>(result.recovery_windows),
+        static_cast<unsigned long long>(result.watchdog_stalls));
     if (result.passed()) {
       std::printf("campaign passed (%.2fs)\n", result.wall_s);
       return 0;
@@ -181,11 +196,20 @@ int main(int argc, char** argv) {
     const sim::SweepOutcome outcome = sim::run_campaign_sweep(
         model, policy, cfg, seed0, max_seeds, per_scenario_budget);
     total += outcome.campaigns;
-    std::printf("scenario %-22s %3zu campaign(s), seeds %llu..%llu: %s\n",
-                std::string(sim::scenario_name(scenario)).c_str(),
-                outcome.campaigns, static_cast<unsigned long long>(seed0),
-                static_cast<unsigned long long>(outcome.last_seed),
-                outcome.failure ? "FAIL" : "ok");
+    std::printf(
+        "scenario %-22s %3zu campaign(s), seeds %llu..%llu: %s "
+        "(shed dl=%llu q=%llu deg=%llu timed_out=%llu ladder_max=L%llu "
+        "wd_stalls=%llu)\n",
+        std::string(sim::scenario_name(scenario)).c_str(), outcome.campaigns,
+        static_cast<unsigned long long>(seed0),
+        static_cast<unsigned long long>(outcome.last_seed),
+        outcome.failure ? "FAIL" : "ok",
+        static_cast<unsigned long long>(outcome.shed_deadline),
+        static_cast<unsigned long long>(outcome.shed_queue),
+        static_cast<unsigned long long>(outcome.shed_degraded),
+        static_cast<unsigned long long>(outcome.timed_out),
+        static_cast<unsigned long long>(outcome.degrade_max_level),
+        static_cast<unsigned long long>(outcome.watchdog_stalls));
     if (outcome.failure) {
       print_failure(scenario, *outcome.failure);
       if (const auto json = args.get("json")) {

@@ -48,6 +48,13 @@ SPECS = {
     "wire_load_scale": {"row_key": "mode", "metric": "answered_per_wall_s",
                         "match_fields": ["clients", "requests_per_client",
                                          "arrivals"]},
+    # Overload-control runs (bench_wire_load overload=1 json=...): the
+    # admission ladder, deadlines, and client retries reshape the
+    # workload, so throughput only compares like configurations.
+    "wire_load_overload": {"row_key": "mode",
+                           "metric": "answered_per_wall_s",
+                           "match_fields": ["clients",
+                                            "requests_per_client"]},
     # Raw SHA-256 hot-path throughput (bench_crypto json=...): rows are
     # "<mode>/<backend>" cases, e.g. "solver_midstate/shani" — the
     # backend is part of the key, so rows only ever compare like with

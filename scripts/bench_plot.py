@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Render the bench-history JSONL series to a standalone SVG.
+
+bench_history.py accumulates one JSONL record per CI run (commit,
+label, every bench artifact's rows verbatim); this script turns that
+series into a single SVG with one panel per bench — throughput over
+runs, one polyline per row key (mode, client count, difficulty, ...).
+Pure stdlib, no matplotlib: CI renders and uploads the picture next to
+the raw series so a glance at the artifact answers "what has
+throughput done lately?" without downloading anything.
+
+Usage:
+  scripts/bench_plot.py --history bench-history.jsonl --out bench-history.svg
+  scripts/bench_plot.py --history bench-history.jsonl --out out.svg \
+      --benches wire_load,wire_load_overload
+
+An empty or missing history produces a placeholder SVG and exit 0 —
+the plot is bookkeeping, not a gate.
+"""
+
+import argparse
+import html
+import json
+
+# bench name -> which row field keys a series and which metric to plot.
+# Mirrors scripts/bench_diff.py's SPECS so the picture tracks exactly
+# what the regression gate compares.
+SERIES = {
+    "server_load": ("clients", "served_per_s"),
+    "wire_load": ("mode", "answered_per_wall_s"),
+    "wire_load_scale": ("mode", "answered_per_wall_s"),
+    "wire_load_overload": ("mode", "answered_per_wall_s"),
+    "crypto": ("case", "hashes_per_s"),
+    "solve_time": ("difficulty", "hashes_per_s"),
+    "solver_sweep": ("case", "hashes_per_s"),
+}
+
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+           "#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2"]
+
+PANEL_W = 760
+PANEL_H = 190
+MARGIN_L = 64
+MARGIN_R = 190
+MARGIN_T = 34
+MARGIN_B = 30
+
+
+def load_history(path):
+    """Returns the list of run records, oldest first; [] when the file is
+    missing or empty. Malformed lines are skipped — same tolerance as
+    the scripts that write the file."""
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and "artifacts" in record:
+                    records.append(record)
+    except OSError:
+        pass
+    return records
+
+
+def collect_series(records, bench):
+    """-> (runs, series): runs is [(index, commit)], series maps row key
+    -> {run index -> metric value}. Run indices count only the records
+    that carried this bench, so gaps in coverage don't stretch lines."""
+    key_field, metric = SERIES.get(bench, ("mode", None))
+    runs = []
+    series = {}
+    for record in records:
+        artifact = next((a for a in record.get("artifacts", [])
+                         if a.get("bench") == bench), None)
+        if artifact is None:
+            continue
+        index = len(runs)
+        runs.append((index, str(record.get("commit", "?"))[:7]))
+        for row in artifact.get("rows", []):
+            key = str(row.get(key_field, "?"))
+            value = row.get(metric) if metric else None
+            if isinstance(value, (int, float)):
+                series.setdefault(key, {})[index] = float(value)
+    return runs, series
+
+
+def fmt_si(value):
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= scale:
+            return f"{value / scale:.3g}{suffix}"
+    return f"{value:.3g}"
+
+
+def panel_svg(bench, runs, series, y_offset):
+    """One bench's panel as a list of SVG elements."""
+    key_field, metric = SERIES.get(bench, ("mode", None))
+    parts = [f'<g transform="translate(0,{y_offset})">']
+    parts.append(
+        f'<text x="{MARGIN_L}" y="16" class="title">{html.escape(bench)}'
+        f' — {html.escape(metric or "?")}</text>')
+
+    plot_w = PANEL_W - MARGIN_L - MARGIN_R
+    plot_h = PANEL_H - MARGIN_T - MARGIN_B
+    top = MARGIN_T
+    values = [v for points in series.values() for v in points.values()]
+    if not runs or not values:
+        parts.append(f'<text x="{MARGIN_L}" y="{top + 40}" class="note">'
+                     'no data points</text>')
+        parts.append("</g>")
+        return parts
+
+    y_max = max(values) * 1.06 or 1.0
+    n = len(runs)
+
+    def x_of(index):
+        frac = 0.5 if n == 1 else index / (n - 1)
+        return MARGIN_L + frac * plot_w
+
+    def y_of(value):
+        return top + plot_h * (1.0 - value / y_max)
+
+    # Frame + horizontal gridlines with SI-formatted tick labels.
+    parts.append(f'<rect x="{MARGIN_L}" y="{top}" width="{plot_w}" '
+                 f'height="{plot_h}" class="frame"/>')
+    for tick in range(5):
+        value = y_max * tick / 4
+        y = y_of(value)
+        parts.append(f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+                     f'x2="{MARGIN_L + plot_w}" y2="{y:.1f}" class="grid"/>')
+        parts.append(f'<text x="{MARGIN_L - 6}" y="{y + 4:.1f}" '
+                     f'class="ytick">{fmt_si(value)}</text>')
+
+    # Commit labels along x, thinned to stay readable.
+    step = max(1, n // 8)
+    for index, commit in runs:
+        if index % step and index != n - 1:
+            continue
+        x = x_of(index)
+        parts.append(f'<text x="{x:.1f}" y="{top + plot_h + 16}" '
+                     f'class="xtick">{html.escape(commit)}</text>')
+
+    # One polyline (or lone markers) per row key, stable color per panel.
+    legend_y = top + 6
+    for color_index, key in enumerate(sorted(series)):
+        points = series[key]
+        color = PALETTE[color_index % len(PALETTE)]
+        coords = [(x_of(i), y_of(points[i])) for i in sorted(points)]
+        if len(coords) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+            parts.append(f'<polyline points="{path}" fill="none" '
+                         f'stroke="{color}" stroke-width="1.6"/>')
+        for x, y in coords:
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.2" '
+                         f'fill="{color}"/>')
+        last = points[max(points)]
+        parts.append(
+            f'<text x="{MARGIN_L + plot_w + 10}" y="{legend_y + 4}" '
+            f'class="legend" fill="{color}">{html.escape(str(key))} '
+            f'({fmt_si(last)})</text>')
+        legend_y += 14
+    parts.append("</g>")
+    return parts
+
+
+def render(records, benches):
+    panels = []
+    for bench in benches:
+        runs, series = collect_series(records, bench)
+        if runs or not records:
+            panels.append((bench, runs, series))
+    if not panels:
+        panels = [(bench, [], {}) for bench in benches[:1]] or \
+                 [("bench-history", [], {})]
+
+    height = PANEL_H * len(panels) + 8
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{PANEL_W}" '
+        f'height="{height}" viewBox="0 0 {PANEL_W} {height}">',
+        "<style>"
+        "text{font-family:ui-monospace,monospace;font-size:11px;"
+        "fill:#333}"
+        ".title{font-size:13px;font-weight:bold}"
+        ".note{fill:#888}"
+        ".ytick{text-anchor:end;fill:#666;font-size:10px}"
+        ".xtick{text-anchor:middle;fill:#666;font-size:9px}"
+        ".legend{font-size:10px}"
+        ".frame{fill:none;stroke:#999;stroke-width:1}"
+        ".grid{stroke:#e5e5e5;stroke-width:1}"
+        "</style>",
+        f'<rect x="0" y="0" width="{PANEL_W}" height="{height}" '
+        'fill="#ffffff"/>',
+    ]
+    for index, (bench, runs, series) in enumerate(panels):
+        parts.extend(panel_svg(bench, runs, series, index * PANEL_H + 4))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", required=True,
+                        help="bench-history.jsonl written by bench_history.py")
+    parser.add_argument("--out", required=True, help="SVG output path")
+    parser.add_argument("--benches", default=",".join(SERIES),
+                        help="comma-separated bench names to plot "
+                             "(default: all known)")
+    args = parser.parse_args()
+
+    records = load_history(args.history)
+    benches = [b for b in args.benches.split(",") if b]
+    svg = render(records, benches)
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(svg)
+    print(f"wrote {args.out}: {len(records)} run(s), "
+          f"{len(benches)} bench panel(s) requested")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

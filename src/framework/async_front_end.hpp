@@ -45,6 +45,8 @@
 /// must all outlive any pending simulated events; destroy the front end
 /// before the loop/network/server it references.
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -55,8 +57,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "framework/request_queue.hpp"
 #include "framework/server.hpp"
+#include "framework/watchdog.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/network.hpp"
 
@@ -92,6 +96,15 @@ struct AsyncFrontEndConfig final {
   /// keeps a client's messages on one warm core. Purely a performance
   /// knob: totals and histories are identical either way. Default off.
   bool pin_drains = false;
+
+  /// Arm a stall watchdog over the drain threads: busy (non-empty
+  /// queues) without any drain making progress for longer than this
+  /// flags a stall (see watchdog.hpp). Zero = off. Wall-clock
+  /// diagnostics only — totals and histories never depend on it.
+  common::Duration watchdog_stall{0};
+
+  /// Watchdog sampling period (only read when watchdog_stall > 0).
+  common::Duration watchdog_poll = std::chrono::milliseconds(20);
 };
 
 /// Fault-injection hooks for the deterministic campaign layer
@@ -104,6 +117,32 @@ struct FrontEndFaultHooks final {
   /// Install before start() / the first run_until_idle().
   std::function<void(std::size_t shard, std::uint64_t batch_index)>
       before_batch;
+
+  /// Invoked before a batch's submissions hit the verifier:
+  /// (shard, submissions in the batch). The slow-verify fault seam —
+  /// same wall-clock-only contract as before_batch.
+  std::function<void(std::size_t shard, std::size_t submissions)>
+      before_verify;
+};
+
+/// Log-bucketed wall-clock queue-sojourn histogram (bench reporting).
+/// Bucket i >= 1 counts sojourns in [2^(i-1), 2^i) microseconds;
+/// bucket 0 holds sub-microsecond pops. Percentiles reconstruct from
+/// the geometric mid of the bucket — plenty for p50/p99 tracking.
+/// Wall-clock, hence nondeterministic: never part of a fingerprint.
+struct SojournHistogram final {
+  static constexpr std::size_t kBuckets = 40;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+
+  void record_ms(double ms);
+
+  /// \p p in [0, 1]; 0.5 = median. Zero when empty.
+  [[nodiscard]] double percentile_ms(double p) const;
+  [[nodiscard]] double mean_ms() const {
+    return count > 0 ? sum_ms / static_cast<double>(count) : 0.0;
+  }
 };
 
 /// Counters describing how the drains actually batched (diagnostics;
@@ -112,9 +151,14 @@ struct FrontEndFaultHooks final {
 struct FrontEndStats final {
   std::uint64_t batches = 0;      ///< dispatches to the server
   std::uint64_t messages = 0;     ///< wire messages across all batches
-  std::uint64_t requests = 0;     ///< of which Request
-  std::uint64_t submissions = 0;  ///< of which Submission
+  std::uint64_t requests = 0;     ///< of which Request reached the server
+  std::uint64_t submissions = 0;  ///< of which Submission reached the server
+  /// Of messages, how many were dropped at pop time because their
+  /// deadline had passed (answered kUnavailable without server work;
+  /// also on the server ledger as shed_queue_*).
+  std::uint64_t expired_dropped = 0;
   std::size_t largest_batch = 0;  ///< adaptive-batching high-water mark
+  SojournHistogram sojourn;       ///< wall-clock queue-wait distribution
 };
 
 class AsyncFrontEnd final {
@@ -190,11 +234,16 @@ class AsyncFrontEnd final {
   /// Snapshot of the batching counters. Exact when idle(). Thread-safe.
   [[nodiscard]] FrontEndStats stats() const;
 
+  /// Watchdog snapshot (all zeros when watchdog_stall is 0).
+  /// Thread-safe.
+  [[nodiscard]] WatchdogStats watchdog_stats() const;
+
   [[nodiscard]] const AsyncFrontEndConfig& config() const { return config_; }
 
  private:
   void drain_loop(std::size_t shard);
-  void process_batch(RequestQueue& queue, std::vector<WireMessage>&& batch);
+  void process_batch(RequestQueue& queue, std::vector<WireMessage>&& batch,
+                     std::size_t shard);
 
   /// Shard index for a transport-level source address (stable across
   /// runs and platforms, so batching diagnostics are reproducible).
@@ -212,6 +261,10 @@ class AsyncFrontEnd final {
   bool started_;
   FrontEndStats stats_;
   FrontEndFaultHooks hooks_;
+
+  /// Armed when config_.watchdog_stall > 0 (one source per drain
+  /// shard, busy probe = !idle()). Stopped before the queues close.
+  std::unique_ptr<Watchdog> watchdog_;
 
   std::vector<std::thread> drains_;  // last member: joins before the rest
 };

@@ -1,0 +1,138 @@
+#include "framework/degrade.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powai::framework {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Gaps longer than this many windows fast-forward to a fully calm
+// state instead of folding window by window. Purely a bound on fold
+// work; the outcome (level 0, drained EWMAs) is what the per-window
+// loop converges to long before this anyway, and the shortcut depends
+// only on the gap length, so determinism is preserved.
+constexpr std::int64_t kMaxFoldWindows = 100000;
+}  // namespace
+
+DegradeLadder::DegradeLadder(DegradeLadderConfig config)
+    : config_(config) {
+  if (config_.window <= common::Duration::zero()) {
+    throw std::invalid_argument("DegradeLadder: non-positive window");
+  }
+  if (config_.ewma_alpha <= 0.0 || config_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("DegradeLadder: ewma_alpha outside (0, 1]");
+  }
+  window_ms_ = std::max<std::int64_t>(
+      1, std::chrono::duration_cast<std::chrono::milliseconds>(config_.window)
+             .count());
+}
+
+void DegradeLadder::fold_locked(std::int64_t epoch) {
+  if (epoch - cur_epoch_ > kMaxFoldWindows) {
+    sojourn_ewma_ms_ = 0.0;
+    arrival_ewma_per_s_ = 0.0;
+    pressure_ = 0.0;
+    calm_count_ = 0;
+    if (level_.load(kRelaxed) != 0) {
+      level_.store(0, kRelaxed);
+      ++transitions_;
+    }
+    cur_epoch_ = epoch;
+    win_arrivals_ = 0;
+    win_sojourn_sum_ms_ = 0.0;
+    win_sojourn_count_ = 0;
+    return;
+  }
+  while (cur_epoch_ < epoch) {
+    // Window cur_epoch_ is complete: fold its totals.
+    const double arrivals_per_s =
+        static_cast<double>(win_arrivals_) * 1000.0 /
+        static_cast<double>(window_ms_);
+    const double sojourn_ms =
+        win_sojourn_count_ > 0
+            ? win_sojourn_sum_ms_ / static_cast<double>(win_sojourn_count_)
+            : 0.0;
+    const double a = config_.ewma_alpha;
+    sojourn_ewma_ms_ = a * sojourn_ms + (1.0 - a) * sojourn_ewma_ms_;
+    arrival_ewma_per_s_ = a * arrivals_per_s + (1.0 - a) * arrival_ewma_per_s_;
+
+    double pressure = 0.0;
+    if (config_.sojourn_ref_ms > 0.0) {
+      pressure = std::max(pressure, sojourn_ewma_ms_ / config_.sojourn_ref_ms);
+    }
+    if (config_.arrival_ref_per_s > 0.0) {
+      pressure =
+          std::max(pressure, arrival_ewma_per_s_ / config_.arrival_ref_per_s);
+    }
+    pressure_ = pressure;
+
+    const int level = level_.load(kRelaxed);
+    int target = 0;
+    if (pressure >= config_.up_l3) {
+      target = 3;
+    } else if (pressure >= config_.up_l2) {
+      target = 2;
+    } else if (pressure >= config_.up_l1) {
+      target = 1;
+    }
+    if (target > level) {
+      level_.store(target, kRelaxed);
+      if (target > max_level_.load(kRelaxed)) max_level_.store(target, kRelaxed);
+      calm_count_ = 0;
+      ++transitions_;
+    } else if (level > 0 && pressure < config_.calm_below) {
+      if (++calm_count_ >= config_.calm_windows) {
+        level_.store(level - 1, kRelaxed);
+        calm_count_ = 0;
+        ++transitions_;
+      }
+    } else {
+      calm_count_ = 0;
+    }
+
+    win_arrivals_ = 0;
+    win_sojourn_sum_ms_ = 0.0;
+    win_sojourn_count_ = 0;
+    ++cur_epoch_;
+  }
+}
+
+void DegradeLadder::record_arrival(std::int64_t now_ms) {
+  if (!config_.enabled) return;
+  std::lock_guard lock(mu_);
+  fold_locked(now_ms / window_ms_);
+  ++win_arrivals_;
+}
+
+void DegradeLadder::record_sojourn(std::int64_t now_ms, double sojourn_ms) {
+  if (!config_.enabled) return;
+  std::lock_guard lock(mu_);
+  fold_locked(now_ms / window_ms_);
+  win_sojourn_sum_ms_ += sojourn_ms;
+  ++win_sojourn_count_;
+}
+
+void DegradeLadder::poll(std::int64_t now_ms) {
+  if (!config_.enabled) return;
+  std::lock_guard lock(mu_);
+  fold_locked(now_ms / window_ms_);
+}
+
+DegradeStats DegradeLadder::stats() const {
+  std::lock_guard lock(mu_);
+  DegradeStats s;
+  s.level = level_.load(kRelaxed);
+  s.max_level = max_level_.load(kRelaxed);
+  s.transitions = transitions_;
+  s.pressure = pressure_;
+  return s;
+}
+
+std::uint32_t DegradeLadder::retry_after_ms() const {
+  const int level = std::clamp(level_.load(kRelaxed), 0, 3);
+  return config_.retry_after_base_ms << static_cast<unsigned>(level);
+}
+
+}  // namespace powai::framework

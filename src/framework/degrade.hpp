@@ -1,0 +1,147 @@
+#pragma once
+/// \file degrade.hpp
+/// Graduated overload degradation ladder. Under sustained pressure the
+/// server walks up a four-level ladder instead of degrading chaotically:
+///
+///   L0  normal operation
+///   L1  raise the puzzle difficulty floor and shrink the effective
+///       issued-puzzle TTL (late solutions stop being worth verifying)
+///   L2  shed new issuance but keep accepting submissions — a shed
+///       submission wastes PoW the client already spent, a shed
+///       issuance wastes nothing
+///   L3  admission by reputation only: issuance stays shed and
+///       submissions are admitted only from clients whose cached
+///       reputation score is on the benign side
+///
+/// Pressure signal: commutative per-window accumulators (arrivals,
+/// queue-sojourn sums) folded into EWMAs lazily when a recorded event's
+/// timestamp crosses a window boundary. Addition commutes, the fold
+/// order follows simulated time, and level transitions depend only on
+/// per-window totals — so the ladder's trajectory is bit-deterministic
+/// across serial, pooled, and sharded execution (the same property the
+/// issuance path has). Sojourn is the wall-deployment signal; the
+/// arrival-rate term is the pressure proxy visible under the simulator's
+/// frozen-clock pump, where in-queue sojourn is structurally zero.
+///
+/// Hysteresis: stepping up happens immediately when the pressure EWMA
+/// crosses a threshold; stepping down one level requires `calm_windows`
+/// consecutive windows below `calm_below`, which bounds the recovery
+/// time to at most `levels × calm_windows × window` after a fault
+/// clears — the campaign invariant pins exactly that.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "policy/policy.hpp"
+
+namespace powai::framework {
+
+/// Ladder tuning. Disabled by default: a server without a configured
+/// ladder behaves exactly as before (level pinned at 0).
+struct DegradeLadderConfig final {
+  bool enabled = false;
+
+  /// Signal window; accumulators fold into the EWMAs once per window.
+  common::Duration window = std::chrono::milliseconds(100);
+
+  /// EWMA smoothing per window (0 < alpha <= 1).
+  double ewma_alpha = 0.3;
+
+  /// Queue-sojourn EWMA (ms) that saturates the sojourn pressure term
+  /// at 1.0.
+  double sojourn_ref_ms = 50.0;
+
+  /// Arrival rate (admitted requests/s) that saturates the arrival
+  /// pressure term at 1.0; 0 disables the term. Pressure is the max of
+  /// the enabled terms.
+  double arrival_ref_per_s = 0.0;
+
+  /// Pressure thresholds that step the ladder up to L1/L2/L3.
+  double up_l1 = 0.5;
+  double up_l2 = 1.0;
+  double up_l3 = 2.0;
+
+  /// A window with pressure below this counts as calm; `calm_windows`
+  /// consecutive calm windows step the ladder down one level.
+  double calm_below = 0.35;
+  unsigned calm_windows = 3;
+
+  /// L1+: minimum difficulty issued (0 = no floor).
+  policy::Difficulty l1_difficulty_floor = 0;
+
+  /// L1+: effective TTL applied to submissions at verification time
+  /// (zero = keep the verifier's configured TTL). Enforced server-side
+  /// so the puzzle wire format and MAC are untouched.
+  common::Duration l1_ttl = std::chrono::seconds(30);
+
+  /// L3: submissions are admitted only when the client's cached
+  /// reputation score is <= this (scores grow with suspicion).
+  double l3_admit_max_score = 4.0;
+
+  /// retry_after hint handed to shed clients: base << level.
+  std::uint32_t retry_after_base_ms = 250;
+};
+
+/// Snapshot of the ladder's state (diagnostics; max_level feeds the
+/// campaign recovery invariant).
+struct DegradeStats final {
+  int level = 0;            ///< current level after the last fold
+  int max_level = 0;        ///< high-water level over the run
+  std::uint64_t transitions = 0;  ///< level changes (up or down)
+  double pressure = 0.0;    ///< pressure EWMA after the last fold
+};
+
+class DegradeLadder final {
+ public:
+  explicit DegradeLadder(DegradeLadderConfig config);
+
+  /// One admitted request at sim/wall time \p now_ms. Folds any elapsed
+  /// windows first, then accumulates into the current window.
+  void record_arrival(std::int64_t now_ms);
+
+  /// One message popped from the queue after \p sojourn_ms in it.
+  void record_sojourn(std::int64_t now_ms, double sojourn_ms);
+
+  /// Folds windows elapsed up to \p now_ms without recording anything —
+  /// call at end of run so trailing calm windows count toward recovery.
+  void poll(std::int64_t now_ms);
+
+  /// Current ladder level, lock-free (hot-path read).
+  [[nodiscard]] int level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] DegradeStats stats() const;
+
+  /// Level-scaled backoff hint for shed responses.
+  [[nodiscard]] std::uint32_t retry_after_ms() const;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const DegradeLadderConfig& config() const { return config_; }
+
+ private:
+  /// Folds complete windows strictly before \p epoch (caller holds mu_).
+  void fold_locked(std::int64_t epoch);
+
+  DegradeLadderConfig config_;
+  std::int64_t window_ms_ = 100;
+
+  mutable std::mutex mu_;
+  std::int64_t cur_epoch_ = 0;        // window index accumulating now
+  std::uint64_t win_arrivals_ = 0;
+  double win_sojourn_sum_ms_ = 0.0;
+  std::uint64_t win_sojourn_count_ = 0;
+  double sojourn_ewma_ms_ = 0.0;
+  double arrival_ewma_per_s_ = 0.0;
+  double pressure_ = 0.0;
+  unsigned calm_count_ = 0;
+  std::uint64_t transitions_ = 0;
+
+  std::atomic<int> level_{0};
+  std::atomic<int> max_level_{0};
+};
+
+}  // namespace powai::framework

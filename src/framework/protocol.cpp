@@ -67,6 +67,7 @@ common::Bytes Request::serialize() const {
   append_string(out, client_ip);
   append_string(out, path);
   append_features(out, features);
+  common::append_u64be(out, static_cast<std::uint64_t>(deadline_ms));
   return out;
 }
 
@@ -84,6 +85,7 @@ common::Bytes Submission::serialize() const {
   common::append_u64be(out, request_id);
   append_blob(out, puzzle.serialize());
   append_blob(out, solution.serialize());
+  common::append_u64be(out, static_cast<std::uint64_t>(deadline_ms));
   return out;
 }
 
@@ -93,6 +95,7 @@ common::Bytes Response::serialize() const {
   common::append_u64be(out, request_id);
   common::append_u16be(out, static_cast<std::uint16_t>(status));
   append_string(out, body);
+  common::append_u32be(out, retry_after_ms);
   return out;
 }
 
@@ -121,8 +124,11 @@ std::optional<Message> decode(common::BytesView wire) {
       if (!path) return std::nullopt;
       m.path = std::move(*path);
       const auto feats = read_features(reader);
-      if (!feats || !reader.empty()) return std::nullopt;
+      if (!feats) return std::nullopt;
       m.features = *feats;
+      const auto deadline = reader.read_u64be();
+      if (!deadline || !reader.empty()) return std::nullopt;
+      m.deadline_ms = static_cast<std::int64_t>(*deadline);
       return Message{std::move(m)};
     }
     case MessageType::kChallenge: {
@@ -148,10 +154,13 @@ std::optional<Message> decode(common::BytesView wire) {
       if (!puzzle) return std::nullopt;
       m.puzzle = std::move(*puzzle);
       const auto sol_blob = read_blob(reader, kMaxBlobLen);
-      if (!sol_blob || !reader.empty()) return std::nullopt;
+      if (!sol_blob) return std::nullopt;
       const auto solution = pow::Solution::deserialize(*sol_blob);
       if (!solution) return std::nullopt;
       m.solution = *solution;
+      const auto deadline = reader.read_u64be();
+      if (!deadline || !reader.empty()) return std::nullopt;
+      m.deadline_ms = static_cast<std::int64_t>(*deadline);
       return Message{std::move(m)};
     }
     case MessageType::kResponse: {
@@ -163,8 +172,11 @@ std::optional<Message> decode(common::BytesView wire) {
       if (!status || *status > 10) return std::nullopt;
       m.status = static_cast<common::ErrorCode>(*status);
       auto body = read_string(reader, kMaxStringLen);
-      if (!body || !reader.empty()) return std::nullopt;
+      if (!body) return std::nullopt;
       m.body = std::move(*body);
+      const auto retry_after = reader.read_u32be();
+      if (!retry_after || !reader.empty()) return std::nullopt;
+      m.retry_after_ms = *retry_after;
       return Message{std::move(m)};
     }
   }

@@ -39,6 +39,11 @@ struct Request final {
   std::string path = "/";
   features::FeatureVector features;
   std::uint64_t request_id = 0;  ///< client-chosen correlation id
+  /// Absolute deadline in server sim-time milliseconds (0 = none set;
+  /// the server substitutes `ServerConfig::default_deadline`). Work
+  /// whose deadline has passed is shed at every stage — queue pop,
+  /// pre-scoring, pre-verification — instead of being served late.
+  std::int64_t deadline_ms = 0;
 
   [[nodiscard]] common::Bytes serialize() const;
 };
@@ -56,6 +61,9 @@ struct Submission final {
   std::uint64_t request_id = 0;
   pow::Puzzle puzzle;
   pow::Solution solution;
+  /// Absolute deadline echoed from the request (0 = none): a solution
+  /// whose client already gave up is shed before verification.
+  std::int64_t deadline_ms = 0;
 
   [[nodiscard]] common::Bytes serialize() const;
 };
@@ -65,6 +73,9 @@ struct Response final {
   std::uint64_t request_id = 0;
   common::ErrorCode status = common::ErrorCode::kOk;  ///< kOk = resource served
   std::string body;  ///< resource content, or error detail
+  /// Overload hint: how long the client should back off before
+  /// retrying (0 = no hint). Only meaningful with kUnavailable.
+  std::uint32_t retry_after_ms = 0;
 
   [[nodiscard]] common::Bytes serialize() const;
 };

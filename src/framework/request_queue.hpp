@@ -12,6 +12,7 @@
 /// complete(), so busy() == false guarantees every accepted message has
 /// been fully processed, not merely dequeued.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -21,16 +22,33 @@
 #include <variant>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "framework/protocol.hpp"
 
 namespace powai::framework {
 
 /// One decoded wire message awaiting service, tagged with its
 /// transport-level source (the address responses go back to, and the
-/// address puzzles are bound to).
+/// address puzzles are bound to) and its deadline envelope.
 struct WireMessage final {
   std::string from;
   std::variant<Request, Submission> payload;
+
+  /// Effective absolute deadline in server-clock milliseconds (0 =
+  /// none). Stamped by the endpoint at enqueue; the drain drops the
+  /// message at pop time once it has passed — expired work never
+  /// reaches the server.
+  std::int64_t deadline_ms = 0;
+
+  /// Server-clock arrival instant. Pop time minus this is the queue
+  /// sojourn fed to the degradation ladder (deterministic under the
+  /// frozen-clock pump: structurally zero in simulation, real under a
+  /// wall clock).
+  common::TimePoint enqueued_at{};
+
+  /// Wall-clock arrival instant for the bench-facing sojourn
+  /// percentiles. Nondeterministic by nature; never fingerprinted.
+  std::chrono::steady_clock::time_point wall_enqueued_at{};
 };
 
 class RequestQueue final {

@@ -1,0 +1,47 @@
+#include "framework/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace powai::framework {
+
+std::uint64_t retry_client_key(const std::string& ip) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : ip) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+common::Duration retry_backoff(const RetryPolicy& policy,
+                               std::uint64_t client_key,
+                               std::uint64_t request_id, std::size_t attempt) {
+  if (attempt == 0) return common::Duration::zero();
+  // base * 2^(attempt-1), saturating into the cap (shift bounded so a
+  // large attempt count cannot overflow the representation).
+  const auto shift = std::min<std::size_t>(attempt - 1, 20);
+  const auto scaled = policy.backoff_base * (std::uint64_t{1} << shift);
+  auto wait = std::min<common::Duration>(scaled, policy.backoff_cap);
+  if (policy.jitter_frac > 0.0) {
+    // Stream id is a pure mix of (client, request, attempt): the same
+    // tuple draws the same jitter in every run, regardless of how many
+    // other clients are retrying concurrently.
+    std::uint64_t state = client_key;
+    std::uint64_t stream = common::splitmix64(state);
+    state ^= request_id;
+    stream ^= common::splitmix64(state);
+    state ^= static_cast<std::uint64_t>(attempt);
+    stream ^= common::splitmix64(state);
+    auto rng = common::stream_rng(policy.jitter_seed, stream);
+    const double frac = std::clamp(policy.jitter_frac, 0.0, 1.0);
+    const double factor = rng.uniform(1.0 - frac, 1.0 + frac);
+    wait = std::chrono::duration_cast<common::Duration>(
+        std::chrono::duration<double, common::Duration::period>(
+            static_cast<double>(wait.count()) * factor));
+  }
+  return wait;
+}
+
+}  // namespace powai::framework

@@ -1,5 +1,8 @@
 #include "framework/server.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
 #include <stdexcept>
 
 namespace powai::framework {
@@ -11,13 +14,15 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 PowServer::PowServer(const common::Clock& clock,
                      const reputation::IReputationModel& model,
                      const policy::IPolicy& pol, ServerConfig config)
-    : model_(&model),
+    : clock_(&clock),
+      model_(&model),
       policy_(&pol),
       config_(std::move(config)),
       generator_(clock, config_.master_secret),
       verifier_(clock, config_.master_secret, config_.verifier),
       cache_(clock, config_.cache, config_.cache_shards),
-      rate_limiter_(clock, config_.rate_limiter) {
+      rate_limiter_(clock, config_.rate_limiter),
+      ladder_(config_.degrade) {
   if (!model.fitted()) {
     throw std::invalid_argument("PowServer: reputation model is not fitted");
   }
@@ -36,6 +41,12 @@ ServerStats PowServer::AtomicStats::snapshot() const {
   s.rejected_replay = rejected_replay.load(kRelaxed);
   s.rejected_binding = rejected_binding.load(kRelaxed);
   s.rejected_overload = rejected_overload.load(kRelaxed);
+  s.shed_deadline_requests = shed_deadline_requests.load(kRelaxed);
+  s.shed_deadline_submissions = shed_deadline_submissions.load(kRelaxed);
+  s.shed_queue_requests = shed_queue_requests.load(kRelaxed);
+  s.shed_queue_submissions = shed_queue_submissions.load(kRelaxed);
+  s.shed_degraded_requests = shed_degraded_requests.load(kRelaxed);
+  s.shed_degraded_submissions = shed_degraded_submissions.load(kRelaxed);
   s.difficulty_sum = difficulty_sum.load(kRelaxed);
   return s;
 }
@@ -53,6 +64,16 @@ ServerStats ServerStats::operator-(const ServerStats& rhs) const {
   d.rejected_replay = rejected_replay - rhs.rejected_replay;
   d.rejected_binding = rejected_binding - rhs.rejected_binding;
   d.rejected_overload = rejected_overload - rhs.rejected_overload;
+  d.shed_deadline_requests = shed_deadline_requests - rhs.shed_deadline_requests;
+  d.shed_deadline_submissions =
+      shed_deadline_submissions - rhs.shed_deadline_submissions;
+  d.shed_queue_requests = shed_queue_requests - rhs.shed_queue_requests;
+  d.shed_queue_submissions =
+      shed_queue_submissions - rhs.shed_queue_submissions;
+  d.shed_degraded_requests =
+      shed_degraded_requests - rhs.shed_degraded_requests;
+  d.shed_degraded_submissions =
+      shed_degraded_submissions - rhs.shed_degraded_submissions;
   d.difficulty_sum = difficulty_sum - rhs.difficulty_sum;
   return d;
 }
@@ -66,6 +87,41 @@ std::size_t PowServer::memory_bytes() const {
 
 void PowServer::note_overload() {
   stats_.rejected_overload.fetch_add(1, kRelaxed);
+}
+
+void PowServer::note_queue_shed(bool is_request) {
+  if (is_request) {
+    stats_.shed_queue_requests.fetch_add(1, kRelaxed);
+  } else {
+    stats_.shed_queue_submissions.fetch_add(1, kRelaxed);
+  }
+}
+
+void PowServer::note_queue_sojourn(std::int64_t now_ms, double sojourn_ms) {
+  ladder_.record_sojourn(now_ms, sojourn_ms);
+}
+
+std::int64_t PowServer::effective_deadline_ms(std::int64_t deadline_ms,
+                                              std::int64_t arrival_ms) const {
+  if (deadline_ms != 0) return deadline_ms;
+  if (config_.default_deadline <= common::Duration::zero()) return 0;
+  return arrival_ms + std::chrono::duration_cast<std::chrono::milliseconds>(
+                          config_.default_deadline)
+                          .count();
+}
+
+std::uint32_t PowServer::retry_after_hint_ms() const {
+  return ladder_.retry_after_ms();
+}
+
+Response PowServer::shed_response(std::uint64_t request_id,
+                                  const char* detail) const {
+  Response r;
+  r.request_id = request_id;
+  r.status = common::ErrorCode::kUnavailable;
+  r.body = detail;
+  r.retry_after_ms = retry_after_hint_ms();
+  return r;
 }
 
 ScoringTrace PowServer::last_trace() const {
@@ -101,12 +157,41 @@ std::variant<Challenge, Response> PowServer::on_request(const Request& request,
                     "challenge rate exceeded"};
   }
 
+  // Overload control: offered load feeds the ladder's pressure signal,
+  // then dead work (expired deadline) is shed before any scoring cost.
+  const std::int64_t arrival_ms = now_ms();
+  ladder_.record_arrival(arrival_ms);
+  const std::int64_t deadline =
+      effective_deadline_ms(request.deadline_ms, arrival_ms);
+  if (deadline != 0 && arrival_ms > deadline) {
+    stats_.shed_deadline_requests.fetch_add(1, kRelaxed);
+    return shed_response(request.request_id, "deadline exceeded");
+  }
+
   if (!config_.pow_enabled) {
     // Baseline mode: no puzzle, immediate service.
     stats_.served.fetch_add(1, kRelaxed);
     stats_.served_without_pow.fetch_add(1, kRelaxed);
     return Response{request.request_id, common::ErrorCode::kOk,
                     config_.resource_body};
+  }
+
+  // Degradation ladder, issuance side: L2 sheds every new issuance (a
+  // shed issuance wastes no client work); L3 admits issuance only for
+  // clients whose *cached* reputation is already benign — scoring a
+  // fresh client is exactly the work L3 refuses to spend.
+  const int level = ladder_.level();
+  if (level >= 2) {
+    bool admit = false;
+    if (level >= 3 && config_.reputation_cache_enabled) {
+      if (const auto cached = cache_.lookup(*ip)) {
+        admit = *cached <= config_.degrade.l3_admit_max_score;
+      }
+    }
+    if (!admit) {
+      stats_.shed_degraded_requests.fetch_add(1, kRelaxed);
+      return shed_response(request.request_id, "degraded: issuance shed");
+    }
   }
 
   // (2) AI model → reputation score (optionally via the cache).
@@ -132,6 +217,10 @@ std::variant<Challenge, Response> PowServer::on_request(const Request& request,
   common::Rng policy_stream =
       common::stream_rng(config_.policy_seed, puzzle_id);
   local.difficulty = policy_->difficulty(local.score, policy_stream);
+  if (level >= 1 && config_.degrade.l1_difficulty_floor > 0) {
+    local.difficulty =
+        std::max(local.difficulty, config_.degrade.l1_difficulty_floor);
+  }
 
   // (4) issue the puzzle under the same stable identity.
   stats_.challenges_issued.fetch_add(1, kRelaxed);
@@ -154,8 +243,60 @@ std::vector<std::variant<Challenge, Response>> PowServer::on_request_batch(
   return results;
 }
 
+std::optional<Response> PowServer::precheck_submission(
+    const Submission& submission, std::int64_t arrival_ms, int level) {
+  // Deadline first: the client has given up, verification would be dead
+  // work however valid the solution is.
+  const std::int64_t deadline =
+      effective_deadline_ms(submission.deadline_ms, arrival_ms);
+  if (deadline != 0 && arrival_ms > deadline) {
+    stats_.shed_deadline_submissions.fetch_add(1, kRelaxed);
+    return shed_response(submission.request_id, "deadline exceeded");
+  }
+
+  if (level >= 3) {
+    // L3: only reputation-proven clients get verification cycles. The
+    // bound ip (what the puzzle was issued to) keys the cache lookup.
+    bool admit = false;
+    if (config_.reputation_cache_enabled) {
+      if (const auto ip =
+              features::IpAddress::parse(submission.puzzle.client_binding)) {
+        if (const auto cached = cache_.lookup(*ip)) {
+          admit = *cached <= config_.degrade.l3_admit_max_score;
+        }
+      }
+    }
+    if (!admit) {
+      stats_.shed_degraded_submissions.fetch_add(1, kRelaxed);
+      return shed_response(submission.request_id,
+                           "degraded: admission by reputation only");
+    }
+  }
+
+  if (level >= 1 && config_.degrade.l1_ttl > common::Duration::zero()) {
+    // L1+: shrink the effective TTL at verification time (the puzzle
+    // wire format and MAC are untouched — this is a server-side policy
+    // on its own clock).
+    const auto ttl_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            config_.degrade.l1_ttl)
+                            .count();
+    if (arrival_ms - submission.puzzle.issued_at_ms > ttl_ms) {
+      return finalize_submission(
+          submission.request_id,
+          common::err(common::ErrorCode::kExpired, "degraded ttl exceeded"));
+    }
+  }
+  return std::nullopt;
+}
+
 Response PowServer::on_submission(const Submission& submission,
                                   const std::string& observed_ip) {
+  const std::int64_t arrival_ms = now_ms();
+  ladder_.poll(arrival_ms);
+  if (auto early =
+          precheck_submission(submission, arrival_ms, ladder_.level())) {
+    return *early;
+  }
   return finalize_submission(
       submission.request_id,
       verifier_.verify(submission.puzzle, submission.solution, observed_ip));
@@ -173,21 +314,33 @@ std::vector<Response> PowServer::on_submission_batch(
         std::make_unique<pow::BatchVerifier>(verifier_, ensure_pool());
   });
 
+  // Overload prechecks first: shed entries resolve without touching the
+  // verifier, and only the survivors are batched onto the pool.
+  const std::int64_t arrival_ms = now_ms();
+  ladder_.poll(arrival_ms);
+  const int level = ladder_.level();
+  std::vector<Response> responses(submissions.size());
   std::vector<pow::VerificationJob> jobs;
+  std::vector<std::size_t> job_slots;
   jobs.reserve(submissions.size());
+  job_slots.reserve(submissions.size());
   for (std::size_t i = 0; i < submissions.size(); ++i) {
+    if (auto early = precheck_submission(submissions[i], arrival_ms, level)) {
+      responses[i] = std::move(*early);
+      continue;
+    }
+    job_slots.push_back(i);
     jobs.push_back({&submissions[i].puzzle, &submissions[i].solution,
                     observed_ips.empty() ? nullptr : &observed_ips[i]});
   }
 
-  const std::vector<common::Status> statuses =
-      batch_verifier_->verify_batch(jobs);
-
-  std::vector<Response> responses;
-  responses.reserve(submissions.size());
-  for (std::size_t i = 0; i < submissions.size(); ++i) {
-    responses.push_back(
-        finalize_submission(submissions[i].request_id, statuses[i]));
+  if (!jobs.empty()) {
+    const std::vector<common::Status> statuses =
+        batch_verifier_->verify_batch(jobs);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      responses[job_slots[j]] = finalize_submission(
+          submissions[job_slots[j]].request_id, statuses[j]);
+    }
   }
   return responses;
 }

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <variant>
@@ -47,6 +48,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "features/ip_address.hpp"
+#include "framework/degrade.hpp"
 #include "framework/protocol.hpp"
 #include "framework/rate_limiter.hpp"
 #include "policy/policy.hpp"
@@ -100,6 +102,18 @@ struct ServerConfig final {
   /// — reproducible from this one seed, lock-free, and independent of
   /// arrival order. Fixed default keeps experiments reproducible.
   std::uint64_t policy_seed = 0x9069'0ce5'7a37'b00fULL;
+
+  /// Deadline substituted for requests that set none (Request.deadline_ms
+  /// == 0): effective deadline = arrival time + default_deadline. Zero
+  /// (the default) disables the substitution, so requests without a
+  /// deadline are never shed — existing behavior is unchanged until a
+  /// deployment opts in.
+  common::Duration default_deadline{0};
+
+  /// Overload degradation ladder (disabled by default; see degrade.hpp).
+  /// Its retry_after_base_ms also seeds the retry_after hint attached to
+  /// deadline sheds even while the ladder itself is off.
+  DegradeLadderConfig degrade;
 };
 
 /// Outcome counters (monotonic). Plain snapshot struct — the live
@@ -121,7 +135,25 @@ struct ServerStats final {
   /// queue full). Reported by the front end via note_overload() so one
   /// stats block accounts for every wire message's fate.
   std::uint64_t rejected_overload = 0;
+
+  /// Deadline/overload sheds, stage by stage. All deterministic under
+  /// the frozen-clock pump (they depend only on sim-time now vs. the
+  /// message's deadline and the ladder's deterministic level), so they
+  /// participate in the campaign fingerprint.
+  std::uint64_t shed_deadline_requests = 0;    ///< expired before scoring
+  std::uint64_t shed_deadline_submissions = 0; ///< expired before verification
+  std::uint64_t shed_queue_requests = 0;       ///< expired at queue pop
+  std::uint64_t shed_queue_submissions = 0;    ///< expired at queue pop
+  std::uint64_t shed_degraded_requests = 0;    ///< L2+/L3 issuance shed
+  std::uint64_t shed_degraded_submissions = 0; ///< L3 reputation-gated shed
   std::uint64_t difficulty_sum = 0;  ///< over issued challenges
+
+  /// All submissions shed without verification — the work the client
+  /// already paid for that the server discarded (campaigns bound it).
+  [[nodiscard]] std::uint64_t shed_submissions_total() const {
+    return shed_deadline_submissions + shed_queue_submissions +
+           shed_degraded_submissions;
+  }
 
   [[nodiscard]] double mean_difficulty() const {
     return challenges_issued > 0
@@ -191,6 +223,35 @@ class PowServer final {
   /// load harness can balance against client-side tallies. Thread-safe.
   void note_overload();
 
+  /// Records one message dropped at queue pop because its deadline had
+  /// already passed (the front end answers it with kUnavailable without
+  /// handing it to the server). Thread-safe.
+  void note_queue_shed(bool is_request);
+
+  /// Feeds one popped message's queue sojourn into the degradation
+  /// ladder's pressure signal. \p now_ms is the pop-time clock reading,
+  /// \p sojourn_ms how long the message sat queued. Thread-safe.
+  void note_queue_sojourn(std::int64_t now_ms, double sojourn_ms);
+
+  /// The effective absolute deadline for a message carrying
+  /// \p deadline_ms (0 = unset → arrival + default_deadline, or 0 when
+  /// no default is configured). \p arrival_ms is the reference instant.
+  [[nodiscard]] std::int64_t effective_deadline_ms(
+      std::int64_t deadline_ms, std::int64_t arrival_ms) const;
+
+  /// Level-scaled retry_after hint attached to shed responses.
+  [[nodiscard]] std::uint32_t retry_after_hint_ms() const;
+
+  /// Current degradation ladder level (0 when the ladder is disabled).
+  [[nodiscard]] int degrade_level() const { return ladder_.level(); }
+
+  /// Ladder snapshot (max level feeds the campaign recovery invariant).
+  [[nodiscard]] DegradeStats degrade_stats() const { return ladder_.stats(); }
+
+  /// Folds ladder windows elapsed up to \p now_ms — call at end of run
+  /// so trailing calm windows count toward recovery to level 0.
+  void poll_degrade(std::int64_t now_ms) { ladder_.poll(now_ms); }
+
   /// Snapshot of the outcome counters (relaxed loads). Totals are exact
   /// once concurrent callers have returned; mid-flight snapshots are
   /// monotone per counter but not a consistent cut across counters.
@@ -209,6 +270,14 @@ class PowServer final {
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
+  /// The server's notion of now (its injected — possibly skewed — clock).
+  /// Endpoints use it to timestamp arrivals so deadline math and the
+  /// server's comparisons read the same clock.
+  [[nodiscard]] common::TimePoint now() const { return clock_->now(); }
+  [[nodiscard]] std::int64_t now_ms() const {
+    return common::to_millis(clock_->now());
+  }
+
  private:
   /// Relaxed-atomic mirror of ServerStats: counters increment
   /// independently on the hot path, snapshot() re-materializes the plain
@@ -225,6 +294,12 @@ class PowServer final {
     std::atomic<std::uint64_t> rejected_replay{0};
     std::atomic<std::uint64_t> rejected_binding{0};
     std::atomic<std::uint64_t> rejected_overload{0};
+    std::atomic<std::uint64_t> shed_deadline_requests{0};
+    std::atomic<std::uint64_t> shed_deadline_submissions{0};
+    std::atomic<std::uint64_t> shed_queue_requests{0};
+    std::atomic<std::uint64_t> shed_queue_submissions{0};
+    std::atomic<std::uint64_t> shed_degraded_requests{0};
+    std::atomic<std::uint64_t> shed_degraded_submissions{0};
     std::atomic<std::uint64_t> difficulty_sum{0};
 
     [[nodiscard]] ServerStats snapshot() const;
@@ -235,9 +310,21 @@ class PowServer final {
   Response finalize_submission(std::uint64_t request_id,
                                const common::Status& status);
 
+  /// Pre-verification overload checks for one submission (deadline shed,
+  /// L3 reputation gate, L1 effective-TTL). Returns the final Response
+  /// when the submission is resolved without verification, std::nullopt
+  /// when it should proceed to the verifier. Counts what it sheds.
+  [[nodiscard]] std::optional<Response> precheck_submission(
+      const Submission& submission, std::int64_t arrival_ms, int level);
+
   /// The lazily-created pool both batch entry points share.
   common::ThreadPool& ensure_pool();
 
+  /// Builds the kUnavailable shed response with the backoff hint.
+  [[nodiscard]] Response shed_response(std::uint64_t request_id,
+                                       const char* detail) const;
+
+  const common::Clock* clock_;
   const reputation::IReputationModel* model_;
   const policy::IPolicy* policy_;
   ServerConfig config_;
@@ -245,6 +332,7 @@ class PowServer final {
   pow::Verifier verifier_;
   reputation::ShardedReputationCache cache_;
   RateLimiter rate_limiter_;
+  DegradeLadder ladder_;
   std::once_flag pool_once_;
   std::unique_ptr<common::ThreadPool> pool_;  // lazy
   std::once_flag batch_verifier_once_;

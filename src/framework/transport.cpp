@@ -48,7 +48,9 @@ void ServerEndpoint::on_message(const std::string& from,
       // unsequenced, so the same call must not both read and move from
       // `effective`.
       const std::uint64_t request_id = effective.request_id;
-      enqueue(from, request_id, WireMessage{from, std::move(effective)});
+      WireMessage wm{from, std::move(effective)};
+      stamp_envelope(wm, std::get<Request>(wm.payload).deadline_ms);
+      enqueue(from, request_id, std::move(wm));
       return;
     }
     auto outcome = server_->on_request(effective);
@@ -63,7 +65,9 @@ void ServerEndpoint::on_message(const std::string& from,
 
   if (const auto* submission = std::get_if<Submission>(&*message)) {
     if (front_end_ != nullptr) {
-      enqueue(from, submission->request_id, WireMessage{from, *submission});
+      WireMessage wm{from, *submission};
+      stamp_envelope(wm, submission->deadline_ms);
+      enqueue(from, submission->request_id, std::move(wm));
       return;
     }
     const Response response = server_->on_submission(*submission, from);
@@ -73,6 +77,17 @@ void ServerEndpoint::on_message(const std::string& from,
 
   // A server never expects Challenge/Response messages; treat as noise.
   malformed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServerEndpoint::stamp_envelope(WireMessage& message,
+                                    std::int64_t deadline_ms) const {
+  // The server's clock (possibly skewed) is the one its deadline
+  // comparisons read, so the arrival stamp and the effective deadline
+  // come from it too.
+  message.enqueued_at = server_->now();
+  message.deadline_ms = server_->effective_deadline_ms(
+      deadline_ms, common::to_millis(message.enqueued_at));
+  message.wall_enqueued_at = std::chrono::steady_clock::now();
 }
 
 void ServerEndpoint::enqueue(const std::string& from, std::uint64_t request_id,
@@ -86,6 +101,7 @@ void ServerEndpoint::enqueue(const std::string& from, std::uint64_t request_id,
   overloaded.request_id = request_id;
   overloaded.status = common::ErrorCode::kUnavailable;
   overloaded.body = "server overloaded";
+  overloaded.retry_after_ms = server_->retry_after_hint_ms();
   (void)network_->send(host_name_, from, overloaded.serialize());
 }
 
@@ -107,6 +123,14 @@ WireClient::WireClient(netsim::EventLoop& loop, netsim::Network& network,
                      });
 }
 
+void WireClient::set_retry_policy(RetryPolicy policy) {
+  if (policy.enabled && policy.max_attempts == 0) {
+    throw std::invalid_argument("WireClient: retry max_attempts must be >= 1");
+  }
+  retry_ = policy;
+  client_key_ = retry_client_key(ip_);
+}
+
 std::uint64_t WireClient::send_request(const std::string& path,
                                        const features::FeatureVector& features,
                                        Callback done) {
@@ -115,12 +139,80 @@ std::uint64_t WireClient::send_request(const std::string& path,
   request.path = path;
   request.features = features;
   request.request_id = next_request_id_++;
-  if (!network_->send(ip_, server_host_, request.serialize())) {
-    return 0;  // dropped by the link
+  if (retry_.enabled && retry_.request_deadline > common::Duration::zero()) {
+    request.deadline_ms =
+        common::to_millis(loop_->now() + retry_.request_deadline);
   }
-  pending_.emplace(request.request_id,
-                   PendingRequest{std::move(done), loop_->now()});
+  const bool sent = network_->send(ip_, server_host_, request.serialize());
+  if (!sent && !retry_.enabled) {
+    return 0;  // dropped by the link; single-shot mode never resolves
+  }
+  PendingRequest entry;
+  entry.done = std::move(done);
+  entry.sent_at = loop_->now();
+  auto [it, inserted] =
+      pending_.emplace(request.request_id, std::move(entry));
+  (void)inserted;
+  if (retry_.enabled) {
+    // Even a dropped first attempt is registered: the timer turns the
+    // silence into a resend (or eventually kTimeout), so `done` always
+    // fires — the liveness hole single-shot callers had to paper over.
+    it->second.path = path;
+    it->second.features = features;
+    it->second.deadline_ms = request.deadline_ms;
+    arm_timer(request.request_id, retry_.timeout);
+  }
   return request.request_id;
+}
+
+void WireClient::arm_timer(std::uint64_t request_id, common::Duration in) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  it->second.timer = loop_->schedule_in(
+      in, [this, request_id] { on_timeout(request_id); });
+}
+
+void WireClient::on_timeout(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // resolved in the meantime
+  it->second.timer = 0;
+  if (it->second.attempts >= retry_.max_attempts) {
+    Response timed_out;
+    timed_out.request_id = request_id;
+    timed_out.status = common::ErrorCode::kTimeout;
+    timed_out.body = "client retry budget exhausted";
+    resolve(request_id, timed_out);
+    return;
+  }
+  resend(request_id,
+         retry_backoff(retry_, client_key_, request_id, it->second.attempts));
+}
+
+void WireClient::resend(std::uint64_t request_id, common::Duration wait) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  ++it->second.attempts;
+  it->second.timer = loop_->schedule_in(wait, [this, request_id] {
+    auto entry = pending_.find(request_id);
+    if (entry == pending_.end()) return;
+    Request request;
+    request.client_ip = ip_;
+    request.path = entry->second.path;
+    request.features = entry->second.features;
+    request.request_id = request_id;  // same id: idempotent on the server
+    request.deadline_ms = entry->second.deadline_ms;
+    (void)network_->send(ip_, server_host_, request.serialize());
+    arm_timer(request_id, retry_.timeout);
+  });
+}
+
+void WireClient::resolve(std::uint64_t request_id, const Response& response) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  if (it->second.timer != 0) (void)loop_->cancel(it->second.timer);
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+  pending.done(response, loop_->now() - pending.sent_at);
 }
 
 void WireClient::on_message(const std::string& /*from*/,
@@ -135,7 +227,8 @@ void WireClient::on_message(const std::string& /*from*/,
 }
 
 void WireClient::on_challenge(const Challenge& challenge) {
-  if (!pending_.contains(challenge.request_id)) return;  // stale/unknown
+  const auto it = pending_.find(challenge.request_id);
+  if (it == pending_.end()) return;  // stale/unknown
   if (challenge_observer_) challenge_observer_(challenge);
 
   // Really solve (correct nonce), but account for the time on the
@@ -153,7 +246,16 @@ void WireClient::on_challenge(const Challenge& challenge) {
   submission.request_id = challenge.request_id;
   submission.puzzle = challenge.puzzle;
   submission.solution = solved.solution;
+  submission.deadline_ms = it->second.deadline_ms;  // deadline propagates
   const common::Duration delay = solver_busy_until_ - loop_->now();
+  if (retry_.enabled) {
+    // The attempt clock restarts from the submission's send instant:
+    // solving is local progress, so only submission → response silence
+    // should count against the timeout.
+    if (it->second.timer != 0) (void)loop_->cancel(it->second.timer);
+    it->second.timer = 0;
+    arm_timer(challenge.request_id, delay + retry_.timeout);
+  }
   loop_->schedule_in(delay, [this, submission = std::move(submission)] {
     (void)network_->send(ip_, server_host_, submission.serialize());
   });
@@ -161,10 +263,22 @@ void WireClient::on_challenge(const Challenge& challenge) {
 
 void WireClient::on_response(const Response& response) {
   const auto it = pending_.find(response.request_id);
-  if (it == pending_.end()) return;
-  PendingRequest pending = std::move(it->second);
-  pending_.erase(it);
-  pending.done(response, loop_->now() - pending.sent_at);
+  if (it == pending_.end()) return;  // late duplicate — already resolved
+  if (retry_.enabled && response.status == common::ErrorCode::kUnavailable &&
+      it->second.attempts < retry_.max_attempts) {
+    // Server shed the request (overload NAK, deadline, degradation):
+    // honour its retry_after hint, never wait less than our own backoff.
+    if (it->second.timer != 0) (void)loop_->cancel(it->second.timer);
+    it->second.timer = 0;
+    const auto backoff = retry_backoff(retry_, client_key_,
+                                       response.request_id,
+                                       it->second.attempts);
+    const auto hinted = std::chrono::duration_cast<common::Duration>(
+        std::chrono::milliseconds(response.retry_after_ms));
+    resend(response.request_id, std::max(backoff, hinted));
+    return;
+  }
+  resolve(response.request_id, response);
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +316,20 @@ std::string WireClientPool::ip_of(std::size_t client) const {
       .to_string();
 }
 
+void WireClientPool::set_retry_policy(RetryPolicy policy,
+                                      RequestSource source) {
+  if (policy.enabled && !source) {
+    throw std::invalid_argument(
+        "WireClientPool: retry policy needs a RequestSource for resends");
+  }
+  if (policy.enabled && policy.max_attempts == 0) {
+    throw std::invalid_argument(
+        "WireClientPool: retry max_attempts must be >= 1");
+  }
+  retry_ = policy;
+  request_source_ = std::move(source);
+}
+
 std::uint64_t WireClientPool::send_request(
     std::size_t client, const std::string& path,
     const features::FeatureVector& features) {
@@ -219,12 +347,81 @@ std::uint64_t WireClientPool::send_request(
   request.path = path;
   request.features = features;
   request.request_id = slot.next_request_id++;
-  if (!network_->send(ip, server_host_, request.serialize())) {
-    return 0;  // dropped by the link
+  if (retry_.enabled && retry_.request_deadline > common::Duration::zero()) {
+    request.deadline_ms =
+        common::to_millis(loop_->now() + retry_.request_deadline);
+  }
+  const bool sent = network_->send(ip, server_host_, request.serialize());
+  if (!sent && !retry_.enabled) {
+    return 0;  // dropped by the link; single-shot mode never resolves
   }
   slot.pending_id = request.request_id;
   slot.sent_at = loop_->now();
+  if (retry_.enabled) {
+    // Same liveness closure as WireClient: a dropped attempt is still
+    // in flight from the pool's point of view, and the timer resolves
+    // it (resend or kTimeout) so the handler fires exactly once.
+    slot.deadline_ms = request.deadline_ms;
+    slot.attempts = 1;
+    arm_timer(client, retry_.timeout);
+  }
   return request.request_id;
+}
+
+void WireClientPool::arm_timer(std::size_t client, common::Duration in) {
+  Slot& slot = slots_[client];
+  const std::uint64_t request_id = slot.pending_id;
+  slot.timer = loop_->schedule_in(
+      in, [this, client, request_id] { on_timeout(client, request_id); });
+}
+
+void WireClientPool::on_timeout(std::size_t client,
+                                std::uint64_t request_id) {
+  Slot& slot = slots_[client];
+  if (slot.pending_id != request_id) return;  // resolved in the meantime
+  slot.timer = 0;
+  if (slot.attempts >= retry_.max_attempts) {
+    Response timed_out;
+    timed_out.request_id = request_id;
+    timed_out.status = common::ErrorCode::kTimeout;
+    timed_out.body = "client retry budget exhausted";
+    resolve(client, timed_out);
+    return;
+  }
+  resend(client, request_id,
+         retry_backoff(retry_, retry_client_key(ip_of(client)), request_id,
+                       slot.attempts));
+}
+
+void WireClientPool::resend(std::size_t client, std::uint64_t request_id,
+                            common::Duration wait) {
+  Slot& slot = slots_[client];
+  ++slot.attempts;
+  slot.timer = loop_->schedule_in(wait, [this, client, request_id] {
+    Slot& entry = slots_[client];
+    if (entry.pending_id != request_id) return;
+    // Rebuild the payload through the harness instead of storing it —
+    // keeps the slot small at million-client scale.
+    auto [path, features] = request_source_(client);
+    Request request;
+    request.client_ip = ip_of(client);
+    request.path = std::move(path);
+    request.features = features;
+    request.request_id = request_id;  // same id: idempotent on the server
+    request.deadline_ms = entry.deadline_ms;
+    (void)network_->send(ip_of(client), server_host_, request.serialize());
+    arm_timer(client, retry_.timeout);
+  });
+}
+
+void WireClientPool::resolve(std::size_t client, const Response& response) {
+  Slot& slot = slots_[client];
+  if (slot.pending_id != response.request_id) return;
+  if (slot.timer != 0) (void)loop_->cancel(slot.timer);
+  slot.timer = 0;
+  slot.pending_id = 0;
+  slot.attempts = 0;
+  done_(client, response, loop_->now() - slot.sent_at);
 }
 
 void WireClientPool::on_message(const std::string& member,
@@ -269,7 +466,15 @@ void WireClientPool::on_challenge(std::size_t client,
   submission.request_id = challenge.request_id;
   submission.puzzle = challenge.puzzle;
   submission.solution = solved.solution;
+  submission.deadline_ms = slot.deadline_ms;  // deadline propagates
   const common::Duration delay = slot.solver_busy_until - loop_->now();
+  if (retry_.enabled) {
+    // Restart the attempt clock from the submission's send instant
+    // (solving is local progress — see WireClient::on_challenge).
+    if (slot.timer != 0) (void)loop_->cancel(slot.timer);
+    slot.timer = 0;
+    arm_timer(client, delay + retry_.timeout);
+  }
   loop_->schedule_in(
       delay, [this, client, submission = std::move(submission)] {
         (void)network_->send(ip_of(client), server_host_,
@@ -281,8 +486,19 @@ void WireClientPool::on_response(std::size_t client,
                                  const Response& response) {
   Slot& slot = slots_[client];
   if (slot.pending_id != response.request_id) return;  // stale/unknown
-  slot.pending_id = 0;
-  done_(client, response, loop_->now() - slot.sent_at);
+  if (retry_.enabled && response.status == common::ErrorCode::kUnavailable &&
+      slot.attempts < retry_.max_attempts) {
+    if (slot.timer != 0) (void)loop_->cancel(slot.timer);
+    slot.timer = 0;
+    const auto backoff =
+        retry_backoff(retry_, retry_client_key(ip_of(client)),
+                      response.request_id, slot.attempts);
+    const auto hinted = std::chrono::duration_cast<common::Duration>(
+        std::chrono::milliseconds(response.retry_after_ms));
+    resend(client, response.request_id, std::max(backoff, hinted));
+    return;
+  }
+  resolve(client, response);
 }
 
 }  // namespace powai::framework

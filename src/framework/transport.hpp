@@ -23,6 +23,7 @@
 #include "framework/client.hpp"
 #include "framework/protocol.hpp"
 #include "framework/request_queue.hpp"
+#include "framework/retry.hpp"
 #include "framework/server.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/network.hpp"
@@ -72,6 +73,10 @@ class ServerEndpoint final {
  private:
   void on_message(const std::string& from, common::BytesView payload);
 
+  /// Stamps the deadline envelope (arrival instants + effective
+  /// deadline, all on the server's clock) onto \p message.
+  void stamp_envelope(WireMessage& message, std::int64_t deadline_ms) const;
+
   /// Async mode: pushes \p message, or sends the overload NAK for
   /// \p request_id back to \p from when the source's shard is full.
   void enqueue(const std::string& from, std::uint64_t request_id,
@@ -103,13 +108,29 @@ class WireClient final {
   WireClient(const WireClient&) = delete;
   WireClient& operator=(const WireClient&) = delete;
 
-  /// Sends one request; \p done fires when the response arrives. Returns
-  /// the request id (0 if the request was dropped by the link — in that
-  /// case \p done never fires; pair with a timeout in callers that need
-  /// liveness).
+  /// Sends one request; \p done fires when the request resolves.
+  ///
+  /// Without a retry policy (the default): \p done fires when the
+  /// response arrives; returns 0 if the link dropped the request, in
+  /// which case \p done never fires (legacy single-shot mode — pair
+  /// with a timeout in callers that need liveness).
+  ///
+  /// With set_retry_policy({.enabled = true, ...}): \p done fires
+  /// *exactly once* for every send_request, even when the link drops
+  /// every packet — a dropped or unanswered attempt is retried with
+  /// capped exponential backoff and, after max_attempts, resolves with
+  /// a synthetic kTimeout. kUnavailable responses (server shedding) are
+  /// retried internally honouring the retry_after_ms hint. All attempts
+  /// reuse the same request id, so server-side idempotent issuance
+  /// guarantees a retried request is served at most once.
   std::uint64_t send_request(const std::string& path,
                              const features::FeatureVector& features,
                              Callback done);
+
+  /// Installs the retry/timeout/backoff policy (see retry.hpp). Call
+  /// before the first send_request; replacing the policy mid-flight is
+  /// undefined. Requests are stamped with policy.request_deadline.
+  void set_retry_policy(RetryPolicy policy);
 
   /// Invoked on the loop thread for every challenge this client accepts
   /// (before solving). History capture hook for the determinism
@@ -128,11 +149,32 @@ class WireClient final {
   struct PendingRequest {
     Callback done;
     common::TimePoint sent_at;
+    // Retry state (only populated when a policy is installed): enough
+    // to rebuild the Request verbatim, plus the per-attempt timer.
+    std::string path;
+    features::FeatureVector features;
+    std::int64_t deadline_ms = 0;   ///< propagated on every attempt
+    std::size_t attempts = 1;       ///< sends so far (first included)
+    netsim::EventId timer = 0;      ///< pending timeout/resend event
   };
 
   void on_message(const std::string& from, common::BytesView payload);
   void on_challenge(const Challenge& challenge);
   void on_response(const Response& response);
+
+  /// Arms the per-attempt timeout for \p request_id, firing on_timeout
+  /// after \p in (the attempt timeout plus any modelled solve delay).
+  void arm_timer(std::uint64_t request_id, common::Duration in);
+
+  /// Timer expiry: resend after backoff, or resolve with kTimeout once
+  /// the attempt budget is spent.
+  void on_timeout(std::uint64_t request_id);
+
+  /// Schedules attempt N+1 after \p wait (backoff / retry_after hint).
+  void resend(std::uint64_t request_id, common::Duration wait);
+
+  /// Fires \p done exactly once and erases the pending entry.
+  void resolve(std::uint64_t request_id, const Response& response);
 
   netsim::EventLoop* loop_;
   netsim::Network* network_;
@@ -141,6 +183,8 @@ class WireClient final {
   double hash_cost_us_;
   pow::Solver solver_;
   ChallengeObserver challenge_observer_;
+  RetryPolicy retry_;
+  std::uint64_t client_key_ = 0;  ///< retry_client_key(ip_), cached
   std::uint64_t next_request_id_ = 1;
   std::uint64_t solved_ = 0;
   common::TimePoint solver_busy_until_{};
@@ -175,6 +219,14 @@ class WireClientPool final {
   using ChallengeObserver =
       std::function<void(std::size_t client, const Challenge& challenge)>;
 
+  /// Re-derives (path, features) for a client's resend. The pool keeps
+  /// per-client slots deliberately small, so instead of storing each
+  /// request's payload it asks the harness to rebuild it — which every
+  /// load harness can do, because payloads are a pure function of the
+  /// client index there.
+  using RequestSource = std::function<std::pair<
+      std::string, features::FeatureVector>(std::size_t client)>;
+
   /// Registers one host group covering addresses base_ip .. base_ip +
   /// count - 1 (client i lives at base_ip + i). \p loop and \p network
   /// must outlive the pool. Throws std::invalid_argument on a malformed
@@ -194,11 +246,22 @@ class WireClientPool final {
     challenge_observer_ = std::move(observer);
   }
 
+  /// Installs the retry/timeout/backoff policy for every pool client
+  /// (see retry.hpp and WireClient::set_retry_policy — semantics are
+  /// identical: exactly-once resolution, kTimeout after max_attempts,
+  /// internal kUnavailable retries, same-id resends). \p source must be
+  /// non-empty when the policy is enabled; it rebuilds (path, features)
+  /// for resends. Call before the first send_request.
+  void set_retry_policy(RetryPolicy policy, RequestSource source);
+
   /// Sends one request from client \p client. Returns the request id, or
   /// 0 if the link dropped it (the response handler never fires for a
-  /// dropped request). Throws std::out_of_range on a bad index,
-  /// std::logic_error when the client already has a request in flight or
-  /// no response handler is installed.
+  /// dropped request). With a retry policy installed the id is always
+  /// returned and the handler always fires exactly once (dropped
+  /// attempts are retried; exhaustion resolves kTimeout). Throws
+  /// std::out_of_range on a bad index, std::logic_error when the client
+  /// already has a request in flight or no response handler is
+  /// installed.
   std::uint64_t send_request(std::size_t client, const std::string& path,
                              const features::FeatureVector& features);
 
@@ -219,17 +282,29 @@ class WireClientPool final {
  private:
   /// Compact per-client state — everything WireClient keeps in maps and
   /// strings, reduced to what one closed-loop client actually needs.
+  /// Retry state rides along as three plain words; request payloads are
+  /// re-derived through the RequestSource instead of being stored.
   struct Slot {
     std::uint64_t next_request_id = 1;
     std::uint64_t pending_id = 0;  ///< 0 = nothing in flight
     common::TimePoint sent_at{};
     common::TimePoint solver_busy_until{};
+    std::int64_t deadline_ms = 0;  ///< propagated on every attempt
+    std::uint32_t attempts = 0;    ///< sends so far for pending_id
+    netsim::EventId timer = 0;     ///< pending timeout/resend event
   };
 
   void on_message(const std::string& member, const std::string& from,
                   common::BytesView payload);
   void on_challenge(std::size_t client, const Challenge& challenge);
   void on_response(std::size_t client, const Response& response);
+
+  /// Retry machinery — mirrors WireClient (see transport.cpp).
+  void arm_timer(std::size_t client, common::Duration in);
+  void on_timeout(std::size_t client, std::uint64_t request_id);
+  void resend(std::size_t client, std::uint64_t request_id,
+              common::Duration wait);
+  void resolve(std::size_t client, const Response& response);
 
   netsim::EventLoop* loop_;
   netsim::Network* network_;
@@ -239,6 +314,8 @@ class WireClientPool final {
   pow::Solver solver_;  ///< stateless — shared by every client
   Callback done_;
   ChallengeObserver challenge_observer_;
+  RetryPolicy retry_;
+  RequestSource request_source_;
   std::uint64_t solved_ = 0;
   std::vector<Slot> slots_;
 };

@@ -1,0 +1,107 @@
+#include "framework/watchdog.hpp"
+
+#include <stdexcept>
+
+namespace powai::framework {
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {
+  if (config_.stall_after <= common::Duration::zero() ||
+      config_.poll_every <= common::Duration::zero()) {
+    throw std::invalid_argument("Watchdog: non-positive duration");
+  }
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::size_t Watchdog::register_source(std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    throw std::logic_error("Watchdog: register_source after start");
+  }
+  sources_.push_back(std::make_unique<Source>());
+  sources_.back()->name = std::move(name);
+  return sources_.size() - 1;
+}
+
+void Watchdog::beat(std::size_t source) {
+  sources_.at(source)->beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Watchdog::set_busy_probe(std::function<bool()> probe) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  busy_ = std::move(probe);
+}
+
+void Watchdog::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  last_progress_ = std::chrono::steady_clock::now();
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, config_.poll_every, [this] { return stopping_; });
+    if (stopping_) break;
+    evaluate(std::chrono::steady_clock::now());
+  }
+}
+
+void Watchdog::poll_once() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  evaluate(std::chrono::steady_clock::now());
+}
+
+void Watchdog::evaluate(std::chrono::steady_clock::time_point now) {
+  // Caller holds mu_.
+  ++polls_;
+  bool progressed = false;
+  for (const auto& source : sources_) {
+    const std::uint64_t beats =
+        source->beats.load(std::memory_order_relaxed);
+    if (beats != source->last_seen) {
+      source->last_seen = beats;
+      progressed = true;
+    }
+  }
+  const bool busy = busy_ && busy_();
+  if (progressed || !busy) {
+    // Work is flowing, or there is nothing owed — either way, no stall.
+    last_progress_ = now;
+    stalled_now_ = false;
+    return;
+  }
+  if (now - last_progress_ >= config_.stall_after && !stalled_now_) {
+    stalled_now_ = true;
+    ++stalls_;
+  }
+}
+
+WatchdogStats Watchdog::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  WatchdogStats s;
+  s.stalls = stalls_;
+  s.polls = polls_;
+  s.stalled_now = stalled_now_;
+  for (const auto& source : sources_) {
+    s.heartbeats += source->beats.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace powai::framework

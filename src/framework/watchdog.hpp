@@ -1,0 +1,116 @@
+#pragma once
+/// \file watchdog.hpp
+/// Stall detection for the service path. A stalled drain thread or a
+/// wedged verify pool is otherwise indistinguishable from slow load:
+/// the queue is non-empty, nothing errors, nothing progresses. The
+/// watchdog makes that state observable — registered sources (one per
+/// drain shard; the verify pool works on the drain's call stack, so a
+/// wedged verifier shows up as its drain source going quiet) heartbeat
+/// on every unit of progress, and a monitor thread flags a stall when
+/// the system is busy (non-empty queue) yet no source has beaten for
+/// longer than `stall_after`.
+///
+/// Everything here runs on the *wall* clock (std::chrono::steady_clock):
+/// the simulator freezes simulated time while work is in flight, so
+/// sim-time can never see a stall — wall time is the only clock a hung
+/// thread still moves against. Consequence: stall counts are
+/// load-dependent diagnostics, never part of a deterministic
+/// fingerprint. Campaign invariants use them one-sidedly (an injected
+/// multi-second stall must flag; absence of injection asserts nothing).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace powai::framework {
+
+struct WatchdogConfig final {
+  /// Busy-without-progress duration that flags a stall.
+  common::Duration stall_after = std::chrono::seconds(2);
+
+  /// Monitor sampling period.
+  common::Duration poll_every = std::chrono::milliseconds(50);
+};
+
+struct WatchdogStats final {
+  std::uint64_t stalls = 0;       ///< distinct stall episodes flagged
+  std::uint64_t polls = 0;        ///< monitor iterations (liveness check)
+  std::uint64_t heartbeats = 0;   ///< total beats across sources
+  bool stalled_now = false;       ///< currently inside a stall episode
+};
+
+class Watchdog final {
+ public:
+  explicit Watchdog(WatchdogConfig config = {});
+
+  /// Stops the monitor (idempotent with stop()).
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a heartbeat source; returns its handle for beat().
+  /// Call before start().
+  std::size_t register_source(std::string name);
+
+  /// One unit of progress on \p source. Lock-free; safe from any thread.
+  void beat(std::size_t source);
+
+  /// The busy predicate: true while the system owes work (e.g. the
+  /// front end's queues are non-empty or in flight). Sampled by the
+  /// monitor; must be safe to call from the monitor thread. Set before
+  /// start().
+  void set_busy_probe(std::function<bool()> probe);
+
+  /// Starts the monitor thread. No-op when already running.
+  void start();
+
+  /// Stops and joins the monitor thread. Idempotent.
+  void stop();
+
+  /// One monitor iteration, synchronously (test seam — usable without
+  /// start(), with stalls decided by the same wall-clock rule).
+  void poll_once();
+
+  [[nodiscard]] WatchdogStats stats() const;
+
+  [[nodiscard]] const WatchdogConfig& config() const { return config_; }
+
+ private:
+  struct Source {
+    std::string name;
+    std::atomic<std::uint64_t> beats{0};
+    std::uint64_t last_seen = 0;  ///< monitor-private
+  };
+
+  void monitor_loop();
+
+  /// The poll body; returns immediately when no busy probe is set.
+  void evaluate(std::chrono::steady_clock::time_point now);
+
+  WatchdogConfig config_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  std::function<bool()> busy_;
+
+  mutable std::mutex mu_;  ///< guards monitor state + stop cv
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::chrono::steady_clock::time_point last_progress_{};
+  bool stalled_now_ = false;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t polls_ = 0;
+
+  std::thread monitor_;  // last member: joined before the rest tears down
+};
+
+}  // namespace powai::framework

@@ -24,14 +24,21 @@ namespace {
 constexpr const char* kServerHost = "198.51.100.10";
 constexpr double kBenignHashCostUs = 38.0;
 
+/// Overload-scenario constants shared between execute() (which arms the
+/// knobs) and check_invariants() (which reasons about them). All pure
+/// constants so a campaign stays a function of (model, policy, cfg, seed).
+constexpr std::int64_t kOverloadWindowMs = 100;
+constexpr auto kOverloadWatchdogStall = std::chrono::milliseconds(250);
+constexpr std::uint64_t kMaxRecoveryWindows = 200;
+
 common::Duration millis_dur(double ms) {
   return std::chrono::duration_cast<common::Duration>(
       std::chrono::duration<double, std::milli>(ms));
 }
 
 /// Scenario shaping: who the attackers are. Scenarios never touch the
-/// fault schedule — only client behavior — so a plan replays identically
-/// under every scenario.
+/// fault schedule — only client behavior and overload-control knobs —
+/// so a plan replays identically under every scenario.
 struct ScenarioShape final {
   double attacker_hash_cost_us;     ///< solve-farm outsourcing = cheap
   common::Duration attacker_gap;    ///< think time between requests
@@ -40,6 +47,12 @@ struct ScenarioShape final {
   bool poison_features;             ///< alternate benign/malicious traffic
   bool auto_replay;                 ///< re-submit every redeemed proof
   std::uint32_t auto_replay_count;
+  /// Overload scenario only: arm the full control loop — server-side
+  /// deadlines + degradation ladder + drain watchdog, client-side
+  /// retry/timeout/backoff — and send this many requests per configured
+  /// request from each attacker (the flash crowd).
+  bool overload = false;
+  std::size_t attacker_request_factor = 1;
 };
 
 ScenarioShape shape_for(Scenario scenario) {
@@ -57,9 +70,31 @@ ScenarioShape shape_for(Scenario scenario) {
     case Scenario::kSolveFarm:
       return {0.25, milliseconds(15), milliseconds(200), milliseconds(0),
               false, false, 0};
+    case Scenario::kOverloadFlashCrowd:
+      // Attackers hammer with tiny think time and a fat request budget;
+      // every client retries with the deterministic policy built in
+      // execute(). The interesting behavior is the server riding its
+      // degradation ladder up under the crowd and back down after.
+      return {2.0,  milliseconds(3),  milliseconds(200), milliseconds(0),
+              false, false, 0, true, 8};
   }
   return {2.0, milliseconds(10), milliseconds(200), milliseconds(0), false,
           false, 0};
+}
+
+/// The deterministic client retry policy the overload scenario installs:
+/// pure function of the campaign seed, so schedules replay bit-for-bit.
+framework::RetryPolicy overload_retry_policy(std::uint64_t seed) {
+  framework::RetryPolicy retry;
+  retry.enabled = true;
+  retry.timeout = std::chrono::seconds(2);  // >> worst sim RTT + jitter
+  retry.max_attempts = 3;
+  retry.backoff_base = std::chrono::milliseconds(50);
+  retry.backoff_cap = std::chrono::seconds(1);
+  retry.jitter_frac = 0.2;
+  retry.jitter_seed = seed;
+  retry.request_deadline = std::chrono::seconds(6);
+  return retry;
 }
 
 std::string client_ip(std::size_t index, bool attacker) {
@@ -78,6 +113,7 @@ struct ClientTally final {
   std::uint64_t rejected = 0;
   std::uint64_t overloaded = 0;
   std::uint64_t deserted = 0;
+  std::uint64_t timed_out = 0;  ///< retry budget exhausted client-side
   std::uint64_t challenges = 0;
   std::uint64_t wire_lost_request = 0;
   std::uint64_t wire_lost_submission = 0;
@@ -97,6 +133,10 @@ struct ClientSpec final {
   common::Duration start_at{};
   bool auto_replay = false;
   std::uint32_t auto_replay_count = 0;
+  /// Disabled by default; the overload scenario enables it for every
+  /// client. All timers run on simulated time, so retry schedules are
+  /// identical in sync and async runs.
+  framework::RetryPolicy retry;
 };
 
 /// A protocol-speaking campaign participant: a closed request loop like
@@ -109,6 +149,7 @@ class CampaignClient final {
   CampaignClient(netsim::EventLoop& loop, netsim::Network& network,
                  ClientSpec spec)
       : loop_(&loop), network_(&network), spec_(std::move(spec)) {
+    client_key_ = framework::retry_client_key(spec_.ip);
     network_->add_host(
         spec_.ip, [this](const std::string& from, common::BytesView payload) {
           (void)from;
@@ -150,25 +191,99 @@ class CampaignClient final {
   [[nodiscard]] const ClientTally& tally() const { return tally_; }
 
  private:
-  void send_next() {
-    if (tally_.sent >= spec_.n_requests) return;
+  /// Retry bookkeeping for one in-flight request (loop-thread-only).
+  struct PendingReq final {
+    std::uint32_t attempts = 1;
+    netsim::EventId timer = 0;
+    std::int64_t deadline_ms = 0;
+  };
+
+  framework::Request build_request(std::uint64_t request_id) const {
     framework::Request request;
     request.client_ip = spec_.ip;
     request.path = "/";
-    request.features =
-        spec_.features[tally_.sent % spec_.features.size()];
-    request.request_id = tally_.sent + 1;
+    // Features are a pure function of the request id, so a resend
+    // reconstructs the identical payload.
+    request.features = spec_.features[(request_id - 1) % spec_.features.size()];
+    request.request_id = request_id;
+    return request;
+  }
+
+  void send_next() {
+    if (tally_.sent >= spec_.n_requests) return;
+    framework::Request request = build_request(tally_.sent + 1);
     ++tally_.sent;
-    if (!network_->send(spec_.ip, kServerHost, request.serialize())) {
+    if (spec_.retry.enabled &&
+        spec_.retry.request_deadline > common::Duration::zero()) {
+      request.deadline_ms =
+          common::to_millis(loop_->now() + spec_.retry.request_deadline);
+    }
+    const bool sent =
+        network_->send(spec_.ip, kServerHost, request.serialize());
+    if (!sent && !spec_.retry.enabled) {
       ++tally_.wire_lost_request;  // lost at send; move on
       schedule_next();
       return;
     }
-    pending_.insert(request.request_id);
+    PendingReq pending;
+    pending.deadline_ms = request.deadline_ms;
+    const auto [it, inserted] = pending_.emplace(request.request_id, pending);
+    (void)it;
+    (void)inserted;
+    // With retries a lost send is not a tally bucket: the timer will
+    // resend (or resolve kTimeout), so the request's fate is still
+    // exactly one of answered / deserted / timed_out.
+    if (spec_.retry.enabled) arm_timer(request.request_id, spec_.retry.timeout);
   }
 
   void schedule_next() {
     loop_->schedule_in(spec_.gap, [this] { send_next(); });
+  }
+
+  void arm_timer(std::uint64_t request_id, common::Duration in) {
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    it->second.timer = loop_->schedule_in(
+        in, [this, request_id] { on_timeout(request_id); });
+  }
+
+  void cancel_timer(PendingReq& pending) {
+    if (pending.timer != 0) (void)loop_->cancel(pending.timer);
+    pending.timer = 0;
+  }
+
+  void on_timeout(std::uint64_t request_id) {
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;  // resolved in the meantime
+    it->second.timer = 0;
+    if (it->second.attempts >= spec_.retry.max_attempts) {
+      // The synthetic client-side resolution: counts as answered so the
+      // conservation ledger still partitions every request, plus its
+      // own bucket for the exactly-once invariant.
+      pending_.erase(it);
+      ++tally_.answered;
+      ++tally_.timed_out;
+      submitted_.erase(request_id);
+      schedule_next();
+      return;
+    }
+    resend(request_id,
+           framework::retry_backoff(spec_.retry, client_key_, request_id,
+                                    it->second.attempts));
+  }
+
+  void resend(std::uint64_t request_id, common::Duration wait) {
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    ++it->second.attempts;
+    it->second.timer = loop_->schedule_in(wait, [this, request_id] {
+      const auto entry = pending_.find(request_id);
+      if (entry == pending_.end()) return;
+      framework::Request request = build_request(request_id);
+      request.deadline_ms = entry->second.deadline_ms;  // original deadline
+      (void)network_->send(spec_.ip, kServerHost, request.serialize());
+      arm_timer(request_id, spec_.retry.timeout);
+    });
   }
 
   void on_message(common::BytesView payload) {
@@ -184,12 +299,14 @@ class CampaignClient final {
   }
 
   void on_challenge(const framework::Challenge& challenge) {
-    if (!pending_.contains(challenge.request_id)) return;
+    const auto it = pending_.find(challenge.request_id);
+    if (it == pending_.end()) return;
     ++tally_.challenges;
     if (desert_budget_ > 0) {
       --desert_budget_;
       ++tally_.deserted;
-      pending_.erase(challenge.request_id);
+      cancel_timer(it->second);
+      pending_.erase(it);
       schedule_next();
       return;
     }
@@ -208,12 +325,21 @@ class CampaignClient final {
     submission.request_id = challenge.request_id;
     submission.puzzle = challenge.puzzle;
     submission.solution = solved.solution;
-    loop_->schedule_in(solver_busy_until_ - loop_->now(),
+    submission.deadline_ms = it->second.deadline_ms;  // deadline propagates
+    const common::Duration delay = solver_busy_until_ - loop_->now();
+    if (spec_.retry.enabled) {
+      // Solving is local progress; the attempt clock restarts from the
+      // submission's send instant (same rule as WireClient).
+      cancel_timer(it->second);
+      arm_timer(challenge.request_id, delay + spec_.retry.timeout);
+    }
+    loop_->schedule_in(delay,
                        [this, submission = std::move(submission)] {
                          submitted_.insert_or_assign(submission.request_id,
                                                      submission);
                          if (!network_->send(spec_.ip, kServerHost,
-                                             submission.serialize())) {
+                                             submission.serialize()) &&
+                             !spec_.retry.enabled) {
                            ++tally_.wire_lost_submission;  // request hangs
                          }
                        });
@@ -230,6 +356,19 @@ class CampaignClient final {
       if (response.status == common::ErrorCode::kOk) ++tally_.replays_served;
       return;
     }
+    if (spec_.retry.enabled &&
+        response.status == common::ErrorCode::kUnavailable &&
+        it->second.attempts < spec_.retry.max_attempts) {
+      // Shed by the server — retry internally, honouring its hint.
+      cancel_timer(it->second);
+      const auto backoff = framework::retry_backoff(
+          spec_.retry, client_key_, response.request_id, it->second.attempts);
+      const auto hinted = std::chrono::duration_cast<common::Duration>(
+          std::chrono::milliseconds(response.retry_after_ms));
+      resend(response.request_id, std::max(backoff, hinted));
+      return;
+    }
+    cancel_timer(it->second);
     pending_.erase(it);
     ++tally_.answered;
     if (response.status == common::ErrorCode::kOk) {
@@ -253,9 +392,10 @@ class CampaignClient final {
   ClientSpec spec_;
   pow::Solver solver_;
   ClientTally tally_;
+  std::uint64_t client_key_ = 0;  ///< retry jitter stream key
   std::uint32_t desert_budget_ = 0;
   common::TimePoint solver_busy_until_{};
-  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_map<std::uint64_t, PendingReq> pending_;
   std::unordered_map<std::uint64_t, framework::Submission> submitted_;
   std::optional<framework::Submission> last_served_;
 };
@@ -266,11 +406,22 @@ struct RunOutput final {
   CampaignTallies tallies;
   std::uint64_t unresolved = 0;  ///< sent - answered - deserted
   bool async = false;
+  bool retry_enabled = false;    ///< scenario armed client retries
+  bool ladder_enabled = false;   ///< scenario armed the degrade ladder
   std::uint64_t fe_accepted = 0;
   std::uint64_t fe_completed = 0;
   std::uint64_t fe_overflows = 0;
   std::uint64_t fe_requests = 0;
   std::uint64_t fe_submissions = 0;
+  std::uint64_t fe_messages = 0;
+  std::uint64_t fe_expired_dropped = 0;
+  /// Wall-clock watchdog observations (async only; never fingerprinted).
+  bool watchdog_armed = false;
+  std::uint64_t watchdog_stalls = 0;
+  /// Ladder cooldown after the run: windows polled until L0 (or the
+  /// recovery bound, whichever came first) — deterministic.
+  std::uint64_t recovery_windows = 0;
+  int final_level = 0;
 };
 
 /// Pre-derives the per-client feature vectors. Streamed per client index
@@ -326,6 +477,20 @@ RunOutput execute(const reputation::IReputationModel& model,
   server_cfg.rate_limiter_enabled = true;
   server_cfg.rate_limiter.tokens_per_second = cfg.rate_tokens_per_second;
   server_cfg.rate_limiter.burst = cfg.rate_burst;
+  if (shape.overload) {
+    // Arm the server half of the overload-control loop: a default
+    // request deadline (requests also stamp their own) and the
+    // degradation ladder. The arrival-rate reference is sized so the
+    // flash crowd rides the ladder well past L1 while the benign
+    // baseline alone stays calm.
+    server_cfg.default_deadline = std::chrono::seconds(8);
+    server_cfg.degrade.enabled = true;
+    server_cfg.degrade.window = std::chrono::milliseconds(kOverloadWindowMs);
+    server_cfg.degrade.arrival_ref_per_s = 60.0;
+    server_cfg.degrade.sojourn_ref_ms = 50.0;
+    server_cfg.degrade.l1_difficulty_floor = 12;
+    server_cfg.degrade.l1_ttl = std::chrono::seconds(5);
+  }
   framework::PowServer server(skew_clock, model, policy,
                               std::move(server_cfg));
 
@@ -336,6 +501,9 @@ RunOutput execute(const reputation::IReputationModel& model,
     // Paused until run_until_idle(): fault hooks install before any
     // batch can pop.
     fe_cfg.start_paused = true;
+    // Overload scenario arms the drain watchdog (wall-clock observer;
+    // never part of the fingerprint).
+    if (shape.overload) fe_cfg.watchdog_stall = kOverloadWatchdogStall;
     front_end = std::make_unique<framework::AsyncFrontEnd>(
         loop, network, kServerHost, server, fe_cfg);
     endpoint = std::make_unique<framework::ServerEndpoint>(
@@ -355,8 +523,10 @@ RunOutput execute(const reputation::IReputationModel& model,
     spec.hash_cost_us =
         attacker ? shape.attacker_hash_cost_us : kBenignHashCostUs;
     spec.features = features[i];
-    spec.n_requests = cfg.requests_per_client;
+    spec.n_requests = cfg.requests_per_client *
+                      (attacker ? shape.attacker_request_factor : 1);
     spec.gap = attacker ? shape.attacker_gap : shape.benign_gap;
+    if (shape.overload) spec.retry = overload_retry_policy(cfg.seed);
     // Benign clients stagger lightly; attackers join on the scenario's
     // ramp (all at once when ramp is zero).
     spec.start_at = attacker
@@ -401,6 +571,7 @@ RunOutput execute(const reputation::IReputationModel& model,
     double ms;
   };
   std::vector<Stall> stalls;
+  std::vector<Stall> verify_sleeps;  ///< kSlowVerify: first_batch = verify call
   const std::size_t shards = std::max<std::size_t>(1, cfg.front_end.drain_shards);
 
   for (const FaultEvent& event : plan.events) {
@@ -461,20 +632,51 @@ RunOutput execute(const reputation::IReputationModel& model,
                                event.count);
                          });
         break;
+      case FaultKind::kSlowVerify:
+        // Wall-clock-only like kDrainStall, but on the verification seam:
+        // a run of a shard's submission batches sleeps before hitting the
+        // verifier. Totals must be unaffected — only wall latency and the
+        // watchdog's view of the shard move.
+        if (async) {
+          verify_sleeps.push_back(Stall{event.target % shards,
+                                        (event.target / 16) % 8, event.count,
+                                        event.magnitude});
+        }
+        break;
     }
   }
-  if (front_end && !stalls.empty()) {
+  if (front_end && (!stalls.empty() || !verify_sleeps.empty())) {
     framework::FrontEndFaultHooks hooks;
-    hooks.before_batch = [stalls](std::size_t shard,
-                                  std::uint64_t batch_index) {
-      for (const Stall& s : stalls) {
-        if (s.shard == shard && batch_index >= s.first_batch &&
-            batch_index < s.first_batch + s.batches) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(s.ms));
+    if (!stalls.empty()) {
+      hooks.before_batch = [stalls](std::size_t shard,
+                                    std::uint64_t batch_index) {
+        for (const Stall& s : stalls) {
+          if (s.shard == shard && batch_index >= s.first_batch &&
+              batch_index < s.first_batch + s.batches) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(s.ms));
+          }
         }
-      }
-    };
+      };
+    }
+    if (!verify_sleeps.empty()) {
+      // before_verify reports (shard, batch size) but not a batch index;
+      // each slot below is only ever touched by its own drain thread.
+      auto verify_calls =
+          std::make_shared<std::vector<std::uint64_t>>(shards, 0);
+      hooks.before_verify = [verify_sleeps, verify_calls](
+                                std::size_t shard, std::size_t submissions) {
+        (void)submissions;
+        const std::uint64_t index = (*verify_calls)[shard]++;
+        for (const Stall& s : verify_sleeps) {
+          if (s.shard == shard && index >= s.first_batch &&
+              index < s.first_batch + s.batches) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(s.ms));
+          }
+        }
+      };
+    }
     front_end->set_fault_hooks(std::move(hooks));
   }
 
@@ -488,6 +690,8 @@ RunOutput execute(const reputation::IReputationModel& model,
   // --- Collect -----------------------------------------------------------
   RunOutput out;
   out.async = async;
+  out.retry_enabled = shape.overload;
+  out.ladder_enabled = shape.overload;
   out.tallies.server = server.stats();
   out.tallies.clients.reserve(total);
   for (const auto& client : clients) {
@@ -498,6 +702,7 @@ RunOutput execute(const reputation::IReputationModel& model,
     row.rejected = t.rejected;
     row.overloaded = t.overloaded;
     row.deserted = t.deserted;
+    row.timed_out = t.timed_out;
     row.challenges = t.challenges;
     row.replays_served = t.replays_served;
     out.tallies.clients.push_back(row);
@@ -506,6 +711,7 @@ RunOutput execute(const reputation::IReputationModel& model,
     out.tallies.answered += t.answered;
     out.tallies.served += t.served;
     out.tallies.deserted += t.deserted;
+    out.tallies.timed_out += t.timed_out;
     out.tallies.replays_sent += t.replays_sent;
     out.tallies.replays_served += t.replays_served;
     out.tallies.malformed_sent += t.malformed_sent;
@@ -518,6 +724,13 @@ RunOutput execute(const reputation::IReputationModel& model,
   out.tallies.wire_dropped = network.messages_dropped();
   out.tallies.fault_dropped = network.fault_dropped();
   out.tallies.sim_elapsed = loop.now() - start;
+  // Ladder high-water marks go into the comparable tallies *before* the
+  // recovery cooldown below — stepping back down adds transitions, and
+  // the fingerprint pins the ride under load, not the cooldown.
+  const framework::DegradeStats degrade = server.degrade_stats();
+  out.tallies.degrade_max_level =
+      static_cast<std::uint64_t>(degrade.max_level);
+  out.tallies.degrade_transitions = degrade.transitions;
   if (front_end) {
     out.fe_accepted = front_end->accepted();
     out.fe_completed = front_end->completed();
@@ -525,6 +738,32 @@ RunOutput execute(const reputation::IReputationModel& model,
     const framework::FrontEndStats fe = front_end->stats();
     out.fe_requests = fe.requests;
     out.fe_submissions = fe.submissions;
+    out.fe_messages = fe.messages;
+    out.fe_expired_dropped = fe.expired_dropped;
+    out.watchdog_armed = shape.overload;
+    out.watchdog_stalls = front_end->watchdog_stats().stalls;
+  }
+  if (shape.overload) {
+    // Post-run cooldown: fold empty windows forward until the ladder is
+    // back at L0. Deterministic (pure ladder arithmetic), and bounded by
+    // the hysteresis: at most levels x calm_windows folds plus EWMA
+    // decay — kMaxRecoveryWindows is far above that. Start past the
+    // plan's total forward skew: arrivals recorded under a skewed clock
+    // advanced the ladder's epoch beyond end-of-run sim time, and polls
+    // behind the current epoch fold nothing.
+    std::int64_t poll_ms = server.now_ms();
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind == FaultKind::kClockSkew) {
+        poll_ms += static_cast<std::int64_t>(e.magnitude);
+      }
+    }
+    while (server.degrade_level() > 0 &&
+           out.recovery_windows < kMaxRecoveryWindows) {
+      poll_ms += kOverloadWindowMs;
+      ++out.recovery_windows;
+      server.poll_degrade(poll_ms);
+    }
+    out.final_level = server.degrade_level();
   }
   return out;
 }
@@ -560,14 +799,17 @@ void check_invariants(const CampaignConfig& cfg, const FaultPlan& plan,
   // servings never exceed issuance, and client-observed servings never
   // exceed the server's.
   if (s.requests != s.challenges_issued + s.served_without_pow +
-                        s.rejected_rate_limited + s.rejected_malformed) {
+                        s.rejected_rate_limited + s.rejected_malformed +
+                        s.shed_deadline_requests + s.shed_degraded_requests) {
     out.push_back({"ledger",
                    "requests=" + std::to_string(s.requests) +
-                       " != issued+no_pow+rate_limited+malformed=" +
+                       " != issued+no_pow+rate_limited+malformed+shed=" +
                        std::to_string(s.challenges_issued +
                                       s.served_without_pow +
                                       s.rejected_rate_limited +
-                                      s.rejected_malformed)});
+                                      s.rejected_malformed +
+                                      s.shed_deadline_requests +
+                                      s.shed_degraded_requests)});
   }
   if (s.served > s.challenges_issued + s.served_without_pow) {
     out.push_back({"ledger", "served=" + std::to_string(s.served) +
@@ -600,13 +842,23 @@ void check_invariants(const CampaignConfig& cfg, const FaultPlan& plan,
     }
     const std::uint64_t submission_outcomes =
         (s.served - s.served_without_pow) + s.rejected_bad_solution +
-        s.rejected_expired + s.rejected_replay + s.rejected_binding;
+        s.rejected_expired + s.rejected_replay + s.rejected_binding +
+        s.shed_deadline_submissions + s.shed_degraded_submissions;
     if (run.fe_submissions != submission_outcomes) {
       out.push_back(
           {"ledger",
            "front end drained " + std::to_string(run.fe_submissions) +
                " submissions but outcomes sum to " +
                std::to_string(submission_outcomes)});
+    }
+    if (run.fe_messages !=
+        run.fe_requests + run.fe_submissions + run.fe_expired_dropped) {
+      out.push_back(
+          {"ledger",
+           "front end messages=" + std::to_string(run.fe_messages) +
+               " != requests+submissions+expired_dropped=" +
+               std::to_string(run.fe_requests + run.fe_submissions +
+                              run.fe_expired_dropped)});
     }
   }
 
@@ -639,6 +891,82 @@ void check_invariants(const CampaignConfig& cfg, const FaultPlan& plan,
                " challenges, budget " + std::to_string(budget)});
     }
   }
+
+  // Exactly-once: client retry/timeout closes the liveness hole wire
+  // loss opens — with retries armed nothing may end the run unresolved
+  // (a request's fate is answered, deserted, or client-side kTimeout).
+  if (run.retry_enabled && run.unresolved != 0) {
+    out.push_back({"exactly_once",
+                   std::to_string(run.unresolved) +
+                       " requests left unresolved despite retry/timeout "
+                       "(every request must resolve exactly once)"});
+  }
+
+  // Shed ledger: shed counters must be consistent with the ladder ride.
+  if (!run.ladder_enabled &&
+      (s.shed_degraded_requests + s.shed_degraded_submissions != 0 ||
+       t.degrade_max_level != 0 || t.degrade_transitions != 0)) {
+    out.push_back({"shed_ledger",
+                   "ladder disabled yet degraded sheds/transitions nonzero"});
+  }
+  if (!run.retry_enabled &&
+      s.shed_deadline_requests + s.shed_deadline_submissions != 0) {
+    // Only the overload scenario stamps deadlines or sets a default.
+    out.push_back({"shed_ledger",
+                   "no deadlines configured yet deadline sheds nonzero"});
+  }
+  if (s.shed_queue_requests + s.shed_queue_submissions != 0) {
+    // The simulator's pump freezes sim time while batches are in flight,
+    // so a message can never expire *inside* the queue here; queue-pop
+    // shedding is a wall-deployment path (unit-tested directly).
+    out.push_back({"shed_ledger",
+                   "queue-pop sheds in simulation (in-queue expiry is "
+                   "structurally impossible under the frozen-clock pump)"});
+  }
+  if (t.degrade_max_level < 3 && s.shed_degraded_submissions != 0) {
+    out.push_back({"shed_ledger",
+                   "submission sheds without the ladder reaching L3"});
+  }
+  if (t.degrade_max_level < 2 && s.shed_degraded_requests != 0) {
+    out.push_back({"shed_ledger",
+                   "issuance sheds without the ladder reaching L2"});
+  }
+
+  // Recovery: once load stops, hysteresis bounds the walk back to L0.
+  if (run.ladder_enabled && run.final_level != 0) {
+    out.push_back({"degrade_recovery",
+                   "ladder still at L" + std::to_string(run.final_level) +
+                       " after " + std::to_string(run.recovery_windows) +
+                       " cooldown windows"});
+  }
+
+  // Watchdog (one-sided): a single injected wall-clock sleep comfortably
+  // past the stall deadline must be flagged. Only sound when the stalled
+  // shard is guaranteed traffic from its first batch on, so the check is
+  // scoped to single-shard runs and events targeting batch run 0;
+  // derived plans (sleeps <= 8ms << 625ms) never arm it — hand-built
+  // plans in the acceptance tests do.
+  if (run.async && run.watchdog_armed && cfg.front_end.drain_shards <= 1 &&
+      run.fe_messages > 0) {
+    double worst_ms = 0.0;
+    for (const FaultEvent& e : plan.events) {
+      const bool executes =
+          (e.kind == FaultKind::kDrainStall) ||
+          (e.kind == FaultKind::kSlowVerify && run.fe_submissions > 0);
+      if (executes && (e.target / 16) % 8 == 0) {
+        worst_ms = std::max(worst_ms, e.magnitude);
+      }
+    }
+    const double stall_ms =
+        std::chrono::duration<double, std::milli>(kOverloadWatchdogStall)
+            .count();
+    if (worst_ms >= 2.5 * stall_ms && run.watchdog_stalls == 0) {
+      out.push_back({"watchdog",
+                     "injected " + std::to_string(worst_ms) +
+                         "ms stall never flagged (deadline " +
+                         std::to_string(stall_ms) + "ms)"});
+    }
+  }
 }
 
 }  // namespace
@@ -649,6 +977,7 @@ std::string_view scenario_name(Scenario scenario) {
     case Scenario::kReplayFlood: return "replay_flood";
     case Scenario::kReputationPoisoning: return "reputation_poisoning";
     case Scenario::kSolveFarm: return "solve_farm";
+    case Scenario::kOverloadFlashCrowd: return "overload_flash_crowd";
   }
   return "unknown";
 }
@@ -670,6 +999,7 @@ std::string CampaignTallies::fingerprint() const {
   add(" ans=", answered);
   add(" served=", served);
   add(" deserted=", deserted);
+  add(" timed_out=", timed_out);
   add(" hung=", hung);
   add(" replay_sent=", replays_sent);
   add(" replay_served=", replays_served);
@@ -687,6 +1017,14 @@ std::string CampaignTallies::fingerprint() const {
   add(" rep=", server.rejected_replay);
   add(" bind=", server.rejected_binding);
   add(" ovl=", server.rejected_overload);
+  add(" shed_dl=", server.shed_deadline_requests);
+  add("/", server.shed_deadline_submissions);
+  add(" shed_q=", server.shed_queue_requests);
+  add("/", server.shed_queue_submissions);
+  add(" shed_deg=", server.shed_degraded_requests);
+  add("/", server.shed_degraded_submissions);
+  add(" deg=", degrade_max_level);
+  add("/", degrade_transitions);
   add(" dsum=", server.difficulty_sum);
   out += " |";
   for (const ClientOutcome& c : clients) {
@@ -695,6 +1033,7 @@ std::string CampaignTallies::fingerprint() const {
     add(":", c.rejected);
     add(":", c.overloaded);
     add(":", c.deserted);
+    add(":", c.timed_out);
     add(":", c.challenges);
     add(":", c.replays_served);
   }
@@ -710,6 +1049,8 @@ CampaignResult run_campaign_with_plan(
 
   const RunOutput primary = execute(model, policy, config, plan, true);
   result.tallies = primary.tallies;
+  result.watchdog_stalls = primary.watchdog_stalls;
+  result.recovery_windows = primary.recovery_windows;
   check_invariants(config, plan, primary, result.violations);
 
   if (config.check_sync_equivalence) {
@@ -810,6 +1151,16 @@ SweepOutcome run_campaign_sweep(const reputation::IReputationModel& model,
     const CampaignResult result = run_campaign(model, policy, cfg);
     ++outcome.campaigns;
     outcome.last_seed = cfg.seed;
+    const framework::ServerStats& s = result.tallies.server;
+    outcome.shed_deadline +=
+        s.shed_deadline_requests + s.shed_deadline_submissions;
+    outcome.shed_queue += s.shed_queue_requests + s.shed_queue_submissions;
+    outcome.shed_degraded +=
+        s.shed_degraded_requests + s.shed_degraded_submissions;
+    outcome.timed_out += result.tallies.timed_out;
+    outcome.degrade_max_level =
+        std::max(outcome.degrade_max_level, result.tallies.degrade_max_level);
+    outcome.watchdog_stalls += result.watchdog_stalls;
     if (!result.passed()) {
       outcome.failing_seed = cfg.seed;
       outcome.failure =

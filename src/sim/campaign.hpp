@@ -19,7 +19,18 @@
 ///   async == sync  — the asynchronous transport produces bit-identical
 ///                    tallies to the synchronous shim under the same
 ///                    fault plan (drain stalls may change batching, never
-///                    totals).
+///                    totals);
+///   exactly-once   — with client retries enabled (overload scenario)
+///                    every request resolves exactly once: answered,
+///                    deserted, or client-side kTimeout — never hung;
+///   shed ledger    — shed counters are consistent with the ladder ride
+///                    (no degraded shedding below the level that sheds,
+///                    none at all while the ladder is disabled) and the
+///                    overload scenario's ladder returns to L0 within a
+///                    bounded recovery window once load stops;
+///   watchdog       — an injected wall-clock stall comfortably past the
+///                    watchdog deadline must be flagged (one-sided:
+///                    absence of injection asserts nothing).
 ///
 /// A campaign is a pure function of (model, policy, config, seed): two
 /// runs — on any machine, at any drain_shards / verify_threads setting —
@@ -49,11 +60,15 @@ enum class Scenario : std::uint8_t {
   kReputationPoisoning = 2,  ///< attackers alternate benign-looking and
                              ///< malicious traffic to poison the cache
   kSolveFarm = 3,            ///< attackers outsource solving (cheap hashes)
+  kOverloadFlashCrowd = 4,   ///< flash crowd with the full overload-control
+                             ///< loop armed: deadlines, degradation ladder,
+                             ///< client retries, stall watchdog
 };
 
-inline constexpr std::array<Scenario, 4> kAllScenarios = {
+inline constexpr std::array<Scenario, 5> kAllScenarios = {
     Scenario::kBotnetRampUp, Scenario::kReplayFlood,
-    Scenario::kReputationPoisoning, Scenario::kSolveFarm};
+    Scenario::kReputationPoisoning, Scenario::kSolveFarm,
+    Scenario::kOverloadFlashCrowd};
 
 [[nodiscard]] std::string_view scenario_name(Scenario scenario);
 [[nodiscard]] std::optional<Scenario> scenario_from_name(
@@ -98,7 +113,9 @@ struct CampaignConfig final {
 
 /// One invariant breach. `invariant` is a stable identifier
 /// ("conservation", "ledger", "single_redeem", "rate_budget",
-/// "async_sync_divergence", "test_hook"); detail is human-readable.
+/// "async_sync_divergence", "exactly_once", "shed_ledger",
+/// "degrade_recovery", "watchdog", "test_hook"); detail is
+/// human-readable.
 struct InvariantViolation final {
   std::string invariant;
   std::string detail;
@@ -111,6 +128,7 @@ struct ClientOutcome final {
   std::uint64_t rejected = 0;
   std::uint64_t overloaded = 0;
   std::uint64_t deserted = 0;
+  std::uint64_t timed_out = 0;  ///< resolved by the client retry budget
   std::uint64_t challenges = 0;
   std::uint64_t replays_served = 0;
 
@@ -127,6 +145,7 @@ struct CampaignTallies final {
   std::uint64_t answered = 0;
   std::uint64_t served = 0;
   std::uint64_t deserted = 0;
+  std::uint64_t timed_out = 0;  ///< resolved client-side after retry budget
   std::uint64_t hung = 0;  ///< no response by run end (lost in flight)
   std::uint64_t replays_sent = 0;
   std::uint64_t replays_served = 0;
@@ -134,6 +153,11 @@ struct CampaignTallies final {
   std::uint64_t wire_messages = 0;
   std::uint64_t wire_dropped = 0;
   std::uint64_t fault_dropped = 0;
+  /// Degradation-ladder ride (deterministic: windowed folds of sim-time
+  /// signals — see degrade.hpp). Zero when the scenario leaves the
+  /// ladder disabled.
+  std::uint64_t degrade_max_level = 0;
+  std::uint64_t degrade_transitions = 0;
   common::Duration sim_elapsed{};
 
   /// Canonical string form — the equality the bit-reproducibility and
@@ -148,6 +172,11 @@ struct CampaignResult final {
   CampaignTallies tallies;
   std::vector<InvariantViolation> violations;
   double wall_s = 0.0;
+  /// Overload-control observations from the primary (async) run: stall
+  /// episodes the drain watchdog flagged (wall clock, diagnostics only)
+  /// and ladder cooldown windows polled until L0 after the run.
+  std::uint64_t watchdog_stalls = 0;
+  std::uint64_t recovery_windows = 0;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 };
@@ -187,13 +216,21 @@ struct ShrinkReport final {
     const CampaignConfig& config, const CampaignResult& failure,
     std::size_t max_runs = 48);
 
-/// Seed-sweep outcome (CI entry point): campaigns executed, and the
-/// first failure (if any) already minimized.
+/// Seed-sweep outcome (CI entry point): campaigns executed, the first
+/// failure (if any) already minimized, and overload-control aggregates
+/// for the sweep summary line.
 struct SweepOutcome final {
   std::size_t campaigns = 0;
   std::uint64_t last_seed = 0;        ///< last seed executed
   std::optional<ShrinkReport> failure;
   std::optional<std::uint64_t> failing_seed;
+  /// Summed per-stage shed counters across the sweep's campaigns.
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_queue = 0;
+  std::uint64_t shed_degraded = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t degrade_max_level = 0;  ///< max over campaigns
+  std::uint64_t watchdog_stalls = 0;    ///< summed stall episodes
 };
 
 /// Runs campaigns for seeds [seed0, seed0 + max_seeds) until the

@@ -27,6 +27,7 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kMalformedFlood: return "malformed_flood";
     case FaultKind::kSolverDesertion: return "solver_desertion";
     case FaultKind::kReplayFlood: return "replay_flood";
+    case FaultKind::kSlowVerify: return "slow_verify";
   }
   return "unknown";
 }
@@ -70,6 +71,11 @@ std::string FaultEvent::describe() const {
     case FaultKind::kReplayFlood:
       out += " client=" + std::to_string(target) + " x" +
              std::to_string(count);
+      break;
+    case FaultKind::kSlowVerify:
+      out += " shard=" + std::to_string(target) + " " +
+             common::fmt_f(magnitude, 1) + "ms x" + std::to_string(count) +
+             " batches";
       break;
   }
   return out;
@@ -135,6 +141,12 @@ FaultPlan FaultPlan::derive(std::uint64_t seed, const FaultPlanConfig& cfg) {
       case FaultKind::kMalformedFlood:
       case FaultKind::kSolverDesertion:
       case FaultKind::kReplayFlood:
+        event.count = static_cast<std::uint32_t>(
+            r.uniform_u64(1, cfg.max_count));
+        event.target = static_cast<std::uint32_t>(r.uniform_u64(0, 255));
+        break;
+      case FaultKind::kSlowVerify:
+        event.magnitude = r.uniform(0.5, millis_of(cfg.max_verify_sleep));
         event.count = static_cast<std::uint32_t>(
             r.uniform_u64(1, cfg.max_count));
         event.target = static_cast<std::uint32_t>(r.uniform_u64(0, 255));

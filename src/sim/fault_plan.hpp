@@ -37,13 +37,14 @@ enum class FaultKind : std::uint8_t {
   kMalformedFlood = 4,  ///< burst of undecodable wire bytes at the server
   kSolverDesertion = 5, ///< a client abandons its next challenges
   kReplayFlood = 6,     ///< a client re-submits an already-redeemed proof
+  kSlowVerify = 7,      ///< wall-clock delay before a batch's verification
 };
 
-inline constexpr std::array<FaultKind, 7> kAllFaultKinds = {
+inline constexpr std::array<FaultKind, 8> kAllFaultKinds = {
     FaultKind::kLinkLossBurst,   FaultKind::kJitterBurst,
     FaultKind::kDrainStall,      FaultKind::kClockSkew,
     FaultKind::kMalformedFlood,  FaultKind::kSolverDesertion,
-    FaultKind::kReplayFlood,
+    FaultKind::kReplayFlood,     FaultKind::kSlowVerify,
 };
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
@@ -82,6 +83,9 @@ struct FaultPlanConfig final {
   common::Duration max_jitter = std::chrono::milliseconds(40);
   common::Duration max_skew = std::chrono::seconds(180);   ///< > verifier ttl
   common::Duration max_stall = std::chrono::milliseconds(8);  ///< wall clock
+  /// kSlowVerify sleep ceiling (wall clock, like max_stall — totals
+  /// must be unaffected; only batching shape and wall latency move).
+  common::Duration max_verify_sleep = std::chrono::milliseconds(8);
   std::uint32_t max_count = 16;
   /// Kinds eligible for derivation (all by default). Scenarios narrow or
   /// re-weight this, e.g. a replay-flood campaign guarantees replays.

@@ -239,6 +239,14 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
   framework::WireClientPool pool(loop, network, load_client_ip(0),
                                  cfg.clients, cfg.server_host,
                                  cfg.client_hash_cost_us);
+  if (cfg.retry.enabled) {
+    // Resends rebuild the identical payload from the request source, so
+    // the retried request converges on the same puzzle id server-side.
+    pool.set_retry_policy(
+        cfg.retry, [&features, path = cfg.path](std::size_t client) {
+          return std::make_pair(path, features[client % features.size()]);
+        });
+  }
 
   // Optional heavy-tailed think time between one client's exchanges.
   std::unique_ptr<ClientPopulation> population;
@@ -379,7 +387,10 @@ WireLoadReport run_wire_load(const reputation::IReputationModel& model,
   report.unanswered = report.sent - report.answered;
   report.messages_sent = network.messages_sent();
   report.server_delta = server.stats() - before;
-  if (front_end) report.front_end = front_end->stats();
+  if (front_end) {
+    report.front_end = front_end->stats();
+    report.watchdog_stalls = front_end->watchdog_stats().stalls;
+  }
 
   if (cfg.capture_fingerprints) {
     // Challenges whose response was lost stay pending; fold them with

@@ -21,6 +21,7 @@
 #include "features/feature_vector.hpp"
 #include "framework/async_front_end.hpp"
 #include "framework/client.hpp"
+#include "framework/retry.hpp"
 #include "framework/server.hpp"
 #include "netsim/link.hpp"
 #include "policy/policy.hpp"
@@ -206,6 +207,12 @@ struct WireLoadConfig final {
   /// Modelled per-hash client solve cost (see WireClient).
   double client_hash_cost_us = 38.0;
 
+  /// Client retry/timeout/backoff (disabled by default). When enabled
+  /// the pool stamps request deadlines, re-sends shed or lost exchanges
+  /// with deterministic jittered backoff, and resolves exhausted
+  /// attempts as kTimeout — the overload bench mode's client half.
+  framework::RetryPolicy retry;
+
   netsim::LinkModel link{.base_latency = std::chrono::milliseconds(15),
                          .jitter = common::Duration::zero(),
                          .bandwidth_bytes_per_sec = 0.0,
@@ -240,6 +247,9 @@ struct WireLoadReport final {
 
   framework::ServerStats server_delta;
   framework::FrontEndStats front_end;  ///< zeros in synchronous mode
+  /// Drain-stall episodes the watchdog flagged (async mode with
+  /// front_end.watchdog_stall > 0 only; wall-clock, diagnostics).
+  std::uint64_t watchdog_stalls = 0;
 
   /// Per-client histories (index = client), populated only when
   /// WireLoadConfig::capture_history is set. Identical across sync,

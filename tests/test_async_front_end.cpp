@@ -387,6 +387,105 @@ TEST_F(AsyncFrontEndTest, ClosedLoopWithBackpressureConservesEveryMessage) {
   EXPECT_EQ(report.server_delta.rejected_replay, 0u);
 }
 
+TEST_F(AsyncFrontEndTest, QueuePopShedsDeadlinesThatExpireWhileQueued) {
+  // The pop-time shed branch is structurally unreachable under the
+  // frozen-clock pump (pop == push instant), so drive it with
+  // hand-stamped requests: one whose deadline falls between enqueue and
+  // pop (the queue must shed it, kUnavailable, zero server work) and
+  // one already expired on arrival (must flow through to the server,
+  // which sheds it itself — the parity rule that keeps async and sync
+  // ledgers identical).
+  AsyncFrontEndConfig cfg;
+  cfg.start_paused = true;
+  build_front_end(cfg);
+
+  std::vector<Response> got;
+  network_.add_host("10.0.5.1", [&](const std::string&, common::BytesView p) {
+    const auto msg = decode(p);
+    if (msg.has_value()) got.push_back(std::get<Response>(*msg));
+  });
+
+  const ServerStats before = server_->stats();
+  Request queued_expiry;  // enqueues at t=15ms; deadline 50ms < pop time
+  queued_expiry.client_ip = "10.0.5.1";
+  queued_expiry.features = benign_features_;
+  queued_expiry.request_id = 1;
+  queued_expiry.deadline_ms = 50;
+  Request dead_on_arrival;  // deadline 5ms already behind the enqueue
+  dead_on_arrival.client_ip = "10.0.5.1";
+  dead_on_arrival.features = benign_features_;
+  dead_on_arrival.request_id = 2;
+  dead_on_arrival.deadline_ms = 5;
+  (void)network_.send("10.0.5.1", kServerHost, queued_expiry.serialize());
+  (void)network_.send("10.0.5.1", kServerHost, dead_on_arrival.serialize());
+  loop_.run();  // both queued while the drain is paused
+  EXPECT_EQ(front_end_->queued(), 2u);
+
+  loop_.schedule_in(100ms, [] {});
+  loop_.run();  // advance sim time past both deadlines before the pop
+  front_end_->run_until_idle();
+
+  ASSERT_EQ(got.size(), 2u);
+  for (const Response& r : got) {
+    EXPECT_EQ(r.status, common::ErrorCode::kUnavailable);
+    EXPECT_GT(r.retry_after_ms, 0u);
+    if (r.request_id == 1) {
+      EXPECT_EQ(r.body, "deadline expired in queue");  // queue shed it
+    } else {
+      EXPECT_EQ(r.request_id, 2u);  // the server shed this one
+    }
+  }
+  EXPECT_EQ(front_end_->stats().expired_dropped, 1u);
+  const ServerStats delta = server_->stats() - before;
+  EXPECT_EQ(delta.shed_queue_requests, 1u);
+  EXPECT_EQ(delta.shed_deadline_requests, 1u);
+  EXPECT_EQ(delta.challenges_issued, 0u);  // dead work never scored
+}
+
+TEST_F(AsyncFrontEndTest, ExpiredSubmissionsUnderShardedDrainCountExactly) {
+  // rejected_expired under a sharded drain: a verifier TTL far below
+  // the wire round-trip ages out every solution in flight, across two
+  // drain shards and a pooled verifier. Each client must still get
+  // exactly one kExpired answer and the counter must match exactly —
+  // no shard may lose or double-count an expiry.
+  ServerConfig server_cfg;
+  server_cfg.master_secret = common::bytes_of("async-front-end-secret");
+  server_cfg.verifier.ttl = 1ms;
+  server_cfg.verify_threads = 2;
+  server_ = std::make_unique<PowServer>(loop_.clock(), model_, policy_,
+                                        server_cfg);
+  AsyncFrontEndConfig cfg;
+  cfg.drain_shards = 2;
+  cfg.queue_capacity = 64;
+  build_front_end(cfg);
+
+  constexpr int kClients = 6;
+  const ServerStats before = server_->stats();
+  std::vector<std::unique_ptr<WireClient>> clients;
+  std::vector<int> answers(kClients, 0);
+  int expired = 0;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<WireClient>(
+        loop_, network_, "10.0.6." + std::to_string(i + 1), kServerHost));
+    clients.back()->send_request(
+        "/", benign_features_, [&, i](const Response& r, common::Duration) {
+          ++answers[static_cast<std::size_t>(i)];
+          if (r.status == common::ErrorCode::kExpired) ++expired;
+        });
+  }
+  front_end_->run_until_idle();
+
+  EXPECT_EQ(expired, kClients);
+  for (const int n : answers) EXPECT_EQ(n, 1);
+  const ServerStats delta = server_->stats() - before;
+  EXPECT_EQ(delta.rejected_expired, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(delta.served, 0u);
+  EXPECT_EQ(delta.challenges_issued, static_cast<std::uint64_t>(kClients));
+  const FrontEndStats fs = front_end_->stats();
+  EXPECT_EQ(fs.requests, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(fs.submissions, static_cast<std::uint64_t>(kClients));
+}
+
 TEST_F(AsyncFrontEndTest, MalformedCountReadableWhileServing) {
   // Regression: malformed_ was a plain uint64 written on the event-loop
   // thread; with completions on pool threads a monitoring read races.

@@ -130,6 +130,63 @@ TEST_F(CampaignTest, SweepStopsAtFirstFailureAndReturnsMinimizedRepro) {
   EXPECT_GE(outcome.campaigns, 1u);
 }
 
+TEST_F(CampaignTest, OverloadFlashCrowdRidesTheLadderAndRecovers) {
+  // The overload acceptance run: a flash crowd with retrying clients
+  // must push the degradation ladder off L0, shed real work with
+  // explicit answers, keep serving benign goodput, and hand back a run
+  // that satisfies every invariant — including shed_ledger (each shed
+  // is accounted exactly once), degrade_recovery (the ladder is back at
+  // L0 within the bounded cooldown), and exactly_once (every retrying
+  // client's request resolves exactly once).
+  config_.scenario = Scenario::kOverloadFlashCrowd;
+  config_.seed = 7;
+  config_.attackers = 4;
+  config_.requests_per_client = 4;
+  const CampaignResult result = run_campaign(model_, policy_, config_);
+  ASSERT_TRUE(result.passed())
+      << result.violations.front().invariant << " — "
+      << result.violations.front().detail;
+
+  EXPECT_GE(result.tallies.degrade_max_level, 1u) << "ladder never rode";
+  const framework::ServerStats& s = result.tallies.server;
+  EXPECT_GT(s.shed_degraded_requests + s.shed_degraded_submissions +
+                s.shed_deadline_requests + s.shed_deadline_submissions,
+            0u)
+      << "overload shed nothing";
+  EXPECT_GT(result.tallies.served, 0u) << "no goodput under overload";
+  EXPECT_EQ(result.tallies.hung, 0u);  // retry policy: nothing dangles
+}
+
+TEST_F(CampaignTest, InjectedDrainStallTripsTheWatchdog) {
+  // Hand-built plan (derived plans keep stalls tiny so fingerprints stay
+  // wall-speed-independent): one 1.5s drain stall on the only shard's
+  // first batch. The watchdog must flag at least one episode — asserted
+  // directly and by the campaign's one-sided watchdog invariant, which
+  // is part of passed().
+  config_.scenario = Scenario::kOverloadFlashCrowd;
+  config_.seed = 5;
+  config_.front_end.drain_shards = 1;
+  config_.check_sync_equivalence = false;  // wall-clock fault; skip twin
+
+  FaultPlan plan;
+  plan.seed = config_.seed;
+  FaultEvent stall;
+  stall.kind = FaultKind::kDrainStall;
+  stall.magnitude = 1500.0;  // ms; well past the 2.5x stall_after margin
+  stall.count = 1;
+  stall.target = 0;  // shard 0, first batch
+  plan.events.push_back(stall);
+  plan.kept = {0};
+  plan.derived_events = 1;
+
+  const CampaignResult result =
+      run_campaign_with_plan(model_, policy_, config_, plan);
+  ASSERT_TRUE(result.passed())
+      << result.violations.front().invariant << " — "
+      << result.violations.front().detail;
+  EXPECT_GE(result.watchdog_stalls, 1u);
+}
+
 TEST(CampaignScenarios, NamesRoundTrip) {
   for (const Scenario scenario : kAllScenarios) {
     const auto back = scenario_from_name(scenario_name(scenario));

@@ -1,0 +1,167 @@
+// Tests for the graduated overload degradation ladder: pressure folding
+// per window, immediate step-up on threshold crossings, hysteresis on
+// the way down (calm_windows consecutive calm windows per level), the
+// long-gap fast-forward, and the level-scaled retry_after hint. All
+// single-threaded — cross-thread behaviour is covered by the server and
+// campaign suites; here the window arithmetic itself is the subject.
+
+#include "framework/degrade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powai::framework {
+namespace {
+
+// ewma_alpha = 1 makes the EWMA equal the last folded window, so each
+// test's pressure is plain arithmetic: arrivals * 1000 / window_ms /
+// arrival_ref_per_s (and likewise mean sojourn / sojourn_ref_ms).
+DegradeLadderConfig arrival_config() {
+  DegradeLadderConfig cfg;
+  cfg.enabled = true;
+  cfg.window = std::chrono::milliseconds(100);
+  cfg.ewma_alpha = 1.0;
+  cfg.sojourn_ref_ms = 0.0;       // arrival term only
+  cfg.arrival_ref_per_s = 100.0;  // 10 arrivals per window saturate
+  return cfg;
+}
+
+void record_n(DegradeLadder& ladder, std::int64_t window_start_ms,
+              int arrivals) {
+  for (int i = 0; i < arrivals; ++i) ladder.record_arrival(window_start_ms);
+}
+
+TEST(DegradeLadder, DisabledLadderIsPinnedAtZero) {
+  DegradeLadderConfig cfg = arrival_config();
+  cfg.enabled = false;
+  DegradeLadder ladder(cfg);
+  record_n(ladder, 0, 1000);
+  ladder.poll(10'000);
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_EQ(ladder.stats().max_level, 0);
+  EXPECT_EQ(ladder.stats().transitions, 0u);
+}
+
+TEST(DegradeLadder, PressureStepsTheLadderUpThroughEveryLevel) {
+  DegradeLadder ladder(arrival_config());
+
+  record_n(ladder, 0, 5);  // 50/s vs ref 100/s -> pressure 0.5 = up_l1
+  ladder.poll(100);
+  EXPECT_EQ(ladder.level(), 1);
+  EXPECT_DOUBLE_EQ(ladder.stats().pressure, 0.5);
+
+  record_n(ladder, 100, 10);  // pressure 1.0 = up_l2
+  ladder.poll(200);
+  EXPECT_EQ(ladder.level(), 2);
+
+  record_n(ladder, 200, 20);  // pressure 2.0 = up_l3
+  ladder.poll(300);
+  EXPECT_EQ(ladder.level(), 3);
+  EXPECT_EQ(ladder.stats().max_level, 3);
+  EXPECT_EQ(ladder.stats().transitions, 3u);
+}
+
+TEST(DegradeLadder, StepUpSkipsLevelsWhenPressureSpikes) {
+  DegradeLadder ladder(arrival_config());
+  record_n(ladder, 0, 30);  // pressure 3.0 >= up_l3 straight from L0
+  ladder.poll(100);
+  EXPECT_EQ(ladder.level(), 3);
+  EXPECT_EQ(ladder.stats().transitions, 1u);
+}
+
+TEST(DegradeLadder, RecoveryNeedsConsecutiveCalmWindowsPerLevel) {
+  DegradeLadder ladder(arrival_config());
+  record_n(ladder, 0, 10);
+  ladder.poll(100);
+  ASSERT_EQ(ladder.level(), 2);
+
+  // calm_windows = 3 (default): two calm windows are not enough...
+  ladder.poll(300);
+  EXPECT_EQ(ladder.level(), 2);
+  // ...the third steps down exactly one level, not to zero.
+  ladder.poll(400);
+  EXPECT_EQ(ladder.level(), 1);
+  // Three more calm windows clear the last level.
+  ladder.poll(700);
+  EXPECT_EQ(ladder.level(), 0);
+}
+
+TEST(DegradeLadder, NonCalmWindowResetsTheCalmStreak) {
+  DegradeLadderConfig cfg = arrival_config();
+  DegradeLadder ladder(cfg);
+  record_n(ladder, 0, 5);
+  ladder.poll(100);
+  ASSERT_EQ(ladder.level(), 1);
+
+  // Two calm windows, then one at pressure 0.4 — above calm_below
+  // (0.35) but below up_l1, so the streak restarts.
+  record_n(ladder, 300, 4);
+  ladder.poll(400);
+  EXPECT_EQ(ladder.level(), 1);
+  // Two more calm windows: still only two consecutive, no step-down.
+  ladder.poll(600);
+  EXPECT_EQ(ladder.level(), 1);
+  ladder.poll(700);
+  EXPECT_EQ(ladder.level(), 0);
+}
+
+TEST(DegradeLadder, SojournSignalDrivesPressureToo) {
+  DegradeLadderConfig cfg;
+  cfg.enabled = true;
+  cfg.window = std::chrono::milliseconds(100);
+  cfg.ewma_alpha = 1.0;
+  cfg.sojourn_ref_ms = 50.0;
+  cfg.arrival_ref_per_s = 0.0;  // sojourn term only
+  DegradeLadder ladder(cfg);
+
+  ladder.record_sojourn(0, 80.0);
+  ladder.record_sojourn(0, 120.0);  // mean 100ms / ref 50ms -> pressure 2.0
+  ladder.poll(100);
+  EXPECT_EQ(ladder.level(), 3);
+  EXPECT_DOUBLE_EQ(ladder.stats().pressure, 2.0);
+}
+
+TEST(DegradeLadder, LongIdleGapFastForwardsToFullyRecovered) {
+  DegradeLadder ladder(arrival_config());
+  record_n(ladder, 0, 30);
+  ladder.poll(100);
+  ASSERT_EQ(ladder.level(), 3);
+
+  // A gap of 200k windows takes the shortcut path instead of folding
+  // one window at a time; the outcome is the same fully calm state.
+  ladder.poll(200'000 * 100);
+  EXPECT_EQ(ladder.level(), 0);
+  EXPECT_DOUBLE_EQ(ladder.stats().pressure, 0.0);
+  EXPECT_EQ(ladder.stats().max_level, 3);  // high-water mark survives
+}
+
+TEST(DegradeLadder, RetryAfterHintDoublesPerLevel) {
+  DegradeLadder ladder(arrival_config());
+  EXPECT_EQ(ladder.retry_after_ms(), 250u);
+
+  record_n(ladder, 0, 10);
+  ladder.poll(100);
+  ASSERT_EQ(ladder.level(), 2);
+  EXPECT_EQ(ladder.retry_after_ms(), 1000u);  // 250 << 2
+
+  record_n(ladder, 100, 20);
+  ladder.poll(200);
+  ASSERT_EQ(ladder.level(), 3);
+  EXPECT_EQ(ladder.retry_after_ms(), 2000u);
+}
+
+TEST(DegradeLadder, ConstructorRejectsBadTuning) {
+  DegradeLadderConfig cfg = arrival_config();
+  cfg.window = common::Duration::zero();
+  EXPECT_THROW(DegradeLadder{cfg}, std::invalid_argument);
+
+  cfg = arrival_config();
+  cfg.ewma_alpha = 0.0;
+  EXPECT_THROW(DegradeLadder{cfg}, std::invalid_argument);
+  cfg.ewma_alpha = 1.5;
+  EXPECT_THROW(DegradeLadder{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powai::framework

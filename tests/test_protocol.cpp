@@ -89,6 +89,43 @@ TEST(Protocol, ResponseRoundTrip) {
   EXPECT_EQ(back.body, r.body);
 }
 
+TEST(Protocol, DeadlineAndRetryHintFieldsSurviveTheWire) {
+  // The overload-control fields: the request/submission deadline is
+  // what every server stage sheds against, and the response's
+  // retry_after hint is what shed clients back off by — losing either
+  // in transit would silently disable the control loop end to end.
+  Request req;
+  req.client_ip = "203.0.113.5";
+  req.features = sample_features();
+  req.deadline_ms = 123'456'789;
+  ASSERT_TRUE(decode(req.serialize()).has_value());
+  EXPECT_EQ(std::get<Request>(*decode(req.serialize())).deadline_ms,
+            123'456'789);
+
+  Submission sub;
+  sub.request_id = 12;
+  sub.puzzle = sample_puzzle();
+  sub.solution = {sub.puzzle.puzzle_id, 99};
+  sub.deadline_ms = -1;  // signed: skewed clocks can stamp the past
+  ASSERT_TRUE(decode(sub.serialize()).has_value());
+  EXPECT_EQ(std::get<Submission>(*decode(sub.serialize())).deadline_ms, -1);
+
+  Response resp;
+  resp.request_id = 13;
+  resp.status = common::ErrorCode::kUnavailable;
+  resp.retry_after_ms = 2000;
+  ASSERT_TRUE(decode(resp.serialize()).has_value());
+  EXPECT_EQ(std::get<Response>(*decode(resp.serialize())).retry_after_ms,
+            2000u);
+
+  // Zero (= unset) round-trips too: the server substitutes its default
+  // only for a genuine zero, so an encode that dropped or invented the
+  // field would change admission behaviour.
+  Request bare;
+  bare.client_ip = "203.0.113.6";
+  EXPECT_EQ(std::get<Request>(*decode(bare.serialize())).deadline_ms, 0);
+}
+
 TEST(Protocol, PeekTypeReadsTag) {
   Request r;
   r.client_ip = "1.2.3.4";

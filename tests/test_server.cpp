@@ -155,6 +155,95 @@ TEST_F(ServerTest, ExpiredSubmissionRejected) {
   EXPECT_EQ(server.stats().rejected_expired, 1u);
 }
 
+TEST_F(ServerTest, ExpiryRacingBatchVerificationCountsExactly) {
+  // Half the batch ages past the verifier TTL while the other half is
+  // still fresh; the pooled batch verifier must reject exactly the aged
+  // half as kExpired and serve the rest — no submission may slip
+  // through because its expiry check raced the pooled verification.
+  ServerConfig cfg = base_config();
+  cfg.verifier.ttl = 10s;
+  cfg.verify_threads = 2;
+  PowServer server(clock_, model_, policy_, cfg);
+  const ServerStats before = server.stats();
+
+  std::vector<PowClient> clients;
+  std::vector<Submission> submissions;
+  std::vector<std::string> ips;
+  const auto issue_and_solve = [&](int index) {
+    const std::string ip = "10.0.3." + std::to_string(index + 1);
+    clients.emplace_back(ip);
+    auto outcome =
+        server.on_request(clients.back().make_request("/", benign_features_));
+    const auto solved = clients.back().solve(std::get<Challenge>(outcome));
+    ASSERT_TRUE(solved.solved);
+    submissions.push_back(solved.submission);
+    ips.push_back(ip);
+  };
+
+  for (int i = 0; i < 3; ++i) issue_and_solve(i);  // issued at t=0
+  clock_.advance(6s);
+  for (int i = 3; i < 6; ++i) issue_and_solve(i);  // issued at t=6s
+  clock_.advance(5s);  // t=11s: first three aged 11s > TTL, rest 5s
+
+  const std::vector<Response> responses =
+      server.on_submission_batch(submissions, ips);
+  ASSERT_EQ(responses.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)].status,
+              common::ErrorCode::kExpired)
+        << "submission " << i << " should have aged out";
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)].status,
+              common::ErrorCode::kOk)
+        << "submission " << i << " is still fresh";
+  }
+
+  // Stats-delta exactness: every outcome lands in exactly one counter.
+  const ServerStats delta = server.stats() - before;
+  EXPECT_EQ(delta.rejected_expired, 3u);
+  EXPECT_EQ(delta.served, 3u);
+  EXPECT_EQ(delta.challenges_issued, 6u);
+  EXPECT_EQ(delta.rejected_replay, 0u);
+  EXPECT_EQ(delta.rejected_bad_solution, 0u);
+}
+
+TEST_F(ServerTest, WholeBatchExpiredRejectsEverySubmission) {
+  // The all-expired edge: the verify pool gets a batch where no job
+  // survives the TTL pre-check — it must still answer every submission
+  // (kExpired each) rather than collapsing on an empty job set.
+  ServerConfig cfg = base_config();
+  cfg.verifier.ttl = 10s;
+  cfg.verify_threads = 2;
+  PowServer server(clock_, model_, policy_, cfg);
+  const ServerStats before = server.stats();
+
+  std::vector<PowClient> clients;
+  std::vector<Submission> submissions;
+  std::vector<std::string> ips;
+  for (int i = 0; i < 4; ++i) {
+    const std::string ip = "10.0.4." + std::to_string(i + 1);
+    clients.emplace_back(ip);
+    auto outcome =
+        server.on_request(clients.back().make_request("/", benign_features_));
+    const auto solved = clients.back().solve(std::get<Challenge>(outcome));
+    ASSERT_TRUE(solved.solved);
+    submissions.push_back(solved.submission);
+    ips.push_back(ip);
+  }
+  clock_.advance(11s);
+
+  const std::vector<Response> responses =
+      server.on_submission_batch(submissions, ips);
+  ASSERT_EQ(responses.size(), 4u);
+  for (const Response& response : responses) {
+    EXPECT_EQ(response.status, common::ErrorCode::kExpired);
+  }
+  const ServerStats delta = server.stats() - before;
+  EXPECT_EQ(delta.rejected_expired, 4u);
+  EXPECT_EQ(delta.served, 0u);
+}
+
 TEST_F(ServerTest, BadNonceRejected) {
   PowServer server(clock_, model_, policy_, base_config());
   PowClient client("10.0.0.1");

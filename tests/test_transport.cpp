@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "features/synthetic.hpp"
@@ -173,6 +175,131 @@ TEST_F(TransportTest, DroppedRequestReturnsZeroId) {
   EXPECT_EQ(id, 0u);
   loop_.run();
   EXPECT_FALSE(fired);
+}
+
+TEST_F(TransportTest, RetryPolicyClosesTheDroppedSendLivenessHole) {
+  // Regression for the legacy hole DroppedRequestReturnsZeroId pins:
+  // without a policy a dropped send returns 0 and the callback never
+  // fires. With one installed the same black-hole link must yield a
+  // real id and exactly one synthetic kTimeout after max_attempts.
+  netsim::LinkModel black_hole;
+  black_hole.loss_rate = 1.0;
+  WireClient client(loop_, network_, "10.0.2.1", kServerHost);
+  network_.set_link("10.0.2.1", kServerHost, black_hole);
+
+  RetryPolicy policy;
+  policy.enabled = true;
+  policy.timeout = 200ms;
+  policy.max_attempts = 3;
+  policy.backoff_base = 50ms;
+  policy.jitter_frac = 0.0;
+  client.set_retry_policy(policy);
+
+  int fired = 0;
+  std::optional<Response> got;
+  const std::uint64_t id = client.send_request(
+      "/", benign_features_, [&](const Response& r, common::Duration) {
+        got = r;
+        ++fired;
+      });
+  EXPECT_GT(id, 0u);
+  loop_.run();
+  EXPECT_EQ(fired, 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, common::ErrorCode::kTimeout);
+  EXPECT_EQ(got->request_id, id);
+}
+
+TEST_F(TransportTest, RetriesResolveEveryRequestOverALossyLink) {
+  // Heavy random loss in both directions: every send_request must still
+  // resolve exactly once, and all attempts of one request must draw a
+  // challenge with the same stable puzzle id — the keyed derivation
+  // that lets the replay cache catch a re-submission, so a retried
+  // request can never be double-served.
+  netsim::LinkModel lossy;
+  lossy.loss_rate = 0.25;
+  WireClient client(loop_, network_, "10.0.2.2", kServerHost);
+  network_.set_link("10.0.2.2", kServerHost, lossy);
+  network_.set_link(kServerHost, "10.0.2.2", lossy);
+
+  RetryPolicy policy;
+  policy.enabled = true;
+  policy.timeout = 500ms;
+  policy.max_attempts = 6;
+  policy.backoff_base = 20ms;
+  policy.jitter_seed = 3;
+  client.set_retry_policy(policy);
+
+  std::map<std::uint64_t, std::uint64_t> first_challenge;
+  client.set_challenge_observer([&](const Challenge& c) {
+    const auto [it, fresh] =
+        first_challenge.emplace(c.request_id, c.puzzle.puzzle_id);
+    if (!fresh) {
+      EXPECT_EQ(it->second, c.puzzle.puzzle_id)
+          << "retry drew a different puzzle identity";
+    }
+  });
+
+  constexpr int kRequests = 8;
+  int resolved = 0;
+  int ok = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::uint64_t id = client.send_request(
+        "/", benign_features_, [&](const Response& r, common::Duration) {
+          ++resolved;
+          if (r.status == common::ErrorCode::kOk) ++ok;
+          // kReplay is the double-serve guard doing its job: the first
+          // attempt was served but its response got dropped, and the
+          // retried submission is refused instead of served again.
+          EXPECT_TRUE(r.status == common::ErrorCode::kOk ||
+                      r.status == common::ErrorCode::kTimeout ||
+                      r.status == common::ErrorCode::kReplay)
+              << static_cast<int>(r.status);
+        });
+    EXPECT_GT(id, 0u);
+  }
+  loop_.run();
+  EXPECT_EQ(resolved, kRequests);  // liveness: nothing hangs, ever
+  // With 25% per-leg loss and 6 attempts the odds of all eight timing
+  // out are negligible; a zero here means retries are not resending.
+  EXPECT_GT(ok, 0);
+  EXPECT_LE(server_->stats().served, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST_F(TransportTest, PooledClientsRetryOverALossyLinkToo) {
+  // Same liveness contract through the O(1)-per-client pool: the
+  // response handler fires exactly once per send even when the default
+  // link for the whole group is lossy.
+  netsim::LinkModel lossy;
+  lossy.loss_rate = 0.2;
+  network_.set_default_link(lossy);
+
+  WireClientPool pool(loop_, network_, "10.1.0.0", 4, kServerHost);
+  RetryPolicy policy;
+  policy.enabled = true;
+  policy.timeout = 500ms;
+  policy.max_attempts = 6;
+  policy.backoff_base = 20ms;
+  policy.jitter_seed = 5;
+  pool.set_retry_policy(policy, [this](std::size_t) {
+    return std::make_pair(std::string("/"), benign_features_);
+  });
+
+  std::vector<int> resolved(pool.size(), 0);
+  pool.set_response_handler(
+      [&](std::size_t client, const Response& r, common::Duration) {
+        ++resolved[client];
+        EXPECT_TRUE(r.status == common::ErrorCode::kOk ||
+                    r.status == common::ErrorCode::kTimeout ||
+                    r.status == common::ErrorCode::kReplay);
+      });
+  for (std::size_t c = 0; c < pool.size(); ++c) {
+    EXPECT_GT(pool.send_request(c, "/", benign_features_), 0u);
+  }
+  loop_.run();
+  for (std::size_t c = 0; c < pool.size(); ++c) {
+    EXPECT_EQ(resolved[c], 1) << "client " << c;
+  }
 }
 
 TEST_F(TransportTest, PowDisabledServerAnswersDirectly) {

@@ -1,0 +1,113 @@
+// Tests for the wall-clock stall watchdog. The poll_once() seam drives
+// the monitor synchronously so the stall rule (busy + no heartbeat for
+// stall_after) is tested without sleeping a real monitor thread; one
+// test then runs the actual monitor thread against an injected stall.
+// Runs under the `concurrency` label for that thread.
+
+#include "framework/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace powai::framework {
+namespace {
+
+using std::chrono::milliseconds;
+
+WatchdogConfig quick() {
+  WatchdogConfig cfg;
+  cfg.stall_after = milliseconds(40);
+  cfg.poll_every = milliseconds(5);
+  return cfg;
+}
+
+TEST(Watchdog, BusyWithoutHeartbeatsFlagsExactlyOneEpisode) {
+  Watchdog dog(quick());
+  const std::size_t src = dog.register_source("drain-0");
+  dog.set_busy_probe([] { return true; });
+
+  // First poll observes a beat and anchors last_progress at "now".
+  dog.beat(src);
+  dog.poll_once();
+  ASSERT_FALSE(dog.stats().stalled_now);
+
+  // Busy, silent, past stall_after: one stall — and only one, however
+  // often the monitor polls inside the same episode.
+  std::this_thread::sleep_for(milliseconds(60));
+  dog.poll_once();
+  dog.poll_once();
+  EXPECT_TRUE(dog.stats().stalled_now);
+  EXPECT_EQ(dog.stats().stalls, 1u);
+
+  // A heartbeat ends the episode; the count is cumulative.
+  dog.beat(src);
+  dog.poll_once();
+  EXPECT_FALSE(dog.stats().stalled_now);
+  EXPECT_EQ(dog.stats().stalls, 1u);
+}
+
+TEST(Watchdog, IdleSilenceIsNotAStall) {
+  Watchdog dog(quick());
+  const std::size_t src = dog.register_source("drain-0");
+  dog.set_busy_probe([] { return false; });  // nothing owed
+  dog.beat(src);
+  dog.poll_once();
+  std::this_thread::sleep_for(milliseconds(60));
+  dog.poll_once();
+  EXPECT_FALSE(dog.stats().stalled_now);
+  EXPECT_EQ(dog.stats().stalls, 0u);
+}
+
+TEST(Watchdog, AnySourceBeatingCountsAsProgress) {
+  Watchdog dog(quick());
+  const std::size_t a = dog.register_source("drain-0");
+  const std::size_t b = dog.register_source("drain-1");
+  dog.set_busy_probe([] { return true; });
+  dog.beat(a);
+  dog.poll_once();
+
+  // Only shard b makes progress; the system as a whole is alive.
+  std::this_thread::sleep_for(milliseconds(60));
+  dog.beat(b);
+  dog.poll_once();
+  EXPECT_FALSE(dog.stats().stalled_now);
+  EXPECT_EQ(dog.stats().stalls, 0u);
+  EXPECT_EQ(dog.stats().heartbeats, 2u);
+}
+
+TEST(Watchdog, MonitorThreadCatchesAnInjectedStall) {
+  Watchdog dog(quick());
+  dog.register_source("drain-0");
+  std::atomic<bool> busy{true};
+  dog.set_busy_probe([&busy] { return busy.load(); });
+
+  dog.start();
+  // Busy and silent for several stall_after periods: the monitor thread
+  // must flag at least one episode on its own.
+  std::this_thread::sleep_for(milliseconds(150));
+  dog.stop();
+
+  const WatchdogStats stats = dog.stats();
+  EXPECT_GE(stats.stalls, 1u);
+  EXPECT_GT(stats.polls, 0u);
+}
+
+TEST(Watchdog, RegisterAfterStartAndBadConfigAreRejected) {
+  Watchdog dog(quick());
+  dog.register_source("drain-0");
+  dog.set_busy_probe([] { return false; });
+  dog.start();
+  EXPECT_THROW(dog.register_source("late"), std::logic_error);
+  dog.stop();
+
+  WatchdogConfig bad = quick();
+  bad.stall_after = common::Duration::zero();
+  EXPECT_THROW(Watchdog{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powai::framework
